@@ -1,0 +1,142 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * out-of-cache merge fan-out `F` (Eq. 8's `log_F` passes vs per-pass
+//!   loser-tree work);
+//! * in-cache run size (when to leave binary SIMD merging);
+//! * segmented-sort small-group threshold (insertion sort vs full
+//!   merge-sort invocations — the `C_overhead` effect behind the
+//!   Figure 4 time hill).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcs_simd_sort::{sort_pairs_in_groups, sort_pairs_with, GroupBounds, SortConfig};
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let n = 1usize << 20;
+    let mut state = 0xABCDu64;
+    let keys: Vec<u32> = (0..n).map(|_| xorshift(&mut state) as u32).collect();
+    let oids: Vec<u32> = (0..n as u32).collect();
+    let mut g = c.benchmark_group("ablation_fanout");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for fanout in [2usize, 4, 8, 16, 32] {
+        let cfg = SortConfig {
+            fanout,
+            in_cache_bytes: 256 * 1024,
+            ..SortConfig::default()
+        };
+        g.bench_function(BenchmarkId::new("u32_sort", fanout), |b| {
+            b.iter(|| {
+                let mut k = keys.clone();
+                let mut o = oids.clone();
+                sort_pairs_with(&mut k, &mut o, &cfg);
+                (k, o)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_in_cache_run(c: &mut Criterion) {
+    let n = 1usize << 20;
+    let mut state = 0x5555u64;
+    let keys: Vec<u32> = (0..n).map(|_| xorshift(&mut state) as u32).collect();
+    let oids: Vec<u32> = (0..n as u32).collect();
+    let mut g = c.benchmark_group("ablation_in_cache_bytes");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for kb in [64usize, 256, 1024, 4096] {
+        let cfg = SortConfig {
+            in_cache_bytes: kb * 1024,
+            ..SortConfig::default()
+        };
+        g.bench_function(BenchmarkId::new("u32_sort", kb), |b| {
+            b.iter(|| {
+                let mut k = keys.clone();
+                let mut o = oids.clone();
+                sort_pairs_with(&mut k, &mut o, &cfg);
+                (k, o)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_small_threshold(c: &mut Criterion) {
+    // Many small groups: the regime of a second sorting round.
+    let n = 1usize << 19;
+    let group = 64usize;
+    let mut state = 0x9999u64;
+    let keys: Vec<u16> = (0..n).map(|_| xorshift(&mut state) as u16).collect();
+    let oids: Vec<u32> = (0..n as u32).collect();
+    let offsets: Vec<u32> = (0..=n / group).map(|g| (g * group) as u32).collect();
+    let bounds = GroupBounds::from_offsets(offsets);
+    let mut g = c.benchmark_group("ablation_small_threshold");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for thr in [0usize, 32, 192, 1024] {
+        let cfg = SortConfig {
+            small_threshold: thr,
+            ..SortConfig::default()
+        };
+        g.bench_function(BenchmarkId::new("segmented_64elem_groups", thr), |b| {
+            b.iter(|| {
+                let mut k = keys.clone();
+                let mut o = oids.clone();
+                sort_pairs_in_groups(&mut k, &mut o, &bounds, &cfg);
+                (k, o)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_multiway_impl(c: &mut Criterion) {
+    // SIMD merge tree vs scalar loser tree for the out-of-cache phase.
+    let n = 1usize << 21;
+    let mut state = 0x7777u64;
+    let keys: Vec<u32> = (0..n).map(|_| xorshift(&mut state) as u32).collect();
+    let oids: Vec<u32> = (0..n as u32).collect();
+    let mut g = c.benchmark_group("ablation_multiway_impl");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, scalar) in [("simd_merge_tree", false), ("scalar_loser_tree", true)] {
+        let cfg = SortConfig {
+            in_cache_bytes: 128 * 1024, // force several out-of-cache passes
+            scalar_multiway: scalar,
+            ..SortConfig::default()
+        };
+        g.bench_function(BenchmarkId::new("u32_sort", name), |b| {
+            b.iter(|| {
+                let mut k = keys.clone();
+                let mut o = oids.clone();
+                sort_pairs_with(&mut k, &mut o, &cfg);
+                (k, o)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fanout,
+    bench_in_cache_run,
+    bench_small_threshold,
+    bench_multiway_impl
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion micro-bench: the lookup (random gather) operator whose cost
+//! Eq. 3 models — in-cache vs out-of-cache working sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcs_columnar::CodeVec;
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lookup_gather");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    for (name, n) in [("in_cache_64k", 1usize << 16), ("out_of_cache_8m", 1usize << 23)] {
+        let codes = CodeVec::from_u64s(20, (0..n).map(|i| (i as u64 * 48271) % (1 << 20)));
+        // Random permutation of oids.
+        let mut oids: Vec<u32> = (0..n as u32).collect();
+        let mut state = 0x1234_5678u64;
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            oids.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(BenchmarkId::new("gather_u32", name), |b| {
+            b.iter(|| codes.gather(&oids))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-bench: code-massaging bandwidth (the four-instruction
+//! program of Figure 6). The paper's claim: massaging is sequential,
+//! branch-free, and cheap relative to one sorting round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcs_columnar::CodeVec;
+use mcs_core::{massage, MassagePlan, SortSpec};
+
+fn bench_massage(c: &mut Criterion) {
+    let n = 1usize << 18;
+    let mut g = c.benchmark_group("massage_fip");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    let c17 = CodeVec::from_u64s(17, (0..n).map(|i| (i as u64 * 7919) % (1 << 17)));
+    let c33 = CodeVec::from_u64s(33, (0..n).map(|i| (i as u64 * 104729) % (1u64 << 33)));
+    let c48a = CodeVec::from_u64s(48, (0..n).map(|i| (i as u64 * 6700417) % (1u64 << 48)));
+    let c48b = CodeVec::from_u64s(48, (0..n).map(|i| (i as u64 * 999983) % (1u64 << 48)));
+
+    // Ex3 P<<1: I_FIP = 3.
+    g.bench_function(BenchmarkId::new("ex3_p_ll1_ifip3", n), |b| {
+        let specs = [SortSpec::asc(17), SortSpec::asc(33)];
+        let plan = MassagePlan::from_widths(&[18, 32]);
+        b.iter(|| massage(&[&c17, &c33], &specs, &plan, 1))
+    });
+    // Ex4 P_32x3: I_FIP = 4.
+    g.bench_function(BenchmarkId::new("ex4_p32x3_ifip4", n), |b| {
+        let specs = [SortSpec::asc(48), SortSpec::asc(48)];
+        let plan = MassagePlan::from_widths(&[32, 32, 32]);
+        b.iter(|| massage(&[&c48a, &c48b], &specs, &plan, 1))
+    });
+    // Complement path (DESC column).
+    g.bench_function(BenchmarkId::new("desc_complement_stitch", n), |b| {
+        let specs = [SortSpec::asc(17), SortSpec::desc(33)];
+        let plan = MassagePlan::from_widths(&[50]);
+        b.iter(|| massage(&[&c17, &c33], &specs, &plan, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_massage);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-bench: ROGA plan-search latency (it must stay a
+//! negligible fraction of execution time — Table 2's claim) and RRS at
+//! the same budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_cost::{CostModel, SortInstance};
+use mcs_planner::{roga, RogaOptions};
+
+fn bench_search(c: &mut Criterion) {
+    let model = CostModel::with_defaults();
+    let mut g = c.benchmark_group("plan_search");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    let cases: Vec<(&str, SortInstance, bool)> = vec![
+        (
+            "2col_W27",
+            SortInstance::uniform(1 << 22, &[(10, 1024.0), (17, 8192.0)]),
+            false,
+        ),
+        (
+            "2col_W50",
+            SortInstance::uniform(1 << 22, &[(17, 8192.0), (33, 8192.0)]),
+            false,
+        ),
+        (
+            "3col_W19_groupby",
+            SortInstance::uniform(1 << 20, &[(5, 25.0), (8, 150.0), (6, 50.0)]),
+            true,
+        ),
+        (
+            "7col_W96_groupby",
+            SortInstance::uniform(
+                1 << 22,
+                &[
+                    (20, 1e5),
+                    (16, 5e4),
+                    (12, 4096.0),
+                    (12, 2557.0),
+                    (16, 65536.0),
+                    (10, 1024.0),
+                    (10, 1024.0),
+                ],
+            ),
+            true,
+        ),
+    ];
+    for (name, inst, permute) in &cases {
+        g.bench_function(BenchmarkId::new("roga_rho_0.1pct", *name), |b| {
+            b.iter(|| {
+                roga(
+                    inst,
+                    &model,
+                    &RogaOptions {
+                        rho: Some(0.001),
+                        permute_columns: *permute,
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Extension experiment (the paper's §7 future work): radix-sorting
+//! massaged rounds. The number of counting passes is `⌈w/8⌉`, so
+//! bit-borrowing that narrows a round can eliminate a whole pass — code
+//! massaging helps radix sort "with a different flavor".
+//!
+//! Compares, on Example Ex3's data (17-bit + 33-bit columns):
+//! * merge-sort vs radix-sort as the per-round sorting kernel;
+//! * `P_0` vs the massaged `{24/[32], 26/[32]}` plan under radix, where
+//!   both rounds fit 3 counting passes instead of 3 + 5.
+
+use mcs_bench::{ms, print_table, rows, seed, time};
+use mcs_core::{massage, MassagePlan, RoundKeys};
+use mcs_simd_sort::{group_boundaries, sort_pairs_radix, sort_pairs_radix_in_groups, sort_pairs_with, SortConfig};
+use mcs_workloads::ex3;
+
+fn radix_two_rounds(m: &mcs_workloads::MicroInstance, plan: &MassagePlan) -> u64 {
+    let (keys, _) = massage(&m.column_refs(), &m.specs, plan, 1);
+    let n = keys[0].len();
+    let mut oids: Vec<u32> = (0..n as u32).collect();
+    let widths = plan.widths();
+    let (_, d) = time(|| {
+        let mut groups = mcs_simd_sort::GroupBounds::whole(n);
+        for (round, rk) in keys.iter().enumerate() {
+            match rk {
+                RoundKeys::B16(v) => {
+                    let mut k: Vec<u16> = oids.iter().map(|&o| v[o as usize]).collect();
+                    if round == 0 {
+                        sort_pairs_radix(&mut k, &mut oids, widths[round]);
+                    } else {
+                        sort_pairs_radix_in_groups(&mut k, &mut oids, &groups, widths[round]);
+                    }
+                    groups = groups.refine_by(&k);
+                }
+                RoundKeys::B32(v) => {
+                    let mut k: Vec<u32> = oids.iter().map(|&o| v[o as usize]).collect();
+                    if round == 0 {
+                        sort_pairs_radix(&mut k, &mut oids, widths[round]);
+                    } else {
+                        sort_pairs_radix_in_groups(&mut k, &mut oids, &groups, widths[round]);
+                    }
+                    groups = groups.refine_by(&k);
+                }
+                RoundKeys::B64(v) => {
+                    let mut k: Vec<u64> = oids.iter().map(|&o| v[o as usize]).collect();
+                    if round == 0 {
+                        sort_pairs_radix(&mut k, &mut oids, widths[round]);
+                    } else {
+                        sort_pairs_radix_in_groups(&mut k, &mut oids, &groups, widths[round]);
+                    }
+                    groups = groups.refine_by(&k);
+                }
+            }
+        }
+        groups.num_groups()
+    });
+    d.as_nanos() as u64
+}
+
+fn main() {
+    let n = rows(1 << 21);
+    println!("Extension: radix-sorting massaged rounds (Ex3 data, N = {n})\n");
+    let m = ex3(n, seed());
+
+    // Kernel face-off on a single 32-bit round of the whole column.
+    let (keys, _) = massage(
+        &m.column_refs(),
+        &m.specs,
+        &MassagePlan::from_widths(&[17, 33]),
+        1,
+    );
+    if let RoundKeys::B32(v) = &keys[0] {
+        let mut out = Vec::new();
+        let oids: Vec<u32> = (0..v.len() as u32).collect();
+        let (_, d_merge) = time(|| {
+            let mut k = v.clone();
+            let mut o = oids.clone();
+            sort_pairs_with(&mut k, &mut o, &SortConfig::default());
+            group_boundaries(&k).num_groups()
+        });
+        let (_, d_radix) = time(|| {
+            let mut k = v.clone();
+            let mut o = oids.clone();
+            sort_pairs_radix(&mut k, &mut o, 17);
+            group_boundaries(&k).num_groups()
+        });
+        out.push(vec![
+            "17-bit column (round 1)".into(),
+            ms(d_merge.as_nanos() as u64),
+            ms(d_radix.as_nanos() as u64),
+        ]);
+        print_table(&["kernel face-off", "mergesort_ms", "radix_ms"], &out);
+    }
+
+    // Plan face-off under radix: P0 (17 -> 3 passes, 33 -> 5 passes)
+    // vs a balanced {24, 26} massage (3 + 4 passes, one pass saved and
+    // narrower storage for round 2).
+    let mut out = Vec::new();
+    for (name, plan) in [
+        ("P0 {17,33}", MassagePlan::from_widths(&[17, 33])),
+        ("massaged {24,26}", MassagePlan::from_widths(&[24, 26])),
+        ("massaged {18,32}", MassagePlan::from_widths(&[18, 32])),
+    ] {
+        let ns = radix_two_rounds(&m, &plan);
+        out.push(vec![name.into(), plan.notation(), ms(ns)]);
+    }
+    print_table(&["radix plan", "notation", "total_ms"], &out);
+    println!(
+        "\nShape check: massaging narrows rounds -> fewer counting passes,\n\
+         so the massaged plans should beat radix-P0 as well."
+    );
+}

@@ -1,0 +1,72 @@
+//! Developer probe: raw per-bank sort throughput and phase behavior, for
+//! tuning the kernels (not a paper figure). Reports sorted Melem/s per
+//! bank for AVX2 vs portable, plus the scalar baseline, at several sizes.
+
+use std::time::Instant;
+
+use mcs_bench::print_table;
+use mcs_simd_sort::{sort_pairs_scalar, sort_pairs_with, SortConfig};
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn mps(n: usize, secs: f64) -> String {
+    format!("{:.1}", n as f64 / secs / 1e6)
+}
+
+fn main() {
+    let mut out = Vec::new();
+    for shift in [16usize, 20, 22] {
+        let n = 1usize << shift;
+        let mut state = 0x1EEDu64;
+        let k16: Vec<u16> = (0..n).map(|_| xorshift(&mut state) as u16).collect();
+        let k32: Vec<u32> = (0..n).map(|_| xorshift(&mut state) as u32).collect();
+        let k64: Vec<u64> = (0..n).map(|_| xorshift(&mut state)).collect();
+        let oids: Vec<u32> = (0..n as u32).collect();
+        let avx2 = SortConfig::default();
+        let portable = SortConfig {
+            force_portable: true,
+            ..SortConfig::default()
+        };
+        let scalar_mw = SortConfig {
+            scalar_multiway: true,
+            ..SortConfig::default()
+        };
+
+        macro_rules! run {
+            ($label:expr, $keys:expr, $cfg:expr) => {{
+                let mut k = $keys.clone();
+                let mut o = oids.clone();
+                let t = Instant::now();
+                sort_pairs_with(&mut k, &mut o, $cfg);
+                let secs = t.elapsed().as_secs_f64();
+                std::hint::black_box(&k[0]);
+                out.push(vec![
+                    format!("2^{shift}"),
+                    $label.to_string(),
+                    mps(n, secs),
+                ]);
+            }};
+        }
+        run!("u16 avx2", k16, &avx2);
+        run!("u16 portable", k16, &portable);
+        run!("u32 avx2", k32, &avx2);
+        run!("u32 portable", k32, &portable);
+        run!("u32 avx2+scalar_multiway", k32, &scalar_mw);
+        run!("u64 avx2", k64, &avx2);
+        run!("u64 portable", k64, &portable);
+        {
+            let mut k = k32.clone();
+            let mut o = oids.clone();
+            let t = Instant::now();
+            sort_pairs_scalar(&mut k, &mut o);
+            let secs = t.elapsed().as_secs_f64();
+            out.push(vec![format!("2^{shift}"), "u32 scalar pdq".into(), mps(n, secs)]);
+        }
+    }
+    print_table(&["n", "variant", "Melem/s"], &out);
+}

@@ -1,0 +1,141 @@
+//! # mcs-bench
+//!
+//! Shared plumbing for the experiment harnesses that regenerate every
+//! table and figure of the paper's evaluation (§6). Each harness is a
+//! binary under `src/bin/`; run e.g.
+//!
+//! ```text
+//! cargo run --release -p mcs-bench --bin fig4_hill
+//! ```
+//!
+//! Environment knobs (all optional):
+//! * `MCS_ROWS` — base row count for workload generation (default
+//!   harness-specific, laptop-scale);
+//! * `MCS_CALIBRATE=1` — calibrate the cost model on this machine instead
+//!   of using canned constants (slower startup, better rankings);
+//! * `MCS_SEED` — RNG seed.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use mcs_cost::{calibrate, CalibrationOptions, CostModel, MachineSpec};
+use mcs_engine::{EngineConfig, PlannerMode};
+
+/// Read an env var as usize.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Base row count (`MCS_ROWS`).
+pub fn rows(default: usize) -> usize {
+    env_usize("MCS_ROWS", default)
+}
+
+/// RNG seed (`MCS_SEED`).
+pub fn seed() -> u64 {
+    env_usize("MCS_SEED", 42) as u64
+}
+
+/// Wall-clock one closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t = Instant::now();
+    let r = std::hint::black_box(f());
+    (r, t.elapsed())
+}
+
+/// The cost model for experiments: calibrated when `MCS_CALIBRATE=1`,
+/// canned defaults otherwise (calibration takes ~1 min on one core).
+pub fn cost_model() -> CostModel {
+    if std::env::var("MCS_CALIBRATE").as_deref() == Ok("1") {
+        eprintln!("[mcs-bench] calibrating cost model (MCS_CALIBRATE=1)…");
+        let m = calibrate(MachineSpec::detect(), &CalibrationOptions::default());
+        eprintln!("[mcs-bench] calibration done: {:#?}", m.consts);
+        m
+    } else {
+        CostModel::with_defaults()
+    }
+}
+
+/// Engine configs: (massaging ON via ROGA, massaging OFF).
+pub fn engine_pair(model: &CostModel) -> (EngineConfig, EngineConfig) {
+    let on = EngineConfig {
+        planner: PlannerMode::Roga { rho: Some(0.001) },
+        model: model.clone(),
+        ..EngineConfig::default()
+    };
+    let off = EngineConfig {
+        planner: PlannerMode::ColumnAtATime,
+        model: model.clone(),
+        ..EngineConfig::default()
+    };
+    (on, off)
+}
+
+/// Render an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("{:<w$}", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Format nanoseconds human-readably (ms with 2 decimals).
+pub fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// Format a ratio as `N.NNx`.
+pub fn speedup(base_ns: u64, new_ns: u64) -> String {
+    if new_ns == 0 {
+        "inf".into()
+    } else {
+        format!("{:.2}x", base_ns as f64 / new_ns as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_defaults() {
+        assert_eq!(env_usize("MCS_NOT_SET_VAR_XYZ", 7), 7);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ms(1_500_000), "1.50");
+        assert_eq!(speedup(200, 100), "2.00x");
+        assert_eq!(speedup(200, 0), "inf");
+    }
+
+    #[test]
+    fn timing_works() {
+        let (v, d) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() < 1_000_000_000);
+    }
+}

@@ -1,0 +1,149 @@
+//! AVX2 ByteSlice scan kernels: 32 codes per step.
+//!
+//! Same algorithm as the SWAR kernels in [`crate::byteslice`] — compare
+//! the most significant byte slice first, descend to later slices only
+//! for still-undecided lanes, stop early per block — but with 32-wide
+//! byte compares (`_mm256_cmpeq_epi8` / `_mm256_min_epu8`) and
+//! `movemask` bit masks.
+//!
+//! # Safety
+//! All functions here require AVX2; they are only invoked behind the
+//! runtime check in `ByteSliceColumn::scan_with_stats`.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+#![cfg(target_arch = "x86_64")]
+
+use core::arch::x86_64::*;
+
+use crate::bitvec::BitVec;
+use crate::byteslice::ScanStats;
+
+/// `x < y` and `x == y` per byte lane, as 32-bit masks.
+#[inline(always)]
+unsafe fn lt_eq_masks(x: __m256i, y: __m256i) -> (u32, u32) {
+    let eq = _mm256_cmpeq_epi8(x, y);
+    // x <= y  ⟺  min(x, y) == x (unsigned).
+    let le = _mm256_cmpeq_epi8(_mm256_min_epu8(x, y), x);
+    let eq_m = _mm256_movemask_epi8(eq) as u32;
+    let le_m = _mm256_movemask_epi8(le) as u32;
+    (le_m & !eq_m, eq_m)
+}
+
+#[inline(always)]
+unsafe fn load32(slice: &[u8], i: usize) -> __m256i {
+    debug_assert!(i + 32 <= slice.len());
+    _mm256_loadu_si256(slice.as_ptr().add(i) as *const __m256i)
+}
+
+/// 32-lane inequality scan (`<`, `<=`, `>`, `>=` via flags), writing one
+/// 32-bit result word per block.
+///
+/// # Safety
+/// AVX2 must be available; every slice must be padded to a multiple of 32.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn scan_ineq_avx2(
+    slices: &[Vec<u8>],
+    lit_bytes: &[u8],
+    n: usize,
+    greater: bool,
+    or_equal: bool,
+    out: &mut BitVec,
+    stats: &mut ScanStats,
+) {
+    let lits: Vec<__m256i> = lit_bytes.iter().map(|&b| _mm256_set1_epi8(b as i8)).collect();
+    let mut i = 0usize;
+    while i < n {
+        let mut undecided = u32::MAX;
+        let mut result = 0u32;
+        for (slice, lit) in slices.iter().zip(&lits) {
+            let x = load32(slice, i);
+            stats.words_touched += 4;
+            let (lt, eq) = lt_eq_masks(x, *lit);
+            let win = if greater { !(lt | eq) } else { lt };
+            result |= undecided & win;
+            undecided &= eq;
+            if undecided == 0 {
+                break;
+            }
+        }
+        if or_equal {
+            result |= undecided;
+        }
+        out.set_word32(i, result);
+        i += 32;
+    }
+}
+
+/// 32-lane equality scan.
+///
+/// # Safety
+/// AVX2 must be available; every slice must be padded to a multiple of 32.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn scan_eq_avx2(
+    slices: &[Vec<u8>],
+    lit_bytes: &[u8],
+    n: usize,
+    negate: bool,
+    out: &mut BitVec,
+    stats: &mut ScanStats,
+) {
+    let lits: Vec<__m256i> = lit_bytes.iter().map(|&b| _mm256_set1_epi8(b as i8)).collect();
+    let mut i = 0usize;
+    while i < n {
+        let mut undecided = u32::MAX;
+        for (slice, lit) in slices.iter().zip(&lits) {
+            let x = load32(slice, i);
+            stats.words_touched += 4;
+            let eq = _mm256_movemask_epi8(_mm256_cmpeq_epi8(x, *lit)) as u32;
+            undecided &= eq;
+            if undecided == 0 {
+                break;
+            }
+        }
+        out.set_word32(i, if negate { !undecided } else { undecided });
+        i += 32;
+    }
+}
+
+/// 32-lane `BETWEEN lo AND hi` scan (both inclusive), one pass tracking
+/// both bounds.
+///
+/// # Safety
+/// AVX2 must be available; every slice must be padded to a multiple of 32.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn scan_between_avx2(
+    slices: &[Vec<u8>],
+    lo_bytes: &[u8],
+    hi_bytes: &[u8],
+    n: usize,
+    out: &mut BitVec,
+    stats: &mut ScanStats,
+) {
+    let los: Vec<__m256i> = lo_bytes.iter().map(|&b| _mm256_set1_epi8(b as i8)).collect();
+    let his: Vec<__m256i> = hi_bytes.iter().map(|&b| _mm256_set1_epi8(b as i8)).collect();
+    let mut i = 0usize;
+    while i < n {
+        let mut und_lo = u32::MAX;
+        let mut und_hi = u32::MAX;
+        let mut ge = 0u32;
+        let mut le = 0u32;
+        for (j, slice) in slices.iter().enumerate() {
+            if und_lo == 0 && und_hi == 0 {
+                break;
+            }
+            let x = load32(slice, i);
+            stats.words_touched += 4;
+            let (lt_lo, eq_lo) = lt_eq_masks(x, los[j]);
+            let (lt_hi, eq_hi) = lt_eq_masks(x, his[j]);
+            let gt_lo = !(lt_lo | eq_lo);
+            ge |= und_lo & gt_lo;
+            le |= und_hi & lt_hi;
+            und_lo &= eq_lo;
+            und_hi &= eq_hi;
+        }
+        ge |= und_lo;
+        le |= und_hi;
+        out.set_word32(i, ge & le);
+        i += 32;
+    }
+}

@@ -1,0 +1,183 @@
+//! Encoded columns and their statistics.
+
+use crate::byteslice::ByteSliceColumn;
+use crate::codes::CodeVec;
+
+/// Per-column statistics used by the cost model's group-cardinality
+/// estimators (§4: "basic statistics about the data such as … the value
+/// distribution of a column (e.g., a histogram)").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of distinct codes.
+    pub ndv: usize,
+    /// Minimum code.
+    pub min: u64,
+    /// Maximum code.
+    pub max: u64,
+    /// Equi-width histogram over `[0, 2^width)` (16 buckets by default):
+    /// counts of rows per bucket.
+    pub histogram: Vec<u64>,
+}
+
+impl ColumnStats {
+    /// Compute statistics in one pass (plus a sort for exact NDV).
+    pub fn compute(codes: &CodeVec, width: u32) -> ColumnStats {
+        let rows = codes.len();
+        let buckets = 16usize;
+        let mut histogram = vec![0u64; buckets];
+        let domain = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut all: Vec<u64> = Vec::with_capacity(rows);
+        for v in codes.iter_u64() {
+            min = min.min(v);
+            max = max.max(v);
+            let b = if domain == 0 {
+                0
+            } else {
+                ((v as u128 * buckets as u128) / (domain as u128 + 1)) as usize
+            };
+            histogram[b.min(buckets - 1)] += 1;
+            all.push(v);
+        }
+        all.sort_unstable();
+        all.dedup();
+        let ndv = all.len();
+        if rows == 0 {
+            min = 0;
+        }
+        ColumnStats {
+            rows,
+            ndv,
+            min,
+            max,
+            histogram,
+        }
+    }
+}
+
+/// An encoded column: fixed-width codes plus ByteSlice storage and stats.
+///
+/// The ByteSlice representation serves scans; the plain [`CodeVec`] serves
+/// lookups and sorting (the paper's prototype keeps both, its Figure 11
+/// storage manager).
+#[derive(Debug, Clone)]
+pub struct Column {
+    name: String,
+    width: u32,
+    codes: CodeVec,
+    byteslice: ByteSliceColumn,
+    stats: ColumnStats,
+}
+
+impl Column {
+    /// Build a column from codes.
+    pub fn new(name: impl Into<String>, width: u32, codes: CodeVec) -> Column {
+        let stats = ColumnStats::compute(&codes, width);
+        let byteslice = ByteSliceColumn::from_codes(&codes, width);
+        Column {
+            name: name.into(),
+            width,
+            codes,
+            byteslice,
+            stats,
+        }
+    }
+
+    /// Build from an iterator of `u64` code values.
+    pub fn from_u64s(
+        name: impl Into<String>,
+        width: u32,
+        vals: impl IntoIterator<Item = u64>,
+    ) -> Column {
+        Column::new(name, width, CodeVec::from_u64s(width, vals))
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Code width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The plain code storage.
+    pub fn codes(&self) -> &CodeVec {
+        &self.codes
+    }
+
+    /// The ByteSlice storage (for scans).
+    pub fn byteslice(&self) -> &ByteSliceColumn {
+        &self.byteslice
+    }
+
+    /// Column statistics.
+    pub fn stats(&self) -> &ColumnStats {
+        &self.stats
+    }
+
+    /// Read code `i`.
+    pub fn get(&self, i: usize) -> u64 {
+        self.codes.get(i)
+    }
+
+    /// Gather codes at `oids` (lookup operator).
+    pub fn gather(&self, oids: &[u32]) -> CodeVec {
+        self.codes.gather(oids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        let c = Column::from_u64s("a", 8, [5u64, 5, 10, 255, 0]);
+        let s = c.stats();
+        assert_eq!(s.rows, 5);
+        assert_eq!(s.ndv, 4);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 255);
+        assert_eq!(s.histogram.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_domain() {
+        // width 4 -> domain [0,16); bucket = v (16 buckets).
+        let c = Column::from_u64s("a", 4, (0u64..16).chain(0..16));
+        assert!(c.stats().histogram.iter().all(|&h| h == 2));
+    }
+
+    #[test]
+    fn empty_column_stats() {
+        let c = Column::from_u64s("a", 12, std::iter::empty());
+        assert_eq!(c.stats().rows, 0);
+        assert_eq!(c.stats().ndv, 0);
+        assert_eq!(c.stats().min, 0);
+    }
+
+    #[test]
+    fn byteslice_agrees_with_codes() {
+        let vals = [4000u64, 1, 70000, 123456];
+        let c = Column::from_u64s("x", 17, vals);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(c.get(i), v);
+            assert_eq!(c.byteslice().lookup(i as u32), v);
+        }
+    }
+}

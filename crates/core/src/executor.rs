@@ -1,0 +1,455 @@
+//! The multi-column sort executor.
+//!
+//! Runs a [`MassagePlan`] over a set of sort-key columns, reproducing the
+//! paper's execution structure (Figure 2): massage → per round
+//! (lookup-permute → segmented SIMD-sort → boundary scan), with per-phase
+//! timings matching the cost model's `T_massage` / `T_lookup` / `T_sort` /
+//! `T_scan` decomposition.
+
+use std::time::Instant;
+
+use mcs_columnar::CodeVec;
+use mcs_simd_sort::{
+    sort_pairs_in_groups, sort_pairs_in_groups_parallel, GroupBounds, SegmentedSortStats,
+    SortConfig,
+};
+
+use crate::massage::{massage, width_mask, RoundKeys};
+use crate::plan::{MassagePlan, SortSpec};
+
+/// Execution configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// SIMD-sort tuning.
+    pub sort: SortConfig,
+    /// Worker threads (1 = serial).
+    pub threads: usize,
+    /// Whether the final grouping (ties on all keys) must be produced —
+    /// needed by GROUP BY / PARTITION BY, skippable for pure ORDER BY.
+    pub want_final_groups: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            sort: SortConfig::default(),
+            threads: 1,
+            want_final_groups: true,
+        }
+    }
+}
+
+/// Per-round telemetry (Figure 4b's `N_sort`, `N_group`, `N̄_code`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundStats {
+    /// ns spent permuting this round's keys by the incoming oid order.
+    pub lookup_ns: u64,
+    /// ns spent in the segmented SIMD sort.
+    pub sort_ns: u64,
+    /// ns spent scanning for refined group boundaries.
+    pub scan_ns: u64,
+    /// SIMD-sort invocations (`N_sort`: groups with > 1 row).
+    pub invocations: usize,
+    /// Codes actually sorted this round.
+    pub codes_sorted: usize,
+    /// Groups fed into this round.
+    pub groups_in: usize,
+    /// Groups after this round's refinement (`N_group`).
+    pub groups_out: usize,
+}
+
+/// Whole-execution telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// ns spent massaging (0 for identity plans on all-ASC columns).
+    pub massage_ns: u64,
+    /// Per-round statistics.
+    pub rounds: Vec<RoundStats>,
+    /// End-to-end ns.
+    pub total_ns: u64,
+}
+
+impl ExecStats {
+    /// Sum of sort times across rounds.
+    pub fn sort_ns(&self) -> u64 {
+        self.rounds.iter().map(|r| r.sort_ns).sum()
+    }
+
+    /// Sum of lookup times across rounds.
+    pub fn lookup_ns(&self) -> u64 {
+        self.rounds.iter().map(|r| r.lookup_ns).sum()
+    }
+
+    /// Sum of scan times across rounds.
+    pub fn scan_ns(&self) -> u64 {
+        self.rounds.iter().map(|r| r.scan_ns).sum()
+    }
+}
+
+/// Result of a multi-column sort.
+#[derive(Debug, Clone)]
+pub struct MultiColumnSortOutput {
+    /// Rearranged object identifiers: position `p` holds original row
+    /// `oids[p]`; this is the "ordered list of object identifiers" whose
+    /// validity Lemma 1 guarantees.
+    pub oids: Vec<u32>,
+    /// Grouping by ties on all sort keys (trivial single group if
+    /// `want_final_groups` was false).
+    pub groups: GroupBounds,
+    /// Telemetry.
+    pub stats: ExecStats,
+}
+
+fn gather_round_keys(keys: &RoundKeys, oids: &[u32]) -> RoundKeys {
+    match keys {
+        RoundKeys::B16(v) => RoundKeys::B16(oids.iter().map(|&o| v[o as usize]).collect()),
+        RoundKeys::B32(v) => RoundKeys::B32(oids.iter().map(|&o| v[o as usize]).collect()),
+        RoundKeys::B64(v) => RoundKeys::B64(oids.iter().map(|&o| v[o as usize]).collect()),
+    }
+}
+
+fn sort_round(
+    keys: &mut RoundKeys,
+    oids: &mut [u32],
+    groups: &GroupBounds,
+    cfg: &ExecConfig,
+) -> SegmentedSortStats {
+    macro_rules! go {
+        ($v:expr) => {
+            if cfg.threads > 1 {
+                sort_pairs_in_groups_parallel($v, oids, groups, cfg.threads, &cfg.sort)
+            } else {
+                sort_pairs_in_groups($v, oids, groups, &cfg.sort)
+            }
+        };
+    }
+    match keys {
+        RoundKeys::B16(v) => go!(v),
+        RoundKeys::B32(v) => go!(v),
+        RoundKeys::B64(v) => go!(v),
+    }
+}
+
+fn refine_groups(groups: &GroupBounds, keys: &RoundKeys) -> GroupBounds {
+    match keys {
+        RoundKeys::B16(v) => groups.refine_by(v),
+        RoundKeys::B32(v) => groups.refine_by(v),
+        RoundKeys::B64(v) => groups.refine_by(v),
+    }
+}
+
+/// Execute a multi-column sort of `inputs` (one column per [`SortSpec`])
+/// under `plan`.
+///
+/// Returns the permutation of object identifiers and (optionally) the
+/// final grouping. The permutation satisfies the `ORDER BY` comparator
+/// `t_a ≺ t_b` of §3 for every pair of consecutive output positions; by
+/// Lemma 1 this holds for *any* valid massage plan.
+pub fn multi_column_sort(
+    inputs: &[&CodeVec],
+    specs: &[SortSpec],
+    plan: &MassagePlan,
+    cfg: &ExecConfig,
+) -> MultiColumnSortOutput {
+    assert_eq!(inputs.len(), specs.len(), "one spec per input column");
+    assert!(!inputs.is_empty(), "need at least one sort column");
+    let total_width: u32 = specs.iter().map(|s| s.width).sum();
+    plan.validate(total_width).expect("invalid massage plan");
+    let n = inputs[0].len();
+    assert!(n < u32::MAX as usize, "row count must fit in u32");
+
+    let t0 = Instant::now();
+    let mut stats = ExecStats::default();
+
+    // Step 1: massage (Figure 2b step 1). Identity plans on ascending
+    // columns still materialize round keys, but we charge that to lookup
+    // semantics of round 1 rather than massage, matching the paper's P_0
+    // (which has no massage phase).
+    let tm = Instant::now();
+    let (mut round_keys, prog) = massage(inputs, specs, plan, cfg.threads);
+    let massage_elapsed = tm.elapsed().as_nanos() as u64;
+    stats.massage_ns = if prog.is_identity() { 0 } else { massage_elapsed };
+
+    let mut oids: Vec<u32> = (0..n as u32).collect();
+    let mut groups = GroupBounds::whole(n);
+    let last = round_keys.len() - 1;
+
+    for (k, keys) in round_keys.iter_mut().enumerate() {
+        let mut rs = RoundStats {
+            groups_in: groups.num_groups(),
+            ..RoundStats::default()
+        };
+
+        // Lookup: permute this round's keys by the current order
+        // (Figure 2a step 2a). Round 1 is already in row order.
+        if k > 0 {
+            let tl = Instant::now();
+            *keys = gather_round_keys(keys, &oids);
+            rs.lookup_ns = tl.elapsed().as_nanos() as u64;
+        }
+
+        // Segmented SIMD sort (steps 1/3).
+        let ts = Instant::now();
+        let sstats = sort_round(keys, &mut oids, &groups, cfg);
+        rs.sort_ns = ts.elapsed().as_nanos() as u64;
+        rs.invocations = sstats.invocations;
+        rs.codes_sorted = sstats.codes_sorted;
+
+        // Scan for refined boundaries (step 2b); skipped after the last
+        // round unless the caller needs the final grouping.
+        if k < last || cfg.want_final_groups {
+            let tc = Instant::now();
+            groups = refine_groups(&groups, keys);
+            rs.scan_ns = tc.elapsed().as_nanos() as u64;
+        }
+        rs.groups_out = groups.num_groups();
+        stats.rounds.push(rs);
+    }
+
+    stats.total_ns = t0.elapsed().as_nanos() as u64;
+    MultiColumnSortOutput {
+        oids,
+        groups,
+        stats,
+    }
+}
+
+/// The §3 `ORDER BY` comparator: `a ≺ b` over the raw input columns.
+/// Used by tests and the exhaustive plan-search oracle.
+pub fn tuple_cmp(
+    inputs: &[&CodeVec],
+    specs: &[SortSpec],
+    a: u32,
+    b: u32,
+) -> core::cmp::Ordering {
+    for (c, s) in inputs.iter().zip(specs) {
+        let mut va = c.get(a as usize);
+        let mut vb = c.get(b as usize);
+        if s.descending {
+            va = va ^ width_mask(s.width);
+            vb = vb ^ width_mask(s.width);
+        }
+        match va.cmp(&vb) {
+            core::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    core::cmp::Ordering::Equal
+}
+
+/// Assert that `out` is a correct result for the given sort instance:
+/// oids form a permutation, consecutive tuples are non-decreasing under
+/// the ORDER BY comparator, and (if present) groups partition exactly the
+/// tie ranges. Panics with diagnostics otherwise. Test/verification aid.
+pub fn verify_sorted(
+    inputs: &[&CodeVec],
+    specs: &[SortSpec],
+    out: &MultiColumnSortOutput,
+    check_groups: bool,
+) {
+    let n = inputs[0].len();
+    assert_eq!(out.oids.len(), n);
+    let mut seen = vec![false; n];
+    for &o in &out.oids {
+        assert!(!seen[o as usize], "oid {o} repeated");
+        seen[o as usize] = true;
+    }
+    for w in out.oids.windows(2) {
+        let ord = tuple_cmp(inputs, specs, w[0], w[1]);
+        assert_ne!(
+            ord,
+            core::cmp::Ordering::Greater,
+            "tuples out of order: {} before {}",
+            w[0],
+            w[1]
+        );
+    }
+    if check_groups {
+        assert_eq!(out.groups.num_rows(), n);
+        for r in out.groups.iter() {
+            // All rows within a group tie on every key.
+            for i in r.start + 1..r.end {
+                assert_eq!(
+                    tuple_cmp(inputs, specs, out.oids[r.start], out.oids[i]),
+                    core::cmp::Ordering::Equal,
+                    "non-tied rows grouped"
+                );
+            }
+            // Adjacent groups differ.
+            if r.end < n {
+                assert_ne!(
+                    tuple_cmp(inputs, specs, out.oids[r.end - 1], out.oids[r.end]),
+                    core::cmp::Ordering::Equal,
+                    "tie split across groups"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(width: u32, vals: &[u64]) -> CodeVec {
+        CodeVec::from_u64s(width, vals.iter().copied())
+    }
+
+    #[test]
+    fn figure2_query_q1() {
+        // nation_name (10-bit), ship_date (17-bit) from Figure 2.
+        let nation = col(10, &[1, 0, 1, 0, 1]);
+        let ship = col(17, &[1201, 301, 501, 301, 501]);
+        let inputs = vec![&nation, &ship];
+        let specs = vec![SortSpec::asc(10), SortSpec::asc(17)];
+
+        for plan in [
+            MassagePlan::column_at_a_time(&specs), // Figure 2a
+            MassagePlan::from_widths(&[27]),       // Figure 2b (stitched)
+            MassagePlan::from_widths(&[11, 16]),   // bit borrowing
+        ] {
+            let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default());
+            verify_sorted(&inputs, &specs, &out, true);
+            // Groups: (0,301)x2, (1,501)x2, (1,1201).
+            assert_eq!(out.groups.num_groups(), 3, "plan {plan}");
+            let sizes: Vec<usize> = out.groups.iter().map(|r| r.len()).collect();
+            assert_eq!(sizes, vec![2, 2, 1]);
+        }
+    }
+
+    #[test]
+    fn all_plans_agree_small_exhaustive() {
+        // 6-bit + 5-bit columns, every composition of 11 bits is a plan.
+        let n = 200usize;
+        let a = col(6, &(0..n).map(|i| ((i * 37) % 64) as u64).collect::<Vec<_>>());
+        let b = col(5, &(0..n).map(|i| ((i * 11) % 32) as u64).collect::<Vec<_>>());
+        let inputs = vec![&a, &b];
+        let specs = vec![SortSpec::asc(6), SortSpec::asc(5)];
+
+        // Reference final grouping from P0.
+        let p0 = MassagePlan::column_at_a_time(&specs);
+        let ref_out = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default());
+        verify_sorted(&inputs, &specs, &ref_out, true);
+
+        // All compositions of 11 into <= 4 parts (plus the 11-part one).
+        let mut plans: Vec<Vec<u32>> = vec![vec![1; 11]];
+        for w1 in 1..=11u32 {
+            if w1 == 11 {
+                plans.push(vec![11]);
+                continue;
+            }
+            for w2 in 1..=(11 - w1) {
+                if w1 + w2 == 11 {
+                    plans.push(vec![w1, w2]);
+                    continue;
+                }
+                let w3 = 11 - w1 - w2;
+                plans.push(vec![w1, w2, w3]);
+            }
+        }
+        for widths in plans {
+            let plan = MassagePlan::from_widths(&widths);
+            let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default());
+            verify_sorted(&inputs, &specs, &out, true);
+            // Lemma 1: identical grouping structure regardless of plan.
+            assert_eq!(
+                out.groups.offsets, ref_out.groups.offsets,
+                "plan {widths:?} grouping differs"
+            );
+        }
+    }
+
+    #[test]
+    fn figure5_desc_complement() {
+        // ORDER BY A ASC, B DESC on Figure 5's input.
+        let a = col(3, &[2, 2, 7]);
+        let b = col(3, &[5, 1, 4]);
+        let inputs = vec![&a, &b];
+        let specs = vec![SortSpec::asc(3), SortSpec::desc(3)];
+        // Stitched plan must complement B first; expected output order is
+        // the input order (x, y, z) per the paper.
+        let plan = MassagePlan::from_widths(&[6]);
+        let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default());
+        assert_eq!(out.oids, vec![0, 1, 2]);
+        // And the wrong (no-complement) order would have been 1,0,2: check
+        // the column-at-a-time plan agrees with the stitched one.
+        let p0 = MassagePlan::column_at_a_time(&specs);
+        let out0 = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default());
+        assert_eq!(out0.oids, out.oids);
+    }
+
+    #[test]
+    fn round_stats_populated() {
+        let n = 5000usize;
+        let a = col(13, &(0..n).map(|i| ((i * 2654435761) % 8192) as u64).collect::<Vec<_>>());
+        let b = col(17, &(0..n).map(|i| ((i * 40503) % 131072) as u64).collect::<Vec<_>>());
+        let inputs = vec![&a, &b];
+        let specs = vec![SortSpec::asc(13), SortSpec::asc(17)];
+        let p0 = MassagePlan::column_at_a_time(&specs);
+        let out = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default());
+        assert_eq!(out.stats.rounds.len(), 2);
+        assert_eq!(out.stats.massage_ns, 0, "P0 ascending pays no massage");
+        let r2 = &out.stats.rounds[1];
+        assert!(r2.groups_in > 1);
+        assert!(r2.groups_out >= r2.groups_in);
+        assert!(r2.invocations <= r2.groups_in);
+        // Massaged plan records massage time.
+        let p = MassagePlan::from_widths(&[16, 14]);
+        let out2 = multi_column_sort(&inputs, &specs, &p, &ExecConfig::default());
+        assert!(out2.stats.massage_ns > 0);
+        verify_sorted(&inputs, &specs, &out2, true);
+    }
+
+    #[test]
+    fn single_column_and_single_row() {
+        let a = col(12, &[7]);
+        let inputs = vec![&a];
+        let specs = vec![SortSpec::asc(12)];
+        let p0 = MassagePlan::column_at_a_time(&specs);
+        let out = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default());
+        assert_eq!(out.oids, vec![0]);
+        assert_eq!(out.groups.num_groups(), 1);
+    }
+
+    #[test]
+    fn wide_keys_over_64_bits() {
+        // Three columns totalling 90 bits: no single round can hold them.
+        let n = 300usize;
+        let a = col(30, &(0..n).map(|i| ((i * 77) % (1 << 30)) as u64).collect::<Vec<_>>());
+        let b = col(30, &(0..n).map(|i| ((i * 13) % 7) as u64).collect::<Vec<_>>());
+        let c = col(30, &(0..n).map(|i| (i % 3) as u64).collect::<Vec<_>>());
+        let inputs = vec![&a, &b, &c];
+        let specs = vec![SortSpec::asc(30), SortSpec::asc(30), SortSpec::asc(30)];
+        for plan in [
+            MassagePlan::column_at_a_time(&specs),
+            MassagePlan::from_widths(&[45, 45]),
+            MassagePlan::from_widths(&[32, 32, 26]),
+            MassagePlan::from_widths(&[64, 26]),
+        ] {
+            let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default());
+            verify_sorted(&inputs, &specs, &out, true);
+        }
+    }
+
+    #[test]
+    fn threads_do_not_change_result_structure() {
+        let n = 20_000usize;
+        let a = col(11, &(0..n).map(|i| ((i * 31) % 2048) as u64).collect::<Vec<_>>());
+        let b = col(21, &(0..n).map(|i| ((i * 7_919) % (1 << 21)) as u64).collect::<Vec<_>>());
+        let inputs = vec![&a, &b];
+        let specs = vec![SortSpec::asc(11), SortSpec::asc(21)];
+        let plan = MassagePlan::from_widths(&[16, 16]);
+        let s1 = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default());
+        let s4 = multi_column_sort(
+            &inputs,
+            &specs,
+            &plan,
+            &ExecConfig {
+                threads: 4,
+                ..ExecConfig::default()
+            },
+        );
+        verify_sorted(&inputs, &specs, &s4, true);
+        assert_eq!(s1.groups.offsets, s4.groups.offsets);
+    }
+}

@@ -1,0 +1,52 @@
+//! # mcs-core
+//!
+//! **Code massaging** — the primary contribution of *Fast Multi-Column
+//! Sorting in Main-Memory Column-Stores* (Xu, Feng, Lo; SIGMOD 2016).
+//!
+//! Multi-column sorting (`ORDER BY c1, c2, …` / `GROUP BY` /
+//! `PARTITION BY`) is conventionally executed column-at-a-time: one SIMD
+//! sorting round per column, with lookups and scans in between. Code
+//! massaging manipulates the *bits across the columns*: the concatenated
+//! `W`-bit sort key is re-partitioned into rounds that either eliminate
+//! sorting rounds (stitching), improve SIMD data parallelism
+//! (bit-borrowing into narrower banks), or both. Lemma 1 of the paper
+//! guarantees any such re-partition yields the same tuple order.
+//!
+//! This crate provides:
+//! * [`MassagePlan`] / [`Round`] / [`SortSpec`] — the plan model
+//!   (`{R1: 18/[32], R2: 32/[32]}` notation included);
+//! * [`MassageProgram`] — the compiled four-instruction (shift/mask/or/
+//!   shift) program of the paper's Figure 6, with `I_FIP` accounting and
+//!   `DESC` complementing (Figure 5);
+//! * [`multi_column_sort`] — the executor: massage → per-round
+//!   lookup/segmented-SIMD-sort/scan, with per-phase telemetry.
+//!
+//! ```
+//! use mcs_columnar::CodeVec;
+//! use mcs_core::{multi_column_sort, ExecConfig, MassagePlan, SortSpec};
+//!
+//! // ORDER BY nation (10-bit), ship_date (17-bit): stitch into one
+//! // 27-bit round instead of two rounds.
+//! let nation = CodeVec::from_u64s(10, [1u64, 0, 1]);
+//! let ship = CodeVec::from_u64s(17, [1201u64, 301, 501]);
+//! let specs = [SortSpec::asc(10), SortSpec::asc(17)];
+//! let plan = MassagePlan::from_widths(&[27]);
+//! let out = multi_column_sort(&[&nation, &ship], &specs, &plan, &ExecConfig::default());
+//! assert_eq!(out.oids, vec![1, 2, 0]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod executor;
+mod massage;
+mod plan;
+
+pub use executor::{
+    multi_column_sort, tuple_cmp, verify_sorted, ExecConfig, ExecStats,
+    MultiColumnSortOutput, RoundStats,
+};
+pub use massage::{massage, width_mask, FipStep, MassageProgram, RoundKeys};
+pub use plan::{MassagePlan, PlanError, Round, SortSpec};
+
+// Re-export the pieces callers need alongside plans.
+pub use mcs_simd_sort::{Bank, GroupBounds, SortConfig};

@@ -1,0 +1,131 @@
+//! Minimal dense linear algebra for calibration: Gaussian elimination and
+//! least squares via normal equations. No external dependencies.
+
+/// Solve the square system `A x = b` by Gaussian elimination with partial
+/// pivoting. Returns `None` if the matrix is (numerically) singular.
+pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.len();
+    assert!(a.iter().all(|r| r.len() == n) && b.len() == n);
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &bi)| {
+            let mut r = row.clone();
+            r.push(bi);
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivot.
+        let (piv, piv_val) = (col..n)
+            .map(|r| (r, m[r][col].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))?;
+        if piv_val < 1e-12 {
+            return None;
+        }
+        m.swap(col, piv);
+        let diag = m[col][col];
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let f = m[r][col] / diag;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..=n {
+                m[r][c] -= f * m[col][c];
+            }
+        }
+    }
+    Some((0..n).map(|i| m[i][n] / m[i][i]).collect())
+}
+
+/// Least-squares solution of the overdetermined system `A x ≈ b`
+/// (`rows ≥ cols`) via the normal equations `AᵀA x = Aᵀb`.
+pub fn least_squares(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let rows = a.len();
+    assert!(rows >= 1 && b.len() == rows);
+    let cols = a[0].len();
+    assert!(a.iter().all(|r| r.len() == cols));
+    let mut ata = vec![vec![0.0; cols]; cols];
+    let mut atb = vec![0.0; cols];
+    for (row, &bi) in a.iter().zip(b) {
+        for i in 0..cols {
+            for j in 0..cols {
+                ata[i][j] += row[i] * row[j];
+            }
+            atb[i] += row[i] * bi;
+        }
+    }
+    solve(&ata, &atb)
+}
+
+/// Least squares constrained to non-negative results: solves, then clamps
+/// tiny negatives (numerical noise in calibration) to zero.
+pub fn least_squares_nonneg(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    least_squares(a, b).map(|x| x.into_iter().map(|v| v.max(0.0)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_2x2() {
+        // From the paper's lookup calibration: two instantiations of Eq 3.
+        let a = vec![vec![0.9, 0.1], vec![0.1, 0.9]];
+        let b = vec![0.9 * 4.0 + 0.1 * 100.0, 0.1 * 4.0 + 0.9 * 100.0];
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 4.0).abs() < 1e-9);
+        assert!((x[1] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn least_squares_recovers_exact() {
+        // y = 2 + 3x over 5 points, no noise.
+        let a: Vec<Vec<f64>> = (0..5).map(|i| vec![1.0, i as f64]).collect();
+        let b: Vec<f64> = (0..5).map(|i| 2.0 + 3.0 * i as f64).collect();
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_with_noise() {
+        let a: Vec<Vec<f64>> = (0..100).map(|i| vec![1.0, i as f64]).collect();
+        let b: Vec<f64> = (0..100)
+            .map(|i| 5.0 + 0.5 * i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 5.0).abs() < 0.1);
+        assert!((x[1] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn nonneg_clamps() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = least_squares_nonneg(&a, &[-0.5, 2.0]).unwrap();
+        assert_eq!(x, vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_3x3() {
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let x = solve(&a, &[8.0, -11.0, -3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        assert!((x[2] - -1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,398 @@
+//! The architecture-aware cost model (§4): Equations 1–9 with calibrated
+//! constants, estimating `T_mcs`, the CPU time of a multi-column sort
+//! under a given massage plan.
+
+use mcs_columnar::size_of_width;
+use mcs_core::{Bank, MassagePlan, SortSpec};
+
+use crate::estimate::{estimate_groups, GroupEstimate, KeyColumnStats};
+use crate::machine::MachineSpec;
+
+/// Per-bank merge-sort constants (ns per code).
+///
+/// Deviation from the paper, for identifiability: Eq. 7 folds all
+/// in-cache merge passes into one constant, which makes
+/// `C_sort-network` and `C_in-cache-merge` share the coefficient `N` in
+/// the calibration linear system (singular). We keep
+/// `c_in_cache_merge` **per binary merge pass** — the number of in-cache
+/// passes varies with the sorted size, so all four constants are
+/// identifiable from the same experiment the paper describes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankConstants {
+    /// `C^b_sort-network` (Eq. 6): in-register sorting per code.
+    pub c_sort_network: f64,
+    /// `C^b_in-cache-merge` (Eq. 7, per-pass form): one binary in-cache
+    /// merge pass per code.
+    pub c_in_cache_merge: f64,
+    /// `C^b_out-of-cache-merge` (Eq. 8): one out-of-cache pass per code.
+    pub c_out_of_cache_merge: f64,
+}
+
+/// All calibrated constants of the model (ns; the paper uses cycles — a
+/// constant factor at fixed frequency).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostConstants {
+    /// `C_cache`: latency of a data item in cache (Eq. 3).
+    pub c_cache: f64,
+    /// `C_mem`: latency of a data item in memory (Eq. 3).
+    pub c_mem: f64,
+    /// `C_massage`: one four-instruction program over one row (Eq. 4).
+    pub c_massage: f64,
+    /// `C_scan`: sequential scan + group fill, per row (Eq. 9).
+    pub c_scan: f64,
+    /// `C_overhead`: merge-sort invocation overhead (Eq. 2).
+    pub c_overhead: f64,
+    /// Per-bank constants, indexed 16/32/64.
+    pub b16: BankConstants,
+    /// 32-bit bank constants.
+    pub b32: BankConstants,
+    /// 64-bit bank constants.
+    pub b64: BankConstants,
+}
+
+impl CostConstants {
+    /// Ballpark defaults (measured once on the development machine); use
+    /// [`crate::calibrate::calibrate`] for real rankings.
+    pub fn defaults() -> CostConstants {
+        CostConstants {
+            c_cache: 4.0,
+            c_mem: 70.0,
+            c_massage: 2.0,
+            c_scan: 1.5,
+            c_overhead: 150.0,
+            b16: BankConstants {
+                c_sort_network: 1.0,
+                c_in_cache_merge: 1.0,
+                c_out_of_cache_merge: 15.0,
+            },
+            b32: BankConstants {
+                c_sort_network: 1.6,
+                c_in_cache_merge: 3.2,
+                c_out_of_cache_merge: 15.0,
+            },
+            b64: BankConstants {
+                c_sort_network: 4.0,
+                c_in_cache_merge: 12.0,
+                c_out_of_cache_merge: 20.0,
+            },
+        }
+    }
+
+    /// Constants for a bank.
+    pub fn bank(&self, b: Bank) -> &BankConstants {
+        match b {
+            Bank::B16 => &self.b16,
+            Bank::B32 => &self.b32,
+            Bank::B64 => &self.b64,
+        }
+    }
+}
+
+/// One multi-column sorting problem instance, as the optimizer sees it.
+#[derive(Debug, Clone)]
+pub struct SortInstance {
+    /// Number of rows `N`.
+    pub rows: usize,
+    /// Sort columns in order (widths + directions).
+    pub specs: Vec<SortSpec>,
+    /// Per-column statistics, aligned with `specs`.
+    pub stats: Vec<KeyColumnStats>,
+    /// Whether the final grouping must be produced (GROUP BY /
+    /// PARTITION BY, or any non-final round).
+    pub want_final_groups: bool,
+}
+
+impl SortInstance {
+    /// Uniform-distribution instance: `ndv` distinct values per column.
+    pub fn uniform(rows: usize, widths_ndv: &[(u32, f64)]) -> SortInstance {
+        SortInstance {
+            rows,
+            specs: widths_ndv.iter().map(|&(w, _)| SortSpec::asc(w)).collect(),
+            stats: widths_ndv
+                .iter()
+                .map(|&(w, d)| KeyColumnStats::uniform(w, d))
+                .collect(),
+            want_final_groups: true,
+        }
+    }
+
+    /// Total key width `W`.
+    pub fn total_width(&self) -> u32 {
+        self.specs.iter().map(|s| s.width).sum()
+    }
+
+    /// The column-at-a-time plan `P_0` for this instance.
+    pub fn p0(&self) -> MassagePlan {
+        MassagePlan::column_at_a_time(&self.specs)
+    }
+}
+
+/// Cost breakdown of one plan (ns).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// `T_massage`.
+    pub massage: f64,
+    /// Σ `T_lookup` over rounds.
+    pub lookup: f64,
+    /// Σ `T_sort` over rounds.
+    pub sort: f64,
+    /// Σ `T_scan` over rounds.
+    pub scan: f64,
+}
+
+impl CostBreakdown {
+    /// `T_mcs` — the total.
+    pub fn total(&self) -> f64 {
+        self.massage + self.lookup + self.sort + self.scan
+    }
+}
+
+/// The calibrated cost model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Calibrated constants.
+    pub consts: CostConstants,
+    /// Machine parameters.
+    pub machine: MachineSpec,
+}
+
+impl CostModel {
+    /// Model with default constants and a detected machine (fast; for
+    /// tests and examples — benchmarks should calibrate).
+    pub fn with_defaults() -> CostModel {
+        CostModel {
+            consts: CostConstants::defaults(),
+            machine: MachineSpec::detect(),
+        }
+    }
+
+    /// `T_lookup` (Eq. 3): `N` random accesses into a `width`-bit column.
+    pub fn t_lookup(&self, n: usize, width: u32) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let footprint = (n * size_of_width(width)) as f64;
+        let h = (self.machine.llc_bytes as f64 / footprint).min(1.0);
+        n as f64 * (self.consts.c_cache * h + self.consts.c_mem * (1.0 - h))
+    }
+
+    /// `T_massage` (Eq. 4).
+    pub fn t_massage(&self, n: usize, i_fip: usize) -> f64 {
+        i_fip as f64 * self.consts.c_massage * n as f64
+    }
+
+    /// `T_scan` (Eq. 9).
+    pub fn t_scan(&self, n: usize) -> f64 {
+        self.consts.c_scan * n as f64
+    }
+
+    /// Out-of-cache merge passes for `n` codes in bank `b`
+    /// (`⌈log_F(n·(b/8)/0.5·M_L2)⌉`, Eq. 8; 0 when the data fits).
+    pub fn merge_passes(&self, n: f64, bank: Bank) -> f64 {
+        let run = self.machine.in_cache_run_codes(bank.bits());
+        if n <= run {
+            0.0
+        } else {
+            (n / run).ln() / (self.machine.fanout as f64).ln()
+        }
+        .ceil()
+    }
+
+    /// Binary in-cache merge passes for `n` codes in bank `b`:
+    /// `⌈log2(min(n, in-cache-run) / L)⌉`, 0 when `n ≤ L`.
+    pub fn in_cache_passes(&self, n: f64, bank: Bank) -> f64 {
+        let l = bank.lanes() as f64;
+        let run = self.machine.in_cache_run_codes(bank.bits());
+        let top = n.min(run);
+        if top <= l {
+            0.0
+        } else {
+            (top / l).log2().ceil()
+        }
+    }
+
+    /// `T_mergesort` (Eq. 5): one merge-sort of `n` codes in bank `b`.
+    pub fn t_mergesort(&self, n: f64, bank: Bank) -> f64 {
+        let bc = self.consts.bank(bank);
+        let p_ic = self.in_cache_passes(n, bank);
+        let p_oc = self.merge_passes(n, bank);
+        bc.c_sort_network * n
+            + bc.c_in_cache_merge * n * p_ic
+            + bc.c_out_of_cache_merge * n * p_oc
+    }
+
+    /// `T_sort(N, b)` (Eq. 2): one SIMD-sort invocation.
+    pub fn t_sort_invocation(&self, n: f64, bank: Bank) -> f64 {
+        if n <= 1.0 {
+            return 0.0;
+        }
+        self.consts.c_overhead + self.t_mergesort(n, bank)
+    }
+
+    /// `T^k_sort` (Eq. 1) for a round sorting within the estimated groups.
+    pub fn t_sort_round(&self, est: &GroupEstimate, bank: Bank) -> f64 {
+        if est.sortable < 0.5 {
+            return 0.0;
+        }
+        let bc = self.consts.bank(bank);
+        let p_ic = self.in_cache_passes(est.avg_sortable_size, bank);
+        let p_oc = self.merge_passes(est.avg_sortable_size, bank);
+        est.sortable * self.consts.c_overhead
+            + est.codes_in_sortable * bc.c_sort_network
+            + est.codes_in_sortable * bc.c_in_cache_merge * p_ic
+            + est.codes_in_sortable * bc.c_out_of_cache_merge * p_oc
+    }
+
+    /// `T_sort^{j+1}` given that rounds `1..=j` cover `prefix_bits` of the
+    /// key and round `j+1` uses `bank` — the quantity Algorithm 1's greedy
+    /// step minimizes (its line 11).
+    pub fn t_sort_after_prefix(&self, inst: &SortInstance, prefix_bits: u32, bank: Bank) -> f64 {
+        let est = estimate_groups(&inst.stats, inst.rows, prefix_bits);
+        self.t_sort_round(&est, bank)
+    }
+
+    /// Full `T_mcs` (ns) of executing `plan` on `inst`, with breakdown.
+    pub fn t_mcs_breakdown(&self, inst: &SortInstance, plan: &MassagePlan) -> CostBreakdown {
+        let n = inst.rows;
+        let in_widths: Vec<u32> = inst.specs.iter().map(|s| s.width).collect();
+        let mut out = CostBreakdown::default();
+
+        // Massage: free only for the identity (column-aligned, all-ASC).
+        let identity =
+            plan.is_column_aligned(&in_widths) && inst.specs.iter().all(|s| !s.descending);
+        if !identity {
+            out.massage = self.t_massage(n, plan.i_fip(&in_widths));
+        }
+
+        let last = plan.rounds.len() - 1;
+        let mut prefix_bits = 0u32;
+        for (k, round) in plan.rounds.iter().enumerate() {
+            if k == 0 {
+                out.sort += self.t_sort_invocation(n as f64, round.bank);
+            } else {
+                out.lookup += self.t_lookup(n, round.width);
+                let est = estimate_groups(&inst.stats, n, prefix_bits);
+                out.sort += self.t_sort_round(&est, round.bank);
+            }
+            if k < last || inst.want_final_groups {
+                out.scan += self.t_scan(n);
+            }
+            prefix_bits += round.width;
+        }
+        out
+    }
+
+    /// `T_mcs` (ns).
+    pub fn t_mcs(&self, inst: &SortInstance, plan: &MassagePlan) -> f64 {
+        self.t_mcs_breakdown(inst, plan).total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel {
+            consts: CostConstants::defaults(),
+            machine: MachineSpec::default(),
+        }
+    }
+
+    #[test]
+    fn lookup_cost_grows_past_cache() {
+        let m = model();
+        // Tiny column: all cached.
+        let small = m.t_lookup(1000, 32) / 1000.0;
+        assert!((small - m.consts.c_cache).abs() < 1e-9);
+        // Huge column: mostly memory.
+        let n = 64 * 1024 * 1024;
+        let big = m.t_lookup(n, 32) / n as f64;
+        assert!(big > 0.8 * m.consts.c_mem);
+    }
+
+    #[test]
+    fn merge_passes_zero_in_cache() {
+        let m = model();
+        assert_eq!(m.merge_passes(100.0, Bank::B32), 0.0);
+        let run = m.machine.in_cache_run_codes(32);
+        assert_eq!(m.merge_passes(run * 2.0, Bank::B32), 1.0);
+        assert!(m.merge_passes(run * 100.0, Bank::B32) >= 2.0);
+    }
+
+    #[test]
+    fn ex1_stitching_beats_p0() {
+        // Ex1: 10-bit + 17-bit columns, 2^24 rows, 2^10/2^13 NDV.
+        // The stitched 27-bit plan should beat column-at-a-time.
+        let inst = SortInstance::uniform(1 << 24, &[(10, 1024.0), (17, 8192.0)]);
+        let m = model();
+        let p0 = inst.p0();
+        let stitched = MassagePlan::from_widths(&[27]);
+        assert!(
+            m.t_mcs(&inst, &stitched) < m.t_mcs(&inst, &p0),
+            "stitch {} vs p0 {}",
+            m.t_mcs(&inst, &stitched),
+            m.t_mcs(&inst, &p0)
+        );
+    }
+
+    #[test]
+    fn ex2_reckless_stitch_loses() {
+        // Ex2: 15-bit + 31-bit; stitching to 46 bits forces a 64-bit bank
+        // and should LOSE to P0 (paper Figure 3b).
+        let inst = SortInstance::uniform(1 << 24, &[(15, 8192.0), (31, 8192.0)]);
+        let m = model();
+        let p0 = inst.p0();
+        let stitched = MassagePlan::from_widths(&[46]);
+        assert!(
+            m.t_mcs(&inst, &stitched) > m.t_mcs(&inst, &p0),
+            "stitch {} vs p0 {}",
+            m.t_mcs(&inst, &stitched),
+            m.t_mcs(&inst, &p0)
+        );
+    }
+
+    #[test]
+    fn ex3_borrow_one_bit_wins() {
+        // Ex3: 17+33 bits. P_<<1 = {18/[32], 32/[32]} should beat P0 =
+        // {17/[32], 33/[64]} (paper Figure 4a).
+        let inst = SortInstance::uniform(1 << 24, &[(17, 8192.0), (33, 8192.0)]);
+        let m = model();
+        let p0 = inst.p0();
+        let p1 = MassagePlan::from_widths(&[18, 32]);
+        assert!(m.t_mcs(&inst, &p1) < m.t_mcs(&inst, &p0));
+    }
+
+    #[test]
+    fn ex4_three_rounds_beat_two() {
+        // Ex4: 48+48 bits. {32,32,32} (all 32-bit banks) should beat
+        // P0 = {48/[64], 48/[64]} (paper Figure 3c).
+        let inst = SortInstance::uniform(1 << 24, &[(48, 8192.0), (48, 8192.0)]);
+        let m = model();
+        let p0 = inst.p0();
+        let p3 = MassagePlan::from_widths(&[32, 32, 32]);
+        assert!(m.t_mcs(&inst, &p3) < m.t_mcs(&inst, &p0));
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let inst = SortInstance::uniform(100_000, &[(12, 4096.0), (20, 50_000.0)]);
+        let m = model();
+        let plan = MassagePlan::from_widths(&[16, 16]);
+        let b = m.t_mcs_breakdown(&inst, &plan);
+        assert!((b.total() - (b.massage + b.lookup + b.sort + b.scan)).abs() < 1e-9);
+        assert!(b.massage > 0.0 && b.sort > 0.0 && b.scan > 0.0 && b.lookup > 0.0);
+        // P0 pays no massage.
+        let b0 = m.t_mcs_breakdown(&inst, &inst.p0());
+        assert_eq!(b0.massage, 0.0);
+    }
+
+    #[test]
+    fn desc_p0_pays_complement() {
+        let mut inst = SortInstance::uniform(10_000, &[(12, 4096.0)]);
+        inst.specs[0].descending = true;
+        let m = model();
+        let b = m.t_mcs_breakdown(&inst, &inst.p0());
+        assert!(b.massage > 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Group aggregation over sorted, grouped data (Figure 2's steps 4–5).
+
+use mcs_core::GroupBounds;
+
+use crate::query::{Agg, AggKind};
+
+/// Compute one aggregate per group.
+///
+/// `col_values` supplies the (already permuted) codes of a referenced
+/// column: `col_values(name)[p]` is the value at output position `p`.
+pub fn aggregate_groups(
+    aggs: &[Agg],
+    groups: &GroupBounds,
+    col_values: &dyn Fn(&str) -> Vec<u64>,
+) -> Vec<(String, Vec<u64>)> {
+    let mut out = Vec::with_capacity(aggs.len());
+    for agg in aggs {
+        let vals = match &agg.kind {
+            AggKind::Count => {
+                let v: Vec<u64> = groups.iter().map(|r| r.len() as u64).collect();
+                v
+            }
+            AggKind::CountDistinct(c) => {
+                let data = col_values(c);
+                groups
+                    .iter()
+                    .map(|r| {
+                        let mut seen: Vec<u64> = data[r].to_vec();
+                        seen.sort_unstable();
+                        seen.dedup();
+                        seen.len() as u64
+                    })
+                    .collect()
+            }
+            AggKind::Sum(c) => {
+                let data = col_values(c);
+                groups
+                    .iter()
+                    .map(|r| data[r].iter().sum::<u64>())
+                    .collect()
+            }
+            AggKind::Avg(c) => {
+                let data = col_values(c);
+                groups
+                    .iter()
+                    .map(|r| {
+                        if r.is_empty() {
+                            0
+                        } else {
+                            data[r.clone()].iter().sum::<u64>() / r.len() as u64
+                        }
+                    })
+                    .collect()
+            }
+            AggKind::Min(c) => {
+                let data = col_values(c);
+                groups
+                    .iter()
+                    .map(|r| data[r].iter().copied().min().unwrap_or(0))
+                    .collect()
+            }
+            AggKind::Max(c) => {
+                let data = col_values(c);
+                groups
+                    .iter()
+                    .map(|r| data[r].iter().copied().max().unwrap_or(0))
+                    .collect()
+            }
+        };
+        out.push((agg.label.clone(), vals));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn groups() -> GroupBounds {
+        GroupBounds::from_offsets(vec![0, 2, 5])
+    }
+
+    fn values(name: &str) -> Vec<u64> {
+        match name {
+            "x" => vec![10, 20, 5, 5, 2],
+            _ => panic!("unknown column {name}"),
+        }
+    }
+
+    #[test]
+    fn all_aggregates() {
+        let aggs = vec![
+            Agg::new(AggKind::Count, "cnt"),
+            Agg::new(AggKind::Sum("x".into()), "sum"),
+            Agg::new(AggKind::Avg("x".into()), "avg"),
+            Agg::new(AggKind::Min("x".into()), "min"),
+            Agg::new(AggKind::Max("x".into()), "max"),
+            Agg::new(AggKind::CountDistinct("x".into()), "dcnt"),
+        ];
+        let out = aggregate_groups(&aggs, &groups(), &|n| values(n));
+        let get = |l: &str| &out.iter().find(|(k, _)| k == l).unwrap().1;
+        assert_eq!(get("cnt"), &vec![2, 3]);
+        assert_eq!(get("sum"), &vec![30, 12]);
+        assert_eq!(get("avg"), &vec![15, 4]);
+        assert_eq!(get("min"), &vec![10, 2]);
+        assert_eq!(get("max"), &vec![20, 5]);
+        assert_eq!(get("dcnt"), &vec![2, 2]);
+    }
+
+    #[test]
+    fn empty_groups() {
+        let g = GroupBounds::from_offsets(vec![0, 0]);
+        let aggs = vec![Agg::new(AggKind::Count, "c")];
+        let out = aggregate_groups(&aggs, &g, &|_| vec![]);
+        assert_eq!(out[0].1, vec![0]);
+    }
+}

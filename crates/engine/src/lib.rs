@@ -1,0 +1,47 @@
+//! # mcs-engine
+//!
+//! The query-execution engine of the SIGMOD'16 *Fast Multi-Column
+//! Sorting* reproduction: ByteSlice scans → lookups → (ROGA-planned)
+//! multi-column sort with code massaging → aggregation / window ranks,
+//! with per-phase timings matching the paper's Figure 1 / Figure 9
+//! breakdowns.
+//!
+//! ```
+//! use mcs_columnar::{Column, Table};
+//! use mcs_engine::{execute, Agg, AggKind, EngineConfig, Query};
+//!
+//! let mut t = Table::new("sales");
+//! t.add_column(Column::from_u64s("nation", 2, [1u64, 0, 1, 0]));
+//! t.add_column(Column::from_u64s("ship_date", 3, [5u64, 2, 5, 1]));
+//! t.add_column(Column::from_u64s("price", 8, [40u64, 30, 10, 20]));
+//!
+//! let mut q = Query::named("q1");
+//! q.group_by = vec!["nation".into(), "ship_date".into()];
+//! q.aggregates = vec![Agg::new(AggKind::Sum("price".into()), "sum_price")];
+//!
+//! let r = execute(&t, &q, &EngineConfig::default());
+//! assert_eq!(r.rows, 3);
+//! assert_eq!(r.column("sum_price").unwrap(), &vec![20, 30, 50]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod aggregate;
+pub mod mal;
+mod pipeline;
+mod query;
+pub mod sql;
+pub mod reference;
+mod window;
+
+pub use aggregate::aggregate_groups;
+pub use pipeline::{
+    execute, result_to_table, EngineConfig, PlannerMode, QueryResult, QueryTimings,
+};
+pub use query::{Agg, AggKind, Filter, OrderKey, Query};
+pub use sql::{parse_query, SqlError};
+pub use window::rank_over;
+
+// Convenient re-exports for engine users.
+pub use mcs_columnar::{Column, Predicate, Table};
+pub use mcs_core::{ExecConfig, MassagePlan, SortSpec};

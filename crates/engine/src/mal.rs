@@ -1,0 +1,421 @@
+//! Appendix B — the `Fast-MCS` optimizer module, MonetDB-style.
+//!
+//! The paper's reference integration adds a module to MonetDB's MAL
+//! optimizer pipeline that (a) recognizes the MAL instruction idiom for
+//! multi-column sorting (a `SIMD-Sort`, then alternating `Lookup` /
+//! `SIMD-Sort` with group info), (b) invokes the plan search, and (c)
+//! rewrites the instructions to use `Code-Massage` and fewer sorts.
+//!
+//! This module reproduces that pass over a small MAL-like IR, e.g. the
+//! paper's example
+//!
+//! ```text
+//! (permuted_oid, group_info) := SIMD-Sort(a, 16, NULL)
+//! permuted_b                 := Lookup(b, permuted_oid)
+//! (final_oid, final_gi)      := SIMD-Sort(permuted_b, 16, group_info)
+//! ```
+//!
+//! becomes, when stitching wins,
+//!
+//! ```text
+//! super_column          := Code-Massage(a, b, 'stitch')
+//! (final_oid, final_gi) := SIMD-Sort(super_column, 32, NULL)
+//! ```
+
+use std::collections::HashMap;
+
+use mcs_cost::{CostModel, KeyColumnStats, SortInstance};
+use mcs_core::{MassagePlan, SortSpec};
+use mcs_planner::{roga, RogaOptions};
+
+/// A MAL-like instruction (the subset Fast-MCS cares about).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MalInstr {
+    /// `(oid_out, groups_out) := SIMD-Sort(input, bank, groups_in)`.
+    SimdSort {
+        /// Column variable to sort.
+        input: String,
+        /// Bank width in bits.
+        bank: u32,
+        /// Incoming group info (`None` = NULL, first round).
+        groups_in: Option<String>,
+        /// Produced permutation variable.
+        oid_out: String,
+        /// Produced group-info variable.
+        groups_out: String,
+    },
+    /// `out := Lookup(column, oid)`.
+    Lookup {
+        /// Base column.
+        column: String,
+        /// Permutation variable.
+        oid: String,
+        /// Output (permuted) column variable.
+        out: String,
+    },
+    /// `outs… := Code-Massage(inputs…, plan)`.
+    CodeMassage {
+        /// Input column variables, sort order.
+        inputs: Vec<String>,
+        /// The massage plan.
+        plan: MassagePlan,
+        /// One output variable per round.
+        outputs: Vec<String>,
+    },
+    /// Any other instruction, passed through untouched.
+    Other(String),
+}
+
+impl core::fmt::Display for MalInstr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MalInstr::SimdSort {
+                input,
+                bank,
+                groups_in,
+                oid_out,
+                groups_out,
+            } => write!(
+                f,
+                "({oid_out}, {groups_out}) := SIMD-Sort({input}, {bank}, {})",
+                groups_in.as_deref().unwrap_or("NULL")
+            ),
+            MalInstr::Lookup { column, oid, out } => {
+                write!(f, "{out} := Lookup({column}, {oid})")
+            }
+            MalInstr::CodeMassage {
+                inputs,
+                plan,
+                outputs,
+            } => write!(
+                f,
+                "({}) := Code-Massage({}, '{}')",
+                outputs.join(", "),
+                inputs.join(", "),
+                plan.notation()
+            ),
+            MalInstr::Other(s) => f.write_str(s),
+        }
+    }
+}
+
+/// A MAL-like plan: a straight-line instruction sequence.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MalPlan {
+    /// The instructions.
+    pub instrs: Vec<MalInstr>,
+}
+
+impl core::fmt::Display for MalPlan {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for i in &self.instrs {
+            writeln!(f, "{i}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A recognized multi-column sort idiom inside a [`MalPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct McsIdiom {
+    /// Index of the first instruction of the idiom.
+    pub start: usize,
+    /// Number of instructions covered.
+    pub len: usize,
+    /// Base columns in sort order.
+    pub columns: Vec<String>,
+}
+
+/// Recognize the column-at-a-time multi-column-sorting idiom: a
+/// `SIMD-Sort(c₁, …, NULL)` followed by `(Lookup(cᵢ, oid); SIMD-Sort(…,
+/// groups))` pairs whose data dependencies chain correctly.
+pub fn find_mcs_idiom(plan: &MalPlan) -> Option<McsIdiom> {
+    let instrs = &plan.instrs;
+    for start in 0..instrs.len() {
+        let MalInstr::SimdSort {
+            input,
+            groups_in: None,
+            oid_out,
+            groups_out,
+            ..
+        } = &instrs[start]
+        else {
+            continue;
+        };
+        let mut columns = vec![input.clone()];
+        let mut cur_oid = oid_out.clone();
+        let mut cur_groups = groups_out.clone();
+        let mut at = start + 1;
+        while at + 1 < instrs.len() {
+            let MalInstr::Lookup { column, oid, out } = &instrs[at] else {
+                break;
+            };
+            if *oid != cur_oid {
+                break;
+            }
+            let MalInstr::SimdSort {
+                input: s_in,
+                groups_in: Some(gi),
+                oid_out: o2,
+                groups_out: g2,
+                ..
+            } = &instrs[at + 1]
+            else {
+                break;
+            };
+            if s_in != out || *gi != cur_groups {
+                break;
+            }
+            columns.push(column.clone());
+            cur_oid = o2.clone();
+            cur_groups = g2.clone();
+            at += 2;
+        }
+        if columns.len() >= 2 {
+            return Some(McsIdiom {
+                start,
+                len: at - start,
+                columns,
+            });
+        }
+    }
+    None
+}
+
+/// Column metadata the optimizer needs: width, NDV, direction.
+#[derive(Debug, Clone)]
+pub struct MalColumnInfo {
+    /// Code width in bits.
+    pub width: u32,
+    /// Distinct values (for the cost model's estimators).
+    pub ndv: f64,
+    /// DESC?
+    pub descending: bool,
+}
+
+/// The `Fast-MCS` pass: find the idiom, search for a massage plan, and —
+/// when the chosen plan differs from column-at-a-time — rewrite the
+/// instructions to `Code-Massage` + one `SIMD-Sort` per round. Returns
+/// the (possibly unchanged) plan and the massage plan that was chosen.
+pub fn fast_mcs_rewrite(
+    plan: &MalPlan,
+    catalog: &HashMap<String, MalColumnInfo>,
+    rows: usize,
+    model: &CostModel,
+    rho: Option<f64>,
+) -> (MalPlan, Option<MassagePlan>) {
+    let Some(idiom) = find_mcs_idiom(plan) else {
+        return (plan.clone(), None);
+    };
+    let specs: Vec<SortSpec> = idiom
+        .columns
+        .iter()
+        .map(|c| {
+            let info = catalog
+                .get(c)
+                .unwrap_or_else(|| panic!("no catalog entry for column {c}"));
+            SortSpec {
+                width: info.width,
+                descending: info.descending,
+            }
+        })
+        .collect();
+    let stats: Vec<KeyColumnStats> = idiom
+        .columns
+        .iter()
+        .map(|c| KeyColumnStats::uniform(catalog[c].width, catalog[c].ndv))
+        .collect();
+    let inst = SortInstance {
+        rows,
+        specs: specs.clone(),
+        stats,
+        want_final_groups: true,
+    };
+    let found = roga(
+        &inst,
+        model,
+        &RogaOptions {
+            rho,
+            permute_columns: false,
+        },
+    );
+
+    // Column-at-a-time chosen: leave the MAL plan untouched.
+    let in_widths: Vec<u32> = specs.iter().map(|s| s.width).collect();
+    if found.plan.is_column_aligned(&in_widths) && specs.iter().all(|s| !s.descending) {
+        return (plan.clone(), Some(found.plan));
+    }
+
+    // Rewrite: Code-Massage producing one variable per round, then the
+    // sort chain over the massaged columns.
+    let mut new_instrs: Vec<MalInstr> = plan.instrs[..idiom.start].to_vec();
+    let round_vars: Vec<String> = (0..found.plan.num_rounds())
+        .map(|i| format!("massaged_{i}"))
+        .collect();
+    new_instrs.push(MalInstr::CodeMassage {
+        inputs: idiom.columns.clone(),
+        plan: found.plan.clone(),
+        outputs: round_vars.clone(),
+    });
+    let mut prev_oid: Option<String> = None;
+    let mut prev_groups: Option<String> = None;
+    let last = found.plan.num_rounds() - 1;
+    for (i, round) in found.plan.rounds.iter().enumerate() {
+        let col = if let Some(oid) = &prev_oid {
+            let permuted = format!("permuted_{}", round_vars[i]);
+            new_instrs.push(MalInstr::Lookup {
+                column: round_vars[i].clone(),
+                oid: oid.clone(),
+                out: permuted.clone(),
+            });
+            permuted
+        } else {
+            round_vars[i].clone()
+        };
+        let oid_out = if i == last {
+            "final_oid".to_string()
+        } else {
+            format!("oid_{i}")
+        };
+        let groups_out = if i == last {
+            "final_group_info".to_string()
+        } else {
+            format!("group_info_{i}")
+        };
+        new_instrs.push(MalInstr::SimdSort {
+            input: col,
+            bank: round.bank.bits(),
+            groups_in: prev_groups.clone(),
+            oid_out: oid_out.clone(),
+            groups_out: groups_out.clone(),
+        });
+        prev_oid = Some(oid_out);
+        prev_groups = Some(groups_out);
+    }
+    new_instrs.extend_from_slice(&plan.instrs[idiom.start + idiom.len..]);
+    (MalPlan { instrs: new_instrs }, Some(found.plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Appendix B example: sort columns a (10-bit) and b
+    /// (17-bit) with 16-bit banks, column-at-a-time.
+    fn paper_example() -> MalPlan {
+        MalPlan {
+            instrs: vec![
+                MalInstr::SimdSort {
+                    input: "a".into(),
+                    bank: 16,
+                    groups_in: None,
+                    oid_out: "permuted_oid".into(),
+                    groups_out: "group_info".into(),
+                },
+                MalInstr::Lookup {
+                    column: "b".into(),
+                    oid: "permuted_oid".into(),
+                    out: "permuted_b".into(),
+                },
+                MalInstr::SimdSort {
+                    input: "permuted_b".into(),
+                    bank: 32,
+                    groups_in: Some("group_info".into()),
+                    oid_out: "final_oid".into(),
+                    groups_out: "final_group_info".into(),
+                },
+            ],
+        }
+    }
+
+    fn catalog() -> HashMap<String, MalColumnInfo> {
+        let mut c = HashMap::new();
+        c.insert(
+            "a".into(),
+            MalColumnInfo {
+                width: 10,
+                ndv: 1024.0,
+                descending: false,
+            },
+        );
+        c.insert(
+            "b".into(),
+            MalColumnInfo {
+                width: 17,
+                ndv: 8192.0,
+                descending: false,
+            },
+        );
+        c
+    }
+
+    #[test]
+    fn recognizes_the_idiom() {
+        let idiom = find_mcs_idiom(&paper_example()).expect("idiom");
+        assert_eq!(idiom.start, 0);
+        assert_eq!(idiom.len, 3);
+        assert_eq!(idiom.columns, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn does_not_match_broken_chains() {
+        // Wrong oid dependency.
+        let mut p = paper_example();
+        if let MalInstr::Lookup { oid, .. } = &mut p.instrs[1] {
+            *oid = "some_other_oid".into();
+        }
+        assert!(find_mcs_idiom(&p).is_none());
+    }
+
+    #[test]
+    fn rewrites_to_stitch_like_appendix_b() {
+        let model = CostModel::with_defaults();
+        // Large N: stitching clearly wins for 10+17 bits.
+        let (rewritten, chosen) =
+            fast_mcs_rewrite(&paper_example(), &catalog(), 1 << 24, &model, None);
+        let chosen = chosen.expect("plan chosen");
+        assert!(
+            !chosen.is_column_aligned(&[10, 17]),
+            "expected a massaged plan, got {chosen}"
+        );
+        // First instruction is the Code-Massage, then one sort per round.
+        assert!(matches!(rewritten.instrs[0], MalInstr::CodeMassage { .. }));
+        let sorts = rewritten
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, MalInstr::SimdSort { .. }))
+            .count();
+        assert_eq!(sorts, chosen.num_rounds());
+        // Printable, roughly like the paper's snippet.
+        let text = rewritten.to_string();
+        assert!(text.contains("Code-Massage(a, b"), "{text}");
+        assert!(text.contains("final_oid"), "{text}");
+    }
+
+    #[test]
+    fn passthrough_when_no_idiom() {
+        let p = MalPlan {
+            instrs: vec![MalInstr::Other("x := garbageCollector()".into())],
+        };
+        let model = CostModel::with_defaults();
+        let (out, chosen) = fast_mcs_rewrite(&p, &HashMap::new(), 1000, &model, None);
+        assert_eq!(out, p);
+        assert!(chosen.is_none());
+    }
+
+    #[test]
+    fn surrounding_instructions_preserved() {
+        let mut p = paper_example();
+        p.instrs.insert(0, MalInstr::Other("pre := Scan(t)".into()));
+        p.instrs.push(MalInstr::Other("post := Aggregate(final_group_info)".into()));
+        let model = CostModel::with_defaults();
+        let (out, _) = fast_mcs_rewrite(&p, &catalog(), 1 << 24, &model, None);
+        assert_eq!(out.instrs.first(), Some(&MalInstr::Other("pre := Scan(t)".into())));
+        assert_eq!(
+            out.instrs.last(),
+            Some(&MalInstr::Other(
+                "post := Aggregate(final_group_info)".into()
+            ))
+        );
+    }
+}

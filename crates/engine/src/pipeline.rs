@@ -1,0 +1,459 @@
+//! The physical query pipeline: ByteSlice scans → lookups → (planned)
+//! multi-column sort → aggregation / windowing, with per-phase timings.
+//!
+//! This is the execution structure of the paper's prototype (§6 and the
+//! Figure 11 reference architecture): filters run as fast scans on the
+//! WideTable, sorting columns are gathered via lookups, the optimizer
+//! (ROGA, or column-at-a-time when massaging is off) picks a plan, and
+//! the multi-column sort executor produces the order and grouping the
+//! aggregates or window ranks consume.
+
+use std::time::{Duration, Instant};
+
+use mcs_columnar::{BitVec, CodeVec, Column, Table};
+use mcs_core::{
+    multi_column_sort, ExecConfig, ExecStats, MassagePlan, SortSpec,
+};
+use mcs_cost::{CostModel, KeyColumnStats, SortInstance};
+use mcs_planner::{roga, rrs, RogaOptions, RrsOptions};
+
+use crate::aggregate::aggregate_groups;
+use crate::query::{OrderKey, Query};
+use crate::window::rank_over;
+
+/// How the engine picks massage plans.
+#[derive(Debug, Clone)]
+pub enum PlannerMode {
+    /// Always column-at-a-time (`P_0`) — "code massaging disabled".
+    ColumnAtATime,
+    /// ROGA (Algorithm 1) with time threshold `ρ`.
+    Roga {
+        /// Fraction of the best plan's estimated time (None = no limit).
+        rho: Option<f64>,
+    },
+    /// Recursive random search with a fixed budget (baseline).
+    Rrs {
+        /// Search budget.
+        budget: Duration,
+    },
+    /// A fixed plan supplied by the caller (experiments).
+    Fixed(MassagePlan),
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Multi-column sort execution settings.
+    pub exec: ExecConfig,
+    /// Plan selection mode.
+    pub planner: PlannerMode,
+    /// Cost model used by the planner.
+    pub model: CostModel,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            exec: ExecConfig::default(),
+            planner: PlannerMode::Roga { rho: Some(0.001) },
+            model: CostModel::with_defaults(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Massaging disabled: the state-of-the-art column-at-a-time baseline.
+    pub fn without_massaging() -> EngineConfig {
+        EngineConfig {
+            planner: PlannerMode::ColumnAtATime,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// Per-phase wall-clock breakdown of one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct QueryTimings {
+    /// Filter scans (ByteSlice, early-stopping).
+    pub filter_scan_ns: u64,
+    /// Lookups gathering sort-key and aggregate columns.
+    pub gather_ns: u64,
+    /// Plan search (ROGA / RRS).
+    pub plan_search_ns: u64,
+    /// Multi-column sorting (massage + all rounds).
+    pub mcs_ns: u64,
+    /// Second-stage multi-column sort over grouped results
+    /// (ORDER BY over aggregates, as in TPC-H Q13).
+    pub post_sort_ns: u64,
+    /// Aggregation / window-rank evaluation.
+    pub aggregate_ns: u64,
+    /// End-to-end.
+    pub total_ns: u64,
+    /// Detailed multi-column sort stats.
+    pub mcs_stats: ExecStats,
+    /// The plan that was executed.
+    pub plan: Option<MassagePlan>,
+}
+
+impl QueryTimings {
+    /// Everything except multi-column sorting (the paper's
+    /// "Scan+Lookup+Aggregation+…" bar).
+    pub fn non_mcs_ns(&self) -> u64 {
+        self.total_ns
+            .saturating_sub(self.mcs_ns + self.post_sort_ns + self.plan_search_ns)
+    }
+}
+
+/// A materialized query result.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Output columns, in declaration order: group keys then aggregates,
+    /// or the projection plus `rank` for window queries.
+    pub columns: Vec<(String, Vec<u64>)>,
+    /// Number of output rows.
+    pub rows: usize,
+    /// Phase timings.
+    pub timings: QueryTimings,
+}
+
+impl QueryResult {
+    /// Fetch an output column by name.
+    pub fn column(&self, name: &str) -> Option<&Vec<u64>> {
+        self.columns.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+/// Execute `query` against `table`.
+pub fn execute(table: &Table, query: &Query, cfg: &EngineConfig) -> QueryResult {
+    let t_total = Instant::now();
+    let mut timings = QueryTimings::default();
+
+    // 1. Filters: ByteSlice scans, ANDed.
+    let t = Instant::now();
+    let oids: Vec<u32> = if query.filters.is_empty() {
+        (0..table.rows() as u32).collect()
+    } else {
+        let mut acc: Option<BitVec> = None;
+        for f in &query.filters {
+            let col = table.expect_column(&f.column);
+            let bv = col.byteslice().scan(&f.predicate);
+            acc = Some(match acc {
+                None => bv,
+                Some(mut a) => {
+                    a.and_assign(&bv);
+                    a
+                }
+            });
+        }
+        acc.unwrap().to_oids()
+    };
+    timings.filter_scan_ns = t.elapsed().as_nanos() as u64;
+
+    let result = if !query.partition_by.is_empty() {
+        execute_window(table, query, cfg, &oids, &mut timings)
+    } else if !query.group_by.is_empty() {
+        execute_grouped(table, query, cfg, &oids, &mut timings)
+    } else {
+        execute_orderby(table, query, cfg, &oids, &mut timings)
+    };
+
+    timings.total_ns = t_total.elapsed().as_nanos() as u64;
+    QueryResult {
+        rows: result.first().map_or(0, |(_, v)| v.len()),
+        columns: result,
+        timings,
+    }
+}
+
+/// Gather the sort-key columns (restricted to `oids`) and build the
+/// planner's instance.
+fn prepare_sort(
+    table: &Table,
+    keys: &[OrderKey],
+    oids: &[u32],
+    want_final_groups: bool,
+    timings: &mut QueryTimings,
+) -> (Vec<CodeVec>, Vec<SortSpec>, SortInstance) {
+    let t = Instant::now();
+    let mut cols: Vec<CodeVec> = Vec::with_capacity(keys.len());
+    let mut specs: Vec<SortSpec> = Vec::with_capacity(keys.len());
+    let mut stats: Vec<KeyColumnStats> = Vec::with_capacity(keys.len());
+    for k in keys {
+        let col = table.expect_column(&k.column);
+        cols.push(col.gather(oids));
+        specs.push(SortSpec {
+            width: col.width(),
+            descending: k.descending,
+        });
+        let mut s = KeyColumnStats::from_stats(col.width(), col.stats());
+        // Filtering can only reduce cardinality.
+        s.ndv = s.ndv.min(oids.len() as f64).max(1.0);
+        stats.push(s);
+    }
+    timings.gather_ns += t.elapsed().as_nanos() as u64;
+    let inst = SortInstance {
+        rows: oids.len(),
+        specs: specs.clone(),
+        stats,
+        want_final_groups,
+    };
+    (cols, specs, inst)
+}
+
+/// Run the planner, returning the plan, the column order to apply, and
+/// recording search time.
+fn pick_plan(
+    inst: &SortInstance,
+    order_free: bool,
+    cfg: &EngineConfig,
+    timings: &mut QueryTimings,
+) -> (MassagePlan, Vec<usize>) {
+    let t = Instant::now();
+    let identity: Vec<usize> = (0..inst.specs.len()).collect();
+    let picked = match &cfg.planner {
+        PlannerMode::ColumnAtATime => (inst.p0(), identity),
+        PlannerMode::Fixed(p) => (p.clone(), identity),
+        PlannerMode::Roga { rho } => {
+            let r = roga(
+                inst,
+                &cfg.model,
+                &RogaOptions {
+                    rho: *rho,
+                    permute_columns: order_free,
+                },
+            );
+            (r.plan, r.column_order)
+        }
+        PlannerMode::Rrs { budget } => {
+            let r = rrs(
+                inst,
+                &cfg.model,
+                &RrsOptions {
+                    budget: *budget,
+                    permute_columns: order_free,
+                    ..Default::default()
+                },
+            );
+            (r.plan, r.column_order)
+        }
+    };
+    timings.plan_search_ns += t.elapsed().as_nanos() as u64;
+    picked
+}
+
+/// Sort the gathered key columns under the chosen plan; returns the
+/// permutation (positions into `oids`) and grouping.
+fn run_mcs(
+    cols: &[CodeVec],
+    specs: &[SortSpec],
+    inst: &SortInstance,
+    order_free: bool,
+    cfg: &EngineConfig,
+    timings: &mut QueryTimings,
+) -> mcs_core::MultiColumnSortOutput {
+    let (plan, order) = pick_plan(inst, order_free, cfg, timings);
+    let (pcols, pspecs): (Vec<&CodeVec>, Vec<SortSpec>) = (
+        order.iter().map(|&i| &cols[i]).collect(),
+        order.iter().map(|&i| specs[i]).collect(),
+    );
+    let t = Instant::now();
+    let out = multi_column_sort(&pcols, &pspecs, &plan, &cfg.exec);
+    timings.mcs_ns += t.elapsed().as_nanos() as u64;
+    timings.mcs_stats = out.stats.clone();
+    timings.plan = Some(plan);
+    out
+}
+
+fn execute_orderby(
+    table: &Table,
+    query: &Query,
+    cfg: &EngineConfig,
+    oids: &[u32],
+    timings: &mut QueryTimings,
+) -> Vec<(String, Vec<u64>)> {
+    let keys = query.sort_keys();
+    assert!(!keys.is_empty(), "query {} has no sort keys", query.name);
+    let (cols, specs, inst) = prepare_sort(table, &keys, oids, false, timings);
+    let out = run_mcs(&cols, &specs, &inst, false, cfg, timings);
+
+    // Final oids into the base table.
+    let final_oids: Vec<u32> = out.oids.iter().map(|&p| oids[p as usize]).collect();
+
+    let t = Instant::now();
+    let mut result = Vec::new();
+    for name in &query.select {
+        let col = table.expect_column(name);
+        result.push((name.clone(), col.gather(&final_oids).iter_u64().collect()));
+    }
+    timings.gather_ns += t.elapsed().as_nanos() as u64;
+    result
+}
+
+fn execute_grouped(
+    table: &Table,
+    query: &Query,
+    cfg: &EngineConfig,
+    oids: &[u32],
+    timings: &mut QueryTimings,
+) -> Vec<(String, Vec<u64>)> {
+    // No qualifying rows: zero groups, empty output columns.
+    if oids.is_empty() {
+        let mut result: Vec<(String, Vec<u64>)> =
+            query.group_by.iter().map(|g| (g.clone(), vec![])).collect();
+        result.extend(
+            query
+                .aggregates
+                .iter()
+                .map(|a| (a.label.clone(), vec![])),
+        );
+        return result;
+    }
+
+    let keys = query.sort_keys();
+    let (cols, specs, inst) = prepare_sort(table, &keys, oids, true, timings);
+    let out = run_mcs(&cols, &specs, &inst, query.order_free(), cfg, timings);
+    let final_oids: Vec<u32> = out.oids.iter().map(|&p| oids[p as usize]).collect();
+
+    // Aggregate per group (Figure 2 steps 4-5): gather each referenced
+    // column once in output order.
+    let t = Instant::now();
+    let fetch = |name: &str| -> Vec<u64> {
+        table
+            .expect_column(name)
+            .gather(&final_oids)
+            .iter_u64()
+            .collect()
+    };
+    let agg_out = aggregate_groups(&query.aggregates, &out.groups, &fetch);
+
+    // Group-key output columns: first row of each group.
+    let mut result: Vec<(String, Vec<u64>)> = Vec::new();
+    for (gi, g) in query.group_by.iter().enumerate() {
+        let gathered = &cols[gi];
+        let vals: Vec<u64> = out
+            .groups
+            .iter()
+            .map(|r| gathered.get(out.oids[r.start] as usize))
+            .collect();
+        result.push((g.clone(), vals));
+    }
+    result.extend(agg_out);
+    timings.aggregate_ns += t.elapsed().as_nanos() as u64;
+
+    // ORDER BY over group keys / aggregate labels: a second multi-column
+    // sort on the grouped table (this is TPC-H Q13's situation).
+    if !query.order_by.is_empty() {
+        let t = Instant::now();
+        let n_groups = result.first().map_or(0, |(_, v)| v.len());
+        let mut ob_cols: Vec<CodeVec> = Vec::new();
+        let mut ob_specs: Vec<SortSpec> = Vec::new();
+        for k in &query.order_by {
+            let vals = result
+                .iter()
+                .find(|(n, _)| n == &k.column)
+                .unwrap_or_else(|| panic!("ORDER BY column {} not in result", k.column))
+                .1
+                .clone();
+            let width = mcs_columnar::width_for_max(vals.iter().copied().max().unwrap_or(0));
+            ob_cols.push(CodeVec::from_u64s(width, vals));
+            ob_specs.push(SortSpec {
+                width,
+                descending: k.descending,
+            });
+        }
+        let refs: Vec<&CodeVec> = ob_cols.iter().collect();
+        // The grouped table is small; keep it simple and column-at-a-time
+        // unless massaging is enabled (then P0 vs ROGA is the planner's
+        // call with fresh statistics).
+        let inst2 = SortInstance {
+            rows: n_groups,
+            specs: ob_specs.clone(),
+            stats: ob_specs
+                .iter()
+                .zip(&ob_cols)
+                .map(|(s, c)| {
+                    let mut set: Vec<u64> = c.iter_u64().collect();
+                    set.sort_unstable();
+                    set.dedup();
+                    KeyColumnStats::uniform(s.width, set.len() as f64)
+                })
+                .collect(),
+            want_final_groups: false,
+        };
+        let (plan2, order2) = pick_plan(&inst2, false, cfg, timings);
+        let (pcols, pspecs): (Vec<&CodeVec>, Vec<SortSpec>) = (
+            order2.iter().map(|&i| refs[i]).collect(),
+            order2.iter().map(|&i| ob_specs[i]).collect(),
+        );
+        let sorted = multi_column_sort(&pcols, &pspecs, &plan2, &cfg.exec);
+        for (_, vals) in result.iter_mut() {
+            *vals = sorted.oids.iter().map(|&p| vals[p as usize]).collect();
+        }
+        timings.post_sort_ns += t.elapsed().as_nanos() as u64;
+    }
+    result
+}
+
+fn execute_window(
+    table: &Table,
+    query: &Query,
+    cfg: &EngineConfig,
+    oids: &[u32],
+    timings: &mut QueryTimings,
+) -> Vec<(String, Vec<u64>)> {
+    let keys = query.sort_keys();
+    let (cols, specs, inst) = prepare_sort(table, &keys, oids, true, timings);
+    let out = run_mcs(&cols, &specs, &inst, query.order_free(), cfg, timings);
+    let final_oids: Vec<u32> = out.oids.iter().map(|&p| oids[p as usize]).collect();
+
+    let t = Instant::now();
+    // Partition bounds = ties on the partition keys only: recompute by
+    // scanning the sorted partition-key columns (they are the first
+    // `partition_by.len()` sort keys).
+    let np = query.partition_by.len();
+    let mut parts = mcs_core::GroupBounds::whole(out.oids.len());
+    for c in cols.iter().take(np) {
+        let permuted: Vec<u64> = out.oids.iter().map(|&p| c.get(p as usize)).collect();
+        parts = parts.refine_by(&permuted);
+    }
+    // Window key: direction-adjusted concatenation of the window-order
+    // columns in output order.
+    let wo_cols: Vec<&CodeVec> = cols.iter().skip(np).collect();
+    let wo_specs = &specs[np..];
+    let mut window_keys = vec![0u64; out.oids.len()];
+    let total_wo: u32 = wo_specs.iter().map(|s| s.width).sum();
+    assert!(
+        total_wo <= 64,
+        "window ORDER BY keys wider than 64 bits are not supported"
+    );
+    for (c, s) in wo_cols.iter().zip(wo_specs) {
+        for (p, wk) in window_keys.iter_mut().enumerate() {
+            let mut v = c.get(out.oids[p] as usize);
+            if s.descending {
+                v ^= mcs_core::width_mask(s.width);
+            }
+            *wk = (*wk << s.width) | v;
+        }
+    }
+    let ranks = rank_over(&parts, &window_keys);
+
+    let mut result = Vec::new();
+    for name in &query.select {
+        let col = table.expect_column(name);
+        result.push((name.clone(), col.gather(&final_oids).iter_u64().collect()));
+    }
+    result.push(("rank".to_string(), ranks));
+    timings.aggregate_ns += t.elapsed().as_nanos() as u64;
+    result
+}
+
+/// Materialize a query result as a new [`Table`] (multi-stage queries such
+/// as TPC-H Q13 feed one query's output into another).
+pub fn result_to_table(name: impl Into<String>, result: &QueryResult) -> Table {
+    let mut t = Table::new(name);
+    for (cname, vals) in &result.columns {
+        let width = mcs_columnar::width_for_max(vals.iter().copied().max().unwrap_or(0));
+        t.add_column(Column::from_u64s(cname.clone(), width, vals.iter().copied()));
+    }
+    t
+}

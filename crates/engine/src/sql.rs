@@ -1,0 +1,468 @@
+//! A small SQL front-end for the engine — enough surface to express
+//! every query shape in the paper's evaluation:
+//!
+//! ```sql
+//! SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty
+//! FROM tpch_wide
+//! WHERE l_shipdate <= 2300 AND l_quantity BETWEEN 5 AND 45
+//! GROUP BY l_returnflag, l_linestatus
+//! ORDER BY l_returnflag, l_linestatus DESC
+//! ```
+//!
+//! and SQL:2003 windows:
+//!
+//! ```sql
+//! SELECT OriginAirportID, Passengers,
+//!        RANK() OVER (PARTITION BY OriginAirportID ORDER BY Passengers)
+//! FROM ticket WHERE ItinGeoType = 1
+//! ```
+//!
+//! Literals are integer *codes* (string predicates go through an
+//! order-preserving [`mcs_columnar::Dictionary`] before parsing). The
+//! parser is a hand-written tokenizer + recursive descent; errors carry
+//! the offending token.
+
+use mcs_columnar::Predicate;
+
+use crate::query::{Agg, AggKind, Filter, OrderKey, Query};
+
+/// Parse error with positional context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl core::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SQL parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, SqlError> {
+    Err(SqlError {
+        message: message.into(),
+    })
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Number(u64),
+    Symbol(char),
+    Le,
+    Ge,
+    Ne,
+    Eof,
+}
+
+fn keyword(t: &Tok, kw: &str) -> bool {
+    matches!(t, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+}
+
+fn tokenize(input: &str) -> Result<Vec<Tok>, SqlError> {
+    let mut out = Vec::new();
+    let b = input.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(Tok::Ident(input[start..i].to_string()));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let n: u64 = input[start..i]
+                .parse()
+                .map_err(|_| SqlError {
+                    message: format!("bad number {}", &input[start..i]),
+                })?;
+            out.push(Tok::Number(n));
+        } else if c == '<' && i + 1 < b.len() && b[i + 1] == b'=' {
+            out.push(Tok::Le);
+            i += 2;
+        } else if c == '>' && i + 1 < b.len() && b[i + 1] == b'=' {
+            out.push(Tok::Ge);
+            i += 2;
+        } else if (c == '<' && i + 1 < b.len() && b[i + 1] == b'>')
+            || (c == '!' && i + 1 < b.len() && b[i + 1] == b'=')
+        {
+            out.push(Tok::Ne);
+            i += 2;
+        } else if "(),*=<>".contains(c) {
+            out.push(Tok::Symbol(c));
+            i += 1;
+        } else {
+            return err(format!("unexpected character '{c}'"));
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.at]
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.at].clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if keyword(self.peek(), kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            err(format!("expected {kw}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), SqlError> {
+        match self.next() {
+            Tok::Symbol(s) if s == c => Ok(()),
+            t => err(format!("expected '{c}', found {t:?}")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            t => err(format!("expected identifier, found {t:?}")),
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, SqlError> {
+        match self.next() {
+            Tok::Number(n) => Ok(n),
+            t => err(format!("expected number, found {t:?}")),
+        }
+    }
+
+    fn order_key(&mut self) -> Result<OrderKey, SqlError> {
+        let col = self.ident()?;
+        let descending = if self.eat_kw("DESC") {
+            true
+        } else {
+            self.eat_kw("ASC");
+            false
+        };
+        Ok(OrderKey {
+            column: col,
+            descending,
+        })
+    }
+
+    fn order_list(&mut self) -> Result<Vec<OrderKey>, SqlError> {
+        let mut keys = vec![self.order_key()?];
+        while matches!(self.peek(), Tok::Symbol(',')) {
+            self.next();
+            keys.push(self.order_key()?);
+        }
+        Ok(keys)
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, SqlError> {
+        let mut cols = vec![self.ident()?];
+        while matches!(self.peek(), Tok::Symbol(',')) {
+            self.next();
+            cols.push(self.ident()?);
+        }
+        Ok(cols)
+    }
+}
+
+/// One SELECT item.
+enum SelectItem {
+    Column(String),
+    Aggregate(Agg),
+    Rank {
+        partition_by: Vec<String>,
+        order: Vec<OrderKey>,
+    },
+}
+
+fn parse_select_item(p: &mut Parser) -> Result<SelectItem, SqlError> {
+    let name = p.ident()?;
+    let upper = name.to_ascii_uppercase();
+    // RANK() OVER (PARTITION BY ... ORDER BY ...)
+    if upper == "RANK" {
+        p.expect_sym('(')?;
+        p.expect_sym(')')?;
+        p.expect_kw("OVER")?;
+        p.expect_sym('(')?;
+        p.expect_kw("PARTITION")?;
+        p.expect_kw("BY")?;
+        let partition_by = p.ident_list()?;
+        p.expect_kw("ORDER")?;
+        p.expect_kw("BY")?;
+        let order = p.order_list()?;
+        p.expect_sym(')')?;
+        return Ok(SelectItem::Rank {
+            partition_by,
+            order,
+        });
+    }
+    // Aggregates.
+    let kind = match upper.as_str() {
+        "COUNT" => {
+            p.expect_sym('(')?;
+            let k = if matches!(p.peek(), Tok::Symbol('*')) {
+                p.next();
+                AggKind::Count
+            } else if p.eat_kw("DISTINCT") {
+                AggKind::CountDistinct(p.ident()?)
+            } else {
+                // COUNT(col) == COUNT(*) for our non-null codes.
+                let _ = p.ident()?;
+                AggKind::Count
+            };
+            p.expect_sym(')')?;
+            Some(k)
+        }
+        "SUM" | "AVG" | "MIN" | "MAX" => {
+            p.expect_sym('(')?;
+            let col = p.ident()?;
+            p.expect_sym(')')?;
+            Some(match upper.as_str() {
+                "SUM" => AggKind::Sum(col),
+                "AVG" => AggKind::Avg(col),
+                "MIN" => AggKind::Min(col),
+                _ => AggKind::Max(col),
+            })
+        }
+        _ => None,
+    };
+    if let Some(kind) = kind {
+        let label = if p.eat_kw("AS") {
+            p.ident()?
+        } else {
+            default_label(&kind)
+        };
+        return Ok(SelectItem::Aggregate(Agg { kind, label }));
+    }
+    Ok(SelectItem::Column(name))
+}
+
+fn default_label(kind: &AggKind) -> String {
+    match kind {
+        AggKind::Count => "count".into(),
+        AggKind::CountDistinct(c) => format!("count_distinct_{c}"),
+        AggKind::Sum(c) => format!("sum_{c}"),
+        AggKind::Avg(c) => format!("avg_{c}"),
+        AggKind::Min(c) => format!("min_{c}"),
+        AggKind::Max(c) => format!("max_{c}"),
+    }
+}
+
+fn parse_condition(p: &mut Parser) -> Result<Filter, SqlError> {
+    let column = p.ident()?;
+    let pred = if p.eat_kw("BETWEEN") {
+        let lo = p.number()?;
+        p.expect_kw("AND")?;
+        let hi = p.number()?;
+        Predicate::Between(lo, hi)
+    } else {
+        match p.next() {
+            Tok::Symbol('=') => Predicate::Eq(p.number()?),
+            Tok::Symbol('<') => Predicate::Lt(p.number()?),
+            Tok::Symbol('>') => Predicate::Gt(p.number()?),
+            Tok::Le => Predicate::Le(p.number()?),
+            Tok::Ge => Predicate::Ge(p.number()?),
+            Tok::Ne => Predicate::Ne(p.number()?),
+            t => return err(format!("expected comparison operator, found {t:?}")),
+        }
+    };
+    Ok(Filter {
+        column,
+        predicate: pred,
+    })
+}
+
+/// Parse `sql` into a [`Query`]. Returns the query and the FROM table
+/// name.
+pub fn parse_query(sql: &str) -> Result<(Query, String), SqlError> {
+    let mut p = Parser {
+        toks: tokenize(sql)?,
+        at: 0,
+    };
+    p.expect_kw("SELECT")?;
+
+    let mut items = vec![parse_select_item(&mut p)?];
+    while matches!(p.peek(), Tok::Symbol(',')) {
+        p.next();
+        items.push(parse_select_item(&mut p)?);
+    }
+
+    p.expect_kw("FROM")?;
+    let table = p.ident()?;
+
+    let mut q = Query::named("sql");
+    if p.eat_kw("WHERE") {
+        q.filters.push(parse_condition(&mut p)?);
+        while p.eat_kw("AND") {
+            q.filters.push(parse_condition(&mut p)?);
+        }
+    }
+    if p.eat_kw("GROUP") {
+        p.expect_kw("BY")?;
+        q.group_by = p.ident_list()?;
+    }
+    if p.eat_kw("ORDER") {
+        p.expect_kw("BY")?;
+        q.order_by = p.order_list()?;
+    }
+    match p.peek() {
+        Tok::Eof => {}
+        t => return err(format!("trailing tokens starting at {t:?}")),
+    }
+
+    // Distribute SELECT items.
+    for item in items {
+        match item {
+            SelectItem::Column(c) => q.select.push(c),
+            SelectItem::Aggregate(a) => q.aggregates.push(a),
+            SelectItem::Rank {
+                partition_by,
+                order,
+            } => {
+                if !q.partition_by.is_empty() {
+                    return err("only one RANK() window supported");
+                }
+                q.partition_by = partition_by;
+                q.window_order = order;
+            }
+        }
+    }
+
+    // Semantic checks mirroring the executor's expectations.
+    if !q.aggregates.is_empty() && q.group_by.is_empty() {
+        return err("aggregates require GROUP BY");
+    }
+    if !q.partition_by.is_empty() && !q.group_by.is_empty() {
+        return err("RANK() windows cannot be combined with GROUP BY (run two stages)");
+    }
+    if !q.partition_by.is_empty() && !q.order_by.is_empty() {
+        return err("ORDER BY alongside a window is not supported");
+    }
+    if q.group_by.is_empty() && q.partition_by.is_empty() && q.order_by.is_empty() {
+        return err("query needs GROUP BY, ORDER BY or a RANK() window");
+    }
+    Ok((q, table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_group_by_aggregates() {
+        let (q, table) = parse_query(
+            "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, COUNT(*) \
+             FROM tpch_wide WHERE l_shipdate <= 2300 AND l_quantity BETWEEN 5 AND 45 \
+             GROUP BY l_returnflag, l_linestatus \
+             ORDER BY l_returnflag, l_linestatus DESC",
+        )
+        .unwrap();
+        assert_eq!(table, "tpch_wide");
+        assert_eq!(q.group_by, vec!["l_returnflag", "l_linestatus"]);
+        assert_eq!(q.aggregates.len(), 2);
+        assert_eq!(q.aggregates[0].label, "sum_qty");
+        assert_eq!(q.aggregates[1].kind, AggKind::Count);
+        assert_eq!(q.filters.len(), 2);
+        assert!(matches!(q.filters[0].predicate, Predicate::Le(2300)));
+        assert!(matches!(q.filters[1].predicate, Predicate::Between(5, 45)));
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[1].descending);
+    }
+
+    #[test]
+    fn parses_rank_window() {
+        let (q, table) = parse_query(
+            "SELECT OriginAirportID, Passengers, \
+             RANK() OVER (PARTITION BY OriginAirportID, DistanceGroup ORDER BY Passengers DESC) \
+             FROM ticket WHERE ItinGeoType = 1",
+        )
+        .unwrap();
+        assert_eq!(table, "ticket");
+        assert_eq!(q.partition_by.len(), 2);
+        assert_eq!(q.window_order.len(), 1);
+        assert!(q.window_order[0].descending);
+        assert_eq!(q.select, vec!["OriginAirportID", "Passengers"]);
+    }
+
+    #[test]
+    fn parses_order_by_only() {
+        let (q, _) = parse_query(
+            "SELECT a, b FROM t WHERE a <> 3 ORDER BY a ASC, b DESC",
+        )
+        .unwrap();
+        assert!(q.group_by.is_empty());
+        assert!(matches!(q.filters[0].predicate, Predicate::Ne(3)));
+        assert_eq!(q.order_by.len(), 2);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let (q, _) = parse_query(
+            "SELECT p_brand, COUNT(DISTINCT ps_suppkey) AS supplier_cnt FROM ps \
+             GROUP BY p_brand ORDER BY supplier_cnt DESC",
+        )
+        .unwrap();
+        assert_eq!(
+            q.aggregates[0].kind,
+            AggKind::CountDistinct("ps_suppkey".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_query("SELECT FROM t").is_err());
+        assert!(parse_query("SELECT a FROM t WHERE a ~ 3 ORDER BY a").is_err());
+        assert!(parse_query("SELECT SUM(x) FROM t").is_err()); // agg without GROUP BY
+        assert!(parse_query("SELECT a FROM t").is_err()); // no sort/group
+        assert!(parse_query("SELECT a FROM t ORDER BY a extra").is_err());
+    }
+
+    #[test]
+    fn parsed_query_executes() {
+        use crate::{execute, EngineConfig};
+        use mcs_columnar::{Column, Table};
+        let mut t = Table::new("t");
+        t.add_column(Column::from_u64s("g", 2, [1u64, 0, 1, 0]));
+        t.add_column(Column::from_u64s("x", 4, [1u64, 2, 3, 4]));
+        let (q, _) = parse_query(
+            "SELECT g, SUM(x) AS s FROM t GROUP BY g ORDER BY s DESC",
+        )
+        .unwrap();
+        let r = execute(&t, &q, &EngineConfig::default());
+        assert_eq!(r.column("s").unwrap(), &vec![6, 4]);
+        assert_eq!(r.column("g").unwrap(), &vec![0, 1]);
+    }
+}

@@ -1,0 +1,51 @@
+//! `RANK() OVER (PARTITION BY … ORDER BY …)` evaluation over the sorted,
+//! partitioned output of a multi-column sort.
+
+use mcs_core::GroupBounds;
+
+/// Compute SQL `RANK()` per output position.
+///
+/// `partitions` are the tie groups on the PARTITION BY keys; within each
+/// partition the rows are already sorted by the window order and
+/// `window_keys[p]` gives the combined (direction-adjusted) window sort
+/// key at output position `p`. Ties share a rank; the next distinct value
+/// jumps to `position + 1` (standard `RANK`, with gaps).
+pub fn rank_over(partitions: &GroupBounds, window_keys: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; window_keys.len()];
+    for part in partitions.iter() {
+        let mut rank = 1u64;
+        for (off, p) in part.clone().enumerate() {
+            if off > 0 && window_keys[p] != window_keys[p - 1] {
+                rank = off as u64 + 1;
+            }
+            out[p] = rank;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_with_gaps() {
+        // One partition, keys 5,5,7,9,9,9 -> ranks 1,1,3,4,4,4.
+        let parts = GroupBounds::from_offsets(vec![0, 6]);
+        let keys = vec![5, 5, 7, 9, 9, 9];
+        assert_eq!(rank_over(&parts, &keys), vec![1, 1, 3, 4, 4, 4]);
+    }
+
+    #[test]
+    fn ranks_reset_per_partition() {
+        let parts = GroupBounds::from_offsets(vec![0, 3, 6]);
+        let keys = vec![1, 2, 2, 1, 1, 5];
+        assert_eq!(rank_over(&parts, &keys), vec![1, 2, 2, 1, 1, 3]);
+    }
+
+    #[test]
+    fn empty() {
+        let parts = GroupBounds::whole(0);
+        assert!(rank_over(&parts, &[]).is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Edge cases for the PARTITION BY / RANK() path.
+
+use mcs_columnar::{Column, Table};
+use mcs_engine::reference::{assert_same_rows, naive_execute};
+use mcs_engine::{execute, EngineConfig, OrderKey, Query};
+
+fn table() -> Table {
+    let mut t = Table::new("t");
+    t.add_column(Column::from_u64s("p", 3, [1u64, 1, 1, 2, 2, 3, 3, 3, 3]));
+    t.add_column(Column::from_u64s("a", 4, [5u64, 5, 3, 9, 9, 1, 2, 2, 2]));
+    t.add_column(Column::from_u64s("b", 4, [1u64, 2, 3, 4, 4, 5, 6, 7, 7]));
+    t
+}
+
+#[test]
+fn multi_key_window_order() {
+    let mut q = Query::named("w");
+    q.select = vec!["p".into(), "a".into(), "b".into()];
+    q.partition_by = vec!["p".into()];
+    q.window_order = vec![OrderKey::asc("a"), OrderKey::desc("b")];
+    let t = table();
+    let got = execute(&t, &q, &EngineConfig::default());
+    let want = naive_execute(&t, &q);
+    assert_same_rows(&got.columns, &want);
+}
+
+#[test]
+fn all_rows_one_partition() {
+    let mut q = Query::named("w");
+    q.select = vec!["a".into()];
+    q.partition_by = vec!["p".into()];
+    q.window_order = vec![OrderKey::asc("a")];
+    let mut t = Table::new("t");
+    t.add_column(Column::from_u64s("p", 1, [0u64; 6]));
+    t.add_column(Column::from_u64s("a", 4, [3u64, 1, 4, 1, 5, 9]));
+    let got = execute(&t, &q, &EngineConfig::default());
+    let ranks = got.column("rank").unwrap();
+    // Sorted a: 1,1,3,4,5,9 -> ranks 1,1,3,4,5,6.
+    assert_eq!(ranks, &vec![1, 1, 3, 4, 5, 6]);
+}
+
+#[test]
+fn every_row_its_own_partition() {
+    let mut q = Query::named("w");
+    q.select = vec!["p".into()];
+    q.partition_by = vec!["p".into()];
+    q.window_order = vec![OrderKey::asc("a")];
+    let mut t = Table::new("t");
+    t.add_column(Column::from_u64s("p", 4, [0u64, 1, 2, 3, 4]));
+    t.add_column(Column::from_u64s("a", 4, [9u64, 8, 7, 6, 5]));
+    let got = execute(&t, &q, &EngineConfig::default());
+    assert_eq!(got.column("rank").unwrap(), &vec![1, 1, 1, 1, 1]);
+}
+
+#[test]
+fn all_ties_in_window_order() {
+    let mut q = Query::named("w");
+    q.select = vec!["p".into()];
+    q.partition_by = vec!["p".into()];
+    q.window_order = vec![OrderKey::asc("a")];
+    let mut t = Table::new("t");
+    t.add_column(Column::from_u64s("p", 1, [0u64, 0, 0, 1, 1]));
+    t.add_column(Column::from_u64s("a", 4, [7u64; 5]));
+    let got = execute(&t, &q, &EngineConfig::default());
+    assert_eq!(got.column("rank").unwrap(), &vec![1, 1, 1, 1, 1]);
+}
+
+#[test]
+fn empty_table_window() {
+    let mut q = Query::named("w");
+    q.select = vec!["p".into()];
+    q.partition_by = vec!["p".into()];
+    q.window_order = vec![OrderKey::asc("a")];
+    let mut t = Table::new("t");
+    t.add_column(Column::from_u64s("p", 1, std::iter::empty()));
+    t.add_column(Column::from_u64s("a", 4, std::iter::empty()));
+    let got = execute(&t, &q, &EngineConfig::default());
+    assert_eq!(got.rows, 0);
+}
+
+#[test]
+fn desc_window_with_reference() {
+    let t = table();
+    let mut q = Query::named("w");
+    q.select = vec!["p".into(), "b".into()];
+    q.partition_by = vec!["p".into()];
+    q.window_order = vec![OrderKey::desc("b")];
+    let got = execute(&t, &q, &EngineConfig::default());
+    let want = naive_execute(&t, &q);
+    assert_same_rows(&got.columns, &want);
+}

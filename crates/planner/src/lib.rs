@@ -1,0 +1,38 @@
+//! # mcs-planner
+//!
+//! Plan search for code massaging (§5 of the SIGMOD'16 paper):
+//!
+//! * [`roga`] — the paper's **ro**und-based **g**reedy **a**lgorithm
+//!   (Algorithm 1): round-count by round-count, valid bank combinations,
+//!   exhaustive width assignment for `k ≤ 2`, greedy `T_sort^{j+1}`-
+//!   minimizing assignment for `k ≥ 3`, under the time threshold `ρ`;
+//! * [`rrs`] — the recursive-random-search baseline of §6.1;
+//! * [`measure_all_plans`] — the exhaustive, actually-executed "perfect
+//!   model" `A_i` used to compute plan ranks (Table 1, Figure 7);
+//! * [`space`] — plan-space combinatorics, including the Lemma 2 round
+//!   bound and Property-1 bank-combination pruning.
+//!
+//! ```
+//! use mcs_cost::{CostModel, SortInstance};
+//! use mcs_planner::{roga, RogaOptions};
+//!
+//! let inst = SortInstance::uniform(1 << 24, &[(17, 8192.0), (33, 8192.0)]);
+//! let model = CostModel::with_defaults();
+//! let found = roga(&inst, &model, &RogaOptions::default());
+//! // The search never does worse than column-at-a-time.
+//! assert!(found.est_cost <= model.t_mcs(&inst, &inst.p0()));
+//! ```
+
+#![warn(missing_docs)]
+
+mod exhaustive;
+mod rho_auto;
+mod roga;
+mod rrs;
+pub mod space;
+
+pub use exhaustive::{measure_all_plans, measure_plan, rank_by_time, rank_of, ExhaustiveOptions, MeasuredPlan};
+pub use roga::{permute_instance, roga, RogaOptions, SearchResult};
+pub use rho_auto::{offline_rho, online_roga, RHO_LADDER};
+pub use rrs::{rrs, RrsOptions};
+pub use space::{bank_combos, enumerate_compositions, max_rounds, permutations, width_assignments};

@@ -1,0 +1,154 @@
+//! Automatic selection of the time threshold ρ — the two approaches the
+//! paper sketches as future work in Appendix C, implemented.
+//!
+//! * [`offline_rho`] — run the search over a set of sample queries with a
+//!   ladder of ρ values (cost-model only, no execution) and return the
+//!   smallest ρ at which every query already reaches the best plan it
+//!   would reach at the loosest ρ.
+//! * [`online_roga`] — start at a low watermark ρ and double it while the
+//!   incumbent plan keeps improving, capped at a high watermark.
+
+use mcs_cost::{CostModel, SortInstance};
+
+use crate::roga::{roga, RogaOptions, SearchResult};
+
+/// The ρ ladder of Appendix C: from "very stringent" to "very loose".
+pub const RHO_LADDER: [f64; 6] = [0.0001, 0.0005, 0.001, 0.005, 0.01, 0.1];
+
+/// Offline calibration: the smallest ρ from `ladder` that lets *every*
+/// sample query reach the same estimated plan cost it reaches at the
+/// largest ρ. Only the cost model is invoked — "the process is fast and
+/// incurs very little overhead" (App. C).
+pub fn offline_rho(
+    samples: &[SortInstance],
+    model: &CostModel,
+    ladder: &[f64],
+    permute_columns: bool,
+) -> f64 {
+    assert!(!ladder.is_empty());
+    let mut sorted = ladder.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let loosest = *sorted.last().unwrap();
+
+    // Best reachable cost per query at the loosest setting.
+    let targets: Vec<f64> = samples
+        .iter()
+        .map(|inst| {
+            roga(
+                inst,
+                model,
+                &RogaOptions {
+                    rho: Some(loosest),
+                    permute_columns,
+                },
+            )
+            .est_cost
+        })
+        .collect();
+
+    for &rho in &sorted {
+        let ok = samples.iter().zip(&targets).all(|(inst, &target)| {
+            let r = roga(
+                inst,
+                model,
+                &RogaOptions {
+                    rho: Some(rho),
+                    permute_columns,
+                },
+            );
+            r.est_cost <= target * 1.0001
+        });
+        if ok {
+            return rho;
+        }
+    }
+    loosest
+}
+
+/// Online calibration: run ROGA at `rho_low`; while the search hit its
+/// deadline *and* the last doubling improved the plan, double ρ — capped
+/// at `rho_high` (App. C's low/high watermarks, e.g. 0.01 % and 10 %).
+pub fn online_roga(
+    inst: &SortInstance,
+    model: &CostModel,
+    rho_low: f64,
+    rho_high: f64,
+    permute_columns: bool,
+) -> (SearchResult, f64) {
+    let mut rho = rho_low;
+    let mut best = roga(
+        inst,
+        model,
+        &RogaOptions {
+            rho: Some(rho),
+            permute_columns,
+        },
+    );
+    while best.timed_out && rho < rho_high {
+        let next_rho = (rho * 2.0).min(rho_high);
+        let r = roga(
+            inst,
+            model,
+            &RogaOptions {
+                rho: Some(next_rho),
+                permute_columns,
+            },
+        );
+        let improved = r.est_cost < best.est_cost * 0.9999;
+        let finished = !r.timed_out;
+        if r.est_cost <= best.est_cost {
+            best = r;
+        }
+        rho = next_rho;
+        if finished || !improved {
+            break;
+        }
+    }
+    (best, rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_cost::CostModel;
+
+    fn samples() -> Vec<SortInstance> {
+        vec![
+            SortInstance::uniform(1 << 20, &[(10, 1024.0), (17, 8192.0)]),
+            SortInstance::uniform(1 << 20, &[(17, 8192.0), (33, 8192.0)]),
+            SortInstance::uniform(1 << 18, &[(5, 25.0), (8, 150.0), (6, 50.0)]),
+        ]
+    }
+
+    #[test]
+    fn offline_returns_ladder_member() {
+        let model = CostModel::with_defaults();
+        let rho = offline_rho(&samples(), &model, &RHO_LADDER, false);
+        assert!(RHO_LADDER.contains(&rho));
+        // Small instances finish fast, so even a small rho suffices.
+        assert!(rho <= 0.1);
+    }
+
+    #[test]
+    fn online_matches_unbounded_quality_on_small_spaces() {
+        let model = CostModel::with_defaults();
+        for inst in samples() {
+            let (r, final_rho) = online_roga(&inst, &model, 0.0001, 0.1, false);
+            let unbounded = roga(
+                &inst,
+                &model,
+                &RogaOptions {
+                    rho: None,
+                    permute_columns: false,
+                },
+            );
+            assert!(
+                r.est_cost <= unbounded.est_cost * 1.2,
+                "online {} vs unbounded {}",
+                r.est_cost,
+                unbounded.est_cost
+            );
+            assert!(final_rho <= 0.1);
+        }
+    }
+}

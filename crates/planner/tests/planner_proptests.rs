@@ -1,0 +1,107 @@
+//! Property tests for the plan-search machinery.
+
+use mcs_core::{Bank, MassagePlan};
+use mcs_cost::{CostModel, SortInstance};
+use mcs_planner::{
+    bank_combos, enumerate_compositions, max_rounds, roga, width_assignments, RogaOptions,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lemma 2: over small exhaustive spaces, the cost-model optimum never
+    /// uses more rounds than the bound — so bounding the search is safe.
+    #[test]
+    fn lemma2_bound_never_hides_the_model_optimum(
+        w1 in 1u32..=8,
+        w2 in 1u32..=8,
+        rows_log in 10u32..=22,
+        ndv1 in 1u64..=4096,
+        ndv2 in 1u64..=4096,
+    ) {
+        let model = CostModel::with_defaults();
+        let inst = SortInstance::uniform(
+            1usize << rows_log,
+            &[(w1, ndv1 as f64), (w2, ndv2 as f64)],
+        );
+        let total = w1 + w2;
+        let bound = max_rounds(total, 16);
+
+        // Exhaust ALL compositions (any round count, up to total rounds).
+        let all = enumerate_compositions(total, total, usize::MAX >> 1);
+        let best = all
+            .iter()
+            .map(|p| (model.t_mcs(&inst, p), p))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .unwrap();
+        prop_assert!(
+            (best.1.num_rounds() as u32) <= bound,
+            "optimum {} uses {} rounds > bound {}",
+            best.1,
+            best.1.num_rounds(),
+            bound
+        );
+    }
+
+    /// Every bank combo admits only canonical width assignments that form
+    /// valid plans, and every valid composition has exactly one canonical
+    /// combo.
+    #[test]
+    fn width_assignments_are_valid_and_canonical(
+        total in 2u32..=80,
+        k in 1u32..=4,
+    ) {
+        for combo in bank_combos(total, k) {
+            for widths in width_assignments(total, &combo) {
+                prop_assert_eq!(widths.iter().sum::<u32>(), total);
+                for (w, b) in widths.iter().zip(&combo) {
+                    prop_assert_eq!(Bank::min_for_width(*w), *b);
+                }
+                let plan = MassagePlan::new(
+                    widths
+                        .iter()
+                        .zip(&combo)
+                        .map(|(&width, &bank)| mcs_core::Round { width, bank })
+                        .collect(),
+                );
+                prop_assert!(plan.validate(total).is_ok());
+            }
+        }
+    }
+
+    /// ROGA's result is always a valid plan, never estimated worse than
+    /// P0, and respects the Lemma 2 bound.
+    #[test]
+    fn roga_invariants(
+        widths in prop::collection::vec(1u32..=30, 1..=4),
+        rows_log in 8u32..=22,
+    ) {
+        let model = CostModel::with_defaults();
+        let cols: Vec<(u32, f64)> = widths
+            .iter()
+            .map(|&w| (w, 2f64.powi(w.min(12) as i32)))
+            .collect();
+        let inst = SortInstance::uniform(1usize << rows_log, &cols);
+        // Unbounded search: with a rho deadline, tiny instances (whose
+        // total cost is microseconds) correctly time out at P0 — the
+        // round bound only applies to completed searches.
+        let r = roga(&inst, &model, &RogaOptions { rho: None, permute_columns: false });
+        let total = inst.total_width();
+        prop_assert!(r.plan.validate(total).is_ok());
+        prop_assert!(r.est_cost <= model.t_mcs(&inst, &inst.p0()) + 1.0);
+        prop_assert!((r.plan.num_rounds() as u32) <= max_rounds(total, 16));
+
+        // And the deadline path still yields a valid plan.
+        let rd = roga(&inst, &model, &RogaOptions { rho: Some(0.001), permute_columns: false });
+        prop_assert!(rd.plan.validate(total).is_ok());
+    }
+
+    /// The composition space size matches the closed form 2^(W-1) when
+    /// unbounded (small W).
+    #[test]
+    fn composition_count_closed_form(total in 1u32..=14) {
+        let all = enumerate_compositions(total, total, usize::MAX >> 1);
+        prop_assert_eq!(all.len() as u64, 1u64 << (total - 1));
+    }
+}

@@ -1,0 +1,558 @@
+//! Explicit AVX2 (`core::arch::x86_64`) kernel implementations.
+//!
+//! One kernel per bank width. Keys live in `b`-bit lanes of a 256-bit
+//! register (16, 8 or 4 lanes); the 32-bit oid payload travels in parallel
+//! registers — two `__m256i` for the 16-bit bank, one `__m256i` for the
+//! 32-bit bank and one `__m128i` for the 64-bit bank. Every
+//! compare-exchange derives a lane mask from the (unsigned) key comparison
+//! and applies the width-adjusted mask to the payload blends, so oids are
+//! never duplicated or dropped, even on key ties.
+//!
+//! # Safety
+//! These kernels execute AVX2 instructions unconditionally; they must only
+//! be reached through the runtime dispatch in [`crate::sort`], which
+//! checks `is_x86_feature_detected!("avx2")` first.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use core::arch::x86_64::*;
+
+use crate::kernel::Kernel;
+
+/// `a > b` per 32-bit unsigned lane (sign-flip + signed compare).
+#[inline(always)]
+unsafe fn gt_epu32(a: __m256i, b: __m256i) -> __m256i {
+    let sgn = _mm256_set1_epi32(i32::MIN);
+    _mm256_cmpgt_epi32(_mm256_xor_si256(a, sgn), _mm256_xor_si256(b, sgn))
+}
+
+/// `a > b` per 16-bit unsigned lane.
+#[inline(always)]
+unsafe fn gt_epu16(a: __m256i, b: __m256i) -> __m256i {
+    let sgn = _mm256_set1_epi16(i16::MIN);
+    _mm256_cmpgt_epi16(_mm256_xor_si256(a, sgn), _mm256_xor_si256(b, sgn))
+}
+
+/// `a > b` per 64-bit unsigned lane.
+#[inline(always)]
+unsafe fn gt_epu64(a: __m256i, b: __m256i) -> __m256i {
+    let sgn = _mm256_set1_epi64x(i64::MIN);
+    _mm256_cmpgt_epi64(_mm256_xor_si256(a, sgn), _mm256_xor_si256(b, sgn))
+}
+
+/// Narrow a 4×64-bit lane mask to a 4×32-bit lane mask (for the 64-bit
+/// bank's `__m128i` payload).
+#[inline(always)]
+unsafe fn narrow_mask64(m: __m256i) -> __m128i {
+    // Pick the low dword of every qword: per 128-bit half -> [d0, d2, _, _].
+    let t = _mm256_shuffle_epi32(m, 0b10_00_10_00);
+    let lo = _mm256_castsi256_si128(t);
+    let hi = _mm256_extracti128_si256(t, 1);
+    _mm_unpacklo_epi64(lo, hi)
+}
+
+/// Widen a 16×16-bit lane mask to two 8×32-bit lane masks (for the 16-bit
+/// bank's payload pair). Lane `i`'s mask lands in `(out.0, out.1)[i/8]`
+/// lane `i%8`, matching the payload layout.
+#[inline(always)]
+unsafe fn widen_mask16(m: __m256i) -> (__m256i, __m256i) {
+    (
+        _mm256_cvtepi16_epi32(_mm256_castsi256_si128(m)),
+        _mm256_cvtepi16_epi32(_mm256_extracti128_si256(m, 1)),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// 32-bit bank: 8 lanes, payload 1:1.
+// ---------------------------------------------------------------------------
+
+/// AVX2 kernel for the 32-bit bank (8 lanes).
+#[derive(Clone, Copy)]
+pub struct A32;
+
+impl Kernel for A32 {
+    type K = u32;
+    const L: usize = 8;
+    type Reg = __m256i;
+    type PReg = __m256i;
+
+    #[inline(always)]
+    unsafe fn load(k: *const u32) -> __m256i {
+        _mm256_loadu_si256(k as *const __m256i)
+    }
+    #[inline(always)]
+    unsafe fn store(k: *mut u32, r: __m256i) {
+        _mm256_storeu_si256(k as *mut __m256i, r)
+    }
+    #[inline(always)]
+    unsafe fn loadp(p: *const u32) -> __m256i {
+        _mm256_loadu_si256(p as *const __m256i)
+    }
+    #[inline(always)]
+    unsafe fn storep(p: *mut u32, r: __m256i) {
+        _mm256_storeu_si256(p as *mut __m256i, r)
+    }
+
+    #[inline(always)]
+    fn minmax2(
+        a: __m256i,
+        b: __m256i,
+        pa: __m256i,
+        pb: __m256i,
+    ) -> (__m256i, __m256i, __m256i, __m256i) {
+        unsafe {
+            let m = gt_epu32(a, b);
+            let lo = _mm256_min_epu32(a, b);
+            let hi = _mm256_max_epu32(a, b);
+            let plo = _mm256_blendv_epi8(pa, pb, m);
+            let phi = _mm256_blendv_epi8(pb, pa, m);
+            (lo, hi, plo, phi)
+        }
+    }
+
+    #[inline(always)]
+    fn merge2(
+        a: __m256i,
+        b: __m256i,
+        pa: __m256i,
+        pb: __m256i,
+    ) -> (__m256i, __m256i, __m256i, __m256i) {
+        unsafe {
+            let rev = _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0);
+            let rb = _mm256_permutevar8x32_epi32(b, rev);
+            let prb = _mm256_permutevar8x32_epi32(pb, rev);
+            let (lo, hi, plo, phi) = Self::minmax2(a, rb, pa, prb);
+            let (lo, plo) = clean32(lo, plo);
+            let (hi, phi) = clean32(hi, phi);
+            (lo, hi, plo, phi)
+        }
+    }
+}
+
+/// One intra-register half-cleaner stage at distance `d` for the 32-bit
+/// bank; `$shuf` exchanges lanes `i ↔ i^d`, `$blend` is the imm8 selecting
+/// the `hi` result for lanes with bit `d` set.
+macro_rules! clean32_stage {
+    ($v:ident, $p:ident, $shuf:expr, $blend:expr) => {{
+        let s = $shuf($v);
+        let ps = $shuf($p);
+        let m = gt_epu32($v, s);
+        let ms = $shuf(m);
+        let lo = _mm256_min_epu32($v, s);
+        let hi = _mm256_max_epu32($v, s);
+        $v = _mm256_blend_epi32(lo, hi, $blend);
+        let mf = _mm256_blend_epi32(m, ms, $blend);
+        $p = _mm256_blendv_epi8($p, ps, mf);
+    }};
+}
+
+/// Sort a bitonic 8×u32 register ascending (payload follows).
+#[inline(always)]
+unsafe fn clean32(mut v: __m256i, mut p: __m256i) -> (__m256i, __m256i) {
+    clean32_stage!(v, p, |x| unsafe { _mm256_permute4x64_epi64(x, 0x4E) }, 0b11110000); // d=4
+    clean32_stage!(v, p, |x| unsafe { _mm256_shuffle_epi32(x, 0x4E) }, 0b11001100); // d=2
+    clean32_stage!(v, p, |x| unsafe { _mm256_shuffle_epi32(x, 0xB1) }, 0b10101010); // d=1
+    (v, p)
+}
+
+// ---------------------------------------------------------------------------
+// 64-bit bank: 4 lanes, payload in a __m128i.
+// ---------------------------------------------------------------------------
+
+/// AVX2 kernel for the 64-bit bank (4 lanes).
+#[derive(Clone, Copy)]
+pub struct A64;
+
+impl Kernel for A64 {
+    type K = u64;
+    const L: usize = 4;
+    type Reg = __m256i;
+    type PReg = __m128i;
+
+    #[inline(always)]
+    unsafe fn load(k: *const u64) -> __m256i {
+        _mm256_loadu_si256(k as *const __m256i)
+    }
+    #[inline(always)]
+    unsafe fn store(k: *mut u64, r: __m256i) {
+        _mm256_storeu_si256(k as *mut __m256i, r)
+    }
+    #[inline(always)]
+    unsafe fn loadp(p: *const u32) -> __m128i {
+        _mm_loadu_si128(p as *const __m128i)
+    }
+    #[inline(always)]
+    unsafe fn storep(p: *mut u32, r: __m128i) {
+        _mm_storeu_si128(p as *mut __m128i, r)
+    }
+
+    #[inline(always)]
+    fn minmax2(
+        a: __m256i,
+        b: __m256i,
+        pa: __m128i,
+        pb: __m128i,
+    ) -> (__m256i, __m256i, __m128i, __m128i) {
+        unsafe {
+            let m = gt_epu64(a, b);
+            let lo = _mm256_blendv_epi8(a, b, m);
+            let hi = _mm256_blendv_epi8(b, a, m);
+            let m128 = narrow_mask64(m);
+            let plo = _mm_blendv_epi8(pa, pb, m128);
+            let phi = _mm_blendv_epi8(pb, pa, m128);
+            (lo, hi, plo, phi)
+        }
+    }
+
+    #[inline(always)]
+    fn merge2(
+        a: __m256i,
+        b: __m256i,
+        pa: __m128i,
+        pb: __m128i,
+    ) -> (__m256i, __m256i, __m128i, __m128i) {
+        unsafe {
+            let rb = _mm256_permute4x64_epi64(b, 0x1B);
+            let prb = _mm_shuffle_epi32(pb, 0x1B);
+            let (lo, hi, plo, phi) = Self::minmax2(a, rb, pa, prb);
+            let (lo, plo) = clean64(lo, plo);
+            let (hi, phi) = clean64(hi, phi);
+            (lo, hi, plo, phi)
+        }
+    }
+}
+
+macro_rules! clean64_stage {
+    ($v:ident, $p:ident, $kshuf:expr, $pshuf:expr, $kblend:expr, $pblend:expr) => {{
+        let s = $kshuf($v);
+        let ps = $pshuf($p);
+        let m = gt_epu64($v, s);
+        let m128 = narrow_mask64(m);
+        let ms128 = $pshuf(m128);
+        let lo = _mm256_blendv_epi8($v, s, m);
+        let hi = _mm256_blendv_epi8(s, $v, m);
+        $v = _mm256_blend_epi32(lo, hi, $kblend);
+        let mf = _mm_blend_epi32(m128, ms128, $pblend);
+        $p = _mm_blendv_epi8($p, ps, mf);
+    }};
+}
+
+/// Sort a bitonic 4×u64 register ascending (payload follows).
+#[inline(always)]
+unsafe fn clean64(mut v: __m256i, mut p: __m128i) -> (__m256i, __m128i) {
+    clean64_stage!(
+        v,
+        p,
+        |x| unsafe { _mm256_permute4x64_epi64(x, 0x4E) },
+        |x| unsafe { _mm_shuffle_epi32(x, 0x4E) },
+        0b11110000,
+        0b1100
+    ); // d=2
+    clean64_stage!(
+        v,
+        p,
+        |x| unsafe { _mm256_permute4x64_epi64(x, 0xB1) },
+        |x| unsafe { _mm_shuffle_epi32(x, 0xB1) },
+        0b11001100,
+        0b1010
+    ); // d=1
+    (v, p)
+}
+
+// ---------------------------------------------------------------------------
+// 16-bit bank: 16 lanes, payload in two __m256i.
+// ---------------------------------------------------------------------------
+
+/// AVX2 kernel for the 16-bit bank (16 lanes).
+#[derive(Clone, Copy)]
+pub struct A16;
+
+impl Kernel for A16 {
+    type K = u16;
+    const L: usize = 16;
+    type Reg = __m256i;
+    /// `(lanes 0..8, lanes 8..16)` of the 32-bit payload.
+    type PReg = (__m256i, __m256i);
+
+    #[inline(always)]
+    unsafe fn load(k: *const u16) -> __m256i {
+        _mm256_loadu_si256(k as *const __m256i)
+    }
+    #[inline(always)]
+    unsafe fn store(k: *mut u16, r: __m256i) {
+        _mm256_storeu_si256(k as *mut __m256i, r)
+    }
+    #[inline(always)]
+    unsafe fn loadp(p: *const u32) -> (__m256i, __m256i) {
+        (
+            _mm256_loadu_si256(p as *const __m256i),
+            _mm256_loadu_si256((p as *const __m256i).add(1)),
+        )
+    }
+    #[inline(always)]
+    unsafe fn storep(p: *mut u32, r: (__m256i, __m256i)) {
+        _mm256_storeu_si256(p as *mut __m256i, r.0);
+        _mm256_storeu_si256((p as *mut __m256i).add(1), r.1);
+    }
+
+    #[inline(always)]
+    fn minmax2(
+        a: __m256i,
+        b: __m256i,
+        pa: (__m256i, __m256i),
+        pb: (__m256i, __m256i),
+    ) -> (__m256i, __m256i, (__m256i, __m256i), (__m256i, __m256i)) {
+        unsafe {
+            let m = gt_epu16(a, b);
+            let lo = _mm256_min_epu16(a, b);
+            let hi = _mm256_max_epu16(a, b);
+            let (m0, m1) = widen_mask16(m);
+            let plo = (
+                _mm256_blendv_epi8(pa.0, pb.0, m0),
+                _mm256_blendv_epi8(pa.1, pb.1, m1),
+            );
+            let phi = (
+                _mm256_blendv_epi8(pb.0, pa.0, m0),
+                _mm256_blendv_epi8(pb.1, pa.1, m1),
+            );
+            (lo, hi, plo, phi)
+        }
+    }
+
+    #[inline(always)]
+    fn merge2(
+        a: __m256i,
+        b: __m256i,
+        pa: (__m256i, __m256i),
+        pb: (__m256i, __m256i),
+    ) -> (__m256i, __m256i, (__m256i, __m256i), (__m256i, __m256i)) {
+        unsafe {
+            let rb = reverse16(b);
+            let rev8 = _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0);
+            let prb = (
+                _mm256_permutevar8x32_epi32(pb.1, rev8),
+                _mm256_permutevar8x32_epi32(pb.0, rev8),
+            );
+            let (lo, hi, plo, phi) = Self::minmax2(a, rb, pa, prb);
+            let (lo, plo) = clean16(lo, plo);
+            let (hi, phi) = clean16(hi, phi);
+            (lo, hi, plo, phi)
+        }
+    }
+}
+
+/// Reverse the 16 u16 lanes of a register.
+#[inline(always)]
+unsafe fn reverse16(v: __m256i) -> __m256i {
+    let v = _mm256_permute4x64_epi64(v, 0x4E); // swap 128-bit halves
+    let v = _mm256_shuffle_epi32(v, 0x1B); // reverse dwords per half
+    let v = _mm256_shufflelo_epi16(v, 0xB1); // swap u16 pairs (low quads)
+    _mm256_shufflehi_epi16(v, 0xB1) // swap u16 pairs (high quads)
+}
+
+/// Swap adjacent u16 lanes (`i ↔ i^1`).
+#[inline(always)]
+unsafe fn swap1_16(v: __m256i) -> __m256i {
+    let v = _mm256_shufflelo_epi16(v, 0xB1);
+    _mm256_shufflehi_epi16(v, 0xB1)
+}
+
+/// Sort a bitonic 16×u16 register ascending (payload pair follows).
+///
+/// Masks are widened to payload (32-bit-lane) space once per stage and
+/// permuted/blended there, mirroring the payload data movement exactly.
+#[inline(always)]
+unsafe fn clean16(mut v: __m256i, mut p: (__m256i, __m256i)) -> (__m256i, (__m256i, __m256i)) {
+    // d = 8: key lanes i <-> i^8 is a 128-bit half swap; payload regs swap.
+    {
+        let s = _mm256_permute4x64_epi64(v, 0x4E);
+        let m = gt_epu16(v, s);
+        let (m0, _m1) = widen_mask16(m);
+        let lo = _mm256_min_epu16(v, s);
+        let hi = _mm256_max_epu16(v, s);
+        v = _mm256_blend_epi32(lo, hi, 0b11110000);
+        // mshuf = (m1, m0); mfinal = (m0, mshuf.1) = (m0, m0).
+        p = (
+            _mm256_blendv_epi8(p.0, p.1, m0),
+            _mm256_blendv_epi8(p.1, p.0, m0),
+        );
+    }
+    // d = 4: key lanes i <-> i^4 is a 64-bit swap within each 128; payload
+    // swaps lanes 0..4 <-> 4..8 within each reg.
+    {
+        let s = _mm256_shuffle_epi32(v, 0x4E);
+        let m = gt_epu16(v, s);
+        let (m0, m1) = widen_mask16(m);
+        let lo = _mm256_min_epu16(v, s);
+        let hi = _mm256_max_epu16(v, s);
+        v = _mm256_blend_epi32(lo, hi, 0b11001100);
+        let ps0 = _mm256_permute4x64_epi64(p.0, 0x4E);
+        let ps1 = _mm256_permute4x64_epi64(p.1, 0x4E);
+        let ms0 = _mm256_permute4x64_epi64(m0, 0x4E);
+        let ms1 = _mm256_permute4x64_epi64(m1, 0x4E);
+        let mf0 = _mm256_blend_epi32(m0, ms0, 0b11110000);
+        let mf1 = _mm256_blend_epi32(m1, ms1, 0b11110000);
+        p = (
+            _mm256_blendv_epi8(p.0, ps0, mf0),
+            _mm256_blendv_epi8(p.1, ps1, mf1),
+        );
+    }
+    // d = 2: key lanes i <-> i^2 is a dword swap at distance 1; payload
+    // swaps u32 lanes at distance 2.
+    {
+        let s = _mm256_shuffle_epi32(v, 0xB1);
+        let m = gt_epu16(v, s);
+        let (m0, m1) = widen_mask16(m);
+        let lo = _mm256_min_epu16(v, s);
+        let hi = _mm256_max_epu16(v, s);
+        v = _mm256_blend_epi32(lo, hi, 0b10101010);
+        let ps0 = _mm256_shuffle_epi32(p.0, 0x4E);
+        let ps1 = _mm256_shuffle_epi32(p.1, 0x4E);
+        let ms0 = _mm256_shuffle_epi32(m0, 0x4E);
+        let ms1 = _mm256_shuffle_epi32(m1, 0x4E);
+        let mf0 = _mm256_blend_epi32(m0, ms0, 0b11001100);
+        let mf1 = _mm256_blend_epi32(m1, ms1, 0b11001100);
+        p = (
+            _mm256_blendv_epi8(p.0, ps0, mf0),
+            _mm256_blendv_epi8(p.1, ps1, mf1),
+        );
+    }
+    // d = 1: adjacent u16 swap; payload swaps adjacent u32 lanes.
+    {
+        let s = swap1_16(v);
+        let m = gt_epu16(v, s);
+        let (m0, m1) = widen_mask16(m);
+        let lo = _mm256_min_epu16(v, s);
+        let hi = _mm256_max_epu16(v, s);
+        v = _mm256_blend_epi16(lo, hi, 0b10101010);
+        let ps0 = _mm256_shuffle_epi32(p.0, 0xB1);
+        let ps1 = _mm256_shuffle_epi32(p.1, 0xB1);
+        let ms0 = _mm256_shuffle_epi32(m0, 0xB1);
+        let ms1 = _mm256_shuffle_epi32(m1, 0xB1);
+        let mf0 = _mm256_blend_epi32(m0, ms0, 0b10101010);
+        let mf1 = _mm256_blend_epi32(m1, ms1, 0b10101010);
+        p = (
+            _mm256_blendv_epi8(p.0, ps0, mf0),
+            _mm256_blendv_epi8(p.1, ps1, mf1),
+        );
+    }
+    (v, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn have_avx2() -> bool {
+        std::is_x86_feature_detected!("avx2")
+    }
+
+    /// Cross-check an AVX2 kernel's merge2 against the portable one over
+    /// randomized sorted registers.
+    macro_rules! merge2_matches_portable {
+        ($test:ident, $avx:ty, $port:ty, $kty:ty, $l:expr) => {
+            #[test]
+            fn $test() {
+                if !have_avx2() {
+                    eprintln!("skipping: no AVX2");
+                    return;
+                }
+                let mut state = 0x9E3779B97F4A7C15u64;
+                let mut next = move || {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state
+                };
+                for trial in 0..500 {
+                    let mut a: Vec<$kty> = (0..$l).map(|_| next() as $kty).collect();
+                    let mut b: Vec<$kty> = (0..$l).map(|_| next() as $kty).collect();
+                    if trial % 5 == 0 {
+                        // Stress ties.
+                        for x in a.iter_mut() {
+                            *x &= 0x3;
+                        }
+                        for x in b.iter_mut() {
+                            *x &= 0x3;
+                        }
+                    }
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    let pa: Vec<u32> = (0..$l as u32).collect();
+                    let pb: Vec<u32> = ($l as u32..2 * $l as u32).collect();
+                    unsafe {
+                        let (xl, xh, xpl, xph) = <$avx>::merge2(
+                            <$avx>::load(a.as_ptr()),
+                            <$avx>::load(b.as_ptr()),
+                            <$avx>::loadp(pa.as_ptr()),
+                            <$avx>::loadp(pb.as_ptr()),
+                        );
+                        let mut got_k = vec![0 as $kty; 2 * $l];
+                        let mut got_p = vec![0u32; 2 * $l];
+                        <$avx>::store(got_k.as_mut_ptr(), xl);
+                        <$avx>::store(got_k.as_mut_ptr().add($l), xh);
+                        <$avx>::storep(got_p.as_mut_ptr(), xpl);
+                        <$avx>::storep(got_p.as_mut_ptr().add($l), xph);
+
+                        // Sorted keys.
+                        assert!(got_k.windows(2).all(|w| w[0] <= w[1]), "{got_k:?}");
+                        // Payload permutation integrity: the multiset of
+                        // (key, oid) pairs is preserved.
+                        let mut want: Vec<($kty, u32)> = a
+                            .iter()
+                            .chain(b.iter())
+                            .copied()
+                            .zip(pa.iter().chain(pb.iter()).copied())
+                            .collect();
+                        let mut got: Vec<($kty, u32)> =
+                            got_k.iter().copied().zip(got_p.iter().copied()).collect();
+                        want.sort_unstable();
+                        got.sort_unstable();
+                        assert_eq!(want, got);
+                    }
+                }
+            }
+        };
+    }
+
+    merge2_matches_portable!(merge2_a32, A32, crate::portable::P32, u32, 8);
+    merge2_matches_portable!(merge2_a16, A16, crate::portable::P16, u16, 16);
+    merge2_matches_portable!(merge2_a64, A64, crate::portable::P64, u64, 4);
+
+    #[test]
+    fn reverse16_is_reverse() {
+        if !have_avx2() {
+            return;
+        }
+        let v: Vec<u16> = (0..16).collect();
+        unsafe {
+            let r = reverse16(A16::load(v.as_ptr()));
+            let mut out = vec![0u16; 16];
+            A16::store(out.as_mut_ptr(), r);
+            let want: Vec<u16> = (0..16).rev().collect();
+            assert_eq!(out, want);
+        }
+    }
+
+    #[test]
+    fn minmax2_tie_payload_integrity_avx2() {
+        if !have_avx2() {
+            return;
+        }
+        let k = [42u32; 8];
+        let pa: Vec<u32> = (0..8).collect();
+        let pb: Vec<u32> = (8..16).collect();
+        unsafe {
+            let (_, _, plo, phi) = A32::minmax2(
+                A32::load(k.as_ptr()),
+                A32::load(k.as_ptr()),
+                A32::loadp(pa.as_ptr()),
+                A32::loadp(pb.as_ptr()),
+            );
+            let mut lo = vec![0u32; 8];
+            let mut hi = vec![0u32; 8];
+            A32::storep(lo.as_mut_ptr(), plo);
+            A32::storep(hi.as_mut_ptr(), phi);
+            assert_eq!(lo, pa);
+            assert_eq!(hi, pb);
+        }
+    }
+}

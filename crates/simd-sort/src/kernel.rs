@@ -1,0 +1,248 @@
+//! The [`Kernel`] abstraction: register-level primitives of the SIMD
+//! merge-sort, plus the generic three-phase skeleton built on top of it.
+//!
+//! A kernel fixes a bank width (16/32/64 bits) and provides
+//! *key registers* (`Reg`, `L` lanes of the key type) and *payload
+//! registers* (`PReg`, `L` 32-bit object identifiers). Two concrete
+//! families implement it:
+//!
+//! * [`crate::portable`] — plain fixed-size-array code, correct on every
+//!   architecture;
+//! * [`crate::avx2`] — explicit `core::arch::x86_64` intrinsics
+//!   (runtime-dispatched).
+//!
+//! The skeleton implements the merge-sort of Balkesen et al. that the
+//! paper's cost model assumes (Eq. 5):
+//!
+//! 1. **in-register sorting** ([`phase1_block_sort`]): vertical Batcher
+//!    network over `L` registers + `L×L` transpose → sorted runs of `L`;
+//! 2. **in-cache merging** ([`merge_pass`]): streaming binary bitonic
+//!    merges doubling the run length;
+//! 3. **out-of-cache merging** (see [`crate::multiway`]): `F`-way merge
+//!    passes.
+
+use crate::key::Key;
+use crate::network::cached_network;
+
+/// Register-level sort primitives for one bank width.
+///
+/// # Safety contract
+/// `load`/`store` methods read/write exactly `L` elements; callers must
+/// guarantee the pointed-to ranges are valid. All buffers handled by the
+/// skeleton are padded to multiples of `L*L`, so every vector access is
+/// full-width.
+pub trait Kernel {
+    /// Key code type (`u16`/`u32`/`u64`).
+    type K: Key;
+    /// Lane count (`256 / K::BITS`).
+    const L: usize;
+    /// Key register: `L` lanes of `K`.
+    type Reg: Copy;
+    /// Payload register(s): `L` lanes of `u32` oids.
+    type PReg: Copy;
+
+    /// Load `L` keys.
+    ///
+    /// # Safety
+    /// `k` must be valid for reading `L` elements.
+    unsafe fn load(k: *const Self::K) -> Self::Reg;
+    /// Store `L` keys.
+    ///
+    /// # Safety
+    /// `k` must be valid for writing `L` elements.
+    unsafe fn store(k: *mut Self::K, r: Self::Reg);
+    /// Load `L` oids.
+    ///
+    /// # Safety
+    /// `p` must be valid for reading `L` elements.
+    unsafe fn loadp(p: *const u32) -> Self::PReg;
+    /// Store `L` oids.
+    ///
+    /// # Safety
+    /// `p` must be valid for writing `L` elements.
+    unsafe fn storep(p: *mut u32, r: Self::PReg);
+
+    /// Element-wise compare-exchange of two registers with payloads:
+    /// returns `(min, max, payload-of-min, payload-of-max)` per lane.
+    /// On ties the payload of `a` stays with the min — no oid is ever
+    /// duplicated or dropped.
+    fn minmax2(
+        a: Self::Reg,
+        b: Self::Reg,
+        pa: Self::PReg,
+        pb: Self::PReg,
+    ) -> (Self::Reg, Self::Reg, Self::PReg, Self::PReg);
+
+    /// Full bitonic merge of two *sorted ascending* registers:
+    /// `(a, b)` → `(low half sorted, high half sorted)`, payloads follow.
+    fn merge2(
+        a: Self::Reg,
+        b: Self::Reg,
+        pa: Self::PReg,
+        pb: Self::PReg,
+    ) -> (Self::Reg, Self::Reg, Self::PReg, Self::PReg);
+}
+
+/// Phase (a): sort every consecutive `L*L` block into `L` sorted runs of
+/// length `L` each, laid out contiguously.
+///
+/// The block is viewed as `L` registers (rows); a Batcher network applied
+/// *vertically* (whole-register compare-exchanges) sorts each column; the
+/// transpose then writes column `c` out as contiguous run `c`.
+///
+/// # Safety
+/// `keys.len() == oids.len()` and both are a multiple of `L*L`.
+#[inline(always)]
+pub unsafe fn phase1_block_sort<Kn: Kernel>(keys: &mut [Kn::K], oids: &mut [u32]) {
+    let l = Kn::L;
+    let block = l * l;
+    debug_assert_eq!(keys.len(), oids.len());
+    debug_assert_eq!(keys.len() % block, 0);
+    let net = cached_network(l);
+
+    // Temp buffers for the in-block transpose (stack-friendly: ≤ 256 elems).
+    let mut tk = vec![Kn::K::default(); block];
+    let mut to = vec![0u32; block];
+
+    let mut base = 0;
+    while base < keys.len() {
+        let kp = keys.as_ptr().add(base);
+        let op = oids.as_ptr().add(base);
+
+        // Load L rows. Fixed-capacity register file (max lane count is 16).
+        let mut kr: [Kn::Reg; 16] = [Kn::load(kp); 16];
+        let mut pr: [Kn::PReg; 16] = [Kn::loadp(op); 16];
+        for (r, (krr, prr)) in kr.iter_mut().zip(pr.iter_mut()).enumerate().take(l) {
+            *krr = Kn::load(kp.add(r * l));
+            *prr = Kn::loadp(op.add(r * l));
+        }
+
+        // Vertical sorting network: after this, each lane (column) is
+        // sorted across the L rows.
+        for &(i, j) in net {
+            let (lo, hi, plo, phi) = Kn::minmax2(kr[i], kr[j], pr[i], pr[j]);
+            kr[i] = lo;
+            kr[j] = hi;
+            pr[i] = plo;
+            pr[j] = phi;
+        }
+
+        // Spill rows and transpose through memory: run c = column c.
+        for r in 0..l {
+            Kn::store(tk.as_mut_ptr().add(r * l), kr[r]);
+            Kn::storep(to.as_mut_ptr().add(r * l), pr[r]);
+        }
+        let kout = keys.as_mut_ptr().add(base);
+        let oout = oids.as_mut_ptr().add(base);
+        for c in 0..l {
+            for r in 0..l {
+                *kout.add(c * l + r) = tk[r * l + c];
+                *oout.add(c * l + r) = to[r * l + c];
+            }
+        }
+        base += block;
+    }
+}
+
+/// Streaming binary bitonic merge of two sorted runs into `dst`.
+///
+/// Classic SIMD merge loop: keep a carry register of the `L` largest
+/// elements seen; at each step load the next vector from whichever run has
+/// the smaller head element, `merge2` with the carry, emit the low half.
+///
+/// # Safety
+/// All four source slices have lengths that are non-zero multiples of `L`;
+/// `dst` slices hold exactly `a.len() + b.len()` elements.
+#[inline(always)]
+pub unsafe fn merge_runs<Kn: Kernel>(
+    ak: &[Kn::K],
+    ao: &[u32],
+    bk: &[Kn::K],
+    bo: &[u32],
+    dk: &mut [Kn::K],
+    doids: &mut [u32],
+) {
+    let l = Kn::L;
+    debug_assert!(ak.len() % l == 0 && !ak.is_empty());
+    debug_assert!(bk.len() % l == 0 && !bk.is_empty());
+    debug_assert_eq!(dk.len(), ak.len() + bk.len());
+
+    let mut ai = l;
+    let mut bi = l;
+    let mut out = 0usize;
+
+    let va = Kn::load(ak.as_ptr());
+    let pa = Kn::loadp(ao.as_ptr());
+    let vb = Kn::load(bk.as_ptr());
+    let pb = Kn::loadp(bo.as_ptr());
+    let (lo, hi, plo, phi) = Kn::merge2(va, vb, pa, pb);
+    Kn::store(dk.as_mut_ptr(), lo);
+    Kn::storep(doids.as_mut_ptr(), plo);
+    out += l;
+    let mut ck = hi;
+    let mut cp = phi;
+
+    loop {
+        if ai >= ak.len() && bi >= bk.len() {
+            Kn::store(dk.as_mut_ptr().add(out), ck);
+            Kn::storep(doids.as_mut_ptr().add(out), cp);
+            break;
+        }
+        let take_a = bi >= bk.len() || (ai < ak.len() && ak[ai] <= bk[bi]);
+        let (vn, pn) = if take_a {
+            let v = Kn::load(ak.as_ptr().add(ai));
+            let p = Kn::loadp(ao.as_ptr().add(ai));
+            ai += l;
+            (v, p)
+        } else {
+            let v = Kn::load(bk.as_ptr().add(bi));
+            let p = Kn::loadp(bo.as_ptr().add(bi));
+            bi += l;
+            (v, p)
+        };
+        let (lo, hi, plo, phi) = Kn::merge2(ck, vn, cp, pn);
+        Kn::store(dk.as_mut_ptr().add(out), lo);
+        Kn::storep(doids.as_mut_ptr().add(out), plo);
+        out += l;
+        ck = hi;
+        cp = phi;
+    }
+}
+
+/// One binary merge pass over the whole buffer: merges adjacent run pairs
+/// of length `run` from `src` into `dst` (runs of `2*run`). A trailing
+/// unpaired run is copied through.
+///
+/// # Safety
+/// `src`/`dst` lengths are equal multiples of `L`; `run` is a multiple of `L`.
+#[inline(always)]
+pub unsafe fn merge_pass<Kn: Kernel>(
+    sk: &[Kn::K],
+    so: &[u32],
+    dk: &mut [Kn::K],
+    doids: &mut [u32],
+    run: usize,
+) {
+    let n = sk.len();
+    debug_assert_eq!(n % Kn::L, 0);
+    debug_assert_eq!(run % Kn::L, 0);
+    let mut start = 0usize;
+    while start < n {
+        let mid = (start + run).min(n);
+        let end = (start + 2 * run).min(n);
+        if mid >= end {
+            dk[start..end].copy_from_slice(&sk[start..end]);
+            doids[start..end].copy_from_slice(&so[start..end]);
+        } else {
+            merge_runs::<Kn>(
+                &sk[start..mid],
+                &so[start..mid],
+                &sk[mid..end],
+                &so[mid..end],
+                &mut dk[start..end],
+                &mut doids[start..end],
+            );
+        }
+        start = end;
+    }
+}

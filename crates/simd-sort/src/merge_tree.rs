@@ -1,0 +1,394 @@
+//! SIMD multiway merging via a tree of streaming binary bitonic merges
+//! with small cache-resident FIFO buffers — the out-of-cache phase done
+//! the way Balkesen et al. describe it, instead of a scalar loser tree.
+//!
+//! An `F`-way merge is a binary tree with `F` leaves (the input runs).
+//! Every internal node repeatedly performs the same streaming step the
+//! in-cache phase uses — `merge2` a carry register with the next vector
+//! from whichever child has the smaller head — appending the low half to
+//! a small buffer its parent consumes. All data movement is through the
+//! [`Kernel`]'s SIMD primitives; per element the work is `log2(F)` vector
+//! merges rather than `log2(F)` branchy scalar comparisons.
+
+use core::ops::Range;
+
+use crate::kernel::Kernel;
+#[cfg(test)]
+use crate::key::Key;
+
+enum Node<'a, Kn: Kernel> {
+    Leaf {
+        keys: &'a [Kn::K],
+        oids: &'a [u32],
+        pos: usize,
+    },
+    Inner {
+        left: Box<Node<'a, Kn>>,
+        right: Box<Node<'a, Kn>>,
+        buf_k: Vec<Kn::K>,
+        buf_o: Vec<u32>,
+        pos: usize,
+        len: usize,
+        carry: Option<(Kn::Reg, Kn::PReg)>,
+        children_done: bool,
+    },
+}
+
+impl<'a, Kn: Kernel> Node<'a, Kn> {
+    fn build(keys: &'a [Kn::K], oids: &'a [u32], runs: &[Range<usize>], buf_cap: usize) -> Self {
+        debug_assert!(!runs.is_empty());
+        if runs.len() == 1 {
+            let r = runs[0].clone();
+            Node::Leaf {
+                keys: &keys[r.clone()],
+                oids: &oids[r],
+                pos: 0,
+            }
+        } else {
+            let mid = runs.len() / 2;
+            Node::Inner {
+                left: Box::new(Node::build(keys, oids, &runs[..mid], buf_cap)),
+                right: Box::new(Node::build(keys, oids, &runs[mid..], buf_cap)),
+                buf_k: vec![Kn::K::default(); buf_cap],
+                buf_o: vec![0u32; buf_cap],
+                pos: 0,
+                len: 0,
+                carry: None,
+                children_done: false,
+            }
+        }
+    }
+
+    /// Head key, refilling inner buffers as needed; `None` = exhausted.
+    fn peek(&mut self) -> Option<Kn::K> {
+        match self {
+            Node::Leaf { keys, pos, .. } => keys.get(*pos).copied(),
+            Node::Inner { .. } => {
+                self.ensure_buffered();
+                match self {
+                    Node::Inner { buf_k, pos, len, .. } => {
+                        if pos < len {
+                            Some(buf_k[*pos])
+                        } else {
+                            None
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Consume the next `L` elements as registers. Caller must have seen
+    /// `peek() == Some(_)`; availability is always a multiple of `L`.
+    ///
+    /// # Safety
+    /// All runs and buffers hold whole multiples of `L` elements, so a
+    /// non-empty node always has ≥ `L` readable elements.
+    unsafe fn pop_vec(&mut self) -> (Kn::Reg, Kn::PReg) {
+        match self {
+            Node::Leaf { keys, oids, pos } => {
+                debug_assert!(*pos + Kn::L <= keys.len());
+                let v = Kn::load(keys.as_ptr().add(*pos));
+                let p = Kn::loadp(oids.as_ptr().add(*pos));
+                *pos += Kn::L;
+                (v, p)
+            }
+            Node::Inner {
+                buf_k, buf_o, pos, ..
+            } => {
+                let v = Kn::load(buf_k.as_ptr().add(*pos));
+                let p = Kn::loadp(buf_o.as_ptr().add(*pos));
+                *pos += Kn::L;
+                (v, p)
+            }
+        }
+    }
+
+    /// For inner nodes: top the buffer up (compacting first).
+    fn ensure_buffered(&mut self) {
+        let Node::Inner {
+            left,
+            right,
+            buf_k,
+            buf_o,
+            pos,
+            len,
+            carry,
+            children_done,
+        } = self
+        else {
+            return;
+        };
+        if *pos < *len {
+            return;
+        }
+        *pos = 0;
+        *len = 0;
+        if *children_done && carry.is_none() {
+            return;
+        }
+        let cap = buf_k.len();
+        while *len + Kn::L <= cap {
+            // One streaming step appends exactly L elements (or finishes).
+            match carry.take() {
+                None => {
+                    let lh = left.peek();
+                    let rh = right.peek();
+                    match (lh, rh) {
+                        (None, None) => {
+                            *children_done = true;
+                            break;
+                        }
+                        (Some(_), None) => unsafe {
+                            let (v, p) = left.pop_vec();
+                            Kn::store(buf_k.as_mut_ptr().add(*len), v);
+                            Kn::storep(buf_o.as_mut_ptr().add(*len), p);
+                            *len += Kn::L;
+                        },
+                        (None, Some(_)) => unsafe {
+                            let (v, p) = right.pop_vec();
+                            Kn::store(buf_k.as_mut_ptr().add(*len), v);
+                            Kn::storep(buf_o.as_mut_ptr().add(*len), p);
+                            *len += Kn::L;
+                        },
+                        (Some(_), Some(_)) => unsafe {
+                            let (va, pa) = left.pop_vec();
+                            let (vb, pb) = right.pop_vec();
+                            let (lo, hi, plo, phi) = Kn::merge2(va, vb, pa, pb);
+                            Kn::store(buf_k.as_mut_ptr().add(*len), lo);
+                            Kn::storep(buf_o.as_mut_ptr().add(*len), plo);
+                            *len += Kn::L;
+                            *carry = Some((hi, phi));
+                        },
+                    }
+                }
+                Some((ck, cp)) => {
+                    let lh = left.peek();
+                    let rh = right.peek();
+                    let take_left = match (lh, rh) {
+                        (None, None) => {
+                            // Flush the carry; children drained.
+                            unsafe {
+                                Kn::store(buf_k.as_mut_ptr().add(*len), ck);
+                                Kn::storep(buf_o.as_mut_ptr().add(*len), cp);
+                            }
+                            *len += Kn::L;
+                            *children_done = true;
+                            break;
+                        }
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (Some(a), Some(b)) => a <= b,
+                    };
+                    unsafe {
+                        let (v, p) = if take_left {
+                            left.pop_vec()
+                        } else {
+                            right.pop_vec()
+                        };
+                        let (lo, hi, plo, phi) = Kn::merge2(ck, v, cp, p);
+                        Kn::store(buf_k.as_mut_ptr().add(*len), lo);
+                        Kn::storep(buf_o.as_mut_ptr().add(*len), plo);
+                        *len += Kn::L;
+                        *carry = Some((hi, phi));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Merge `runs` (sorted, disjoint, lengths all multiples of `L`) into
+/// `dst` at `dst_at` using the SIMD merge tree.
+///
+/// # Safety
+/// Kernel ISA must be supported (see [`crate::sort`] dispatch); run
+/// lengths must be multiples of `Kn::L`.
+pub(crate) unsafe fn merge_tree_merge<Kn: Kernel>(
+    src_k: &[Kn::K],
+    src_o: &[u32],
+    dst_k: &mut [Kn::K],
+    dst_o: &mut [u32],
+    runs: &[Range<usize>],
+    dst_at: usize,
+    buf_elems: usize,
+) {
+    debug_assert!(runs.iter().all(|r| r.len() % Kn::L == 0));
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    if runs.len() == 1 {
+        let r = runs[0].clone();
+        dst_k[dst_at..dst_at + total].copy_from_slice(&src_k[r.clone()]);
+        dst_o[dst_at..dst_at + total].copy_from_slice(&src_o[r]);
+        return;
+    }
+    let buf_cap = buf_elems.max(2 * Kn::L) / Kn::L * Kn::L;
+    let mut root = Node::<Kn>::build(src_k, src_o, runs, buf_cap);
+    let mut written = 0usize;
+    while written < total {
+        // Drain whatever the root has buffered straight into dst.
+        if root.peek().is_none() {
+            break;
+        }
+        let (v, p) = root.pop_vec();
+        Kn::store(dst_k.as_mut_ptr().add(dst_at + written), v);
+        Kn::storep(dst_o.as_mut_ptr().add(dst_at + written), p);
+        written += Kn::L;
+    }
+    debug_assert_eq!(written, total, "merge tree drained early");
+}
+
+/// One SIMD `F`-way pass: like [`crate::multiway::multiway_pass`] but
+/// merging with the vectorized tree. Returns the new run length.
+///
+/// # Safety
+/// Kernel ISA must be supported; `run` must be a multiple of `Kn::L`.
+pub(crate) unsafe fn multiway_pass_simd<Kn: Kernel>(
+    src_k: &[Kn::K],
+    src_o: &[u32],
+    dst_k: &mut [Kn::K],
+    dst_o: &mut [u32],
+    run: usize,
+    fanout: usize,
+    buf_elems: usize,
+) -> usize {
+    let n = src_k.len();
+    debug_assert!(fanout >= 2);
+    let group = run * fanout;
+    let mut start = 0usize;
+    let mut runs: Vec<Range<usize>> = Vec::with_capacity(fanout);
+    while start < n {
+        let end = (start + group).min(n);
+        runs.clear();
+        let mut s = start;
+        while s < end {
+            let e = (s + run).min(end);
+            runs.push(s..e);
+            s = e;
+        }
+        merge_tree_merge::<Kn>(src_k, src_o, dst_k, dst_o, &runs, start, buf_elems);
+        start = end;
+    }
+    group
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portable::{P16, P32, P64};
+
+    fn check_tree<Kn: Kernel>(run_data: Vec<Vec<u64>>)
+    where
+        Kn::K: Key,
+    {
+        let l = Kn::L;
+        let mut keys: Vec<Kn::K> = Vec::new();
+        let mut runs = Vec::new();
+        for r in &run_data {
+            assert_eq!(r.len() % l, 0);
+            let start = keys.len();
+            let mut sorted: Vec<Kn::K> = r.iter().map(|&v| Kn::K::from_u64(v)).collect();
+            sorted.sort_unstable();
+            keys.extend_from_slice(&sorted);
+            runs.push(start..keys.len());
+        }
+        let oids: Vec<u32> = (0..keys.len() as u32).collect();
+        let mut dk = vec![Kn::K::default(); keys.len()];
+        let mut dov = vec![0u32; keys.len()];
+        unsafe {
+            merge_tree_merge::<Kn>(&keys, &oids, &mut dk, &mut dov, &runs, 0, 4 * l);
+        }
+        assert!(dk.windows(2).all(|w| w[0] <= w[1]), "not sorted: {dk:?}");
+        // Payload integrity.
+        let mut seen = vec![false; keys.len()];
+        for (i, &o) in dov.iter().enumerate() {
+            assert_eq!(dk[i], keys[o as usize]);
+            assert!(!seen[o as usize]);
+            seen[o as usize] = true;
+        }
+    }
+
+    fn pseudo(n: usize, seed: u64, mask: u64) -> Vec<u64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s & mask
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tree_merges_various_shapes_p32() {
+        check_tree::<P32>(vec![pseudo(64, 1, u64::MAX), pseudo(32, 2, u64::MAX)]);
+        check_tree::<P32>(vec![
+            pseudo(8, 1, 0xF),
+            pseudo(16, 2, 0xF),
+            pseudo(8, 3, 0xF),
+        ]);
+        check_tree::<P32>(vec![
+            pseudo(128, 4, u64::MAX),
+            pseudo(64, 5, u64::MAX),
+            pseudo(256, 6, u64::MAX),
+            pseudo(8, 7, u64::MAX),
+            pseudo(72, 8, u64::MAX),
+        ]);
+        // Single run: passthrough.
+        check_tree::<P32>(vec![pseudo(40, 9, u64::MAX)]);
+    }
+
+    #[test]
+    fn tree_merges_p16_and_p64() {
+        check_tree::<P16>(vec![
+            pseudo(64, 11, u64::MAX),
+            pseudo(128, 12, u64::MAX),
+            pseudo(32, 13, 0x7),
+        ]);
+        check_tree::<P64>(vec![
+            pseudo(32, 14, u64::MAX),
+            pseudo(16, 15, u64::MAX),
+            pseudo(64, 16, u64::MAX),
+            pseudo(4, 17, u64::MAX),
+        ]);
+    }
+
+    #[test]
+    fn tree_handles_many_runs_with_ties() {
+        let runs: Vec<Vec<u64>> = (0..16).map(|i| pseudo(32, 20 + i, 0x3)).collect();
+        check_tree::<P32>(runs);
+    }
+
+    #[test]
+    fn pass_matches_scalar_multiway() {
+        let n = 4096usize;
+        let run = 256usize;
+        let mut keys: Vec<u32> = Vec::with_capacity(n);
+        for i in 0..n / run {
+            let mut chunk: Vec<u32> =
+                pseudo(run, 100 + i as u64, u64::MAX).iter().map(|&v| v as u32).collect();
+            chunk.sort_unstable();
+            keys.extend_from_slice(&chunk);
+        }
+        let oids: Vec<u32> = (0..n as u32).collect();
+
+        let mut dk1 = vec![0u32; n];
+        let mut do1 = vec![0u32; n];
+        let r1 = crate::multiway::multiway_pass(&keys, &oids, &mut dk1, &mut do1, run, 4);
+
+        let mut dk2 = vec![0u32; n];
+        let mut do2 = vec![0u32; n];
+        let r2 = unsafe {
+            multiway_pass_simd::<P32>(&keys, &oids, &mut dk2, &mut do2, run, 4, 1024)
+        };
+
+        assert_eq!(r1, r2);
+        assert_eq!(dk1, dk2);
+        // Payloads may differ on ties between the two implementations;
+        // verify validity instead of equality.
+        for i in 0..n {
+            assert_eq!(dk2[i], keys[do2[i] as usize]);
+        }
+    }
+}

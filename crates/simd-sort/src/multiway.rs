@@ -1,0 +1,241 @@
+//! Out-of-cache `F`-way merging with a loser tree (phase (c) of Eq. 5).
+//!
+//! Once runs exceed half the L2 cache, binary merging would re-stream the
+//! whole dataset `log2(R)` more times. A merge tree with fan-out `F`
+//! reduces that to `⌈log_F(R)⌉` passes (Eq. 8 in the paper). Each pass
+//! merges groups of up to `F` adjacent runs with a classic loser tree.
+
+use crate::key::Key;
+use core::ops::Range;
+
+/// A loser tree over up to `F` input runs of `(key, oid)` pairs.
+///
+/// Exhausted runs are represented by an explicit `valid = false` flag
+/// rather than a sentinel key, so `K::MAX` remains a legal key value.
+struct LoserTree<'a, K: Key> {
+    keys: &'a [K],
+    oids: &'a [u32],
+    /// Cursor and end per run.
+    cursors: Vec<(usize, usize)>,
+    /// `tree[i]` = run index of the *loser* at internal node `i`; `tree[0]`
+    /// holds the overall winner.
+    tree: Vec<u32>,
+    /// Current head key per run (`None` when the run is exhausted).
+    heads: Vec<Option<K>>,
+    /// Number of leaves (padded to a power of two).
+    m: usize,
+}
+
+impl<'a, K: Key> LoserTree<'a, K> {
+    fn new(keys: &'a [K], oids: &'a [u32], runs: &[Range<usize>]) -> Self {
+        let m = runs.len().next_power_of_two().max(2);
+        let mut cursors = vec![(0usize, 0usize); m];
+        let mut heads = vec![None; m];
+        for (i, r) in runs.iter().enumerate() {
+            cursors[i] = (r.start, r.end);
+            heads[i] = if r.start < r.end {
+                Some(keys[r.start])
+            } else {
+                None
+            };
+        }
+        let mut lt = LoserTree {
+            keys,
+            oids,
+            cursors,
+            tree: vec![0; m],
+            heads,
+            m,
+        };
+        lt.rebuild();
+        lt
+    }
+
+    /// `a` beats `b` if it has a head and it is strictly smaller, or equal
+    /// with a lower run index (deterministic, though stability is not
+    /// required by the callers).
+    #[inline]
+    fn beats(&self, a: u32, b: u32) -> bool {
+        match (self.heads[a as usize], self.heads[b as usize]) {
+            (Some(ka), Some(kb)) => ka < kb || (ka == kb && a < b),
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Full rebuild: play all matches bottom-up.
+    fn rebuild(&mut self) {
+        // Temporary winner array for internal nodes [1, 2m).
+        let m = self.m;
+        let mut winner = vec![0u32; 2 * m];
+        for i in 0..m {
+            winner[m + i] = i as u32;
+        }
+        for i in (1..m).rev() {
+            let (a, b) = (winner[2 * i], winner[2 * i + 1]);
+            let (w, l) = if self.beats(a, b) { (a, b) } else { (b, a) };
+            winner[i] = w;
+            self.tree[i] = l;
+        }
+        self.tree[0] = winner[1];
+    }
+
+    /// Pop the smallest `(key, oid)`; returns `None` when all runs drain.
+    #[inline]
+    fn pop(&mut self) -> Option<(K, u32)> {
+        let w = self.tree[0] as usize;
+        let key = self.heads[w]?;
+        let (cur, end) = self.cursors[w];
+        let oid = self.oids[cur];
+        let next = cur + 1;
+        self.cursors[w].0 = next;
+        self.heads[w] = if next < end {
+            Some(self.keys[next])
+        } else {
+            None
+        };
+        // Replay matches from leaf w to the root.
+        let mut winner = w as u32;
+        let mut node = (self.m + w) >> 1;
+        while node >= 1 {
+            let other = self.tree[node];
+            if self.beats(other, winner) {
+                self.tree[node] = winner;
+                winner = other;
+            }
+            node >>= 1;
+        }
+        self.tree[0] = winner;
+        Some((key, oid))
+    }
+}
+
+/// Merge `runs` (disjoint, individually sorted index ranges of `src_*`)
+/// into `dst_*` starting at `dst_at`.
+pub fn multiway_merge<K: Key>(
+    src_k: &[K],
+    src_o: &[u32],
+    dst_k: &mut [K],
+    dst_o: &mut [u32],
+    runs: &[Range<usize>],
+    dst_at: usize,
+) {
+    debug_assert!(!runs.is_empty());
+    if runs.len() == 1 {
+        let r = runs[0].clone();
+        let n = r.len();
+        dst_k[dst_at..dst_at + n].copy_from_slice(&src_k[r.clone()]);
+        dst_o[dst_at..dst_at + n].copy_from_slice(&src_o[r]);
+        return;
+    }
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut lt = LoserTree::new(src_k, src_o, runs);
+    for i in 0..total {
+        let (k, o) = lt.pop().expect("loser tree drained early");
+        dst_k[dst_at + i] = k;
+        dst_o[dst_at + i] = o;
+    }
+    debug_assert!(lt.pop().is_none());
+}
+
+/// One `F`-way pass over the whole buffer: merges consecutive groups of up
+/// to `fanout` runs of length `run` from `src` into `dst`. Returns the new
+/// run length (`run * fanout`).
+pub fn multiway_pass<K: Key>(
+    src_k: &[K],
+    src_o: &[u32],
+    dst_k: &mut [K],
+    dst_o: &mut [u32],
+    run: usize,
+    fanout: usize,
+) -> usize {
+    let n = src_k.len();
+    debug_assert!(fanout >= 2);
+    let group = run * fanout;
+    let mut start = 0usize;
+    let mut runs: Vec<Range<usize>> = Vec::with_capacity(fanout);
+    while start < n {
+        let end = (start + group).min(n);
+        runs.clear();
+        let mut s = start;
+        while s < end {
+            let e = (s + run).min(end);
+            runs.push(s..e);
+            s = e;
+        }
+        multiway_merge(src_k, src_o, dst_k, dst_o, &runs, start);
+        start = end;
+    }
+    group
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_three_runs() {
+        let k: Vec<u32> = vec![1, 4, 7, 2, 5, 8, 0, 3, 6];
+        let o: Vec<u32> = (0..9).collect();
+        let mut dk = vec![0u32; 9];
+        let mut dlo = vec![0u32; 9];
+        multiway_merge(&k, &o, &mut dk, &mut dlo, &[0..3, 3..6, 6..9], 0);
+        assert_eq!(dk, vec![0, 1, 2, 3, 4, 5, 6, 7, 8]);
+        // oid i still points at key k[i].
+        for i in 0..9 {
+            assert_eq!(dk[i], k[dlo[i] as usize]);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_unequal_runs() {
+        let k: Vec<u16> = vec![5, 6, 1];
+        let o: Vec<u32> = vec![0, 1, 2];
+        let mut dk = vec![0u16; 3];
+        let mut dlo = vec![0u32; 3];
+        multiway_merge(&k, &o, &mut dk, &mut dlo, &[0..2, 2..2, 2..3], 0);
+        assert_eq!(dk, vec![1, 5, 6]);
+    }
+
+    #[test]
+    fn max_key_is_not_a_sentinel() {
+        let k: Vec<u16> = vec![u16::MAX, u16::MAX, 3];
+        let o: Vec<u32> = vec![10, 11, 12];
+        let mut dk = vec![0u16; 3];
+        let mut dlo = vec![0u32; 3];
+        multiway_merge(&k, &o, &mut dk, &mut dlo, &[0..2, 2..3], 0);
+        assert_eq!(dk, vec![3, u16::MAX, u16::MAX]);
+        assert_eq!(dlo[0], 12);
+        let mut tail = [dlo[1], dlo[2]];
+        tail.sort_unstable();
+        assert_eq!(tail, [10, 11]);
+    }
+
+    #[test]
+    fn full_pass_with_fanout() {
+        // 4 runs of 4, fanout 2 -> 2 runs of 8 after one pass.
+        let mut k: Vec<u64> = Vec::new();
+        for r in 0..4u64 {
+            k.extend((0..4).map(|i| i * 4 + r));
+        }
+        let o: Vec<u32> = (0..16).collect();
+        let mut dk = vec![0u64; 16];
+        let mut dlo = vec![0u32; 16];
+        let new_run = multiway_pass(&k, &o, &mut dk, &mut dlo, 4, 2);
+        assert_eq!(new_run, 8);
+        assert!(dk[0..8].windows(2).all(|w| w[0] <= w[1]));
+        assert!(dk[8..16].windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn ties_across_runs_keep_all_payloads() {
+        let k: Vec<u32> = vec![7, 7, 7, 7, 7, 7];
+        let o: Vec<u32> = (0..6).collect();
+        let mut dk = vec![0u32; 6];
+        let mut dlo = vec![0u32; 6];
+        multiway_merge(&k, &o, &mut dk, &mut dlo, &[0..2, 2..4, 4..6], 0);
+        let mut got = dlo.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

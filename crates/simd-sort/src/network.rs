@@ -1,0 +1,114 @@
+//! Sorting networks.
+//!
+//! The in-register phase of the merge-sort (phase (a) of Eq. 5 in the
+//! paper) sorts blocks of `L×L` elements with a *vertical* Batcher
+//! odd–even merge-sort network applied across `L` SIMD registers, followed
+//! by an `L×L` transpose that makes each of the `L` sorted runs contiguous
+//! in memory.
+
+use std::sync::OnceLock;
+
+/// Comparator list `(i, j)` with `i < j` for a Batcher odd–even merge-sort
+/// network on `n` inputs (`n` must be a power of two).
+///
+/// Applying `compare_exchange(v[i], v[j])` for every pair in order sorts
+/// any input ascending (by the 0–1 principle).
+pub fn batcher_network(n: usize) -> Vec<(usize, usize)> {
+    assert!(n.is_power_of_two(), "network size must be a power of two");
+    let mut out = Vec::new();
+    let mut p = 1;
+    while p < n {
+        let mut k = p;
+        while k >= 1 {
+            let mut j = k % p;
+            while j + k < n {
+                for i in 0..k {
+                    let a = i + j;
+                    let b = i + j + k;
+                    if b < n && a / (p * 2) == b / (p * 2) {
+                        out.push((a, b));
+                    }
+                }
+                j += 2 * k;
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+    out
+}
+
+/// Cached networks for the three lane counts we use (4, 8, 16).
+pub fn cached_network(n: usize) -> &'static [(usize, usize)] {
+    static N4: OnceLock<Vec<(usize, usize)>> = OnceLock::new();
+    static N8: OnceLock<Vec<(usize, usize)>> = OnceLock::new();
+    static N16: OnceLock<Vec<(usize, usize)>> = OnceLock::new();
+    match n {
+        4 => N4.get_or_init(|| batcher_network(4)),
+        8 => N8.get_or_init(|| batcher_network(8)),
+        16 => N16.get_or_init(|| batcher_network(16)),
+        _ => panic!("unsupported network size {n}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply(net: &[(usize, usize)], v: &mut [u32]) {
+        for &(i, j) in net {
+            if v[j] < v[i] {
+                v.swap(i, j);
+            }
+        }
+    }
+
+    /// 0–1 principle: a network sorts all inputs iff it sorts all 0/1
+    /// sequences. Exhaustively check n = 4, 8, 16.
+    #[test]
+    fn zero_one_principle() {
+        for n in [4usize, 8, 16] {
+            let net = batcher_network(n);
+            for bits in 0u32..(1 << n) {
+                let mut v: Vec<u32> = (0..n).map(|i| (bits >> i) & 1).collect();
+                apply(&net, &mut v);
+                assert!(
+                    v.windows(2).all(|w| w[0] <= w[1]),
+                    "n={n} bits={bits:#b} -> {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_counts() {
+        // Batcher odd-even mergesort sizes: n=4 -> 5, n=8 -> 19, n=16 -> 63.
+        assert_eq!(batcher_network(4).len(), 5);
+        assert_eq!(batcher_network(8).len(), 19);
+        assert_eq!(batcher_network(16).len(), 63);
+    }
+
+    #[test]
+    fn comparators_are_ordered_pairs() {
+        for n in [4usize, 8, 16] {
+            for (i, j) in batcher_network(n) {
+                assert!(i < j && j < n);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_matches_fresh() {
+        for n in [4usize, 8, 16] {
+            assert_eq!(cached_network(n), batcher_network(n).as_slice());
+        }
+    }
+
+    #[test]
+    fn sorts_random_permutations() {
+        let net = batcher_network(16);
+        let mut v: Vec<u32> = (0..16).rev().collect();
+        apply(&net, &mut v);
+        assert_eq!(v, (0..16).collect::<Vec<_>>());
+    }
+}

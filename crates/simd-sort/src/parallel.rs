@@ -1,0 +1,229 @@
+//! Multi-threaded sorting (the paper's §6.4 scaling experiments).
+//!
+//! Strategy: partition the input into `T` contiguous chunks, sort each on
+//! its own thread (crossbeam scoped threads, matching the paper's
+//! thread-per-core execution), then produce the total order with one
+//! multiway merge. Segmented sorts parallelize by distributing whole
+//! groups across threads.
+
+use crate::multiway::multiway_merge;
+use crate::segmented::{GroupBounds, SegmentedSortStats};
+use crate::sort::{SortConfig, SortableKey};
+
+/// Sort `(keys, oids)` using up to `threads` worker threads.
+pub fn sort_pairs_parallel<K: SortableKey>(
+    keys: &mut [K],
+    oids: &mut [u32],
+    threads: usize,
+    cfg: &SortConfig,
+) {
+    assert_eq!(keys.len(), oids.len());
+    let n = keys.len();
+    let threads = threads.max(1);
+    if threads == 1 || n < 4096 {
+        K::sort_pairs_with(keys, oids, cfg);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+
+    // Sort chunks in parallel.
+    crossbeam::scope(|scope| {
+        let mut rem_k: &mut [K] = keys;
+        let mut rem_o: &mut [u32] = oids;
+        while !rem_k.is_empty() {
+            let take = chunk.min(rem_k.len());
+            let (ck, rest_k) = rem_k.split_at_mut(take);
+            let (co, rest_o) = rem_o.split_at_mut(take);
+            rem_k = rest_k;
+            rem_o = rest_o;
+            scope.spawn(move |_| K::sort_pairs_with(ck, co, cfg));
+        }
+    })
+    .expect("worker thread panicked");
+
+    // Single multiway merge of the sorted chunks.
+    let runs: Vec<core::ops::Range<usize>> = (0..n)
+        .step_by(chunk)
+        .map(|s| s..(s + chunk).min(n))
+        .collect();
+    let mut out_k = vec![K::default(); n];
+    let mut out_o = vec![0u32; n];
+    multiway_merge(keys, oids, &mut out_k, &mut out_o, &runs, 0);
+    keys.copy_from_slice(&out_k);
+    oids.copy_from_slice(&out_o);
+}
+
+/// Segmented sort with groups distributed round-robin by cumulative size
+/// across `threads` workers.
+pub fn sort_pairs_in_groups_parallel<K: SortableKey>(
+    keys: &mut [K],
+    oids: &mut [u32],
+    groups: &GroupBounds,
+    threads: usize,
+    cfg: &SortConfig,
+) -> SegmentedSortStats {
+    assert_eq!(keys.len(), oids.len());
+    assert_eq!(groups.num_rows(), keys.len());
+    let threads = threads.max(1);
+    if threads == 1 {
+        return crate::segmented::sort_pairs_in_groups(keys, oids, groups, cfg);
+    }
+
+    // Assign contiguous group spans of roughly equal row counts: spans of
+    // whole groups keep every sort local to one thread.
+    let n = keys.len();
+    let target = n.div_ceil(threads).max(1);
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(threads); // offsets-index ranges
+    let offs = &groups.offsets;
+    let mut span_start = 0usize;
+    for g in 0..groups.num_groups() {
+        let span_rows = (offs[g + 1] - offs[span_start]) as usize;
+        if span_rows >= target {
+            spans.push((span_start, g + 1));
+            span_start = g + 1;
+        }
+    }
+    if span_start < groups.num_groups() {
+        spans.push((span_start, groups.num_groups()));
+    }
+
+    let stats: Vec<SegmentedSortStats> = crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut rem_k: &mut [K] = keys;
+        let mut rem_o: &mut [u32] = oids;
+        let mut consumed = 0usize;
+        for &(gs, ge) in &spans {
+            let start = offs[gs] as usize;
+            let end = offs[ge] as usize;
+            debug_assert_eq!(start, consumed);
+            let take = end - start;
+            let (ck, rest_k) = rem_k.split_at_mut(take);
+            let (co, rest_o) = rem_o.split_at_mut(take);
+            rem_k = rest_k;
+            rem_o = rest_o;
+            consumed += take;
+            // Rebase this span's bounds to its local slice.
+            let local = GroupBounds::from_offsets(
+                offs[gs..=ge].iter().map(|&b| b - offs[gs]).collect(),
+            );
+            handles.push(scope.spawn(move |_| {
+                crate::segmented::sort_pairs_in_groups(ck, co, &local, cfg)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("worker thread panicked");
+
+    let mut total = SegmentedSortStats::default();
+    for s in stats {
+        total.invocations += s.invocations;
+        total.codes_sorted += s.codes_sorted;
+        total.max_group = total.max_group.max(s.max_group);
+    }
+    total
+}
+
+/// Parallel code over `threads` contiguous chunks of equal size, used by
+/// the massage kernel and scans. `f(chunk_index, start, chunk_len)`.
+pub fn for_each_chunk(n: usize, threads: usize, f: impl Fn(usize, usize, usize) + Sync) {
+    let threads = threads.max(1);
+    if threads == 1 || n < 4096 {
+        f(0, 0, n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        let f = &f;
+        let mut idx = 0usize;
+        let mut start = 0usize;
+        while start < n {
+            let len = chunk.min(n - start);
+            let (i, s) = (idx, start);
+            scope.spawn(move |_| f(i, s, len));
+            idx += 1;
+            start += len;
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn parallel_sort_matches_serial() {
+        let n = 50_000;
+        let mut state = 12345u64;
+        let orig: Vec<u32> = (0..n).map(|_| xorshift(&mut state) as u32).collect();
+        let cfg = SortConfig::default();
+
+        for threads in [1usize, 2, 3, 4, 8] {
+            let mut keys = orig.clone();
+            let mut oids: Vec<u32> = (0..n as u32).collect();
+            sort_pairs_parallel(&mut keys, &mut oids, threads, &cfg);
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+            for i in 0..n as usize {
+                assert_eq!(keys[i], orig[oids[i] as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_segmented_matches_serial() {
+        let n = 40_000usize;
+        let mut state = 777u64;
+        let keys0: Vec<u16> = (0..n).map(|_| xorshift(&mut state) as u16).collect();
+        // Groups of varying sizes.
+        let mut offsets = vec![0u32];
+        let mut at = 0u32;
+        let mut g = 1u32;
+        while (at as usize) < n {
+            at = (at + g * 37 % 501 + 1).min(n as u32);
+            offsets.push(at);
+            g += 1;
+        }
+        let groups = GroupBounds::from_offsets(offsets);
+        let cfg = SortConfig::default();
+
+        let mut k1 = keys0.clone();
+        let mut o1: Vec<u32> = (0..n as u32).collect();
+        let s1 = crate::segmented::sort_pairs_in_groups(&mut k1, &mut o1, &groups, &cfg);
+
+        let mut k2 = keys0.clone();
+        let mut o2: Vec<u32> = (0..n as u32).collect();
+        let s2 = sort_pairs_in_groups_parallel(&mut k2, &mut o2, &groups, 4, &cfg);
+
+        assert_eq!(k1, k2);
+        assert_eq!(s1.invocations, s2.invocations);
+        assert_eq!(s1.codes_sorted, s2.codes_sorted);
+    }
+
+    #[test]
+    fn for_each_chunk_covers_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 10_000usize;
+        let sum = AtomicUsize::new(0);
+        for_each_chunk(n, 4, |_, start, len| {
+            sum.fetch_add((start..start + len).sum::<usize>(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn parallel_small_input_falls_back() {
+        let mut keys: Vec<u64> = vec![3, 1, 2];
+        let mut oids: Vec<u32> = vec![0, 1, 2];
+        sort_pairs_parallel(&mut keys, &mut oids, 8, &SortConfig::default());
+        assert_eq!(keys, vec![1, 2, 3]);
+        assert_eq!(u64::MAX_KEY, u64::MAX);
+    }
+}

@@ -1,0 +1,207 @@
+//! Portable (architecture-independent) kernel implementations.
+//!
+//! Registers are fixed-size arrays; every operation is a straight-line
+//! lane loop. This backend is the correctness oracle's sibling — it is
+//! compiled on every target and exercised by the same tests as the AVX2
+//! backend. On x86-64 the lane loops frequently autovectorize, but no
+//! performance is guaranteed; the AVX2 backend is the fast path.
+
+use crate::kernel::Kernel;
+
+macro_rules! portable_kernel {
+    ($name:ident, $k:ty, $l:expr) => {
+        /// Portable kernel for this bank width.
+        #[derive(Clone, Copy)]
+        pub struct $name;
+
+        impl Kernel for $name {
+            type K = $k;
+            const L: usize = $l;
+            type Reg = [$k; $l];
+            type PReg = [u32; $l];
+
+            #[inline(always)]
+            unsafe fn load(k: *const $k) -> [$k; $l] {
+                core::ptr::read_unaligned(k as *const [$k; $l])
+            }
+            #[inline(always)]
+            unsafe fn store(k: *mut $k, r: [$k; $l]) {
+                core::ptr::write_unaligned(k as *mut [$k; $l], r)
+            }
+            #[inline(always)]
+            unsafe fn loadp(p: *const u32) -> [u32; $l] {
+                core::ptr::read_unaligned(p as *const [u32; $l])
+            }
+            #[inline(always)]
+            unsafe fn storep(p: *mut u32, r: [u32; $l]) {
+                core::ptr::write_unaligned(p as *mut [u32; $l], r)
+            }
+
+            #[inline(always)]
+            fn minmax2(
+                a: [$k; $l],
+                b: [$k; $l],
+                pa: [u32; $l],
+                pb: [u32; $l],
+            ) -> ([$k; $l], [$k; $l], [u32; $l], [u32; $l]) {
+                let mut lo = a;
+                let mut hi = b;
+                let mut plo = pa;
+                let mut phi = pb;
+                for i in 0..$l {
+                    // `>` (not `>=`) keeps a's payload with the min on ties.
+                    let swap = a[i] > b[i];
+                    lo[i] = if swap { b[i] } else { a[i] };
+                    hi[i] = if swap { a[i] } else { b[i] };
+                    plo[i] = if swap { pb[i] } else { pa[i] };
+                    phi[i] = if swap { pa[i] } else { pb[i] };
+                }
+                (lo, hi, plo, phi)
+            }
+
+            #[inline(always)]
+            fn merge2(
+                a: [$k; $l],
+                b: [$k; $l],
+                pa: [u32; $l],
+                pb: [u32; $l],
+            ) -> ([$k; $l], [$k; $l], [u32; $l], [u32; $l]) {
+                // Reverse b so that a ++ rev(b) is bitonic.
+                let mut rb = b;
+                let mut prb = pb;
+                for i in 0..$l {
+                    rb[i] = b[$l - 1 - i];
+                    prb[i] = pb[$l - 1 - i];
+                }
+                let (mut lo, mut hi, mut plo, mut phi) = Self::minmax2(a, rb, pa, prb);
+                // Each half is now bitonic and max(lo) <= min(hi); clean
+                // each with log2(L) intra-register half-cleaner stages.
+                intra_clean::<$k, $l>(&mut lo, &mut plo);
+                intra_clean::<$k, $l>(&mut hi, &mut phi);
+                (lo, hi, plo, phi)
+            }
+        }
+    };
+}
+
+/// Sort a bitonic register ascending with half-cleaner stages at
+/// distances `L/2, L/4, …, 1`.
+#[inline(always)]
+fn intra_clean<K: Copy + Ord, const L: usize>(k: &mut [K; L], p: &mut [u32; L]) {
+    let mut d = L / 2;
+    while d >= 1 {
+        let mut i = 0;
+        while i < L {
+            if i & d == 0 {
+                let j = i | d;
+                if k[j] < k[i] {
+                    k.swap(i, j);
+                    p.swap(i, j);
+                }
+            }
+            i += 1;
+        }
+        d >>= 1;
+    }
+}
+
+portable_kernel!(P16, u16, 16);
+portable_kernel!(P32, u32, 8);
+portable_kernel!(P64, u64, 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_merge2_ok<Kn: Kernel>(a: Vec<Kn::K>, b: Vec<Kn::K>)
+    where
+        Kn::Reg: core::fmt::Debug,
+    {
+        let l = Kn::L;
+        assert!(a.len() == l && b.len() == l);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        let pa: Vec<u32> = (0..l as u32).collect();
+        let pb: Vec<u32> = (l as u32..2 * l as u32).collect();
+        unsafe {
+            let ra = Kn::load(a.as_ptr());
+            let rb = Kn::load(b.as_ptr());
+            let ppa = Kn::loadp(pa.as_ptr());
+            let ppb = Kn::loadp(pb.as_ptr());
+            let (lo, hi, plo, phi) = Kn::merge2(ra, rb, ppa, ppb);
+            let mut out_k = vec![Kn::K::default(); 2 * l];
+            let mut out_p = vec![0u32; 2 * l];
+            Kn::store(out_k.as_mut_ptr(), lo);
+            Kn::store(out_k.as_mut_ptr().add(l), hi);
+            Kn::storep(out_p.as_mut_ptr(), plo);
+            Kn::storep(out_p.as_mut_ptr().add(l), phi);
+            // Sorted.
+            assert!(
+                out_k.windows(2).all(|w| w[0] <= w[1]),
+                "not sorted: {out_k:?}"
+            );
+            // Same multiset of (key, payload) and payload points at its key.
+            let mut all: Vec<(Kn::K, u32)> = a
+                .iter()
+                .chain(b.iter())
+                .copied()
+                .zip(pa.iter().chain(pb.iter()).copied())
+                .collect();
+            let mut got: Vec<(Kn::K, u32)> =
+                out_k.iter().copied().zip(out_p.iter().copied()).collect();
+            all.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(all, got);
+        }
+    }
+
+    #[test]
+    fn merge2_p32_basic() {
+        assert_merge2_ok::<P32>(
+            vec![1, 3, 5, 7, 9, 11, 13, 15],
+            vec![2, 4, 6, 8, 10, 12, 14, 16],
+        );
+        assert_merge2_ok::<P32>(vec![0; 8], vec![0; 8]); // all ties
+        assert_merge2_ok::<P32>(
+            vec![10, 20, 30, 40, 50, 60, 70, 80],
+            vec![1, 2, 3, 4, 5, 6, 7, 8],
+        );
+    }
+
+    #[test]
+    fn merge2_p16_basic() {
+        let a: Vec<u16> = (0..16).map(|i| i * 2).collect();
+        let b: Vec<u16> = (0..16).map(|i| i * 2 + 1).collect();
+        assert_merge2_ok::<P16>(a, b);
+        assert_merge2_ok::<P16>(vec![7; 16], vec![7; 16]);
+    }
+
+    #[test]
+    fn merge2_p64_basic() {
+        assert_merge2_ok::<P64>(vec![1, 5, 9, 13], vec![2, 6, 10, 14]);
+        assert_merge2_ok::<P64>(vec![u64::MAX; 4], vec![0, 1, 2, u64::MAX]);
+    }
+
+    #[test]
+    fn merge2_exhaustive_01_sequences_p64() {
+        // All sorted 0/1 registers for L=4: heads of all bitonic cases.
+        for na in 0..=4usize {
+            for nb in 0..=4usize {
+                let a: Vec<u64> = (0..4).map(|i| u64::from(i >= 4 - na)).collect();
+                let b: Vec<u64> = (0..4).map(|i| u64::from(i >= 4 - nb)).collect();
+                assert_merge2_ok::<P64>(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn minmax2_tie_payload_integrity() {
+        let a = [5u32; 8];
+        let b = [5u32; 8];
+        let pa = [1u32; 8];
+        let pb = [2u32; 8];
+        let (_, _, plo, phi) = P32::minmax2(a, b, pa, pb);
+        assert_eq!(plo, pa);
+        assert_eq!(phi, pb);
+    }
+}

@@ -1,0 +1,199 @@
+//! LSD radix sort for `(key, oid)` pairs — the paper's stated future
+//! work (§7): "The performance of in-memory radix-sort depends on the
+//! size (number of bits) of the radix … Code massaging would allow a
+//! careful choice of the radix size when radix-sorting multiple columns."
+//!
+//! The sort takes the *effective* key width as a parameter: a massaged
+//! round of `w` bits needs only `⌈w/8⌉` counting passes, so
+//! bit-borrowing pays off for radix sort just as bank narrowing does for
+//! the SIMD merge-sort. Passes whose digit is constant across the input
+//! are skipped (common after massaging, when high bits are sparse).
+
+use crate::key::Key;
+use crate::scalar::insertion_sort_pairs;
+use crate::segmented::{GroupBounds, SegmentedSortStats};
+
+/// Radix (digit) size in bits; 8 gives byte-wide counting passes.
+const DIGIT_BITS: u32 = 8;
+const BUCKETS: usize = 1 << DIGIT_BITS;
+
+/// Sort `(keys, oids)` ascending with LSD radix sort over the low
+/// `width_bits` of each key (all key bits above `width_bits` must be
+/// zero — true by construction for encoded codes and massaged rounds).
+pub fn sort_pairs_radix<K: Key>(keys: &mut [K], oids: &mut [u32], width_bits: u32) {
+    assert_eq!(keys.len(), oids.len());
+    let n = keys.len();
+    if n <= 64 {
+        insertion_sort_pairs(keys, oids);
+        return;
+    }
+    debug_assert!(width_bits >= 1 && width_bits <= K::BITS);
+    let passes = width_bits.div_ceil(DIGIT_BITS);
+
+    let mut kbuf: Vec<K> = vec![K::default(); n];
+    let mut obuf: Vec<u32> = vec![0u32; n];
+    let mut src_is_orig = true;
+
+    for pass in 0..passes {
+        let shift = pass * DIGIT_BITS;
+        let (sk, so, dk, dov): (&mut [K], &mut [u32], &mut [K], &mut [u32]) = if src_is_orig {
+            (keys, oids, &mut kbuf, &mut obuf)
+        } else {
+            (&mut kbuf, &mut obuf, keys, oids)
+        };
+
+        // Histogram.
+        let mut hist = [0usize; BUCKETS];
+        for k in sk.iter() {
+            hist[((k.to_u64() >> shift) & 0xFF) as usize] += 1;
+        }
+        // Skip constant-digit passes (frequent for massaged high bits).
+        if hist.iter().any(|&c| c == n) {
+            continue;
+        }
+        // Exclusive prefix sums -> bucket start offsets.
+        let mut offsets = [0usize; BUCKETS];
+        let mut acc = 0usize;
+        for (o, &h) in offsets.iter_mut().zip(hist.iter()) {
+            *o = acc;
+            acc += h;
+        }
+        // Stable scatter.
+        for i in 0..n {
+            let d = ((sk[i].to_u64() >> shift) & 0xFF) as usize;
+            let at = offsets[d];
+            offsets[d] += 1;
+            dk[at] = sk[i];
+            dov[at] = so[i];
+        }
+        src_is_orig = !src_is_orig;
+    }
+
+    if !src_is_orig {
+        keys.copy_from_slice(&kbuf);
+        oids.copy_from_slice(&obuf);
+    }
+}
+
+/// Segmented radix sort (per-group), mirroring
+/// [`crate::sort_pairs_in_groups`].
+pub fn sort_pairs_radix_in_groups<K: Key>(
+    keys: &mut [K],
+    oids: &mut [u32],
+    groups: &GroupBounds,
+    width_bits: u32,
+) -> SegmentedSortStats {
+    assert_eq!(groups.num_rows(), keys.len());
+    let mut stats = SegmentedSortStats::default();
+    for r in groups.iter() {
+        let len = r.len();
+        if len <= 1 {
+            continue;
+        }
+        stats.invocations += 1;
+        stats.codes_sorted += len;
+        stats.max_group = stats.max_group.max(len);
+        sort_pairs_radix(&mut keys[r.clone()], &mut oids[r], width_bits);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn check<K: Key>(orig: &[K], keys: &[K], oids: &[u32]) {
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        let mut seen = vec![false; oids.len()];
+        for (i, &o) in oids.iter().enumerate() {
+            assert_eq!(keys[i], orig[o as usize]);
+            assert!(!seen[o as usize]);
+            seen[o as usize] = true;
+        }
+    }
+
+    #[test]
+    fn radix_sorts_all_widths() {
+        for &(width, mask) in &[(12u32, 0xFFFu64), (16, 0xFFFF), (24, 0xFF_FFFF), (32, u32::MAX as u64)] {
+            let n = 5000;
+            let mut state = width as u64 + 1;
+            let orig: Vec<u32> = (0..n).map(|_| (xorshift(&mut state) & mask) as u32).collect();
+            let mut k = orig.clone();
+            let mut o: Vec<u32> = (0..n as u32).collect();
+            sort_pairs_radix(&mut k, &mut o, width);
+            check(&orig, &k, &o);
+        }
+    }
+
+    #[test]
+    fn radix_u16_and_u64() {
+        let n = 3000;
+        let mut state = 9u64;
+        let orig16: Vec<u16> = (0..n).map(|_| xorshift(&mut state) as u16).collect();
+        let mut k = orig16.clone();
+        let mut o: Vec<u32> = (0..n as u32).collect();
+        sort_pairs_radix(&mut k, &mut o, 16);
+        check(&orig16, &k, &o);
+
+        let orig64: Vec<u64> = (0..n).map(|_| xorshift(&mut state) & ((1 << 50) - 1)).collect();
+        let mut k = orig64.clone();
+        let mut o: Vec<u32> = (0..n as u32).collect();
+        sort_pairs_radix(&mut k, &mut o, 50);
+        check(&orig64, &k, &o);
+    }
+
+    #[test]
+    fn radix_is_stable() {
+        // LSD radix with stable scatter: equal keys keep input order.
+        let orig: Vec<u32> = vec![5, 3, 5, 3, 5];
+        let mut k = orig.clone();
+        let mut o: Vec<u32> = (0..5).collect();
+        sort_pairs_radix(&mut k, &mut o, 32);
+        assert_eq!(k, vec![3, 3, 5, 5, 5]);
+        assert_eq!(o, vec![1, 3, 0, 2, 4]);
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs() {
+        let mut k: Vec<u32> = vec![];
+        let mut o: Vec<u32> = vec![];
+        sort_pairs_radix(&mut k, &mut o, 10);
+        let mut k = vec![9u32, 1];
+        let mut o = vec![0u32, 1];
+        sort_pairs_radix(&mut k, &mut o, 10);
+        assert_eq!(k, vec![1, 9]);
+    }
+
+    #[test]
+    fn narrower_width_skips_passes() {
+        // Values fit in 9 bits; sorting "as 9-bit" and "as 32-bit" agree.
+        let n = 2000;
+        let mut state = 77u64;
+        let orig: Vec<u32> = (0..n).map(|_| (xorshift(&mut state) & 0x1FF) as u32).collect();
+        let mut k1 = orig.clone();
+        let mut o1: Vec<u32> = (0..n as u32).collect();
+        sort_pairs_radix(&mut k1, &mut o1, 9);
+        let mut k2 = orig.clone();
+        let mut o2: Vec<u32> = (0..n as u32).collect();
+        sort_pairs_radix(&mut k2, &mut o2, 32);
+        assert_eq!(k1, k2);
+        assert_eq!(o1, o2); // both stable -> identical permutations
+    }
+
+    #[test]
+    fn segmented_radix() {
+        let mut keys: Vec<u32> = vec![3, 1, 2, 9, 8, 7, 5];
+        let mut oids: Vec<u32> = (0..7).collect();
+        let groups = GroupBounds::from_offsets(vec![0, 3, 7]);
+        let stats = sort_pairs_radix_in_groups(&mut keys, &mut oids, &groups, 8);
+        assert_eq!(keys, vec![1, 2, 3, 5, 7, 8, 9]);
+        assert_eq!(stats.invocations, 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Segmented (per-group) sorting — the second and later rounds of
+//! multi-column sorting.
+//!
+//! After round `k-1`, tuples tied on all previous sort keys form groups;
+//! round `k` sorts the next key *within each group* independently
+//! (Step ③ in the paper's Figure 2a). Singleton groups are skipped, which
+//! is exactly the effect behind the falling `N_sort` on the left flank of
+//! the Figure 4 time hill.
+
+use crate::key::Key;
+use crate::scalar::insertion_sort_pairs;
+use crate::sort::{SortConfig, SortableKey};
+
+/// Group layout: starts of each group plus the final end, i.e.
+/// `groups[g] = bounds[g]..bounds[g+1]`. Always has at least one element
+/// (`n` itself when there are no rows... see [`GroupBounds::whole`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupBounds {
+    /// `len + 1` monotone offsets: `[0, b1, b2, …, n]` when non-trivial.
+    pub offsets: Vec<u32>,
+}
+
+impl GroupBounds {
+    /// A single group covering `0..n`.
+    pub fn whole(n: usize) -> Self {
+        GroupBounds {
+            offsets: vec![0, n as u32],
+        }
+    }
+
+    /// Build from explicit offsets (must start at 0, end at `n`, monotone).
+    pub fn from_offsets(offsets: Vec<u32>) -> Self {
+        debug_assert!(offsets.len() >= 2);
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        GroupBounds { offsets }
+    }
+
+    /// Number of groups.
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of rows covered.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        *self.offsets.last().unwrap() as usize
+    }
+
+    /// Iterate the groups as index ranges.
+    pub fn iter(&self) -> impl Iterator<Item = core::ops::Range<usize>> + '_ {
+        self.offsets
+            .windows(2)
+            .map(|w| w[0] as usize..w[1] as usize)
+    }
+
+    /// Number of groups with more than one row (`N_sort` in the paper:
+    /// each of these triggers one SIMD-sort invocation).
+    pub fn num_sortable(&self) -> usize {
+        self.iter().filter(|r| r.len() > 1).count()
+    }
+
+    /// Refine: scan sorted `keys` and split every group at positions where
+    /// consecutive keys differ (the paper's `T_scan` step, Eq. 9).
+    pub fn refine_by<K: Key>(&self, keys: &[K]) -> GroupBounds {
+        debug_assert_eq!(self.num_rows(), keys.len());
+        let mut offsets = Vec::with_capacity(self.offsets.len());
+        offsets.push(0u32);
+        for r in self.iter() {
+            for i in r.start + 1..r.end {
+                if keys[i] != keys[i - 1] {
+                    offsets.push(i as u32);
+                }
+            }
+            if r.end > 0 && *offsets.last().unwrap() != r.end as u32 {
+                offsets.push(r.end as u32);
+            }
+        }
+        if offsets.len() == 1 {
+            offsets.push(0);
+        }
+        GroupBounds { offsets }
+    }
+}
+
+/// Statistics of one segmented-sort round (feeds the paper's Figure 4b and
+/// the cost model's calibration).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentedSortStats {
+    /// Number of SIMD-sort invocations (groups with > 1 element).
+    pub invocations: usize,
+    /// Total number of codes actually sorted.
+    pub codes_sorted: usize,
+    /// Largest group size encountered.
+    pub max_group: usize,
+}
+
+/// Sort `(keys, oids)` within each group independently.
+///
+/// Groups of length ≤ `cfg.small_threshold` use insertion sort (their
+/// merge-sort `C_overhead` would dominate); larger groups run the full
+/// SIMD merge-sort on the sub-slices.
+pub fn sort_pairs_in_groups<K: SortableKey>(
+    keys: &mut [K],
+    oids: &mut [u32],
+    groups: &GroupBounds,
+    cfg: &SortConfig,
+) -> SegmentedSortStats {
+    assert_eq!(keys.len(), oids.len());
+    assert_eq!(groups.num_rows(), keys.len(), "group bounds mismatch");
+    let mut stats = SegmentedSortStats::default();
+    for r in groups.iter() {
+        let len = r.len();
+        if len <= 1 {
+            continue;
+        }
+        stats.invocations += 1;
+        stats.codes_sorted += len;
+        stats.max_group = stats.max_group.max(len);
+        let k = &mut keys[r.clone()];
+        let o = &mut oids[r];
+        if len <= cfg.small_threshold {
+            insertion_sort_pairs(k, o);
+        } else {
+            K::sort_pairs_with(k, o, cfg);
+        }
+    }
+    stats
+}
+
+/// Extract group boundaries of a fully sorted key column (round 1's scan).
+pub fn group_boundaries<K: Key>(keys: &[K]) -> GroupBounds {
+    GroupBounds::whole(keys.len()).refine_by(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_and_refine() {
+        let keys: Vec<u32> = vec![1, 1, 2, 2, 2, 3];
+        let g = group_boundaries(&keys);
+        assert_eq!(g.offsets, vec![0, 2, 5, 6]);
+        assert_eq!(g.num_groups(), 3);
+        assert_eq!(g.num_sortable(), 2);
+    }
+
+    #[test]
+    fn refine_within_groups_only() {
+        // Two parent groups [0..3) and [3..6); equal keys across the parent
+        // boundary must NOT merge.
+        let keys: Vec<u32> = vec![5, 5, 5, 5, 6, 6];
+        let parent = GroupBounds::from_offsets(vec![0, 3, 6]);
+        let g = parent.refine_by(&keys);
+        assert_eq!(g.offsets, vec![0, 3, 4, 6]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let keys: Vec<u32> = vec![];
+        let g = group_boundaries(&keys);
+        assert_eq!(g.num_groups(), 1); // one empty group
+        assert_eq!(g.num_rows(), 0);
+        assert_eq!(g.num_sortable(), 0);
+    }
+
+    #[test]
+    fn segmented_sort_sorts_within_groups() {
+        let mut keys: Vec<u32> = vec![3, 1, 2, 9, 8, 7, 5];
+        let mut oids: Vec<u32> = (0..7).collect();
+        let groups = GroupBounds::from_offsets(vec![0, 3, 7]);
+        let stats =
+            sort_pairs_in_groups(&mut keys, &mut oids, &groups, &SortConfig::default());
+        assert_eq!(keys, vec![1, 2, 3, 5, 7, 8, 9]);
+        assert_eq!(stats.invocations, 2);
+        assert_eq!(stats.codes_sorted, 7);
+        assert_eq!(stats.max_group, 4);
+    }
+
+    #[test]
+    fn singletons_skipped() {
+        let mut keys: Vec<u32> = vec![5, 4, 3, 2, 1];
+        let mut oids: Vec<u32> = (0..5).collect();
+        let groups = GroupBounds::from_offsets(vec![0, 1, 2, 3, 4, 5]);
+        let stats =
+            sort_pairs_in_groups(&mut keys, &mut oids, &groups, &SortConfig::default());
+        assert_eq!(stats.invocations, 0);
+        assert_eq!(keys, vec![5, 4, 3, 2, 1]); // untouched
+    }
+
+    #[test]
+    fn large_groups_use_simd_path() {
+        let cfg = SortConfig {
+            small_threshold: 8,
+            ..SortConfig::default()
+        };
+        let n = 4096;
+        let mut keys: Vec<u16> = (0..n).map(|i| (i * 2654435761u64 % 65536) as u16).collect();
+        let orig = keys.clone();
+        let mut oids: Vec<u32> = (0..n as u32).collect();
+        let groups = GroupBounds::from_offsets(vec![0, (n / 2) as u32, n as u32]);
+        sort_pairs_in_groups(&mut keys, &mut oids, &groups, &cfg);
+        for r in groups.iter() {
+            assert!(keys[r].windows(2).all(|w| w[0] <= w[1]));
+        }
+        for i in 0..n as usize {
+            assert_eq!(keys[i], orig[oids[i] as usize]);
+        }
+    }
+}

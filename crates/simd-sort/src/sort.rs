@@ -1,0 +1,372 @@
+//! Top-level merge-sort assembly: padding, the three phases, runtime
+//! dispatch between the AVX2 and portable kernels.
+
+use crate::kernel::{merge_pass, phase1_block_sort, Kernel};
+use crate::key::Key;
+use crate::merge_tree::multiway_pass_simd;
+use crate::multiway::multiway_pass;
+use crate::scalar;
+
+/// Tuning knobs of the merge-sort, mirroring the constants of the paper's
+/// cost model (§4).
+#[derive(Debug, Clone)]
+pub struct SortConfig {
+    /// Bytes a run may occupy before merging goes out-of-cache
+    /// (the paper's `0.5 · M_L2`; per-element footprint counts key +
+    /// payload bytes). Default: 1 MiB (half the development machine's
+    /// 2 MiB L2; keep this equal to `0.5 · M_L2` of the cost model's
+    /// `MachineSpec` so estimated and actual merge passes agree).
+    pub in_cache_bytes: usize,
+    /// Fan-out `F` of the out-of-cache merge tree. Default: 8.
+    pub fanout: usize,
+    /// Inputs up to this length use the scalar small-sort instead of the
+    /// full SIMD pipeline. Default: 192.
+    pub small_threshold: usize,
+    /// Force the portable kernel even when AVX2 is available (used by
+    /// tests and the SIMD-vs-portable benches).
+    pub force_portable: bool,
+    /// Use the scalar loser tree (default) or the buffered SIMD merge
+    /// tree for the out-of-cache phase. Measured on this machine the
+    /// loser tree wins: the tree's per-step carry state (an
+    /// `Option<(__m256i, payload)>`) spills YMM registers around every
+    /// vector step, costing more than the branchy scalar replay it
+    /// replaces. Kept as an ablation (`ablation_multiway_impl` bench).
+    pub scalar_multiway: bool,
+}
+
+impl Default for SortConfig {
+    fn default() -> Self {
+        SortConfig {
+            in_cache_bytes: 1024 * 1024,
+            fanout: 8,
+            small_threshold: 192,
+            force_portable: false,
+            scalar_multiway: true,
+        }
+    }
+}
+
+impl SortConfig {
+    /// Run length (in elements) at which merging leaves the cache-resident
+    /// phase, as a multiple of `L`.
+    fn in_cache_run<K: Key>(&self, l: usize) -> usize {
+        let per_elem = core::mem::size_of::<K>() + core::mem::size_of::<u32>();
+        let run = self.in_cache_bytes / per_elem;
+        (run / l).max(1) * l
+    }
+}
+
+/// Whether AVX2 is available (memoized).
+#[cfg(target_arch = "x86_64")]
+pub fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAIL: OnceLock<bool> = OnceLock::new();
+    *AVAIL.get_or_init(|| std::is_x86_feature_detected!("avx2"))
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub fn avx2_available() -> bool {
+    false
+}
+
+/// The generic three-phase merge-sort over any [`Kernel`].
+///
+/// # Safety
+/// Caller must guarantee the kernel's instructions are supported by the
+/// current CPU (trivially true for portable kernels).
+#[inline(always)]
+unsafe fn mergesort_generic<Kn: Kernel>(keys: &mut [Kn::K], oids: &mut [u32], cfg: &SortConfig) {
+    let n = keys.len();
+    let l = Kn::L;
+    let block = l * l;
+
+    // Pad to a whole number of in-register blocks with MAX_KEY sentinels.
+    let padded = n.div_ceil(block) * block;
+    let mut ka: Vec<Kn::K> = Vec::with_capacity(padded);
+    ka.extend_from_slice(keys);
+    ka.resize(padded, Kn::K::MAX_KEY);
+    let mut oa: Vec<u32> = Vec::with_capacity(padded);
+    oa.extend_from_slice(oids);
+    oa.resize(padded, u32::MAX);
+    let mut kb: Vec<Kn::K> = vec![Kn::K::default(); padded];
+    let mut ob: Vec<u32> = vec![0u32; padded];
+
+    // Phase (a): in-register sorting -> runs of L.
+    phase1_block_sort::<Kn>(&mut ka, &mut oa);
+
+    // Phase (b): binary SIMD bitonic merging while runs fit in cache.
+    let in_cache_run = cfg.in_cache_run::<Kn::K>(l);
+    let mut run = l;
+    let mut src_is_a = true;
+    while run < padded && run < in_cache_run {
+        if src_is_a {
+            merge_pass::<Kn>(&ka, &oa, &mut kb, &mut ob, run);
+        } else {
+            merge_pass::<Kn>(&kb, &ob, &mut ka, &mut oa, run);
+        }
+        src_is_a = !src_is_a;
+        run *= 2;
+    }
+
+    // Phase (c): F-way out-of-cache merge passes (SIMD merge tree with
+    // cache-resident node buffers, or the scalar loser tree for ablation).
+    let buf_elems = 4096;
+    while run < padded {
+        run = if cfg.scalar_multiway {
+            if src_is_a {
+                multiway_pass(&ka, &oa, &mut kb, &mut ob, run, cfg.fanout)
+            } else {
+                multiway_pass(&kb, &ob, &mut ka, &mut oa, run, cfg.fanout)
+            }
+        } else if src_is_a {
+            multiway_pass_simd::<Kn>(&ka, &oa, &mut kb, &mut ob, run, cfg.fanout, buf_elems)
+        } else {
+            multiway_pass_simd::<Kn>(&kb, &ob, &mut ka, &mut oa, run, cfg.fanout, buf_elems)
+        };
+        src_is_a = !src_is_a;
+    }
+
+    let (fk, fo) = if src_is_a {
+        (&mut ka, &mut oa)
+    } else {
+        (&mut kb, &mut ob)
+    };
+    compact_padding(fk, fo, n);
+    keys.copy_from_slice(&fk[..n]);
+    oids.copy_from_slice(&fo[..n]);
+}
+
+/// Move padding sentinels to the very end of the sorted buffer.
+///
+/// Real keys equal to `K::MAX_KEY` tie with padding entries, so after the
+/// sort the maximal-key region may interleave both. Within that region
+/// (identical keys, so any order is valid) real entries are compacted to
+/// the front. Requires that real oids are `< u32::MAX`.
+fn compact_padding<K: Key>(keys: &mut [K], oids: &mut [u32], n: usize) {
+    let padded = keys.len();
+    if padded == n {
+        return;
+    }
+    let start = keys.partition_point(|&k| k < K::MAX_KEY);
+    debug_assert!(padded - start >= padded - n);
+    let mut write = start;
+    for read in start..padded {
+        if oids[read] != u32::MAX {
+            oids.swap(write, read);
+            write += 1;
+        }
+    }
+    debug_assert_eq!(write, n);
+    // Keys in [start..padded) are all MAX_KEY already; only oids moved.
+}
+
+macro_rules! dispatch_sort {
+    ($fn_name:ident, $avx_name:ident, $k:ty, $portable:ty, $avx:ty) => {
+        /// Sort `(keys, oids)` ascending by key with the configured
+        /// merge-sort. oid values must be `< u32::MAX`.
+        pub fn $fn_name(keys: &mut [$k], oids: &mut [u32], cfg: &SortConfig) {
+            assert_eq!(keys.len(), oids.len(), "keys/oids length mismatch");
+            if keys.len() <= cfg.small_threshold {
+                scalar::insertion_sort_pairs(keys, oids);
+                return;
+            }
+            debug_assert!(oids.iter().all(|&o| o != u32::MAX));
+            #[cfg(target_arch = "x86_64")]
+            if !cfg.force_portable && avx2_available() {
+                // SAFETY: AVX2 presence checked above.
+                unsafe { $avx_name(keys, oids, cfg) };
+                return;
+            }
+            // SAFETY: portable kernel has no ISA requirements.
+            unsafe { mergesort_generic::<$portable>(keys, oids, cfg) }
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $avx_name(keys: &mut [$k], oids: &mut [u32], cfg: &SortConfig) {
+            mergesort_generic::<$avx>(keys, oids, cfg)
+        }
+    };
+}
+
+dispatch_sort!(
+    sort_u16_with,
+    sort_u16_avx2,
+    u16,
+    crate::portable::P16,
+    crate::avx2::A16
+);
+dispatch_sort!(
+    sort_u32_with,
+    sort_u32_avx2,
+    u32,
+    crate::portable::P32,
+    crate::avx2::A32
+);
+dispatch_sort!(
+    sort_u64_with,
+    sort_u64_avx2,
+    u64,
+    crate::portable::P64,
+    crate::avx2::A64
+);
+
+/// Key types that have a full SIMD sort pipeline.
+pub trait SortableKey: Key {
+    /// Sort `(keys, oids)` ascending by key.
+    fn sort_pairs_with(keys: &mut [Self], oids: &mut [u32], cfg: &SortConfig);
+}
+
+impl SortableKey for u16 {
+    #[inline]
+    fn sort_pairs_with(keys: &mut [Self], oids: &mut [u32], cfg: &SortConfig) {
+        sort_u16_with(keys, oids, cfg)
+    }
+}
+impl SortableKey for u32 {
+    #[inline]
+    fn sort_pairs_with(keys: &mut [Self], oids: &mut [u32], cfg: &SortConfig) {
+        sort_u32_with(keys, oids, cfg)
+    }
+}
+impl SortableKey for u64 {
+    #[inline]
+    fn sort_pairs_with(keys: &mut [Self], oids: &mut [u32], cfg: &SortConfig) {
+        sort_u64_with(keys, oids, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn check_sorted_permutation<K: SortableKey>(orig_keys: &[K], keys: &[K], oids: &[u32]) {
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys not sorted");
+        // Every output position points back at its original key.
+        for (i, &o) in oids.iter().enumerate() {
+            assert_eq!(
+                keys[i], orig_keys[o as usize],
+                "oid {o} at position {i} mismatches"
+            );
+        }
+        // oids form a permutation.
+        let mut seen = vec![false; oids.len()];
+        for &o in oids {
+            assert!(!seen[o as usize], "duplicate oid {o}");
+            seen[o as usize] = true;
+        }
+    }
+
+    fn roundtrip<K: SortableKey>(n: usize, mask: u64, cfg: &SortConfig, seed: u64) {
+        let mut state = seed;
+        let orig: Vec<K> = (0..n).map(|_| K::from_u64(xorshift(&mut state) & mask)).collect();
+        let mut keys = orig.clone();
+        let mut oids: Vec<u32> = (0..n as u32).collect();
+        K::sort_pairs_with(&mut keys, &mut oids, cfg);
+        check_sorted_permutation(&orig, &keys, &oids);
+    }
+
+    #[test]
+    fn sort_u32_sizes() {
+        let cfg = SortConfig::default();
+        for n in [0usize, 1, 2, 63, 64, 65, 192, 193, 256, 1000, 4096, 10_000, 100_000] {
+            roundtrip::<u32>(n, u64::MAX, &cfg, 42 + n as u64);
+        }
+    }
+
+    #[test]
+    fn sort_u16_sizes() {
+        let cfg = SortConfig::default();
+        for n in [0usize, 255, 256, 257, 5000, 70_000] {
+            roundtrip::<u16>(n, u64::MAX, &cfg, 7 + n as u64);
+        }
+    }
+
+    #[test]
+    fn sort_u64_sizes() {
+        let cfg = SortConfig::default();
+        for n in [0usize, 15, 16, 17, 1000, 50_000] {
+            roundtrip::<u64>(n, u64::MAX, &cfg, 99 + n as u64);
+        }
+    }
+
+    #[test]
+    fn sort_with_heavy_ties() {
+        let cfg = SortConfig::default();
+        roundtrip::<u32>(20_000, 0x7, &cfg, 1);
+        roundtrip::<u16>(20_000, 0x3, &cfg, 2);
+        roundtrip::<u64>(20_000, 0x1, &cfg, 3);
+    }
+
+    #[test]
+    fn sort_with_max_keys_present() {
+        // Many real MAX keys exercise the padding-compaction path.
+        let cfg = SortConfig::default();
+        let n = 5000;
+        let orig: Vec<u16> = (0..n)
+            .map(|i| if i % 3 == 0 { u16::MAX } else { i as u16 })
+            .collect();
+        let mut keys = orig.clone();
+        let mut oids: Vec<u32> = (0..n as u32).collect();
+        u16::sort_pairs_with(&mut keys, &mut oids, &cfg);
+        check_sorted_permutation(&orig, &keys, &oids);
+    }
+
+    #[test]
+    fn portable_matches_avx2() {
+        let mut cfg = SortConfig::default();
+        let n = 30_000;
+        let mut state = 0xDEADBEEFu64;
+        let orig: Vec<u32> = (0..n).map(|_| xorshift(&mut state) as u32).collect();
+
+        let mut k1 = orig.clone();
+        let mut o1: Vec<u32> = (0..n as u32).collect();
+        cfg.force_portable = true;
+        sort_u32_with(&mut k1, &mut o1, &cfg);
+
+        let mut k2 = orig.clone();
+        let mut o2: Vec<u32> = (0..n as u32).collect();
+        cfg.force_portable = false;
+        sort_u32_with(&mut k2, &mut o2, &cfg);
+
+        assert_eq!(k1, k2);
+        check_sorted_permutation(&orig, &k2, &o2);
+    }
+
+    #[test]
+    fn small_fanout_and_tiny_cache_exercise_multiway() {
+        let cfg = SortConfig {
+            in_cache_bytes: 1024, // force out-of-cache merging early
+            fanout: 3,
+            small_threshold: 16,
+            ..SortConfig::default()
+        };
+        roundtrip::<u32>(50_000, u64::MAX, &cfg, 5);
+        roundtrip::<u16>(50_000, u64::MAX, &cfg, 6);
+        roundtrip::<u64>(50_000, u64::MAX, &cfg, 8);
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let cfg = SortConfig::default();
+        let n = 10_000usize;
+        let orig: Vec<u32> = (0..n as u32).collect();
+        let mut keys = orig.clone();
+        let mut oids: Vec<u32> = (0..n as u32).collect();
+        sort_u32_with(&mut keys, &mut oids, &cfg);
+        check_sorted_permutation(&orig, &keys, &oids);
+
+        let orig: Vec<u32> = (0..n as u32).rev().collect();
+        let mut keys = orig.clone();
+        let mut oids: Vec<u32> = (0..n as u32).collect();
+        sort_u32_with(&mut keys, &mut oids, &cfg);
+        check_sorted_permutation(&orig, &keys, &oids);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests: the SIMD sorts agree with the scalar oracle on
+//! arbitrary inputs, for every bank width, both backends and the
+//! segmented/parallel variants.
+
+use mcs_simd_sort::{
+    group_boundaries, sort_pairs_in_groups, sort_pairs_parallel, sort_pairs_with, GroupBounds,
+    SortConfig, SortableKey,
+};
+use proptest::prelude::*;
+
+fn check<K: SortableKey>(orig: &[K], keys: &[K], oids: &[u32]) {
+    assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    let mut seen = vec![false; oids.len()];
+    for (i, &o) in oids.iter().enumerate() {
+        assert_eq!(keys[i], orig[o as usize]);
+        assert!(!seen[o as usize]);
+        seen[o as usize] = true;
+    }
+}
+
+fn run_sort<K: SortableKey>(orig: Vec<K>, force_portable: bool) {
+    let cfg = SortConfig {
+        force_portable,
+        // Small bounds exercise multi-pass merging even at proptest sizes.
+        in_cache_bytes: 4096,
+        fanout: 3,
+        small_threshold: 16,
+        ..SortConfig::default()
+    };
+    let mut keys = orig.clone();
+    let mut oids: Vec<u32> = (0..orig.len() as u32).collect();
+    sort_pairs_with(&mut keys, &mut oids, &cfg);
+    check(&orig, &keys, &oids);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sort_u16_matches_oracle(v in prop::collection::vec(any::<u16>(), 0..3000)) {
+        run_sort(v.clone(), false);
+        run_sort(v, true);
+    }
+
+    #[test]
+    fn sort_u32_matches_oracle(v in prop::collection::vec(any::<u32>(), 0..3000)) {
+        run_sort(v.clone(), false);
+        run_sort(v, true);
+    }
+
+    #[test]
+    fn sort_u64_matches_oracle(v in prop::collection::vec(any::<u64>(), 0..3000)) {
+        run_sort(v.clone(), false);
+        run_sort(v, true);
+    }
+
+    /// Low-cardinality keys stress tie handling and padding compaction.
+    #[test]
+    fn sort_low_cardinality(v in prop::collection::vec(0u32..4, 0..4000)) {
+        run_sort(v, false);
+    }
+
+    /// Keys including MAX stress the padding sentinel logic.
+    #[test]
+    fn sort_with_max_values(v in prop::collection::vec(
+        prop_oneof![Just(u16::MAX), any::<u16>()], 0..4000)) {
+        run_sort(v, false);
+    }
+
+    #[test]
+    fn segmented_sort_is_sorted_per_group(
+        v in prop::collection::vec(any::<u32>(), 1..2000),
+        cuts in prop::collection::vec(any::<u16>(), 0..20),
+    ) {
+        let n = v.len();
+        let mut offs: Vec<u32> = cuts.iter().map(|&c| (c as usize % (n + 1)) as u32).collect();
+        offs.push(0);
+        offs.push(n as u32);
+        offs.sort_unstable();
+        offs.dedup();
+        let groups = GroupBounds::from_offsets(offs);
+        let mut keys = v.clone();
+        let mut oids: Vec<u32> = (0..n as u32).collect();
+        sort_pairs_in_groups(&mut keys, &mut oids, &groups, &SortConfig::default());
+        for r in groups.iter() {
+            prop_assert!(keys[r].windows(2).all(|w| w[0] <= w[1]));
+        }
+        for i in 0..n {
+            prop_assert_eq!(keys[i], v[oids[i] as usize]);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_order(v in prop::collection::vec(any::<u32>(), 0..5000)) {
+        let cfg = SortConfig::default();
+        let mut k1 = v.clone();
+        let mut o1: Vec<u32> = (0..v.len() as u32).collect();
+        sort_pairs_with(&mut k1, &mut o1, &cfg);
+        let mut k2 = v.clone();
+        let mut o2: Vec<u32> = (0..v.len() as u32).collect();
+        sort_pairs_parallel(&mut k2, &mut o2, 3, &cfg);
+        prop_assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn group_boundaries_partition_equal_runs(v in prop::collection::vec(0u32..16, 0..1000)) {
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let g = group_boundaries(&sorted);
+        // Within groups: all equal. Across boundaries: strictly increasing.
+        for r in g.iter() {
+            if r.len() > 1 {
+                prop_assert!(sorted[r.clone()].windows(2).all(|w| w[0] == w[1]));
+            }
+            if r.end < sorted.len() && r.end > r.start {
+                prop_assert!(sorted[r.end - 1] < sorted[r.end]);
+            }
+        }
+        prop_assert_eq!(g.num_rows(), sorted.len());
+    }
+}

@@ -1,0 +1,154 @@
+//! Data-generation primitives: deterministic RNG streams, Zipf sampling
+//! (for TPC-H *skew* à la Chaudhuri–Narasayya), and code-column helpers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf(θ) sampler over ranks `1..=n` (returned 0-based), using a
+/// precomputed CDF + binary search. θ = 1 reproduces the paper's
+/// `zipf = 1` TPC-H skew setting; θ = 0 degenerates to uniform.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `theta`.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n >= 1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one 0-based rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// How values of a generated column are distributed.
+#[derive(Debug, Clone)]
+pub enum Distribution {
+    /// Uniform over the domain.
+    Uniform,
+    /// Zipf(θ) over the domain's distinct values (rank 0 most frequent).
+    Zipf(f64),
+}
+
+/// Generate `n` codes over `[0, domain)` with at most `ndv` distinct
+/// values, under `dist`. With `ndv < domain`, the distinct values are
+/// spread evenly over the domain (matching the paper's §3 micro setup:
+/// "2^13 distinct values uniformly distributed on a [0, 2^w − 1]
+/// domain").
+pub fn gen_codes(
+    rng: &mut StdRng,
+    n: usize,
+    domain: u64,
+    ndv: u64,
+    dist: &Distribution,
+) -> Vec<u64> {
+    assert!(domain >= 1);
+    let ndv = ndv.clamp(1, domain);
+    let stride = domain / ndv;
+    let value_of = |rank: u64| -> u64 { (rank * stride).min(domain - 1) };
+    match dist {
+        Distribution::Uniform => (0..n)
+            .map(|_| value_of(rng.gen_range(0..ndv)))
+            .collect(),
+        Distribution::Zipf(theta) => {
+            let z = Zipf::new(ndv as usize, *theta);
+            // Shuffle the rank->value mapping so the hot values are not
+            // simply the smallest codes.
+            let mut perm: Vec<u64> = (0..ndv).collect();
+            for i in (1..perm.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            (0..n)
+                .map(|_| value_of(perm[z.sample(rng)]))
+                .collect()
+        }
+    }
+}
+
+/// A seeded RNG for a named stream (generation is reproducible and
+/// per-column independent).
+pub fn stream(seed: u64, name: &str) -> StdRng {
+    let mut h = 1469598103934665603u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(1099511628211);
+    }
+    StdRng::seed_from_u64(seed ^ h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = stream(1, "zipf");
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should be far more frequent than rank 100.
+        assert!(counts[0] > 5 * counts[100].max(1));
+        // All samples in range (no panic) and roughly harmonic mass at top.
+        let top10: usize = counts[..10].iter().sum();
+        assert!(top10 as f64 > 0.25 * 100_000.0);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = stream(2, "u");
+        let mut counts = vec![0usize; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 500 && c < 1500));
+    }
+
+    #[test]
+    fn gen_codes_respects_domain_and_ndv() {
+        let mut rng = stream(3, "g");
+        let codes = gen_codes(&mut rng, 10_000, 1 << 20, 1 << 6, &Distribution::Uniform);
+        assert!(codes.iter().all(|&c| c < (1 << 20)));
+        let mut d = codes.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert!(d.len() <= 64);
+        assert!(d.len() > 32, "too few distinct values hit: {}", d.len());
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        let a: Vec<u64> = {
+            let mut r = stream(42, "x");
+            (0..5).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = stream(42, "x");
+            (0..5).map(|_| r.gen()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = stream(42, "y");
+            (0..5).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,227 @@
+//! Benchmark-suite plumbing: workloads are bags of tables plus named
+//! (possibly multi-stage) queries; the runner executes a query's stages
+//! and combines their timings.
+
+use mcs_columnar::Table;
+use mcs_engine::{execute, result_to_table, EngineConfig, Query, QueryResult, QueryTimings};
+
+/// A benchmark query: one or two engine stages.
+#[derive(Debug, Clone)]
+pub enum QuerySpec {
+    /// A single pipeline invocation.
+    Single(Query),
+    /// The first stage's result table feeds the second stage (TPC-H Q13's
+    /// two-level aggregation, TPC-DS rank-over-grouped-result queries).
+    TwoStage {
+        /// Stage 1 (runs on the workload table).
+        first: Query,
+        /// Stage 2 (runs on stage 1's materialized result).
+        second: Query,
+    },
+}
+
+impl QuerySpec {
+    /// The number of sort attributes of the *dominant* multi-column sort
+    /// (the widest stage).
+    pub fn sort_width(&self) -> usize {
+        match self {
+            QuerySpec::Single(q) => q.sort_width(),
+            QuerySpec::TwoStage { first, second } => {
+                first.sort_width().max(second.sort_width())
+            }
+        }
+    }
+}
+
+/// A named benchmark query bound to a workload table.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Identifier, e.g. `"tpch_q18"`.
+    pub name: String,
+    /// Which workload table the (first) stage scans.
+    pub table: String,
+    /// The stage(s).
+    pub spec: QuerySpec,
+}
+
+/// A generated workload: tables plus its benchmark queries.
+#[derive(Debug)]
+pub struct Workload {
+    /// Workload name (`tpch`, `tpch_skew`, `tpcds`, `airline`).
+    pub name: String,
+    /// Tables by name.
+    pub tables: Vec<Table>,
+    /// The benchmark queries.
+    pub queries: Vec<BenchQuery>,
+}
+
+impl Workload {
+    /// Find a table.
+    pub fn table(&self, name: &str) -> &Table {
+        self.tables
+            .iter()
+            .find(|t| t.name() == name)
+            .unwrap_or_else(|| panic!("workload {} has no table {name}", self.name))
+    }
+
+    /// Find a query.
+    pub fn query(&self, name: &str) -> &BenchQuery {
+        self.queries
+            .iter()
+            .find(|q| q.name == name)
+            .unwrap_or_else(|| panic!("workload {} has no query {name}", self.name))
+    }
+}
+
+/// Combined timings over a query's stages.
+#[derive(Debug, Clone, Default)]
+pub struct CombinedTimings {
+    /// Multi-column sorting time (both stages, incl. post-sorts).
+    pub mcs_ns: u64,
+    /// Plan-search time.
+    pub plan_search_ns: u64,
+    /// Everything else (scan, lookup, aggregation, materialization).
+    pub rest_ns: u64,
+    /// End-to-end.
+    pub total_ns: u64,
+    /// Per-stage raw timings.
+    pub stages: Vec<QueryTimings>,
+}
+
+impl CombinedTimings {
+    /// Accumulate one stage. Only *multi-column* sorting counts toward
+    /// `mcs_ns` (the paper's quantity): a stage whose primary sort has a
+    /// single attribute (e.g. TPC-H Q13's first-stage GROUP BY
+    /// `o_custkey`) contributes it to `rest_ns` instead, and likewise a
+    /// single-key ORDER BY post-sort.
+    fn add(&mut self, q: &Query, t: &QueryTimings) {
+        let primary_is_multi = q.sort_keys().len() >= 2;
+        let post_is_multi = q.order_by.len() >= 2;
+        if primary_is_multi {
+            self.mcs_ns += t.mcs_ns;
+        }
+        if post_is_multi {
+            self.mcs_ns += t.post_sort_ns;
+        }
+        self.plan_search_ns += t.plan_search_ns;
+        self.total_ns += t.total_ns;
+        self.rest_ns = self
+            .total_ns
+            .saturating_sub(self.mcs_ns + self.plan_search_ns);
+        self.stages.push(t.clone());
+    }
+}
+
+/// Execute a benchmark query (all stages) and combine timings.
+pub fn run_bench_query(
+    workload: &Workload,
+    bq: &BenchQuery,
+    cfg: &EngineConfig,
+) -> (QueryResult, CombinedTimings) {
+    let table = workload.table(&bq.table);
+    let mut combined = CombinedTimings::default();
+    match &bq.spec {
+        QuerySpec::Single(q) => {
+            let r = execute(table, q, cfg);
+            combined.add(q, &r.timings);
+            (r, combined)
+        }
+        QuerySpec::TwoStage { first, second } => {
+            let r1 = execute(table, first, cfg);
+            combined.add(first, &r1.timings);
+            let t = std::time::Instant::now();
+            let mid = result_to_table("stage1", &r1);
+            let materialize_ns = t.elapsed().as_nanos() as u64;
+            combined.total_ns += materialize_ns;
+            combined.rest_ns += materialize_ns;
+            let r2 = execute(&mid, second, cfg);
+            combined.add(second, &r2.timings);
+            (r2, combined)
+        }
+    }
+}
+
+/// The raw multi-column-sorting *instance* a bench query's first stage
+/// triggers: filtered-and-gathered sort-key columns, specs, and the
+/// optimizer's [`mcs_cost::SortInstance`]. Used by the plan-quality
+/// experiments (Table 1, Figure 7) that need to execute many plans on
+/// exactly the data the query would sort.
+pub fn extract_sort_instance(
+    workload: &Workload,
+    bq: &BenchQuery,
+) -> (
+    Vec<mcs_columnar::CodeVec>,
+    Vec<mcs_core::SortSpec>,
+    mcs_cost::SortInstance,
+) {
+    let table = workload.table(&bq.table);
+    let q = match &bq.spec {
+        QuerySpec::Single(q) => q,
+        QuerySpec::TwoStage { first, .. } => first,
+    };
+    // Filters.
+    let oids: Vec<u32> = if q.filters.is_empty() {
+        (0..table.rows() as u32).collect()
+    } else {
+        let mut acc: Option<mcs_columnar::BitVec> = None;
+        for f in &q.filters {
+            let bv = table.expect_column(&f.column).byteslice().scan(&f.predicate);
+            acc = Some(match acc {
+                None => bv,
+                Some(mut a) => {
+                    a.and_assign(&bv);
+                    a
+                }
+            });
+        }
+        acc.unwrap().to_oids()
+    };
+    let keys = q.sort_keys();
+    let mut cols = Vec::new();
+    let mut specs = Vec::new();
+    let mut stats = Vec::new();
+    for k in &keys {
+        let col = table.expect_column(&k.column);
+        cols.push(col.gather(&oids));
+        specs.push(mcs_core::SortSpec {
+            width: col.width(),
+            descending: k.descending,
+        });
+        let mut s = mcs_cost::KeyColumnStats::from_stats(col.width(), col.stats());
+        s.ndv = s.ndv.min(oids.len() as f64).max(1.0);
+        stats.push(s);
+    }
+    let inst = mcs_cost::SortInstance {
+        rows: oids.len(),
+        specs: specs.clone(),
+        stats,
+        want_final_groups: true,
+    };
+    (cols, specs, inst)
+}
+
+/// Reference (naive) evaluation of a bench query, for correctness tests.
+pub fn run_bench_query_naive(
+    workload: &Workload,
+    bq: &BenchQuery,
+) -> Vec<(String, Vec<u64>)> {
+    use mcs_engine::reference::naive_execute;
+    let table = workload.table(&bq.table);
+    match &bq.spec {
+        QuerySpec::Single(q) => naive_execute(table, q),
+        QuerySpec::TwoStage { first, second } => {
+            let r1 = naive_execute(table, first);
+            let mut t = Table::new("stage1");
+            for (name, vals) in &r1 {
+                let width =
+                    mcs_columnar::width_for_max(vals.iter().copied().max().unwrap_or(0));
+                t.add_column(mcs_columnar::Column::from_u64s(
+                    name.clone(),
+                    width,
+                    vals.iter().copied(),
+                ));
+            }
+            naive_execute(&t, second)
+        }
+    }
+}

@@ -1,0 +1,758 @@
+//! Mini TPC-H: scaled-down generation of the columns the paper's nine
+//! multi-column-sorting queries touch, pre-joined into WideTables
+//! (Li & Patel) exactly as the paper's prototype stores them.
+//!
+//! Substitutions vs. full dbgen (documented in DESIGN.md): row counts are
+//! a parameter instead of scale factors; string attributes are generated
+//! directly in their encoded (order-preserving dictionary) domains;
+//! `LIKE` predicates become equality/range predicates over encoded
+//! domains; `HAVING` clauses are dropped. None of these affect the
+//! multi-column-sorting behaviour under study — per-column widths,
+//! cardinalities and distributions match the spec's.
+//!
+//! The *skew* variant applies Zipf(1) to attribute value choices,
+//! following the Chaudhuri–Narasayya skewed TPC-D generator the paper
+//! uses.
+
+use mcs_columnar::{widen, width_for_max, Column, DimensionJoin, Predicate, Table};
+use mcs_engine::{Agg, AggKind, Filter, OrderKey, Query};
+use rand::Rng;
+
+use crate::gen::{gen_codes, stream, Distribution};
+use crate::suite::{BenchQuery, QuerySpec, Workload};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct TpchParams {
+    /// Lineitem rows (the fact table; SF=1 would be ~6 M).
+    pub lineitem_rows: usize,
+    /// Zipf θ for the skewed variant (`None` = uniform TPC-H).
+    pub skew: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchParams {
+    fn default() -> Self {
+        TpchParams {
+            lineitem_rows: 1 << 20,
+            skew: None,
+            seed: 0x7C9,
+        }
+    }
+}
+
+/// Derived table cardinalities (TPC-H SF ratios).
+struct Card {
+    lineitem: usize,
+    orders: usize,
+    customer: usize,
+    part: usize,
+    supplier: usize,
+    partsupp: usize,
+}
+
+impl Card {
+    fn of(rows: usize) -> Card {
+        let lineitem = rows.max(64);
+        Card {
+            lineitem,
+            orders: (lineitem / 4).max(16),
+            customer: (lineitem / 40).max(8),
+            part: (lineitem / 30).max(8),
+            supplier: (lineitem / 600).max(4),
+            partsupp: (lineitem / 30 * 4).max(16),
+        }
+    }
+}
+
+/// TPC-H date domain: 1992-01-01 .. 1998-12-31 = 2557 days -> 12 bits.
+pub const DATE_DAYS: u64 = 2557;
+/// Width of the date encoding.
+pub const DATE_BITS: u32 = 12;
+
+fn dist(p: &TpchParams) -> Distribution {
+    match p.skew {
+        Some(theta) => Distribution::Zipf(theta),
+        None => Distribution::Uniform,
+    }
+}
+
+/// Build the TPC-H (or TPC-H skew) workload: the lineitem-grain WideTable,
+/// the partsupp-grain WideTable, the orders-grain table (for Q13), and
+/// the nine benchmark queries.
+pub fn tpch(params: &TpchParams) -> Workload {
+    let c = Card::of(params.lineitem_rows);
+    let d = dist(params);
+    let seed = params.seed;
+
+    // --- Dimension tables (row id = encoded key) ---------------------
+    // nation: 25 rows; n_name code == row id (order-preserving), region 0..5.
+    let mut nation = Table::new("nation");
+    {
+        let mut rng = stream(seed, "nation");
+        nation.add_column(Column::from_u64s("n_name", 5, (0..25).map(|i| i as u64)));
+        nation.add_column(Column::from_u64s(
+            "n_region",
+            3,
+            (0..25).map(|_| rng.gen_range(0..5u64)),
+        ));
+    }
+
+    // supplier.
+    let s_key_bits = width_for_max(c.supplier as u64 - 1);
+    let mut supplier = Table::new("supplier");
+    {
+        let mut rng = stream(seed, "supplier");
+        supplier.add_column(Column::from_u64s(
+            "s_name",
+            s_key_bits,
+            (0..c.supplier).map(|i| i as u64),
+        ));
+        supplier.add_column(Column::from_u64s(
+            "s_nation",
+            5,
+            gen_codes(&mut rng, c.supplier, 25, 25, &d),
+        ));
+        supplier.add_column(Column::from_u64s(
+            "s_acctbal",
+            16,
+            gen_codes(&mut rng, c.supplier, 1 << 16, 1 << 16, &d),
+        ));
+    }
+
+    // part.
+    let p_key_bits = width_for_max(c.part as u64 - 1);
+    let mut part = Table::new("part");
+    {
+        let mut rng = stream(seed, "part");
+        part.add_column(Column::from_u64s(
+            "p_mfgr",
+            3,
+            gen_codes(&mut rng, c.part, 5, 5, &d),
+        ));
+        part.add_column(Column::from_u64s(
+            "p_brand",
+            5,
+            gen_codes(&mut rng, c.part, 25, 25, &d),
+        ));
+        part.add_column(Column::from_u64s(
+            "p_type",
+            8,
+            gen_codes(&mut rng, c.part, 150, 150, &d),
+        ));
+        part.add_column(Column::from_u64s(
+            "p_size",
+            6,
+            gen_codes(&mut rng, c.part, 50, 50, &d),
+        ));
+        part.add_column(Column::from_u64s(
+            "p_container",
+            6,
+            gen_codes(&mut rng, c.part, 40, 40, &d),
+        ));
+        // The paper's §1 example: retail_price encodes into 17 bits.
+        part.add_column(Column::from_u64s(
+            "p_retailprice",
+            17,
+            gen_codes(&mut rng, c.part, 1 << 17, 1 << 17, &d),
+        ));
+    }
+
+    // customer.
+    let cu_key_bits = width_for_max(c.customer as u64 - 1);
+    let mut customer = Table::new("customer");
+    {
+        let mut rng = stream(seed, "customer");
+        customer.add_column(Column::from_u64s(
+            "c_name",
+            cu_key_bits,
+            (0..c.customer).map(|i| i as u64),
+        ));
+        customer.add_column(Column::from_u64s(
+            "c_nation",
+            5,
+            gen_codes(&mut rng, c.customer, 25, 25, &d),
+        ));
+        customer.add_column(Column::from_u64s(
+            "c_acctbal",
+            16,
+            gen_codes(&mut rng, c.customer, 1 << 16, 1 << 16, &d),
+        ));
+        customer.add_column(Column::from_u64s(
+            "c_mktsegment",
+            3,
+            gen_codes(&mut rng, c.customer, 5, 5, &d),
+        ));
+        customer.add_column(Column::from_u64s(
+            "c_phone",
+            15,
+            gen_codes(&mut rng, c.customer, 1 << 15, 1 << 15, &d),
+        ));
+    }
+
+    // orders (dimension for lineitem; also the Q13 base table).
+    let o_key_bits = width_for_max(c.orders as u64 - 1);
+    let mut orders = Table::new("orders");
+    {
+        let mut rng = stream(seed, "orders");
+        orders.add_column(Column::from_u64s(
+            "o_orderkey",
+            o_key_bits,
+            (0..c.orders).map(|i| i as u64),
+        ));
+        orders.add_column(Column::from_u64s(
+            "o_custkey",
+            cu_key_bits,
+            gen_codes(&mut rng, c.orders, c.customer as u64, c.customer as u64, &d),
+        ));
+        orders.add_column(Column::from_u64s(
+            "o_orderdate",
+            DATE_BITS,
+            gen_codes(&mut rng, c.orders, DATE_DAYS, DATE_DAYS, &d),
+        ));
+        orders.add_column(Column::from_u64s(
+            "o_shippriority",
+            1,
+            gen_codes(&mut rng, c.orders, 2, 2, &Distribution::Uniform),
+        ));
+        orders.add_column(Column::from_u64s(
+            "o_orderpriority",
+            3,
+            gen_codes(&mut rng, c.orders, 5, 5, &d),
+        ));
+        orders.add_column(Column::from_u64s(
+            "o_totalprice",
+            20,
+            gen_codes(&mut rng, c.orders, 1 << 20, 1 << 20, &d),
+        ));
+    }
+
+    // --- lineitem fact ------------------------------------------------
+    let mut lineitem = Table::new("lineitem");
+    {
+        let mut rng = stream(seed, "lineitem");
+        let n = c.lineitem;
+        lineitem.add_column(Column::from_u64s(
+            "l_orderkey",
+            o_key_bits,
+            gen_codes(&mut rng, n, c.orders as u64, c.orders as u64, &d),
+        ));
+        lineitem.add_column(Column::from_u64s(
+            "l_partkey",
+            p_key_bits,
+            gen_codes(&mut rng, n, c.part as u64, c.part as u64, &d),
+        ));
+        lineitem.add_column(Column::from_u64s(
+            "l_suppkey",
+            s_key_bits,
+            gen_codes(&mut rng, n, c.supplier as u64, c.supplier as u64, &d),
+        ));
+        lineitem.add_column(Column::from_u64s(
+            "l_quantity",
+            6,
+            gen_codes(&mut rng, n, 50, 50, &d),
+        ));
+        let extprice = gen_codes(&mut rng, n, 1 << 17, 1 << 17, &d);
+        let discount = gen_codes(&mut rng, n, 11, 11, &d); // 0..10 percent
+        let tax = gen_codes(&mut rng, n, 9, 9, &d);
+        // Derived expression columns (materialized in the WideTable, a
+        // standard denormalization trick; avoids expression evaluation
+        // in the aggregator).
+        let disc_price: Vec<u64> = extprice
+            .iter()
+            .zip(&discount)
+            .map(|(&p, &dc)| p * (100 - dc) / 100)
+            .collect();
+        let charge: Vec<u64> = disc_price
+            .iter()
+            .zip(&tax)
+            .map(|(&p, &t)| p * (100 + t) / 100)
+            .collect();
+        lineitem.add_column(Column::from_u64s("l_extendedprice", 17, extprice));
+        lineitem.add_column(Column::from_u64s("l_discount", 4, discount));
+        lineitem.add_column(Column::from_u64s("l_tax", 4, tax));
+        lineitem.add_column(Column::from_u64s("l_disc_price", 18, disc_price));
+        lineitem.add_column(Column::from_u64s("l_charge", 18, charge));
+        lineitem.add_column(Column::from_u64s(
+            "l_shipdate",
+            DATE_BITS,
+            gen_codes(&mut rng, n, DATE_DAYS, DATE_DAYS, &d),
+        ));
+        lineitem.add_column(Column::from_u64s(
+            "l_returnflag",
+            2,
+            gen_codes(&mut rng, n, 3, 3, &d),
+        ));
+        lineitem.add_column(Column::from_u64s(
+            "l_linestatus",
+            1,
+            gen_codes(&mut rng, n, 2, 2, &d),
+        ));
+        lineitem.add_column(Column::from_u64s(
+            "l_shipmode",
+            3,
+            gen_codes(&mut rng, n, 7, 7, &d),
+        ));
+    }
+
+    // --- WideTable: lineitem ⋈ orders ⋈ customer ⋈ part ⋈ supplier ----
+    let wide = {
+        let step1 = widen(
+            "tpch_wide",
+            &lineitem,
+            &[
+                DimensionJoin {
+                    fk_column: "l_orderkey",
+                    dimension: &orders,
+                    select: vec![
+                        ("o_custkey", "o_custkey"),
+                        ("o_orderdate", "o_orderdate"),
+                        ("o_shippriority", "o_shippriority"),
+                        ("o_totalprice", "o_totalprice"),
+                    ],
+                },
+                DimensionJoin {
+                    fk_column: "l_partkey",
+                    dimension: &part,
+                    select: vec![("p_mfgr", "p_mfgr"), ("p_brand", "p_brand")],
+                },
+                DimensionJoin {
+                    fk_column: "l_suppkey",
+                    dimension: &supplier,
+                    select: vec![("s_nation", "s_nation")],
+                },
+            ],
+        );
+        // Second hop: customer attributes via o_custkey, nation names via
+        // the nation fks.
+        let step2 = widen(
+            "tpch_wide",
+            &step1,
+            &[
+                DimensionJoin {
+                    fk_column: "o_custkey",
+                    dimension: &customer,
+                    select: vec![
+                        ("c_nation", "c_nation"),
+                        ("c_acctbal", "c_acctbal"),
+                        ("c_phone", "c_phone"),
+                        ("c_mktsegment", "c_mktsegment"),
+                    ],
+                },
+            ],
+        );
+        let mut t = widen(
+            "tpch_wide",
+            &step2,
+            &[
+                DimensionJoin {
+                    fk_column: "s_nation",
+                    dimension: &nation,
+                    select: vec![("n_region", "s_region")],
+                },
+                DimensionJoin {
+                    fk_column: "c_nation",
+                    dimension: &nation,
+                    select: vec![("n_region", "c_region")],
+                },
+            ],
+        );
+        // Derived: order year (7 years, 1992..1998) from o_orderdate.
+        let years: Vec<u64> = t
+            .expect_column("o_orderdate")
+            .codes()
+            .iter_u64()
+            .map(|dd| dd * 7 / DATE_DAYS)
+            .collect();
+        t.add_column(Column::from_u64s("o_year", 3, years));
+        t
+    };
+
+    // --- WideTable: partsupp ⋈ part ⋈ supplier -------------------------
+    let partsupp_wide = {
+        let mut ps = Table::new("partsupp");
+        let mut rng = stream(seed, "partsupp");
+        let n = c.partsupp;
+        ps.add_column(Column::from_u64s(
+            "ps_partkey",
+            p_key_bits,
+            gen_codes(&mut rng, n, c.part as u64, c.part as u64, &d),
+        ));
+        ps.add_column(Column::from_u64s(
+            "ps_suppkey",
+            s_key_bits,
+            gen_codes(&mut rng, n, c.supplier as u64, c.supplier as u64, &d),
+        ));
+        ps.add_column(Column::from_u64s(
+            "ps_supplycost",
+            14,
+            gen_codes(&mut rng, n, 1 << 14, 1 << 14, &d),
+        ));
+        let step = widen(
+            "partsupp_wide",
+            &ps,
+            &[
+                DimensionJoin {
+                    fk_column: "ps_partkey",
+                    dimension: &part,
+                    select: vec![
+                        ("p_brand", "p_brand"),
+                        ("p_type", "p_type"),
+                        ("p_size", "p_size"),
+                        ("p_retailprice", "p_retailprice"),
+                    ],
+                },
+                DimensionJoin {
+                    fk_column: "ps_suppkey",
+                    dimension: &supplier,
+                    select: vec![("s_nation", "s_nation"), ("s_acctbal", "s_acctbal")],
+                },
+            ],
+        );
+        widen(
+            "partsupp_wide",
+            &step,
+            &[DimensionJoin {
+                fk_column: "s_nation",
+                dimension: &nation,
+                select: vec![("n_region", "s_region")],
+            }],
+        )
+    };
+
+    let queries = queries(&wide, &orders);
+
+    Workload {
+        name: if params.skew.is_some() {
+            "tpch_skew".into()
+        } else {
+            "tpch".into()
+        },
+        tables: vec![wide, partsupp_wide, orders],
+        queries,
+    }
+}
+
+fn queries(wide: &Table, _orders: &Table) -> Vec<BenchQuery> {
+    let mut out = Vec::new();
+    let date_cut = DATE_DAYS * 9 / 10;
+
+    // Q1: pricing summary. GROUP BY returnflag, linestatus; ORDER BY same.
+    {
+        let mut q = Query::named("tpch_q1");
+        q.filters = vec![Filter {
+            column: "l_shipdate".into(),
+            predicate: Predicate::Le(date_cut),
+        }];
+        q.group_by = vec!["l_returnflag".into(), "l_linestatus".into()];
+        q.aggregates = vec![
+            Agg::new(AggKind::Sum("l_quantity".into()), "sum_qty"),
+            Agg::new(AggKind::Sum("l_extendedprice".into()), "sum_base_price"),
+            Agg::new(AggKind::Sum("l_disc_price".into()), "sum_disc_price"),
+            Agg::new(AggKind::Sum("l_charge".into()), "sum_charge"),
+            Agg::new(AggKind::Avg("l_quantity".into()), "avg_qty"),
+            Agg::new(AggKind::Avg("l_extendedprice".into()), "avg_price"),
+            Agg::new(AggKind::Avg("l_discount".into()), "avg_disc"),
+            Agg::new(AggKind::Count, "count_order"),
+        ];
+        q.order_by = vec![OrderKey::asc("l_returnflag"), OrderKey::asc("l_linestatus")];
+        out.push(BenchQuery {
+            name: "tpch_q1".into(),
+            table: "tpch_wide".into(),
+            spec: QuerySpec::Single(q),
+        });
+    }
+
+    // Q2: minimum-cost supplier (ORDER BY 4 attributes; on partsupp_wide).
+    {
+        let mut q = Query::named("tpch_q2");
+        q.filters = vec![
+            Filter {
+                column: "p_size".into(),
+                predicate: Predicate::Eq(15 % 50),
+            },
+            Filter {
+                column: "s_region".into(),
+                predicate: Predicate::Eq(3),
+            },
+        ];
+        q.select = vec![
+            "s_acctbal".into(),
+            "s_nation".into(),
+            "p_brand".into(),
+            "ps_partkey".into(),
+        ];
+        q.order_by = vec![
+            OrderKey::desc("s_acctbal"),
+            OrderKey::asc("s_nation"),
+            OrderKey::asc("p_brand"),
+            OrderKey::asc("ps_partkey"),
+        ];
+        out.push(BenchQuery {
+            name: "tpch_q2".into(),
+            table: "partsupp_wide".into(),
+            spec: QuerySpec::Single(q),
+        });
+    }
+
+    // Q3: shipping priority. GROUP BY 3; ORDER BY revenue DESC, date.
+    {
+        let mut q = Query::named("tpch_q3");
+        q.filters = vec![
+            Filter {
+                column: "c_mktsegment".into(),
+                predicate: Predicate::Eq(1),
+            },
+            Filter {
+                column: "o_orderdate".into(),
+                predicate: Predicate::Lt(DATE_DAYS / 2),
+            },
+            Filter {
+                column: "l_shipdate".into(),
+                predicate: Predicate::Gt(DATE_DAYS / 2),
+            },
+        ];
+        q.group_by = vec![
+            "l_orderkey".into(),
+            "o_orderdate".into(),
+            "o_shippriority".into(),
+        ];
+        q.aggregates = vec![Agg::new(AggKind::Sum("l_disc_price".into()), "revenue")];
+        q.order_by = vec![OrderKey::desc("revenue"), OrderKey::asc("o_orderdate")];
+        out.push(BenchQuery {
+            name: "tpch_q3".into(),
+            table: "tpch_wide".into(),
+            spec: QuerySpec::Single(q),
+        });
+    }
+
+    // Q7: volume shipping. GROUP BY supp_nation, cust_nation, year.
+    {
+        let mut q = Query::named("tpch_q7");
+        q.filters = vec![
+            Filter {
+                column: "l_shipdate".into(),
+                predicate: Predicate::Between(DATE_DAYS / 4, DATE_DAYS * 3 / 4),
+            },
+            Filter {
+                column: "s_nation".into(),
+                predicate: Predicate::Le(12),
+            },
+            Filter {
+                column: "c_nation".into(),
+                predicate: Predicate::Ge(6),
+            },
+        ];
+        q.group_by = vec!["s_nation".into(), "c_nation".into(), "o_year".into()];
+        q.aggregates = vec![Agg::new(AggKind::Sum("l_disc_price".into()), "revenue")];
+        q.order_by = vec![
+            OrderKey::asc("s_nation"),
+            OrderKey::asc("c_nation"),
+            OrderKey::asc("o_year"),
+        ];
+        out.push(BenchQuery {
+            name: "tpch_q7".into(),
+            table: "tpch_wide".into(),
+            spec: QuerySpec::Single(q),
+        });
+    }
+
+    // Q9: product-type profit. GROUP BY nation, year DESC.
+    {
+        let mut q = Query::named("tpch_q9");
+        q.filters = vec![Filter {
+            column: "p_mfgr".into(),
+            predicate: Predicate::Eq(2),
+        }];
+        q.group_by = vec!["s_nation".into(), "o_year".into()];
+        q.aggregates = vec![Agg::new(AggKind::Sum("l_disc_price".into()), "sum_profit")];
+        q.order_by = vec![OrderKey::asc("s_nation"), OrderKey::desc("o_year")];
+        out.push(BenchQuery {
+            name: "tpch_q9".into(),
+            table: "tpch_wide".into(),
+            spec: QuerySpec::Single(q),
+        });
+    }
+
+    // Q10: returned-item reporting. GROUP BY 4 customer attrs; ORDER BY
+    // revenue DESC (aggregate -> two-stage inside the pipeline).
+    {
+        let mut q = Query::named("tpch_q10");
+        q.filters = vec![
+            Filter {
+                column: "l_returnflag".into(),
+                predicate: Predicate::Eq(2),
+            },
+            Filter {
+                column: "o_orderdate".into(),
+                predicate: Predicate::Between(DATE_DAYS / 3, DATE_DAYS / 3 + 90),
+            },
+        ];
+        q.group_by = vec![
+            "o_custkey".into(),
+            "c_acctbal".into(),
+            "c_phone".into(),
+            "c_nation".into(),
+        ];
+        q.aggregates = vec![Agg::new(AggKind::Sum("l_disc_price".into()), "revenue")];
+        q.order_by = vec![OrderKey::desc("revenue")];
+        out.push(BenchQuery {
+            name: "tpch_q10".into(),
+            table: "tpch_wide".into(),
+            spec: QuerySpec::Single(q),
+        });
+    }
+
+    // Q13: customer distribution — two-level aggregation. Stage 1 groups
+    // orders per customer; stage 2 groups customers per order count and
+    // multi-column sorts (custdist, c_count) DESC.
+    {
+        let mut first = Query::named("tpch_q13a");
+        first.filters = vec![Filter {
+            column: "o_orderpriority".into(),
+            predicate: Predicate::Ne(0),
+        }];
+        first.group_by = vec!["o_custkey".into()];
+        first.aggregates = vec![Agg::new(AggKind::Count, "c_count")];
+
+        let mut second = Query::named("tpch_q13b");
+        second.group_by = vec!["c_count".into()];
+        second.aggregates = vec![Agg::new(AggKind::Count, "custdist")];
+        second.order_by = vec![OrderKey::desc("custdist"), OrderKey::desc("c_count")];
+        out.push(BenchQuery {
+            name: "tpch_q13".into(),
+            table: "orders".into(),
+            spec: QuerySpec::TwoStage { first, second },
+        });
+    }
+
+    // Q16: parts/supplier relationship. GROUP BY brand, type, size with
+    // COUNT DISTINCT suppliers; ORDER BY count DESC then keys.
+    {
+        let mut q = Query::named("tpch_q16");
+        q.filters = vec![
+            Filter {
+                column: "p_brand".into(),
+                predicate: Predicate::Ne(11),
+            },
+            Filter {
+                column: "p_size".into(),
+                predicate: Predicate::Le(35),
+            },
+        ];
+        q.group_by = vec!["p_brand".into(), "p_type".into(), "p_size".into()];
+        q.aggregates = vec![Agg::new(
+            AggKind::CountDistinct("ps_suppkey".into()),
+            "supplier_cnt",
+        )];
+        q.order_by = vec![
+            OrderKey::desc("supplier_cnt"),
+            OrderKey::asc("p_brand"),
+            OrderKey::asc("p_type"),
+            OrderKey::asc("p_size"),
+        ];
+        out.push(BenchQuery {
+            name: "tpch_q16".into(),
+            table: "partsupp_wide".into(),
+            spec: QuerySpec::Single(q),
+        });
+    }
+
+    // Q18: large-volume customers. GROUP BY 4 wide attributes;
+    // ORDER BY totalprice DESC, orderdate.
+    {
+        let mut q = Query::named("tpch_q18");
+        q.group_by = vec![
+            "o_custkey".into(),
+            "l_orderkey".into(),
+            "o_orderdate".into(),
+            "o_totalprice".into(),
+        ];
+        q.aggregates = vec![Agg::new(AggKind::Sum("l_quantity".into()), "sum_qty")];
+        q.order_by = vec![OrderKey::desc("o_totalprice"), OrderKey::asc("o_orderdate")];
+        out.push(BenchQuery {
+            name: "tpch_q18".into(),
+            table: "tpch_wide".into(),
+            spec: QuerySpec::Single(q),
+        });
+    }
+
+    debug_assert!(out.iter().all(|b| b.spec.sort_width() >= 2));
+    debug_assert!(wide.rows() > 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{run_bench_query, run_bench_query_naive};
+    use mcs_engine::reference::assert_same_rows;
+    use mcs_engine::EngineConfig;
+
+    #[test]
+    fn generates_consistent_widetable() {
+        let w = tpch(&TpchParams {
+            lineitem_rows: 4000,
+            skew: None,
+            seed: 1,
+        });
+        let t = w.table("tpch_wide");
+        assert_eq!(t.rows(), 4000);
+        // Spot-check: widths of the paper's flagship encodings.
+        assert_eq!(t.expect_column("o_orderdate").width(), 12);
+        assert_eq!(t.expect_column("l_extendedprice").width(), 17);
+        assert!(t.expect_column("s_nation").stats().ndv <= 25);
+        assert_eq!(w.queries.len(), 9);
+    }
+
+    #[test]
+    fn skew_concentrates_values() {
+        let u = tpch(&TpchParams {
+            lineitem_rows: 8000,
+            skew: None,
+            seed: 2,
+        });
+        let s = tpch(&TpchParams {
+            lineitem_rows: 8000,
+            skew: Some(1.0),
+            seed: 2,
+        });
+        let hist_u = &u.table("tpch_wide").expect_column("l_quantity").stats().histogram;
+        let hist_s = &s.table("tpch_wide").expect_column("l_quantity").stats().histogram;
+        let max_u = *hist_u.iter().max().unwrap() as f64;
+        let max_s = *hist_s.iter().max().unwrap() as f64;
+        // Zipf(1) puts much more mass in the hottest bucket.
+        assert!(max_s > 1.5 * max_u, "u={max_u} s={max_s}");
+    }
+
+    #[test]
+    fn all_queries_match_reference_small() {
+        let w = tpch(&TpchParams {
+            lineitem_rows: 3000,
+            skew: None,
+            seed: 3,
+        });
+        let cfg = EngineConfig::default();
+        for bq in &w.queries {
+            let (got, _) = run_bench_query(&w, bq, &cfg);
+            let want = run_bench_query_naive(&w, bq);
+            assert_same_rows(&got.columns, &want);
+        }
+    }
+
+    #[test]
+    fn all_queries_match_reference_skewed() {
+        let w = tpch(&TpchParams {
+            lineitem_rows: 2000,
+            skew: Some(1.0),
+            seed: 4,
+        });
+        let cfg = EngineConfig::without_massaging();
+        for bq in &w.queries {
+            let (got, _) = run_bench_query(&w, bq, &cfg);
+            let want = run_bench_query_naive(&w, bq);
+            assert_same_rows(&got.columns, &want);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! SQL front-end demo: run textual queries against the generated TPC-H
+//! WideTable, with code massaging planning under the hood.
+//!
+//! Run with `cargo run --release --example sql_analytics`.
+
+use codemassage::engine::{execute, parse_query, EngineConfig};
+use codemassage::workloads::{tpch, TpchParams};
+
+fn main() {
+    let n: usize = std::env::var("MCS_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1 << 18);
+    println!("generating mini TPC-H ({n} lineitem rows)…\n");
+    let w = tpch(&TpchParams {
+        lineitem_rows: n,
+        skew: None,
+        seed: 3,
+    });
+
+    let queries = [
+        // A Q1-style pricing summary (dates are day codes, 0..2556).
+        "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, \
+                AVG(l_extendedprice) AS avg_price, COUNT(*) AS n \
+         FROM tpch_wide WHERE l_shipdate <= 2300 \
+         GROUP BY l_returnflag, l_linestatus \
+         ORDER BY l_returnflag, l_linestatus",
+        // Revenue by supplier nation and year.
+        "SELECT s_nation, o_year, SUM(l_disc_price) AS revenue \
+         FROM tpch_wide GROUP BY s_nation, o_year \
+         ORDER BY revenue DESC",
+        // Windowed: rank parts by retail price within each brand.
+        "SELECT p_brand, p_retailprice, \
+                RANK() OVER (PARTITION BY p_brand ORDER BY p_retailprice DESC) \
+         FROM partsupp_wide WHERE p_size <= 10",
+    ];
+
+    let cfg = EngineConfig::default();
+    for sql in queries {
+        println!("sql> {sql}");
+        let (q, table) = parse_query(sql).expect("parse");
+        let t = std::time::Instant::now();
+        let r = execute(w.table(&table), &q, &cfg);
+        let elapsed = t.elapsed();
+        // Print header + first rows.
+        let headers: Vec<&str> = r.columns.iter().map(|(n, _)| n.as_str()).collect();
+        println!("  {}", headers.join("  |  "));
+        for row in 0..r.rows.min(5) {
+            let cells: Vec<String> = r
+                .columns
+                .iter()
+                .map(|(_, v)| v[row].to_string())
+                .collect();
+            println!("  {}", cells.join("  |  "));
+        }
+        if r.rows > 5 {
+            println!("  … ({} rows)", r.rows);
+        }
+        if let Some(plan) = &r.timings.plan {
+            println!(
+                "  [{} rows in {:.1} ms; massage plan {}]\n",
+                r.rows,
+                elapsed.as_secs_f64() * 1e3,
+                plan
+            );
+        } else {
+            println!();
+        }
+    }
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Run every table/figure harness and record transcripts under results/.
+# Usage: ./run_experiments.sh [rows]   (MCS_ROWS override applied to all)
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+
+BINS=(
+  kernel_probe
+  fig3_examples
+  fig4_hill
+  ext_radix
+  fig1_breakdown
+  fig7_q16_plans
+  table2_search_time
+  fig10_scaling
+  fig8_mcs_speedup
+  fig12_rho
+  table1_plan_quality
+  fig9_query_time
+)
+
+for bin in "${BINS[@]}"; do
+  echo "=== $bin ==="
+  if [ "${1:-}" != "" ]; then
+    MCS_ROWS="$1" timeout 3600 cargo run --release -q -p mcs-bench --bin "$bin" \
+      >"results/$bin.txt" 2>&1
+  else
+    timeout 3600 cargo run --release -q -p mcs-bench --bin "$bin" \
+      >"results/$bin.txt" 2>&1
+  fi
+  status=$?
+  if [ $status -ne 0 ]; then
+    echo "  FAILED (exit $status) — see results/$bin.txt"
+  else
+    echo "  ok — results/$bin.txt"
+  fi
+done
+echo "all harnesses done"

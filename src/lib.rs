@@ -1,0 +1,66 @@
+//! # codemassage
+//!
+//! A from-scratch Rust implementation of **"Fast Multi-Column Sorting in
+//! Main-Memory Column-Stores"** (Wenjian Xu, Ziqiang Feng, Eric Lo —
+//! SIGMOD 2016): *code massaging* for multi-column `ORDER BY` /
+//! `GROUP BY` / `PARTITION BY`, together with every substrate the paper's
+//! prototype builds on.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`simd_sort`] | SIMD merge-sort (16/32/64-bit banks, key+oid pairs) |
+//! | [`columnar`] | encoded columns, ByteSlice scans, WideTables |
+//! | [`core`] | massage plans, the FIP kernel, the multi-column sort executor |
+//! | [`cost`] | the calibrated, architecture-aware cost model (§4) |
+//! | [`planner`] | ROGA (Algorithm 1), RRS baseline, exhaustive `A_i` |
+//! | [`engine`] | the query pipeline: scan → lookup → sort → aggregate/rank |
+//! | [`workloads`] | TPC-H (+skew), TPC-DS, airline DB1B, Ex1–Ex4 micro data |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use codemassage::prelude::*;
+//!
+//! // A tiny WideTable.
+//! let mut t = Table::new("sales");
+//! t.add_column(Column::from_u64s("nation", 10, [3u64, 1, 3, 1, 2]));
+//! t.add_column(Column::from_u64s("ship_date", 17, [500u64, 1201, 301, 1201, 42]));
+//! t.add_column(Column::from_u64s("price", 17, [10u64, 20, 30, 40, 50]));
+//!
+//! // SELECT SUM(price) FROM sales GROUP BY nation, ship_date — the
+//! // paper's Figure 2 query. The planner stitches the 10-bit and 17-bit
+//! // sort keys into one 27-bit round instead of sorting twice.
+//! let mut q = Query::named("q1");
+//! q.group_by = vec!["nation".into(), "ship_date".into()];
+//! q.aggregates = vec![Agg::new(AggKind::Sum("price".into()), "sum_price")];
+//!
+//! let result = execute(&t, &q, &EngineConfig::default());
+//! assert_eq!(result.rows, 4);
+//! ```
+
+pub use mcs_columnar as columnar;
+pub use mcs_core as core;
+pub use mcs_cost as cost;
+pub use mcs_engine as engine;
+pub use mcs_planner as planner;
+pub use mcs_simd_sort as simd_sort;
+pub use mcs_workloads as workloads;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use mcs_columnar::{
+        widen, Column, DimensionJoin, Dictionary, Predicate, Table,
+    };
+    pub use mcs_core::{
+        multi_column_sort, Bank, ExecConfig, MassagePlan, Round, SortSpec,
+    };
+    pub use mcs_cost::{calibrate, CalibrationOptions, CostModel, MachineSpec, SortInstance};
+    pub use mcs_engine::{
+        execute, result_to_table, Agg, AggKind, EngineConfig, Filter, OrderKey, PlannerMode,
+        Query, QueryResult,
+    };
+    pub use mcs_planner::{roga, rrs, RogaOptions, RrsOptions};
+    pub use mcs_simd_sort::{sort_pairs, sort_pairs_with, SortConfig};
+}

@@ -7,8 +7,9 @@
 //!   merge-sort invocations — the `C_overhead` effect behind the
 //!   Figure 4 time hill).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mcs_simd_sort::{sort_pairs_in_groups, sort_pairs_with, GroupBounds, SortConfig};
+use mcs_test_support::microbench::{BenchmarkId, Criterion, Throughput};
+use mcs_test_support::{criterion_group, criterion_main};
 
 fn xorshift(state: &mut u64) -> u64 {
     *state ^= *state << 13;

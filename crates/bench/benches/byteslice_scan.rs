@@ -1,8 +1,9 @@
-//! Criterion micro-bench: ByteSlice early-stopping scans at different
+//! Micro-bench: ByteSlice early-stopping scans at different
 //! widths and selectivities, plus the gather-based lookup.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mcs_columnar::{ByteSliceColumn, CodeVec, Predicate};
+use mcs_test_support::microbench::{BenchmarkId, Criterion, Throughput};
+use mcs_test_support::{criterion_group, criterion_main};
 
 fn bench_scans(c: &mut Criterion) {
     let n = 1usize << 18;
@@ -16,23 +17,29 @@ fn bench_scans(c: &mut Criterion) {
         let domain = 1u64 << width;
         let codes = CodeVec::from_u64s(width, (0..n).map(|i| (i as u64 * 2654435761) % domain));
         let col = ByteSliceColumn::from_codes(&codes, width);
-        for (sel_name, lit) in [("1pct", domain / 100), ("50pct", domain / 2), ("99pct", domain / 100 * 99)] {
-            g.bench_function(
-                BenchmarkId::new(format!("lt_w{width}"), sel_name),
-                |b| b.iter(|| col.scan(&Predicate::Lt(lit))),
-            );
-        }
-        g.bench_function(BenchmarkId::new(format!("between_w{width}"), "10pct"), |b| {
-            b.iter(|| col.scan(&Predicate::Between(domain / 2, domain / 2 + domain / 10)))
-        });
-        // Backend face-off: AVX2 32-lane kernels vs portable SWAR.
-        g.bench_function(BenchmarkId::new(format!("lt_w{width}_swar"), "50pct"), |b| {
-            b.iter(|| col.scan_with_stats_impl(&Predicate::Lt(domain / 2), false))
-        });
-        if std::is_x86_feature_detected!("avx2") {
-            g.bench_function(BenchmarkId::new(format!("lt_w{width}_avx2"), "50pct"), |b| {
-                b.iter(|| col.scan_with_stats_impl(&Predicate::Lt(domain / 2), true))
+        for (sel_name, lit) in [
+            ("1pct", domain / 100),
+            ("50pct", domain / 2),
+            ("99pct", domain / 100 * 99),
+        ] {
+            g.bench_function(BenchmarkId::new(format!("lt_w{width}"), sel_name), |b| {
+                b.iter(|| col.scan(&Predicate::Lt(lit)))
             });
+        }
+        g.bench_function(
+            BenchmarkId::new(format!("between_w{width}"), "10pct"),
+            |b| b.iter(|| col.scan(&Predicate::Between(domain / 2, domain / 2 + domain / 10))),
+        );
+        // Backend face-off: AVX2 32-lane kernels vs portable SWAR.
+        g.bench_function(
+            BenchmarkId::new(format!("lt_w{width}_swar"), "50pct"),
+            |b| b.iter(|| col.scan_with_stats_impl(&Predicate::Lt(domain / 2), false)),
+        );
+        if std::is_x86_feature_detected!("avx2") {
+            g.bench_function(
+                BenchmarkId::new(format!("lt_w{width}_avx2"), "50pct"),
+                |b| b.iter(|| col.scan_with_stats_impl(&Predicate::Lt(domain / 2), true)),
+            );
         }
     }
     g.finish();

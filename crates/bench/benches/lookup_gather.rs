@@ -1,8 +1,9 @@
-//! Criterion micro-bench: the lookup (random gather) operator whose cost
+//! Micro-bench: the lookup (random gather) operator whose cost
 //! Eq. 3 models — in-cache vs out-of-cache working sets.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mcs_columnar::CodeVec;
+use mcs_test_support::microbench::{BenchmarkId, Criterion, Throughput};
+use mcs_test_support::{criterion_group, criterion_main};
 
 fn bench_lookup(c: &mut Criterion) {
     let mut g = c.benchmark_group("lookup_gather");
@@ -10,7 +11,10 @@ fn bench_lookup(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.warm_up_time(std::time::Duration::from_millis(500));
 
-    for (name, n) in [("in_cache_64k", 1usize << 16), ("out_of_cache_8m", 1usize << 23)] {
+    for (name, n) in [
+        ("in_cache_64k", 1usize << 16),
+        ("out_of_cache_8m", 1usize << 23),
+    ] {
         let codes = CodeVec::from_u64s(20, (0..n).map(|i| (i as u64 * 48271) % (1 << 20)));
         // Random permutation of oids.
         let mut oids: Vec<u32> = (0..n as u32).collect();

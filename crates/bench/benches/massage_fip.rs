@@ -1,10 +1,11 @@
-//! Criterion micro-bench: code-massaging bandwidth (the four-instruction
+//! Micro-bench: code-massaging bandwidth (the four-instruction
 //! program of Figure 6). The paper's claim: massaging is sequential,
 //! branch-free, and cheap relative to one sorting round.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mcs_columnar::CodeVec;
 use mcs_core::{massage, MassagePlan, SortSpec};
+use mcs_test_support::microbench::{BenchmarkId, Criterion, Throughput};
+use mcs_test_support::{criterion_group, criterion_main};
 
 fn bench_massage(c: &mut Criterion) {
     let n = 1usize << 18;

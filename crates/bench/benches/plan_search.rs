@@ -1,10 +1,11 @@
-//! Criterion micro-bench: ROGA plan-search latency (it must stay a
+//! Micro-bench: ROGA plan-search latency (it must stay a
 //! negligible fraction of execution time — Table 2's claim) and RRS at
 //! the same budget.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcs_cost::{CostModel, SortInstance};
 use mcs_planner::{roga, RogaOptions};
+use mcs_test_support::microbench::{BenchmarkId, Criterion};
+use mcs_test_support::{criterion_group, criterion_main};
 
 fn bench_search(c: &mut Criterion) {
     let model = CostModel::with_defaults();

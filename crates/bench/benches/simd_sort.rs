@@ -1,10 +1,11 @@
-//! Criterion micro-bench: SIMD merge-sort throughput per bank width,
+//! Micro-bench: SIMD merge-sort throughput per bank width,
 //! AVX2 vs portable vs the scalar pdqsort baseline. The per-bank ordering
 //! (16 < 32 < 64 in time) is the data-parallelism property code
 //! massaging exploits.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mcs_simd_sort::{sort_pairs_scalar, sort_pairs_with, SortConfig};
+use mcs_test_support::microbench::{BenchmarkId, Criterion, Throughput};
+use mcs_test_support::{criterion_group, criterion_main};
 
 fn xorshift(state: &mut u64) -> u64 {
     *state ^= *state << 13;

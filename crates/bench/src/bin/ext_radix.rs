@@ -10,7 +10,9 @@
 
 use mcs_bench::{ms, print_table, rows, seed, time};
 use mcs_core::{massage, MassagePlan, RoundKeys};
-use mcs_simd_sort::{group_boundaries, sort_pairs_radix, sort_pairs_radix_in_groups, sort_pairs_with, SortConfig};
+use mcs_simd_sort::{
+    group_boundaries, sort_pairs_radix, sort_pairs_radix_in_groups, sort_pairs_with, SortConfig,
+};
 use mcs_workloads::ex3;
 
 fn radix_two_rounds(m: &mcs_workloads::MicroInstance, plan: &MassagePlan) -> u64 {

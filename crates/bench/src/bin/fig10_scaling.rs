@@ -11,7 +11,7 @@
 use mcs_bench::{cost_model, print_table, rows, seed, time};
 use mcs_core::ExecConfig;
 use mcs_engine::{EngineConfig, PlannerMode};
-use mcs_workloads::{run_bench_query, tpch, tpcds, TpcdsParams, TpchParams};
+use mcs_workloads::{run_bench_query, tpcds, tpch, TpcdsParams, TpchParams};
 
 fn main() {
     let n = rows(1 << 20);
@@ -19,7 +19,9 @@ fn main() {
     let threads = [1usize, 2, 4, 8];
     println!(
         "Figure 10: throughput vs threads (rows = {n}; NOTE: host has {} core(s))\n",
-        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
     );
     let model = cost_model();
     let wl_tpch = tpch(&TpchParams {

@@ -10,8 +10,13 @@
 
 use mcs_bench::{cost_model, ms, print_table, rows, seed, time};
 use mcs_core::{multi_column_sort, ExecConfig};
-use mcs_planner::{measure_all_plans, measure_plan, rank_by_time, roga, ExhaustiveOptions, RogaOptions};
-use mcs_workloads::{airline, suite::extract_sort_instance, tpcds, tpch, AirlineParams, TpcdsParams, TpchParams, Workload};
+use mcs_planner::{
+    measure_all_plans, measure_plan, rank_by_time, roga, ExhaustiveOptions, RogaOptions,
+};
+use mcs_workloads::{
+    airline, suite::extract_sort_instance, tpcds, tpch, AirlineParams, TpcdsParams, TpchParams,
+    Workload,
+};
 
 fn main() {
     let n = rows(1 << 18);
@@ -26,9 +31,20 @@ fn main() {
         ("N/S".into(), None),
     ];
 
-    let wl_tpch = tpch(&TpchParams { lineitem_rows: n, skew: None, seed: s });
-    let wl_ds = tpcds(&TpcdsParams { store_sales_rows: n, seed: s });
-    let wl_air = airline(&AirlineParams { ticket_rows: n, market_rows: n, seed: s });
+    let wl_tpch = tpch(&TpchParams {
+        lineitem_rows: n,
+        skew: None,
+        seed: s,
+    });
+    let wl_ds = tpcds(&TpcdsParams {
+        store_sales_rows: n,
+        seed: s,
+    });
+    let wl_air = airline(&AirlineParams {
+        ticket_rows: n,
+        market_rows: n,
+        seed: s,
+    });
     let picks: Vec<(&Workload, &str)> = vec![
         (&wl_tpch, "tpch_q16"),
         (&wl_ds, "tpcds_q98"),
@@ -58,10 +74,16 @@ fn main() {
             None // too wide to enumerate; report sort time only
         };
         for (label, rho) in &rhos {
-            let r = roga(&inst, &model, &RogaOptions { rho: *rho, permute_columns: false });
-            let (_, sort_d) = time(|| {
-                multi_column_sort(&refs, &specs, &r.plan, &ExecConfig::default())
-            });
+            let r = roga(
+                &inst,
+                &model,
+                &RogaOptions {
+                    rho: *rho,
+                    permute_columns: false,
+                },
+            );
+            let (_, sort_d) =
+                time(|| multi_column_sort(&refs, &specs, &r.plan, &ExecConfig::default()));
             let rank = measured
                 .as_ref()
                 .map(|m| {

@@ -10,7 +10,10 @@
 
 use mcs_bench::{cost_model, env_usize, print_table, rows, seed};
 use mcs_core::ExecConfig;
-use mcs_planner::{measure_all_plans, measure_plan, rank_by_time, roga, rrs, ExhaustiveOptions, RogaOptions, RrsOptions};
+use mcs_planner::{
+    measure_all_plans, measure_plan, rank_by_time, roga, rrs, ExhaustiveOptions, RogaOptions,
+    RrsOptions,
+};
 use mcs_workloads::{suite::extract_sort_instance, tpch, TpchParams};
 
 fn main() {
@@ -41,11 +44,21 @@ fn main() {
         exec: ExecConfig::default(),
     };
     let measured = measure_all_plans(&refs, &specs, &opts);
-    println!("executed {} feasible plans (≤ {max_rounds} rounds)\n", measured.len());
+    println!(
+        "executed {} feasible plans (≤ {max_rounds} rounds)\n",
+        measured.len()
+    );
 
     // Search algorithms (fixed column order, as the figure plots one
     // ordering's plan space).
-    let roga_res = roga(&inst, &model, &RogaOptions { rho: None, permute_columns: false });
+    let roga_res = roga(
+        &inst,
+        &model,
+        &RogaOptions {
+            rho: None,
+            permute_columns: false,
+        },
+    );
     let rrs_res = rrs(
         &inst,
         &model,
@@ -77,16 +90,36 @@ fn main() {
     // Print the top 25 and the chosen plans' neighborhoods.
     let shown: Vec<Vec<String>> = out.iter().take(25).cloned().collect();
     print_table(
-        &["actual_rank", "plan", "actual_ms", "estimated_ms", "found_by"],
+        &[
+            "actual_rank",
+            "plan",
+            "actual_ms",
+            "estimated_ms",
+            "found_by",
+        ],
         &shown,
     );
 
-    let r_roga = rank_by_time(measure_plan(&refs, &specs, &roga_res.plan, &opts), &measured);
+    let r_roga = rank_by_time(
+        measure_plan(&refs, &specs, &roga_res.plan, &opts),
+        &measured,
+    );
     let r_rrs = rank_by_time(measure_plan(&refs, &specs, &rrs_res.plan, &opts), &measured);
-    println!("\nROGA plan {}: actual rank {} of {} (costed {} plans in {:?})",
-        roga_res.plan, r_roga, measured.len(), roga_res.plans_costed, roga_res.elapsed);
-    println!("RRS  plan {}: actual rank {} of {} (costed {} plans)",
-        rrs_res.plan, r_rrs, measured.len(), rrs_res.plans_costed);
+    println!(
+        "\nROGA plan {}: actual rank {} of {} (costed {} plans in {:?})",
+        roga_res.plan,
+        r_roga,
+        measured.len(),
+        roga_res.plans_costed,
+        roga_res.elapsed
+    );
+    println!(
+        "RRS  plan {}: actual rank {} of {} (costed {} plans)",
+        rrs_res.plan,
+        r_rrs,
+        measured.len(),
+        rrs_res.plans_costed
+    );
 
     // Cost-model quality on this query: mean relative error over all plans.
     let mre: f64 = measured

@@ -7,7 +7,9 @@
 //! ratio. Expected shape (paper): 1.8×–5.5× across the board.
 
 use mcs_bench::{cost_model, engine_pair, ms, print_table, rows, seed, speedup};
-use mcs_workloads::{airline, run_bench_query, tpcds, tpch, AirlineParams, TpcdsParams, TpchParams, Workload};
+use mcs_workloads::{
+    airline, run_bench_query, tpcds, tpch, AirlineParams, TpcdsParams, TpchParams, Workload,
+};
 
 fn main() {
     let n = rows(1 << 20);

@@ -8,7 +8,9 @@
 //! with consistent gains across scales; Q13 barely moves.
 
 use mcs_bench::{cost_model, engine_pair, ms, print_table, rows, seed, speedup};
-use mcs_workloads::{airline, run_bench_query, tpcds, tpch, AirlineParams, TpcdsParams, TpchParams, Workload};
+use mcs_workloads::{
+    airline, run_bench_query, tpcds, tpch, AirlineParams, TpcdsParams, TpchParams, Workload,
+};
 
 fn main() {
     let base = rows(1 << 18);
@@ -60,7 +62,14 @@ fn main() {
         }
     }
     print_table(
-        &["rows", "workload", "query", "off_ms", "on_ms", "query_speedup"],
+        &[
+            "rows",
+            "workload",
+            "query",
+            "off_ms",
+            "on_ms",
+            "query_speedup",
+        ],
         &out,
     );
     println!(

@@ -45,11 +45,7 @@ fn main() {
                 sort_pairs_with(&mut k, &mut o, $cfg);
                 let secs = t.elapsed().as_secs_f64();
                 std::hint::black_box(&k[0]);
-                out.push(vec![
-                    format!("2^{shift}"),
-                    $label.to_string(),
-                    mps(n, secs),
-                ]);
+                out.push(vec![format!("2^{shift}"), $label.to_string(), mps(n, secs)]);
             }};
         }
         run!("u16 avx2", k16, &avx2);
@@ -65,7 +61,11 @@ fn main() {
             let t = Instant::now();
             sort_pairs_scalar(&mut k, &mut o);
             let secs = t.elapsed().as_secs_f64();
-            out.push(vec![format!("2^{shift}"), "u32 scalar pdq".into(), mps(n, secs)]);
+            out.push(vec![
+                format!("2^{shift}"),
+                "u32 scalar pdq".into(),
+                mps(n, secs),
+            ]);
         }
     }
     print_table(&["n", "variant", "Melem/s"], &out);

@@ -12,8 +12,14 @@
 
 use mcs_bench::{cost_model, env_usize, print_table, rows, seed};
 use mcs_core::ExecConfig;
-use mcs_planner::{measure_all_plans, measure_plan, rank_by_time, roga, rrs, ExhaustiveOptions, RogaOptions, RrsOptions};
-use mcs_workloads::{airline, suite::extract_sort_instance, tpcds, tpch, AirlineParams, TpcdsParams, TpchParams, Workload};
+use mcs_planner::{
+    measure_all_plans, measure_plan, rank_by_time, roga, rrs, ExhaustiveOptions, RogaOptions,
+    RrsOptions,
+};
+use mcs_workloads::{
+    airline, suite::extract_sort_instance, tpcds, tpch, AirlineParams, TpcdsParams, TpchParams,
+    Workload,
+};
 
 struct Acc {
     roga_ranks: Vec<usize>,
@@ -30,10 +36,25 @@ fn main() {
     let max_plans = env_usize("MCS_T1_MAX_PLANS", 400);
 
     let workloads: Vec<Workload> = vec![
-        tpch(&TpchParams { lineitem_rows: n, skew: None, seed: s }),
-        tpch(&TpchParams { lineitem_rows: n, skew: Some(1.0), seed: s }),
-        tpcds(&TpcdsParams { store_sales_rows: n, seed: s }),
-        airline(&AirlineParams { ticket_rows: n, market_rows: n, seed: s }),
+        tpch(&TpchParams {
+            lineitem_rows: n,
+            skew: None,
+            seed: s,
+        }),
+        tpch(&TpchParams {
+            lineitem_rows: n,
+            skew: Some(1.0),
+            seed: s,
+        }),
+        tpcds(&TpcdsParams {
+            store_sales_rows: n,
+            seed: s,
+        }),
+        airline(&AirlineParams {
+            ticket_rows: n,
+            market_rows: n,
+            seed: s,
+        }),
     ];
 
     let mut summary = Vec::new();
@@ -64,7 +85,14 @@ fn main() {
             }
             // Fixed column order: ranks are relative to this ordering's
             // space (as in the paper's Figure 7 methodology).
-            let r = roga(&inst, &model, &RogaOptions { rho: Some(0.001), permute_columns: false });
+            let r = roga(
+                &inst,
+                &model,
+                &RogaOptions {
+                    rho: Some(0.001),
+                    permute_columns: false,
+                },
+            );
             let rr = rrs(
                 &inst,
                 &model,

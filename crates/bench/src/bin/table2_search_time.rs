@@ -1,14 +1,17 @@
 //! Table 2 — ROGA plan-search time per query (referenced in §6.2: "the
 //! time used by ROGA to find a good code massage plan is negligible").
 //!
-//! For each of the 27 queries (9 TPC-H uniform + 9 TPC-H skew + 4 TPC-DS
-//! + 5 airline): the search time, the number of plans costed, whether the
-//! ρ = 0.1 % deadline fired, and the search time as a share of the
-//! estimated plan execution time.
+//! For each of the 27 queries (9 TPC-H uniform + 9 TPC-H skew +
+//! 4 TPC-DS + 5 airline): the search time, the number of plans costed,
+//! whether the ρ = 0.1 % deadline fired, and the search time as a share
+//! of the estimated plan execution time.
 
 use mcs_bench::{cost_model, print_table, rows, seed};
 use mcs_planner::{roga, RogaOptions};
-use mcs_workloads::{airline, suite::extract_sort_instance, tpcds, tpch, AirlineParams, TpcdsParams, TpchParams, Workload};
+use mcs_workloads::{
+    airline, suite::extract_sort_instance, tpcds, tpch, AirlineParams, TpcdsParams, TpchParams,
+    Workload,
+};
 
 fn main() {
     let n = rows(1 << 19);
@@ -17,10 +20,25 @@ fn main() {
     let model = cost_model();
 
     let workloads: Vec<Workload> = vec![
-        tpch(&TpchParams { lineitem_rows: n, skew: None, seed: s }),
-        tpch(&TpchParams { lineitem_rows: n, skew: Some(1.0), seed: s }),
-        tpcds(&TpcdsParams { store_sales_rows: n, seed: s }),
-        airline(&AirlineParams { ticket_rows: n, market_rows: n, seed: s }),
+        tpch(&TpchParams {
+            lineitem_rows: n,
+            skew: None,
+            seed: s,
+        }),
+        tpch(&TpchParams {
+            lineitem_rows: n,
+            skew: Some(1.0),
+            seed: s,
+        }),
+        tpcds(&TpcdsParams {
+            store_sales_rows: n,
+            seed: s,
+        }),
+        airline(&AirlineParams {
+            ticket_rows: n,
+            market_rows: n,
+            seed: s,
+        }),
     ];
 
     let mut out = Vec::new();

@@ -50,7 +50,10 @@ pub(crate) unsafe fn scan_ineq_avx2(
     out: &mut BitVec,
     stats: &mut ScanStats,
 ) {
-    let lits: Vec<__m256i> = lit_bytes.iter().map(|&b| _mm256_set1_epi8(b as i8)).collect();
+    let lits: Vec<__m256i> = lit_bytes
+        .iter()
+        .map(|&b| _mm256_set1_epi8(b as i8))
+        .collect();
     let mut i = 0usize;
     while i < n {
         let mut undecided = u32::MAX;
@@ -87,7 +90,10 @@ pub(crate) unsafe fn scan_eq_avx2(
     out: &mut BitVec,
     stats: &mut ScanStats,
 ) {
-    let lits: Vec<__m256i> = lit_bytes.iter().map(|&b| _mm256_set1_epi8(b as i8)).collect();
+    let lits: Vec<__m256i> = lit_bytes
+        .iter()
+        .map(|&b| _mm256_set1_epi8(b as i8))
+        .collect();
     let mut i = 0usize;
     while i < n {
         let mut undecided = u32::MAX;
@@ -119,8 +125,14 @@ pub(crate) unsafe fn scan_between_avx2(
     out: &mut BitVec,
     stats: &mut ScanStats,
 ) {
-    let los: Vec<__m256i> = lo_bytes.iter().map(|&b| _mm256_set1_epi8(b as i8)).collect();
-    let his: Vec<__m256i> = hi_bytes.iter().map(|&b| _mm256_set1_epi8(b as i8)).collect();
+    let los: Vec<__m256i> = lo_bytes
+        .iter()
+        .map(|&b| _mm256_set1_epi8(b as i8))
+        .collect();
+    let his: Vec<__m256i> = hi_bytes
+        .iter()
+        .map(|&b| _mm256_set1_epi8(b as i8))
+        .collect();
     let mut i = 0usize;
     while i < n {
         let mut und_lo = u32::MAX;

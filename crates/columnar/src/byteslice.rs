@@ -72,7 +72,7 @@ pub struct ScanStats {
 impl ByteSliceColumn {
     /// Build from codes of a `width`-bit column.
     pub fn from_codes(codes: &CodeVec, width: u32) -> Self {
-        assert!(width >= 1 && width <= 64);
+        assert!((1..=64).contains(&width));
         let n = codes.len();
         let nbytes = width.div_ceil(8) as usize;
         let shift = nbytes as u32 * 8 - width;
@@ -217,7 +217,9 @@ impl ByteSliceColumn {
     }
 
     fn literal_bytes(&self, aligned: u64) -> Vec<u8> {
-        (0..self.nbytes).map(|j| self.literal_byte(aligned, j)).collect()
+        (0..self.nbytes)
+            .map(|j| self.literal_byte(aligned, j))
+            .collect()
     }
 
     /// Shared kernel for `<`, `<=`, `>`, `>=`: `greater` flips direction,
@@ -412,8 +414,7 @@ fn lt_bytes(x: u64, y: u64) -> u8 {
 /// Move bits 8/24/40/56 to bits 0/2/4/6.
 #[inline(always)]
 fn compress_lanes(m: u64) -> u8 {
-    (((m >> 8) & 1) | ((m >> 22) & 0b100) | ((m >> 36) & 0b1_0000) | ((m >> 50) & 0b100_0000))
-        as u8
+    (((m >> 8) & 1) | ((m >> 22) & 0b100) | ((m >> 36) & 0b1_0000) | ((m >> 50) & 0b100_0000)) as u8
 }
 
 #[cfg(test)]
@@ -450,10 +451,7 @@ mod tests {
         for (i, &v) in vals.iter().enumerate() {
             assert_eq!(col.lookup(i as u32), v, "i={i}");
         }
-        assert_eq!(
-            col.to_codes().iter_u64().collect::<Vec<_>>(),
-            vals
-        );
+        assert_eq!(col.to_codes().iter_u64().collect::<Vec<_>>(), vals);
     }
 
     fn oracle_scan(vals: &[u64], pred: &Predicate) -> Vec<u32> {
@@ -468,7 +466,11 @@ mod tests {
     fn scans_match_oracle() {
         // Deterministic pseudo-random values across byte boundaries.
         for &width in &[5u32, 8, 12, 16, 17, 23, 24, 31, 33, 48] {
-            let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
             let mut state = 0xABCDEFu64;
             let vals: Vec<u64> = (0..500)
                 .map(|_| {

@@ -7,7 +7,10 @@
 /// `size(w)`: bytes of the smallest power-of-two-width integer type that
 /// holds a `w`-bit code. `size(15) = 2`, `size(17) = 4`, `size(33) = 8`.
 pub fn size_of_width(w: u32) -> usize {
-    assert!(w >= 1 && w <= 64, "code width must be in 1..=64, got {w}");
+    assert!(
+        (1..=64).contains(&w),
+        "code width must be in 1..=64, got {w}"
+    );
     let bytes = w.div_ceil(8);
     (bytes.next_power_of_two()) as usize
 }
@@ -40,9 +43,11 @@ impl CodeVec {
     /// `width` bits. Values must fit in `width` bits.
     pub fn from_u64s(width: u32, vals: impl IntoIterator<Item = u64>) -> CodeVec {
         let mut cv = CodeVec::zeroed(width, 0);
-        debug_assert!(width == 64 || {
-            true // per-value check happens in push
-        });
+        debug_assert!(
+            width == 64 || {
+                true // per-value check happens in push
+            }
+        );
         for v in vals {
             cv.push(v, width);
         }

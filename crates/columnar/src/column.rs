@@ -27,7 +27,11 @@ impl ColumnStats {
         let rows = codes.len();
         let buckets = 16usize;
         let mut histogram = vec![0u64; buckets];
-        let domain = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let domain = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let mut min = u64::MAX;
         let mut max = 0u64;
         let mut all: Vec<u64> = Vec::with_capacity(rows);

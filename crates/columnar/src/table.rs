@@ -162,10 +162,7 @@ mod tests {
         );
         assert_eq!(wide.rows(), 4);
         let reg = wide.expect_column("nation_region");
-        assert_eq!(
-            reg.codes().iter_u64().collect::<Vec<_>>(),
-            vec![2, 0, 0, 1]
-        );
+        assert_eq!(reg.codes().iter_u64().collect::<Vec<_>>(), vec![2, 0, 0, 1]);
         // Fact columns preserved.
         assert_eq!(wide.expect_column("o_price").get(3), 400);
     }

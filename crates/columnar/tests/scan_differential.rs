@@ -3,7 +3,7 @@
 //! on arbitrary widths, values and predicates.
 
 use mcs_columnar::{ByteSliceColumn, CodeVec, Predicate};
-use proptest::prelude::*;
+use mcs_test_support::{check, Rng};
 
 fn domain_mask(width: u32) -> u64 {
     if width >= 64 {
@@ -34,42 +34,41 @@ fn check_all_backends(vals: &[u64], width: u32, pred: &Predicate) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn backends_agree(
-        width in 1u32..=48,
-        raw in prop::collection::vec(any::<u64>(), 0..700),
-        lit_raw in any::<u64>(),
-        lit2_raw in any::<u64>(),
-        which in 0usize..7,
-    ) {
-        let mask = domain_mask(width);
-        let vals: Vec<u64> = raw.iter().map(|v| v & mask).collect();
-        let a = lit_raw & mask;
-        let b = lit2_raw & mask;
-        let pred = match which {
-            0 => Predicate::Lt(a),
-            1 => Predicate::Le(a),
-            2 => Predicate::Gt(a),
-            3 => Predicate::Ge(a),
-            4 => Predicate::Eq(a),
-            5 => Predicate::Ne(a),
-            _ => Predicate::Between(a.min(b), a.max(b)),
-        };
-        check_all_backends(&vals, width, &pred);
+fn random_predicate(rng: &mut Rng, a: u64, b: u64) -> Predicate {
+    match rng.gen_range(0..7usize) {
+        0 => Predicate::Lt(a),
+        1 => Predicate::Le(a),
+        2 => Predicate::Gt(a),
+        3 => Predicate::Ge(a),
+        4 => Predicate::Eq(a),
+        5 => Predicate::Ne(a),
+        _ => Predicate::Between(a.min(b), a.max(b)),
     }
+}
 
-    /// Low-cardinality data stresses the undecided-lane paths (ties on
-    /// leading bytes everywhere).
-    #[test]
-    fn backends_agree_low_cardinality(
-        width in 9u32..=33,
-        raw in prop::collection::vec(0u64..4, 0..500),
-        which in 0usize..7,
-    ) {
-        let pred = match which {
+#[test]
+fn backends_agree() {
+    check("backends_agree", 128, |rng| {
+        let width = rng.gen_range(1..=48u32);
+        let mask = domain_mask(width);
+        let n = rng.gen_range(0..700usize);
+        let vals: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() & mask).collect();
+        let a = rng.gen::<u64>() & mask;
+        let b = rng.gen::<u64>() & mask;
+        let pred = random_predicate(rng, a, b);
+        check_all_backends(&vals, width, &pred);
+    });
+}
+
+/// Low-cardinality data stresses the undecided-lane paths (ties on
+/// leading bytes everywhere).
+#[test]
+fn backends_agree_low_cardinality() {
+    check("backends_agree_low_cardinality", 128, |rng| {
+        let width = rng.gen_range(9..=33u32);
+        let n = rng.gen_range(0..500usize);
+        let raw: Vec<u64> = (0..n).map(|_| rng.gen_range(0..4u64)).collect();
+        let pred = match rng.gen_range(0..7usize) {
             0 => Predicate::Lt(2),
             1 => Predicate::Le(1),
             2 => Predicate::Gt(0),
@@ -79,7 +78,7 @@ proptest! {
             _ => Predicate::Between(1, 2),
         };
         check_all_backends(&raw, width, &pred);
-    }
+    });
 }
 
 #[test]

@@ -168,7 +168,11 @@ pub fn multi_column_sort(
     let tm = Instant::now();
     let (mut round_keys, prog) = massage(inputs, specs, plan, cfg.threads);
     let massage_elapsed = tm.elapsed().as_nanos() as u64;
-    stats.massage_ns = if prog.is_identity() { 0 } else { massage_elapsed };
+    stats.massage_ns = if prog.is_identity() {
+        0
+    } else {
+        massage_elapsed
+    };
 
     let mut oids: Vec<u32> = (0..n as u32).collect();
     let mut groups = GroupBounds::whole(n);
@@ -216,18 +220,13 @@ pub fn multi_column_sort(
 
 /// The §3 `ORDER BY` comparator: `a ≺ b` over the raw input columns.
 /// Used by tests and the exhaustive plan-search oracle.
-pub fn tuple_cmp(
-    inputs: &[&CodeVec],
-    specs: &[SortSpec],
-    a: u32,
-    b: u32,
-) -> core::cmp::Ordering {
+pub fn tuple_cmp(inputs: &[&CodeVec], specs: &[SortSpec], a: u32, b: u32) -> core::cmp::Ordering {
     for (c, s) in inputs.iter().zip(specs) {
         let mut va = c.get(a as usize);
         let mut vb = c.get(b as usize);
         if s.descending {
-            va = va ^ width_mask(s.width);
-            vb = vb ^ width_mask(s.width);
+            va ^= width_mask(s.width);
+            vb ^= width_mask(s.width);
         }
         match va.cmp(&vb) {
             core::cmp::Ordering::Equal => continue,
@@ -321,8 +320,14 @@ mod tests {
     fn all_plans_agree_small_exhaustive() {
         // 6-bit + 5-bit columns, every composition of 11 bits is a plan.
         let n = 200usize;
-        let a = col(6, &(0..n).map(|i| ((i * 37) % 64) as u64).collect::<Vec<_>>());
-        let b = col(5, &(0..n).map(|i| ((i * 11) % 32) as u64).collect::<Vec<_>>());
+        let a = col(
+            6,
+            &(0..n).map(|i| ((i * 37) % 64) as u64).collect::<Vec<_>>(),
+        );
+        let b = col(
+            5,
+            &(0..n).map(|i| ((i * 11) % 32) as u64).collect::<Vec<_>>(),
+        );
         let inputs = vec![&a, &b];
         let specs = vec![SortSpec::asc(6), SortSpec::asc(5)];
 
@@ -381,8 +386,18 @@ mod tests {
     #[test]
     fn round_stats_populated() {
         let n = 5000usize;
-        let a = col(13, &(0..n).map(|i| ((i * 2654435761) % 8192) as u64).collect::<Vec<_>>());
-        let b = col(17, &(0..n).map(|i| ((i * 40503) % 131072) as u64).collect::<Vec<_>>());
+        let a = col(
+            13,
+            &(0..n)
+                .map(|i| ((i * 2654435761) % 8192) as u64)
+                .collect::<Vec<_>>(),
+        );
+        let b = col(
+            17,
+            &(0..n)
+                .map(|i| ((i * 40503) % 131072) as u64)
+                .collect::<Vec<_>>(),
+        );
         let inputs = vec![&a, &b];
         let specs = vec![SortSpec::asc(13), SortSpec::asc(17)];
         let p0 = MassagePlan::column_at_a_time(&specs);
@@ -415,8 +430,16 @@ mod tests {
     fn wide_keys_over_64_bits() {
         // Three columns totalling 90 bits: no single round can hold them.
         let n = 300usize;
-        let a = col(30, &(0..n).map(|i| ((i * 77) % (1 << 30)) as u64).collect::<Vec<_>>());
-        let b = col(30, &(0..n).map(|i| ((i * 13) % 7) as u64).collect::<Vec<_>>());
+        let a = col(
+            30,
+            &(0..n)
+                .map(|i| ((i * 77) % (1 << 30)) as u64)
+                .collect::<Vec<_>>(),
+        );
+        let b = col(
+            30,
+            &(0..n).map(|i| ((i * 13) % 7) as u64).collect::<Vec<_>>(),
+        );
         let c = col(30, &(0..n).map(|i| (i % 3) as u64).collect::<Vec<_>>());
         let inputs = vec![&a, &b, &c];
         let specs = vec![SortSpec::asc(30), SortSpec::asc(30), SortSpec::asc(30)];
@@ -434,8 +457,16 @@ mod tests {
     #[test]
     fn threads_do_not_change_result_structure() {
         let n = 20_000usize;
-        let a = col(11, &(0..n).map(|i| ((i * 31) % 2048) as u64).collect::<Vec<_>>());
-        let b = col(21, &(0..n).map(|i| ((i * 7_919) % (1 << 21)) as u64).collect::<Vec<_>>());
+        let a = col(
+            11,
+            &(0..n).map(|i| ((i * 31) % 2048) as u64).collect::<Vec<_>>(),
+        );
+        let b = col(
+            21,
+            &(0..n)
+                .map(|i| ((i * 7_919) % (1 << 21)) as u64)
+                .collect::<Vec<_>>(),
+        );
         let inputs = vec![&a, &b];
         let specs = vec![SortSpec::asc(11), SortSpec::asc(21)];
         let plan = MassagePlan::from_widths(&[16, 16]);

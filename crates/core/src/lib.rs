@@ -42,8 +42,8 @@ mod massage;
 mod plan;
 
 pub use executor::{
-    multi_column_sort, tuple_cmp, verify_sorted, ExecConfig, ExecStats,
-    MultiColumnSortOutput, RoundStats,
+    multi_column_sort, tuple_cmp, verify_sorted, ExecConfig, ExecStats, MultiColumnSortOutput,
+    RoundStats,
 };
 pub use massage::{massage, width_mask, FipStep, MassageProgram, RoundKeys};
 pub use plan::{MassagePlan, PlanError, Round, SortSpec};

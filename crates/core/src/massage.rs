@@ -124,7 +124,11 @@ impl MassageProgram {
         for step in &self.steps {
             let src = inputs[step.in_col];
             let spec = self.specs[step.in_col];
-            let comp_mask = if spec.descending { width_mask(spec.width) } else { 0 };
+            let comp_mask = if spec.descending {
+                width_mask(spec.width)
+            } else {
+                0
+            };
             let seg_mask = width_mask(step.len);
             let dst = &mut out[step.out_col];
             // SAFETY-free parallelism: chunks are disjoint row ranges; we
@@ -132,6 +136,10 @@ impl MassageProgram {
             // chunking below.
             let dst_ptr = SendPtr(dst.as_mut_ptr());
             for_each_chunk(n, threads, |_, start, len| {
+                // Rebind to capture the whole SendPtr rather than its raw
+                // *mut field (edition-2021 closures capture disjoint
+                // fields, and a bare *mut is not Send).
+                #[allow(clippy::redundant_locals)]
                 let dst_ptr = dst_ptr;
                 for r in start..start + len {
                     let code = src.get(r) ^ comp_mask;
@@ -238,12 +246,7 @@ mod tests {
 
     /// Oracle: assemble each row's W-bit key as a u128 (W <= 96 in tests),
     /// then slice it at the output boundaries.
-    fn oracle(
-        inputs: &[&CodeVec],
-        sp: &[SortSpec],
-        out_widths: &[u32],
-        row: usize,
-    ) -> Vec<u64> {
+    fn oracle(inputs: &[&CodeVec], sp: &[SortSpec], out_widths: &[u32], row: usize) -> Vec<u64> {
         let mut key: u128 = 0;
         let mut total = 0u32;
         for (c, s) in inputs.iter().zip(sp) {
@@ -345,14 +348,20 @@ mod tests {
                 let sp: Vec<SortSpec> = [17u32, 33]
                     .iter()
                     .zip(desc_pattern)
-                    .map(|(&w, d)| SortSpec { width: w, descending: d })
+                    .map(|(&w, d)| SortSpec {
+                        width: w,
+                        descending: d,
+                    })
                     .collect();
                 let prog = MassageProgram::compile(&sp, &plan);
                 let got = prog.execute(&inputs, 1);
                 for row in 0..4 {
                     let want = oracle(&inputs, &sp, &plan_widths, row);
                     let got_row: Vec<u64> = got.iter().map(|c| c[row]).collect();
-                    assert_eq!(got_row, want, "plan={plan_widths:?} desc={desc_pattern:?} row={row}");
+                    assert_eq!(
+                        got_row, want,
+                        "plan={plan_widths:?} desc={desc_pattern:?} row={row}"
+                    );
                 }
             }
         }

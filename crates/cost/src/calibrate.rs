@@ -9,8 +9,7 @@ use std::time::Instant;
 use mcs_columnar::CodeVec;
 use mcs_core::{massage, Bank, GroupBounds, MassagePlan, SortConfig, SortSpec};
 use mcs_simd_sort::{sort_pairs_in_groups, sort_pairs_with};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mcs_test_support::Rng;
 
 use crate::linalg::{least_squares_nonneg, solve};
 use crate::machine::MachineSpec;
@@ -87,7 +86,7 @@ pub fn calibrate(machine: MachineSpec, opts: &CalibrationOptions) -> CostModel {
 /// Lookup calibration: two random-gather runs at different working-set
 /// sizes, solved as a 2×2 linear system (Eq. 3 instantiated twice).
 fn calibrate_lookup(machine: &MachineSpec, opts: &CalibrationOptions) -> (f64, f64) {
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut rng = Rng::seed_from_u64(opts.seed);
     let elem = 4usize; // 32-bit codes: size(w) = 4
     let mut rows_a = Vec::new();
     let mut rhs = Vec::new();
@@ -124,7 +123,7 @@ fn calibrate_lookup(machine: &MachineSpec, opts: &CalibrationOptions) -> (f64, f
 /// and divide by `N_cal · I_FIP`.
 fn calibrate_massage(opts: &CalibrationOptions) -> f64 {
     let n = opts.rows;
-    let mut rng = StdRng::seed_from_u64(opts.seed ^ 1);
+    let mut rng = Rng::seed_from_u64(opts.seed ^ 1);
     let c1 = CodeVec::from_u64s(17, (0..n).map(|_| rng.gen_range(0..(1u64 << 17))));
     let c2 = CodeVec::from_u64s(33, (0..n).map(|_| rng.gen_range(0..(1u64 << 33))));
     let specs = [SortSpec::asc(17), SortSpec::asc(33)];
@@ -139,8 +138,10 @@ fn calibrate_massage(opts: &CalibrationOptions) -> f64 {
 /// Scan calibration: group-boundary extraction over a sorted column.
 fn calibrate_scan(opts: &CalibrationOptions) -> f64 {
     let n = opts.rows;
-    let mut rng = StdRng::seed_from_u64(opts.seed ^ 2);
-    let mut keys: Vec<u32> = (0..n).map(|_| rng.gen_range(0..(n as u32 / 4).max(2))).collect();
+    let mut rng = Rng::seed_from_u64(opts.seed ^ 2);
+    let mut keys: Vec<u32> = (0..n)
+        .map(|_| rng.gen_range(0..(n as u32 / 4).max(2)))
+        .collect();
     keys.sort_unstable();
     let t = Instant::now();
     let g = GroupBounds::whole(n).refine_by(&keys);
@@ -160,11 +161,10 @@ fn calibrate_sort_bank<K>(
 ) -> (BankConstants, f64)
 where
     K: mcs_simd_sort::SortableKey,
-    rand::distributions::Standard: rand::distributions::Distribution<K>,
 {
     let n = opts.rows;
-    let mut rng = StdRng::seed_from_u64(opts.seed ^ bank.bits() as u64);
-    let base_keys: Vec<K> = (0..n).map(|_| rng.gen()).collect();
+    let mut rng = Rng::seed_from_u64(opts.seed ^ bank.bits() as u64);
+    let base_keys: Vec<K> = (0..n).map(|_| K::from_u64(rng.gen())).collect();
     let cfg = SortConfig::default();
 
     let mut a = Vec::new();
@@ -229,7 +229,11 @@ mod tests {
     fn quick_calibration_is_sane() {
         let model = calibrate(MachineSpec::detect(), &CalibrationOptions::quick());
         let c = &model.consts;
-        assert!(c.c_cache > 0.0 && c.c_cache < 1000.0, "c_cache={}", c.c_cache);
+        assert!(
+            c.c_cache > 0.0 && c.c_cache < 1000.0,
+            "c_cache={}",
+            c.c_cache
+        );
         assert!(c.c_mem > 0.0, "c_mem={}", c.c_mem);
         assert!(c.c_massage > 0.0 && c.c_massage < 1000.0);
         assert!(c.c_scan > 0.0 && c.c_scan < 1000.0);
@@ -250,7 +254,7 @@ mod tests {
         };
         let model = calibrate(MachineSpec::detect(), &opts);
         let n = 1usize << 17;
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         let mut keys: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
         let mut oids: Vec<u32> = (0..n as u32).collect();
         let t = Instant::now();

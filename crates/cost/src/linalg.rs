@@ -34,6 +34,9 @@ pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
             if f == 0.0 {
                 continue;
             }
+            // Indexing two distinct rows of `m`; an iterator over one
+            // row would conflict with the shared borrow of the other.
+            #[allow(clippy::needless_range_loop)]
             for c in col..=n {
                 m[r][c] -= f * m[col][c];
             }

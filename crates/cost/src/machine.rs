@@ -40,7 +40,9 @@ impl MachineSpec {
         if let Ok(entries) = fs::read_dir(base) {
             for e in entries.flatten() {
                 let p = e.path();
-                let level: u32 = read_trim(&p.join("level")).and_then(|s| s.parse().ok()).unwrap_or(0);
+                let level: u32 = read_trim(&p.join("level"))
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
                 let ty = read_trim(&p.join("type")).unwrap_or_default();
                 let size = read_trim(&p.join("size")).and_then(|s| parse_size(&s));
                 if let Some(bytes) = size {

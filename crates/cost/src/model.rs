@@ -216,9 +216,7 @@ impl CostModel {
         let bc = self.consts.bank(bank);
         let p_ic = self.in_cache_passes(n, bank);
         let p_oc = self.merge_passes(n, bank);
-        bc.c_sort_network * n
-            + bc.c_in_cache_merge * n * p_ic
-            + bc.c_out_of_cache_merge * n * p_oc
+        bc.c_sort_network * n + bc.c_in_cache_merge * n * p_ic + bc.c_out_of_cache_merge * n * p_oc
     }
 
     /// `T_sort(N, b)` (Eq. 2): one SIMD-sort invocation.

@@ -3,86 +3,99 @@
 
 use mcs_core::{Bank, MassagePlan};
 use mcs_cost::{CostModel, SortInstance};
-use proptest::prelude::*;
+use mcs_test_support::check;
 
 fn model() -> CostModel {
     CostModel::with_defaults()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Costs are finite, non-negative, and grow with N.
-    #[test]
-    fn t_mcs_is_sane(
-        w1 in 1u32..=32,
-        w2 in 1u32..=32,
-        rows_log in 4u32..=24,
-        ndv in 1u64..=100_000,
-    ) {
+/// Costs are finite, non-negative, and grow with N.
+#[test]
+fn t_mcs_is_sane() {
+    check("t_mcs_is_sane", 64, |rng| {
+        let w1 = rng.gen_range(1..=32u32);
+        let w2 = rng.gen_range(1..=32u32);
+        let rows_log = rng.gen_range(4..=24u32);
+        let ndv = rng.gen_range(1..=100_000u64);
         let m = model();
-        let inst = SortInstance::uniform(1usize << rows_log,
-            &[(w1, ndv as f64), (w2, ndv as f64)]);
+        let inst = SortInstance::uniform(1usize << rows_log, &[(w1, ndv as f64), (w2, ndv as f64)]);
         let p0 = inst.p0();
         let c = m.t_mcs(&inst, &p0);
-        prop_assert!(c.is_finite() && c >= 0.0);
+        assert!(c.is_finite() && c >= 0.0);
 
-        let inst_big = SortInstance::uniform(1usize << (rows_log + 1),
-            &[(w1, ndv as f64), (w2, ndv as f64)]);
-        prop_assert!(m.t_mcs(&inst_big, &inst_big.p0()) >= c);
-    }
+        let inst_big = SortInstance::uniform(
+            1usize << (rows_log + 1),
+            &[(w1, ndv as f64), (w2, ndv as f64)],
+        );
+        assert!(m.t_mcs(&inst_big, &inst_big.p0()) >= c);
+    });
+}
 
-    /// Lookup cost per row is bounded by [C_cache, C_mem].
-    #[test]
-    fn lookup_per_row_bounds(n in 1usize..100_000_000, width in 1u32..=64) {
+/// Lookup cost per row is bounded by [C_cache, C_mem].
+#[test]
+fn lookup_per_row_bounds() {
+    check("lookup_per_row_bounds", 64, |rng| {
+        let n = rng.gen_range(1..100_000_000usize);
+        let width = rng.gen_range(1..=64u32);
         let m = model();
         let per = m.t_lookup(n, width) / n as f64;
-        prop_assert!(per >= m.consts.c_cache - 1e-9);
-        prop_assert!(per <= m.consts.c_mem + 1e-9);
-    }
+        assert!(per >= m.consts.c_cache - 1e-9);
+        assert!(per <= m.consts.c_mem + 1e-9);
+    });
+}
 
-    /// Mergesort cost is monotone in n for a fixed bank.
-    #[test]
-    fn mergesort_monotone(n in 2u64..1_000_000) {
+/// Mergesort cost is monotone in n for a fixed bank.
+#[test]
+fn mergesort_monotone() {
+    check("mergesort_monotone", 64, |rng| {
+        let n = rng.gen_range(2..1_000_000u64);
         let m = model();
         for bank in [Bank::B16, Bank::B32, Bank::B64] {
-            prop_assert!(m.t_mergesort(n as f64, bank) <= m.t_mergesort((n * 2) as f64, bank));
+            assert!(m.t_mergesort(n as f64, bank) <= m.t_mergesort((n * 2) as f64, bank));
         }
-    }
+    });
+}
 
-    /// The per-code mergesort cost respects the bank ordering the paper's
-    /// data-parallelism argument predicts: 16-bit banks are never costed
-    /// above 32-bit, nor 32 above 64 (for equal n).
-    #[test]
-    fn bank_ordering(n in 64u64..10_000_000) {
+/// The per-code mergesort cost respects the bank ordering the paper's
+/// data-parallelism argument predicts: 16-bit banks are never costed
+/// above 32-bit, nor 32 above 64 (for equal n).
+#[test]
+fn bank_ordering() {
+    check("bank_ordering", 64, |rng| {
+        let n = rng.gen_range(64..10_000_000u64);
         let m = model();
         let c16 = m.t_mergesort(n as f64, Bank::B16);
         let c32 = m.t_mergesort(n as f64, Bank::B32);
         let c64 = m.t_mergesort(n as f64, Bank::B64);
-        prop_assert!(c16 <= c32 * 1.001, "b16 {c16} > b32 {c32}");
-        prop_assert!(c32 <= c64 * 1.001, "b32 {c32} > b64 {c64}");
-    }
+        assert!(c16 <= c32 * 1.001, "b16 {c16} > b32 {c32}");
+        assert!(c32 <= c64 * 1.001, "b32 {c32} > b64 {c64}");
+    });
+}
 
-    /// Massage cost is linear in I_FIP and rows.
-    #[test]
-    fn massage_linear(n in 1usize..10_000_000, fips in 1usize..16) {
+/// Massage cost is linear in I_FIP and rows.
+#[test]
+fn massage_linear() {
+    check("massage_linear", 64, |rng| {
+        let n = rng.gen_range(1..10_000_000usize);
+        let fips = rng.gen_range(1..16usize);
         let m = model();
         let one = m.t_massage(n, 1);
-        prop_assert!((m.t_massage(n, fips) - one * fips as f64).abs() < 1e-6 * one * fips as f64 + 1e-9);
-    }
+        assert!((m.t_massage(n, fips) - one * fips as f64).abs() < 1e-6 * one * fips as f64 + 1e-9);
+    });
+}
 
-    /// Splitting any round in two never reduces the estimated cost to
-    /// less than half (loose sanity: no pathological negatives/cliffs).
-    #[test]
-    fn split_round_cost_relationship(
-        w in 2u32..=32,
-        rows_log in 8u32..=22,
-    ) {
+/// Splitting any round in two never reduces the estimated cost to
+/// less than half (loose sanity: no pathological negatives/cliffs).
+#[test]
+fn split_round_cost_relationship() {
+    check("split_round_cost_relationship", 64, |rng| {
+        let w = rng.gen_range(2..=32u32);
+        let rows_log = rng.gen_range(8..=22u32);
         let m = model();
         let inst = SortInstance::uniform(1usize << rows_log, &[(w, 2f64.powi(w.min(12) as i32))]);
         let whole = m.t_mcs(&inst, &MassagePlan::from_widths(&[w]));
         let split = m.t_mcs(&inst, &MassagePlan::from_widths(&[w / 2, w - w / 2]));
-        prop_assert!(split.is_finite() && whole.is_finite());
-        prop_assert!(split >= 0.25 * whole, "split {split} whole {whole}");
-    }
+        assert!(split.is_finite() && whole.is_finite());
+        assert!(split >= 0.25 * whole, "split {split} whole {whole}");
+    });
 }

@@ -34,10 +34,7 @@ pub fn aggregate_groups(
             }
             AggKind::Sum(c) => {
                 let data = col_values(c);
-                groups
-                    .iter()
-                    .map(|r| data[r].iter().sum::<u64>())
-                    .collect()
+                groups.iter().map(|r| data[r].iter().sum::<u64>()).collect()
             }
             AggKind::Avg(c) => {
                 let data = col_values(c);

@@ -30,8 +30,8 @@ mod aggregate;
 pub mod mal;
 mod pipeline;
 mod query;
-pub mod sql;
 pub mod reference;
+pub mod sql;
 mod window;
 
 pub use aggregate::aggregate_groups;

@@ -24,8 +24,8 @@
 
 use std::collections::HashMap;
 
-use mcs_cost::{CostModel, KeyColumnStats, SortInstance};
 use mcs_core::{MassagePlan, SortSpec};
+use mcs_cost::{CostModel, KeyColumnStats, SortInstance};
 use mcs_planner::{roga, RogaOptions};
 
 /// A MAL-like instruction (the subset Fast-MCS cares about).
@@ -407,10 +407,15 @@ mod tests {
     fn surrounding_instructions_preserved() {
         let mut p = paper_example();
         p.instrs.insert(0, MalInstr::Other("pre := Scan(t)".into()));
-        p.instrs.push(MalInstr::Other("post := Aggregate(final_group_info)".into()));
+        p.instrs.push(MalInstr::Other(
+            "post := Aggregate(final_group_info)".into(),
+        ));
         let model = CostModel::with_defaults();
         let (out, _) = fast_mcs_rewrite(&p, &catalog(), 1 << 24, &model, None);
-        assert_eq!(out.instrs.first(), Some(&MalInstr::Other("pre := Scan(t)".into())));
+        assert_eq!(
+            out.instrs.first(),
+            Some(&MalInstr::Other("pre := Scan(t)".into()))
+        );
         assert_eq!(
             out.instrs.last(),
             Some(&MalInstr::Other(

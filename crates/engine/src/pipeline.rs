@@ -11,9 +11,7 @@
 use std::time::{Duration, Instant};
 
 use mcs_columnar::{BitVec, CodeVec, Column, Table};
-use mcs_core::{
-    multi_column_sort, ExecConfig, ExecStats, MassagePlan, SortSpec,
-};
+use mcs_core::{multi_column_sort, ExecConfig, ExecStats, MassagePlan, SortSpec};
 use mcs_cost::{CostModel, KeyColumnStats, SortInstance};
 use mcs_planner::{roga, rrs, RogaOptions, RrsOptions};
 
@@ -300,12 +298,7 @@ fn execute_grouped(
     if oids.is_empty() {
         let mut result: Vec<(String, Vec<u64>)> =
             query.group_by.iter().map(|g| (g.clone(), vec![])).collect();
-        result.extend(
-            query
-                .aggregates
-                .iter()
-                .map(|a| (a.label.clone(), vec![])),
-        );
+        result.extend(query.aggregates.iter().map(|a| (a.label.clone(), vec![])));
         return result;
     }
 
@@ -453,7 +446,11 @@ pub fn result_to_table(name: impl Into<String>, result: &QueryResult) -> Table {
     let mut t = Table::new(name);
     for (cname, vals) in &result.columns {
         let width = mcs_columnar::width_for_max(vals.iter().copied().max().unwrap_or(0));
-        t.add_column(Column::from_u64s(cname.clone(), width, vals.iter().copied()));
+        t.add_column(Column::from_u64s(
+            cname.clone(),
+            width,
+            vals.iter().copied(),
+        ));
     }
     t
 }

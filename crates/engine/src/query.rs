@@ -119,8 +119,11 @@ impl Query {
     /// * otherwise `order_by`.
     pub fn sort_keys(&self) -> Vec<OrderKey> {
         if !self.partition_by.is_empty() {
-            let mut keys: Vec<OrderKey> =
-                self.partition_by.iter().map(|c| OrderKey::asc(c.clone())).collect();
+            let mut keys: Vec<OrderKey> = self
+                .partition_by
+                .iter()
+                .map(|c| OrderKey::asc(c.clone()))
+                .collect();
             keys.extend(self.window_order.iter().cloned());
             keys
         } else if !self.group_by.is_empty() {
@@ -155,6 +158,20 @@ impl Query {
     pub fn is_multi_column(&self) -> bool {
         self.sort_width() >= 2
     }
+
+    /// Number of attributes in the widest multi-column sort anywhere in
+    /// the pipeline. A grouped (or windowed) query with an ORDER BY over
+    /// group keys / aggregate labels triggers a *second* sort on the
+    /// grouped table (TPC-H Q13's situation), which `sort_width` — the
+    /// planner-facing width of the primary sort — does not count.
+    pub fn max_sort_width(&self) -> usize {
+        let resort = if self.group_by.is_empty() && self.partition_by.is_empty() {
+            0
+        } else {
+            self.order_by.len()
+        };
+        self.sort_width().max(resort)
+    }
 }
 
 #[cfg(test)]
@@ -166,19 +183,13 @@ mod tests {
         let mut q = Query::named("g");
         q.group_by = vec!["a".into(), "b".into()];
         q.order_by = vec![OrderKey::desc("x")];
-        assert_eq!(
-            q.sort_keys(),
-            vec![OrderKey::asc("a"), OrderKey::asc("b")]
-        );
+        assert_eq!(q.sort_keys(), vec![OrderKey::asc("a"), OrderKey::asc("b")]);
         assert!(q.order_free());
 
         let mut q = Query::named("w");
         q.partition_by = vec!["p".into()];
         q.window_order = vec![OrderKey::asc("o")];
-        assert_eq!(
-            q.sort_keys(),
-            vec![OrderKey::asc("p"), OrderKey::asc("o")]
-        );
+        assert_eq!(q.sort_keys(), vec![OrderKey::asc("p"), OrderKey::asc("o")]);
         assert!(!q.order_free());
         assert!(q.is_multi_column());
 

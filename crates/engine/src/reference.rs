@@ -102,15 +102,9 @@ fn naive_grouped(table: &Table, query: &Query, rows: Vec<usize>) -> RefResult {
                     vals.dedup();
                     vals.len() as u64
                 }
-                AggKind::Sum(c) => members
-                    .iter()
-                    .map(|&r| table.expect_column(c).get(r))
-                    .sum(),
+                AggKind::Sum(c) => members.iter().map(|&r| table.expect_column(c).get(r)).sum(),
                 AggKind::Avg(c) => {
-                    let s: u64 = members
-                        .iter()
-                        .map(|&r| table.expect_column(c).get(r))
-                        .sum();
+                    let s: u64 = members.iter().map(|&r| table.expect_column(c).get(r)).sum();
                     s / members.len() as u64
                 }
                 AggKind::Min(c) => members
@@ -172,7 +166,10 @@ fn naive_grouped(table: &Table, query: &Query, rows: Vec<usize>) -> RefResult {
         result.push((g.clone(), out_rows.iter().map(|r| r.keys[i]).collect()));
     }
     for (i, a) in query.aggregates.iter().enumerate() {
-        result.push((a.label.clone(), out_rows.iter().map(|r| r.aggs[i]).collect()));
+        result.push((
+            a.label.clone(),
+            out_rows.iter().map(|r| r.aggs[i]).collect(),
+        ));
     }
     result
 }
@@ -186,9 +183,7 @@ fn naive_window(table: &Table, query: &Query, rows: Vec<usize>) -> RefResult {
         .collect();
     sort_keys.extend(query.window_order.iter().cloned());
     let mut rows = rows;
-    rows.sort_by(|&a, &b| {
-        cmp_keys(&key_of(table, &sort_keys, a), &key_of(table, &sort_keys, b))
-    });
+    rows.sort_by(|&a, &b| cmp_keys(&key_of(table, &sort_keys, a), &key_of(table, &sort_keys, b)));
 
     // RANK within partitions.
     let part_key = |r: usize| -> Vec<u64> {
@@ -207,8 +202,7 @@ fn naive_window(table: &Table, query: &Query, rows: Vec<usize>) -> RefResult {
         }
         if i == part_start {
             ranks[i] = 1;
-        } else if cmp_keys(&win_key(rows[i]), &win_key(rows[i - 1])) == std::cmp::Ordering::Equal
-        {
+        } else if cmp_keys(&win_key(rows[i]), &win_key(rows[i - 1])) == std::cmp::Ordering::Equal {
             ranks[i] = ranks[i - 1];
         } else {
             ranks[i] = (i - part_start + 1) as u64;

@@ -81,11 +81,9 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, SqlError> {
             while i < b.len() && (b[i] as char).is_ascii_digit() {
                 i += 1;
             }
-            let n: u64 = input[start..i]
-                .parse()
-                .map_err(|_| SqlError {
-                    message: format!("bad number {}", &input[start..i]),
-                })?;
+            let n: u64 = input[start..i].parse().map_err(|_| SqlError {
+                message: format!("bad number {}", &input[start..i]),
+            })?;
             out.push(Tok::Number(n));
         } else if c == '<' && i + 1 < b.len() && b[i + 1] == b'=' {
             out.push(Tok::Le);
@@ -419,10 +417,7 @@ mod tests {
 
     #[test]
     fn parses_order_by_only() {
-        let (q, _) = parse_query(
-            "SELECT a, b FROM t WHERE a <> 3 ORDER BY a ASC, b DESC",
-        )
-        .unwrap();
+        let (q, _) = parse_query("SELECT a, b FROM t WHERE a <> 3 ORDER BY a ASC, b DESC").unwrap();
         assert!(q.group_by.is_empty());
         assert!(matches!(q.filters[0].predicate, Predicate::Ne(3)));
         assert_eq!(q.order_by.len(), 2);
@@ -457,10 +452,8 @@ mod tests {
         let mut t = Table::new("t");
         t.add_column(Column::from_u64s("g", 2, [1u64, 0, 1, 0]));
         t.add_column(Column::from_u64s("x", 4, [1u64, 2, 3, 4]));
-        let (q, _) = parse_query(
-            "SELECT g, SUM(x) AS s FROM t GROUP BY g ORDER BY s DESC",
-        )
-        .unwrap();
+        let (q, _) =
+            parse_query("SELECT g, SUM(x) AS s FROM t GROUP BY g ORDER BY s DESC").unwrap();
         let r = execute(&t, &q, &EngineConfig::default());
         assert_eq!(r.column("s").unwrap(), &vec![6, 4]);
         assert_eq!(r.column("g").unwrap(), &vec![0, 1]);

@@ -48,4 +48,28 @@ mod tests {
         let parts = GroupBounds::whole(0);
         assert!(rank_over(&parts, &[]).is_empty());
     }
+
+    #[test]
+    fn empty_partition_between_real_ones() {
+        // Offsets [0, 2, 2, 4]: the middle partition covers no rows and
+        // must not disturb its neighbours' ranks.
+        let parts = GroupBounds::from_offsets(vec![0, 2, 2, 4]);
+        let keys = vec![3, 3, 1, 2];
+        assert_eq!(rank_over(&parts, &keys), vec![1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn single_row_partitions_all_rank_one() {
+        let parts = GroupBounds::from_offsets(vec![0, 1, 2, 3, 4]);
+        let keys = vec![9, 1, 9, 1];
+        assert_eq!(rank_over(&parts, &keys), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn all_ties_spanning_whole_relation() {
+        let n = 257usize;
+        let parts = GroupBounds::whole(n);
+        let keys = vec![7u64; n];
+        assert_eq!(rank_over(&parts, &keys), vec![1u64; n]);
+    }
 }

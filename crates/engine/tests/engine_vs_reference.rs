@@ -3,14 +3,11 @@
 
 use mcs_columnar::{Column, Predicate, Table};
 use mcs_engine::reference::{assert_same_order, assert_same_rows, naive_execute};
-use mcs_engine::{
-    execute, Agg, AggKind, EngineConfig, Filter, OrderKey, PlannerMode, Query,
-};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mcs_engine::{execute, Agg, AggKind, EngineConfig, Filter, OrderKey, PlannerMode, Query};
+use mcs_test_support::Rng;
 
 fn test_table(rows: usize, seed: u64) -> Table {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut t = Table::new("t");
     t.add_column(Column::from_u64s(
         "nation",
@@ -116,7 +113,11 @@ fn order_by_mixed_directions_with_filter() {
         assert_same_order(
             &got.columns,
             &want,
-            &["nation".to_string(), "date".to_string(), "price".to_string()],
+            &[
+                "nation".to_string(),
+                "date".to_string(),
+                "price".to_string(),
+            ],
         );
     }
 }
@@ -227,5 +228,8 @@ fn timings_are_recorded() {
     assert!(tm.aggregate_ns > 0);
     assert!(tm.total_ns >= tm.mcs_ns);
     assert!(tm.plan.is_some());
-    assert_eq!(tm.mcs_stats.rounds.len(), tm.plan.as_ref().unwrap().num_rounds());
+    assert_eq!(
+        tm.mcs_stats.rounds.len(),
+        tm.plan.as_ref().unwrap().num_rounds()
+    );
 }

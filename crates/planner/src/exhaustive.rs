@@ -144,10 +144,12 @@ mod tests {
         let measured = measure_all_plans(&[&a, &b], &specs, &opts);
         // Compositions of 9 into <=3 parts: C(8,0)+C(8,1)+C(8,2) = 37.
         assert_eq!(measured.len(), 37);
-        assert!(measured.windows(2).all(|w| w[0].actual_ns <= w[1].actual_ns));
+        assert!(measured
+            .windows(2)
+            .all(|w| w[0].actual_ns <= w[1].actual_ns));
         let p0 = MassagePlan::column_at_a_time(&specs);
         let r = rank_of(&p0, &measured);
-        assert!(r >= 1 && r <= 37);
+        assert!((1..=37).contains(&r));
         let missing = MassagePlan::from_widths(&[1; 9]);
         assert_eq!(rank_of(&missing, &measured), 38);
     }

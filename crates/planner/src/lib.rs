@@ -31,8 +31,10 @@ mod roga;
 mod rrs;
 pub mod space;
 
-pub use exhaustive::{measure_all_plans, measure_plan, rank_by_time, rank_of, ExhaustiveOptions, MeasuredPlan};
-pub use roga::{permute_instance, roga, RogaOptions, SearchResult};
+pub use exhaustive::{
+    measure_all_plans, measure_plan, rank_by_time, rank_of, ExhaustiveOptions, MeasuredPlan,
+};
 pub use rho_auto::{offline_rho, online_roga, RHO_LADDER};
+pub use roga::{permute_instance, roga, RogaOptions, SearchResult};
 pub use rrs::{rrs, RrsOptions};
 pub use space::{bank_combos, enumerate_compositions, max_rounds, permutations, width_assignments};

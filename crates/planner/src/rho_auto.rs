@@ -68,6 +68,11 @@ pub fn offline_rho(
 /// Online calibration: run ROGA at `rho_low`; while the search hit its
 /// deadline *and* the last doubling improved the plan, double ρ — capped
 /// at `rho_high` (App. C's low/high watermarks, e.g. 0.01 % and 10 %).
+///
+/// A doubling whose search was *starved* — the deadline fired before it
+/// could cost more than a handful of plans — carries no no-improvement
+/// signal (on a slow or loaded machine the low watermark can be a
+/// few microseconds), so it never stops the doubling on its own.
 pub fn online_roga(
     inst: &SortInstance,
     model: &CostModel,
@@ -96,11 +101,12 @@ pub fn online_roga(
         );
         let improved = r.est_cost < best.est_cost * 0.9999;
         let finished = !r.timed_out;
+        let starved = r.timed_out && r.plans_costed < 64;
         if r.est_cost <= best.est_cost {
             best = r;
         }
         rho = next_rho;
-        if finished || !improved {
+        if finished || (!improved && !starved) {
             break;
         }
     }

@@ -256,7 +256,14 @@ mod tests {
         // at least as good.
         let inst = SortInstance::uniform(1 << 20, &[(30, 1e6), (4, 16.0)]);
         let m = model();
-        let fixed = roga(&inst, &m, &RogaOptions { permute_columns: false, ..Default::default() });
+        let fixed = roga(
+            &inst,
+            &m,
+            &RogaOptions {
+                permute_columns: false,
+                ..Default::default()
+            },
+        );
         let free = roga(
             &inst,
             &m,
@@ -291,12 +298,7 @@ mod tests {
     fn greedy_assign_respects_bank_floors() {
         let inst = SortInstance::uniform(1 << 16, &[(20, 1e5), (20, 1e5), (19, 1e5)]);
         let m = model();
-        let plan = greedy_assign(
-            &inst,
-            &m,
-            59,
-            &[Bank::B32, Bank::B16, Bank::B32],
-        );
+        let plan = greedy_assign(&inst, &m, 59, &[Bank::B32, Bank::B16, Bank::B32]);
         if let Some(p) = plan {
             assert!(p.validate(59).is_ok());
             assert_eq!(Bank::min_for_width(p.rounds[0].width), Bank::B32);

@@ -13,8 +13,7 @@ use std::time::{Duration, Instant};
 
 use mcs_core::MassagePlan;
 use mcs_cost::{CostModel, SortInstance};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mcs_test_support::Rng;
 
 use crate::roga::{permute_instance, SearchResult};
 use crate::space::{max_rounds, permutations};
@@ -47,7 +46,7 @@ impl Default for RrsOptions {
 }
 
 /// A random composition of `total` bits into at most `k_max` parts ≤ 64.
-fn random_plan(rng: &mut StdRng, total: u32, k_max: u32) -> MassagePlan {
+fn random_plan(rng: &mut Rng, total: u32, k_max: u32) -> MassagePlan {
     // Pick a round count biased toward few rounds (where optima live) —
     // but never below ⌈total/64⌉, which no composition can undercut —
     // then cut the key at k-1 random positions, rejecting cuts that leave
@@ -64,7 +63,7 @@ fn random_plan(rng: &mut StdRng, total: u32, k_max: u32) -> MassagePlan {
         cuts.sort_unstable();
         cuts.dedup();
         let ws: Vec<u32> = cuts.windows(2).map(|w| w[1] - w[0]).collect();
-        if !ws.is_empty() && ws.iter().all(|&w| w >= 1 && w <= 64) {
+        if !ws.is_empty() && ws.iter().all(|&w| (1..=64).contains(&w)) {
             break ws;
         }
     };
@@ -73,9 +72,9 @@ fn random_plan(rng: &mut StdRng, total: u32, k_max: u32) -> MassagePlan {
 
 /// Perturb `plan` by moving one boundary by up to `delta` bits, or
 /// merging/splitting a round.
-fn neighbor(rng: &mut StdRng, plan: &MassagePlan, total: u32, delta: u32) -> MassagePlan {
+fn neighbor(rng: &mut Rng, plan: &MassagePlan, total: u32, delta: u32) -> MassagePlan {
     let mut widths = plan.widths();
-    let action = rng.gen_range(0..10);
+    let action = rng.gen_range(0..10u32);
     match action {
         0 if widths.len() >= 2 => {
             // Merge two adjacent rounds if the result fits a bank.
@@ -100,11 +99,15 @@ fn neighbor(rng: &mut StdRng, plan: &MassagePlan, total: u32, delta: u32) -> Mas
             let d = rng.gen_range(1..=delta.max(1));
             if rng.gen_bool(0.5) {
                 // Move bits right -> left (grow round i).
-                let d = d.min(widths[i + 1].saturating_sub(1)).min(64 - widths[i].min(64));
+                let d = d
+                    .min(widths[i + 1].saturating_sub(1))
+                    .min(64 - widths[i].min(64));
                 widths[i] += d;
                 widths[i + 1] -= d;
             } else {
-                let d = d.min(widths[i].saturating_sub(1)).min(64 - widths[i + 1].min(64));
+                let d = d
+                    .min(widths[i].saturating_sub(1))
+                    .min(64 - widths[i + 1].min(64));
                 widths[i] -= d;
                 widths[i + 1] += d;
             }
@@ -119,7 +122,7 @@ fn neighbor(rng: &mut StdRng, plan: &MassagePlan, total: u32, delta: u32) -> Mas
 pub fn rrs(inst: &SortInstance, model: &CostModel, opts: &RrsOptions) -> SearchResult {
     let total = inst.total_width();
     let start = Instant::now();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut rng = Rng::seed_from_u64(opts.seed);
     let k_max = max_rounds(total, 16);
 
     let orders: Vec<Vec<usize>> = if opts.permute_columns {
@@ -216,7 +219,7 @@ mod tests {
 
     #[test]
     fn random_plans_are_valid() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for total in [1u32, 5, 27, 50, 96, 130] {
             for _ in 0..50 {
                 let p = random_plan(&mut rng, total, max_rounds(total, 16));
@@ -227,7 +230,7 @@ mod tests {
 
     #[test]
     fn neighbors_preserve_total_width() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let mut p = MassagePlan::from_widths(&[17, 33]);
         for _ in 0..200 {
             p = neighbor(&mut rng, &p, 50, 8);

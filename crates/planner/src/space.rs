@@ -125,13 +125,7 @@ pub fn width_assignments(total_width: u32, combo: &[Bank]) -> Vec<Vec<u32>> {
 pub fn enumerate_compositions(total_width: u32, k_max: u32, limit: usize) -> Vec<MassagePlan> {
     let mut out = Vec::new();
     let mut cur: Vec<u32> = Vec::new();
-    fn rec(
-        left: u32,
-        k_left: u32,
-        limit: usize,
-        cur: &mut Vec<u32>,
-        out: &mut Vec<MassagePlan>,
-    ) {
+    fn rec(left: u32, k_left: u32, limit: usize, cur: &mut Vec<u32>, out: &mut Vec<MassagePlan>) {
         if out.len() >= limit {
             return;
         }
@@ -171,7 +165,7 @@ pub fn permutations(m: usize) -> Vec<Vec<usize>> {
         }
         for i in 0..k {
             heap_rec(k - 1, cur, out);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 cur.swap(i, k - 1);
             } else {
                 cur.swap(0, k - 1);
@@ -224,7 +218,9 @@ mod tests {
         // would be costed").
         let a = width_assignments(59, &[Bank::B16, Bank::B64]);
         assert_eq!(a.len(), 16);
-        assert!(a.iter().all(|w| w[0] >= 1 && w[0] <= 16 && w[0] + w[1] == 59));
+        assert!(a
+            .iter()
+            .all(|w| w[0] >= 1 && w[0] <= 16 && w[0] + w[1] == 59));
         // Combo {32, 32}: canonical assignments need both widths in
         // 17..=32, so a1 in 27..=32 (a2 = 59 - a1 in 27..=32 too).
         let a = width_assignments(59, &[Bank::B32, Bank::B32]);

@@ -5,26 +5,21 @@ use mcs_cost::{CostModel, SortInstance};
 use mcs_planner::{
     bank_combos, enumerate_compositions, max_rounds, roga, width_assignments, RogaOptions,
 };
-use proptest::prelude::*;
+use mcs_test_support::check;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Lemma 2: over small exhaustive spaces, the cost-model optimum never
-    /// uses more rounds than the bound — so bounding the search is safe.
-    #[test]
-    fn lemma2_bound_never_hides_the_model_optimum(
-        w1 in 1u32..=8,
-        w2 in 1u32..=8,
-        rows_log in 10u32..=22,
-        ndv1 in 1u64..=4096,
-        ndv2 in 1u64..=4096,
-    ) {
+/// Lemma 2: over small exhaustive spaces, the cost-model optimum never
+/// uses more rounds than the bound — so bounding the search is safe.
+#[test]
+fn lemma2_bound_never_hides_the_model_optimum() {
+    check("lemma2_bound_never_hides_the_model_optimum", 32, |rng| {
+        let w1 = rng.gen_range(1..=8u32);
+        let w2 = rng.gen_range(1..=8u32);
+        let rows_log = rng.gen_range(10..=22u32);
+        let ndv1 = rng.gen_range(1..=4096u64);
+        let ndv2 = rng.gen_range(1..=4096u64);
         let model = CostModel::with_defaults();
-        let inst = SortInstance::uniform(
-            1usize << rows_log,
-            &[(w1, ndv1 as f64), (w2, ndv2 as f64)],
-        );
+        let inst =
+            SortInstance::uniform(1usize << rows_log, &[(w1, ndv1 as f64), (w2, ndv2 as f64)]);
         let total = w1 + w2;
         let bound = max_rounds(total, 16);
 
@@ -35,28 +30,29 @@ proptest! {
             .map(|p| (model.t_mcs(&inst, p), p))
             .min_by(|a, b| a.0.total_cmp(&b.0))
             .unwrap();
-        prop_assert!(
+        assert!(
             (best.1.num_rounds() as u32) <= bound,
             "optimum {} uses {} rounds > bound {}",
             best.1,
             best.1.num_rounds(),
             bound
         );
-    }
+    });
+}
 
-    /// Every bank combo admits only canonical width assignments that form
-    /// valid plans, and every valid composition has exactly one canonical
-    /// combo.
-    #[test]
-    fn width_assignments_are_valid_and_canonical(
-        total in 2u32..=80,
-        k in 1u32..=4,
-    ) {
+/// Every bank combo admits only canonical width assignments that form
+/// valid plans, and every valid composition has exactly one canonical
+/// combo.
+#[test]
+fn width_assignments_are_valid_and_canonical() {
+    check("width_assignments_are_valid_and_canonical", 32, |rng| {
+        let total = rng.gen_range(2..=80u32);
+        let k = rng.gen_range(1..=4u32);
         for combo in bank_combos(total, k) {
             for widths in width_assignments(total, &combo) {
-                prop_assert_eq!(widths.iter().sum::<u32>(), total);
+                assert_eq!(widths.iter().sum::<u32>(), total);
                 for (w, b) in widths.iter().zip(&combo) {
-                    prop_assert_eq!(Bank::min_for_width(*w), *b);
+                    assert_eq!(Bank::min_for_width(*w), *b);
                 }
                 let plan = MassagePlan::new(
                     widths
@@ -65,43 +61,93 @@ proptest! {
                         .map(|(&width, &bank)| mcs_core::Round { width, bank })
                         .collect(),
                 );
-                prop_assert!(plan.validate(total).is_ok());
+                assert!(plan.validate(total).is_ok());
             }
         }
-    }
+    });
+}
 
-    /// ROGA's result is always a valid plan, never estimated worse than
-    /// P0, and respects the Lemma 2 bound.
-    #[test]
-    fn roga_invariants(
-        widths in prop::collection::vec(1u32..=30, 1..=4),
-        rows_log in 8u32..=22,
-    ) {
-        let model = CostModel::with_defaults();
-        let cols: Vec<(u32, f64)> = widths
-            .iter()
-            .map(|&w| (w, 2f64.powi(w.min(12) as i32)))
-            .collect();
-        let inst = SortInstance::uniform(1usize << rows_log, &cols);
-        // Unbounded search: with a rho deadline, tiny instances (whose
-        // total cost is microseconds) correctly time out at P0 — the
-        // round bound only applies to completed searches.
-        let r = roga(&inst, &model, &RogaOptions { rho: None, permute_columns: false });
-        let total = inst.total_width();
-        prop_assert!(r.plan.validate(total).is_ok());
-        prop_assert!(r.est_cost <= model.t_mcs(&inst, &inst.p0()) + 1.0);
-        prop_assert!((r.plan.num_rounds() as u32) <= max_rounds(total, 16));
+fn assert_roga_invariants(widths: &[u32], rows_log: u32) {
+    let model = CostModel::with_defaults();
+    let cols: Vec<(u32, f64)> = widths
+        .iter()
+        .map(|&w| (w, 2f64.powi(w.min(12) as i32)))
+        .collect();
+    let inst = SortInstance::uniform(1usize << rows_log, &cols);
+    // Unbounded search: with a rho deadline, tiny instances (whose
+    // total cost is microseconds) correctly time out at P0 — the
+    // round bound only applies to completed searches.
+    let r = roga(
+        &inst,
+        &model,
+        &RogaOptions {
+            rho: None,
+            permute_columns: false,
+        },
+    );
+    let total = inst.total_width();
+    assert!(r.plan.validate(total).is_ok());
+    assert!(r.est_cost <= model.t_mcs(&inst, &inst.p0()) + 1.0);
+    assert!(
+        (r.plan.num_rounds() as u32) <= max_rounds(total, 16),
+        "widths {widths:?} rows_log {rows_log}: plan {} has {} rounds > bound {}",
+        r.plan,
+        r.plan.num_rounds(),
+        max_rounds(total, 16)
+    );
 
-        // And the deadline path still yields a valid plan.
-        let rd = roga(&inst, &model, &RogaOptions { rho: Some(0.001), permute_columns: false });
-        prop_assert!(rd.plan.validate(total).is_ok());
-    }
+    // And the deadline path still yields a valid plan.
+    let rd = roga(
+        &inst,
+        &model,
+        &RogaOptions {
+            rho: Some(0.001),
+            permute_columns: false,
+        },
+    );
+    assert!(rd.plan.validate(total).is_ok());
+}
 
-    /// The composition space size matches the closed form 2^(W-1) when
-    /// unbounded (small W).
-    #[test]
-    fn composition_count_closed_form(total in 1u32..=14) {
+/// ROGA's result is always a valid plan, never estimated worse than
+/// P0, and respects the Lemma 2 bound.
+#[test]
+fn roga_invariants() {
+    check("roga_invariants", 32, |rng| {
+        let k = rng.gen_range(1..=4usize);
+        let widths: Vec<u32> = (0..k).map(|_| rng.gen_range(1..=30u32)).collect();
+        let rows_log = rng.gen_range(8..=22u32);
+        assert_roga_invariants(&widths, rows_log);
+    });
+}
+
+/// The shrunken case recorded in `planner_proptests.proptest-regressions`
+/// (`widths = [1, 1], rows_log = 8`): two 1-bit columns at 256 rows. For
+/// W = 2 the Lemma 2 bound `2*(W-1)/b_min + 1` with `b_min = 16` allows
+/// only one round, while P0 — the search's starting incumbent — has two.
+/// ROGA must therefore end on the stitched single-round plan.
+#[test]
+fn roga_regression_two_one_bit_columns() {
+    assert_roga_invariants(&[1, 1], 8);
+}
+
+/// More pinned shapes around the regression: minimum widths, minimum
+/// rows, and mixes where the stitched plan is forced by the bound.
+#[test]
+fn roga_minimum_width_shapes() {
+    assert_roga_invariants(&[1], 8);
+    assert_roga_invariants(&[1, 1, 1], 8);
+    assert_roga_invariants(&[1, 1, 1, 1], 8);
+    assert_roga_invariants(&[2, 1], 8);
+    assert_roga_invariants(&[1, 1], 22);
+}
+
+/// The composition space size matches the closed form 2^(W-1) when
+/// unbounded (small W).
+#[test]
+fn composition_count_closed_form() {
+    check("composition_count_closed_form", 32, |rng| {
+        let total = rng.gen_range(1..=14u32);
         let all = enumerate_compositions(total, total, usize::MAX >> 1);
-        prop_assert_eq!(all.len() as u64, 1u64 << (total - 1));
-    }
+        assert_eq!(all.len() as u64, 1u64 << (total - 1));
+    });
 }

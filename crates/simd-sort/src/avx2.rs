@@ -149,9 +149,24 @@ macro_rules! clean32_stage {
 /// Sort a bitonic 8×u32 register ascending (payload follows).
 #[inline(always)]
 unsafe fn clean32(mut v: __m256i, mut p: __m256i) -> (__m256i, __m256i) {
-    clean32_stage!(v, p, |x| unsafe { _mm256_permute4x64_epi64(x, 0x4E) }, 0b11110000); // d=4
-    clean32_stage!(v, p, |x| unsafe { _mm256_shuffle_epi32(x, 0x4E) }, 0b11001100); // d=2
-    clean32_stage!(v, p, |x| unsafe { _mm256_shuffle_epi32(x, 0xB1) }, 0b10101010); // d=1
+    clean32_stage!(
+        v,
+        p,
+        |x| unsafe { _mm256_permute4x64_epi64(x, 0x4E) },
+        0b11110000
+    ); // d=4
+    clean32_stage!(
+        v,
+        p,
+        |x| unsafe { _mm256_shuffle_epi32(x, 0x4E) },
+        0b11001100
+    ); // d=2
+    clean32_stage!(
+        v,
+        p,
+        |x| unsafe { _mm256_shuffle_epi32(x, 0xB1) },
+        0b10101010
+    ); // d=1
     (v, p)
 }
 
@@ -459,7 +474,9 @@ mod tests {
                 }
                 let mut state = 0x9E3779B97F4A7C15u64;
                 let mut next = move || {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     state
                 };
                 for trial in 0..500 {

@@ -122,7 +122,7 @@ impl Bank {
     #[inline]
     pub fn min_for_width(width: u32) -> Bank {
         assert!(
-            width >= 1 && width <= 64,
+            (1..=64).contains(&width),
             "code width must be in 1..=64, got {width}"
         );
         if width <= 16 {

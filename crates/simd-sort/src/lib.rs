@@ -52,9 +52,7 @@ pub use key::{Bank, Key};
 pub use parallel::{for_each_chunk, sort_pairs_in_groups_parallel, sort_pairs_parallel};
 pub use radix::{sort_pairs_radix, sort_pairs_radix_in_groups};
 pub use scalar::{insertion_sort_pairs, sort_pairs_scalar};
-pub use segmented::{
-    group_boundaries, sort_pairs_in_groups, GroupBounds, SegmentedSortStats,
-};
+pub use segmented::{group_boundaries, sort_pairs_in_groups, GroupBounds, SegmentedSortStats};
 pub use sort::{avx2_available, SortConfig, SortableKey};
 
 /// Sort `(keys, oids)` ascending by key with default configuration.

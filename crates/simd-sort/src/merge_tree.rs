@@ -66,7 +66,9 @@ impl<'a, Kn: Kernel> Node<'a, Kn> {
             Node::Inner { .. } => {
                 self.ensure_buffered();
                 match self {
-                    Node::Inner { buf_k, pos, len, .. } => {
+                    Node::Inner {
+                        buf_k, pos, len, ..
+                    } => {
                         if pos < len {
                             Some(buf_k[*pos])
                         } else {
@@ -366,8 +368,10 @@ mod tests {
         let run = 256usize;
         let mut keys: Vec<u32> = Vec::with_capacity(n);
         for i in 0..n / run {
-            let mut chunk: Vec<u32> =
-                pseudo(run, 100 + i as u64, u64::MAX).iter().map(|&v| v as u32).collect();
+            let mut chunk: Vec<u32> = pseudo(run, 100 + i as u64, u64::MAX)
+                .iter()
+                .map(|&v| v as u32)
+                .collect();
             chunk.sort_unstable();
             keys.extend_from_slice(&chunk);
         }
@@ -379,9 +383,8 @@ mod tests {
 
         let mut dk2 = vec![0u32; n];
         let mut do2 = vec![0u32; n];
-        let r2 = unsafe {
-            multiway_pass_simd::<P32>(&keys, &oids, &mut dk2, &mut do2, run, 4, 1024)
-        };
+        let r2 =
+            unsafe { multiway_pass_simd::<P32>(&keys, &oids, &mut dk2, &mut do2, run, 4, 1024) };
 
         assert_eq!(r1, r2);
         assert_eq!(dk1, dk2);

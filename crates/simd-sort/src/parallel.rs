@@ -1,7 +1,7 @@
 //! Multi-threaded sorting (the paper's §6.4 scaling experiments).
 //!
 //! Strategy: partition the input into `T` contiguous chunks, sort each on
-//! its own thread (crossbeam scoped threads, matching the paper's
+//! its own thread (`std::thread::scope`, matching the paper's
 //! thread-per-core execution), then produce the total order with one
 //! multiway merge. Segmented sorts parallelize by distributing whole
 //! groups across threads.
@@ -27,7 +27,7 @@ pub fn sort_pairs_parallel<K: SortableKey>(
     let chunk = n.div_ceil(threads);
 
     // Sort chunks in parallel.
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rem_k: &mut [K] = keys;
         let mut rem_o: &mut [u32] = oids;
         while !rem_k.is_empty() {
@@ -36,10 +36,9 @@ pub fn sort_pairs_parallel<K: SortableKey>(
             let (co, rest_o) = rem_o.split_at_mut(take);
             rem_k = rest_k;
             rem_o = rest_o;
-            scope.spawn(move |_| K::sort_pairs_with(ck, co, cfg));
+            scope.spawn(move || K::sort_pairs_with(ck, co, cfg));
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     // Single multiway merge of the sorted chunks.
     let runs: Vec<core::ops::Range<usize>> = (0..n)
@@ -87,7 +86,7 @@ pub fn sort_pairs_in_groups_parallel<K: SortableKey>(
         spans.push((span_start, groups.num_groups()));
     }
 
-    let stats: Vec<SegmentedSortStats> = crossbeam::scope(|scope| {
+    let stats: Vec<SegmentedSortStats> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         let mut rem_k: &mut [K] = keys;
         let mut rem_o: &mut [u32] = oids;
@@ -103,16 +102,17 @@ pub fn sort_pairs_in_groups_parallel<K: SortableKey>(
             rem_o = rest_o;
             consumed += take;
             // Rebase this span's bounds to its local slice.
-            let local = GroupBounds::from_offsets(
-                offs[gs..=ge].iter().map(|&b| b - offs[gs]).collect(),
+            let local =
+                GroupBounds::from_offsets(offs[gs..=ge].iter().map(|&b| b - offs[gs]).collect());
+            handles.push(
+                scope.spawn(move || crate::segmented::sort_pairs_in_groups(ck, co, &local, cfg)),
             );
-            handles.push(scope.spawn(move |_| {
-                crate::segmented::sort_pairs_in_groups(ck, co, &local, cfg)
-            }));
         }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("worker thread panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
 
     let mut total = SegmentedSortStats::default();
     for s in stats {
@@ -132,19 +132,18 @@ pub fn for_each_chunk(n: usize, threads: usize, f: impl Fn(usize, usize, usize) 
         return;
     }
     let chunk = n.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let f = &f;
         let mut idx = 0usize;
         let mut start = 0usize;
         while start < n {
             let len = chunk.min(n - start);
             let (i, s) = (idx, start);
-            scope.spawn(move |_| f(i, s, len));
+            scope.spawn(move || f(i, s, len));
             idx += 1;
             start += len;
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 #[cfg(test)]

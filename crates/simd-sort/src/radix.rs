@@ -48,7 +48,7 @@ pub fn sort_pairs_radix<K: Key>(keys: &mut [K], oids: &mut [u32], width_bits: u3
             hist[((k.to_u64() >> shift) & 0xFF) as usize] += 1;
         }
         // Skip constant-digit passes (frequent for massaged high bits).
-        if hist.iter().any(|&c| c == n) {
+        if hist.contains(&n) {
             continue;
         }
         // Exclusive prefix sums -> bucket start offsets.
@@ -121,10 +121,17 @@ mod tests {
 
     #[test]
     fn radix_sorts_all_widths() {
-        for &(width, mask) in &[(12u32, 0xFFFu64), (16, 0xFFFF), (24, 0xFF_FFFF), (32, u32::MAX as u64)] {
+        for &(width, mask) in &[
+            (12u32, 0xFFFu64),
+            (16, 0xFFFF),
+            (24, 0xFF_FFFF),
+            (32, u32::MAX as u64),
+        ] {
             let n = 5000;
             let mut state = width as u64 + 1;
-            let orig: Vec<u32> = (0..n).map(|_| (xorshift(&mut state) & mask) as u32).collect();
+            let orig: Vec<u32> = (0..n)
+                .map(|_| (xorshift(&mut state) & mask) as u32)
+                .collect();
             let mut k = orig.clone();
             let mut o: Vec<u32> = (0..n as u32).collect();
             sort_pairs_radix(&mut k, &mut o, width);
@@ -142,7 +149,9 @@ mod tests {
         sort_pairs_radix(&mut k, &mut o, 16);
         check(&orig16, &k, &o);
 
-        let orig64: Vec<u64> = (0..n).map(|_| xorshift(&mut state) & ((1 << 50) - 1)).collect();
+        let orig64: Vec<u64> = (0..n)
+            .map(|_| xorshift(&mut state) & ((1 << 50) - 1))
+            .collect();
         let mut k = orig64.clone();
         let mut o: Vec<u32> = (0..n as u32).collect();
         sort_pairs_radix(&mut k, &mut o, 50);
@@ -176,7 +185,9 @@ mod tests {
         // Values fit in 9 bits; sorting "as 9-bit" and "as 32-bit" agree.
         let n = 2000;
         let mut state = 77u64;
-        let orig: Vec<u32> = (0..n).map(|_| (xorshift(&mut state) & 0x1FF) as u32).collect();
+        let orig: Vec<u32> = (0..n)
+            .map(|_| (xorshift(&mut state) & 0x1FF) as u32)
+            .collect();
         let mut k1 = orig.clone();
         let mut o1: Vec<u32> = (0..n as u32).collect();
         sort_pairs_radix(&mut k1, &mut o1, 9);

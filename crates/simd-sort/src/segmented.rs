@@ -167,12 +167,59 @@ mod tests {
     }
 
     #[test]
+    fn empty_partitions_are_skipped_and_dropped() {
+        // An empty group ([2, 2)) sandwiched between real ones: it is
+        // never sortable, and refine_by drops it from the output.
+        let g = GroupBounds::from_offsets(vec![0, 2, 2, 5]);
+        assert_eq!(g.num_groups(), 3);
+        assert_eq!(g.num_sortable(), 2);
+        assert_eq!(g.iter().map(|r| r.len()).collect::<Vec<_>>(), vec![2, 0, 3]);
+        let keys: Vec<u32> = vec![1, 1, 2, 2, 3];
+        assert_eq!(g.refine_by(&keys).offsets, vec![0, 2, 4, 5]);
+
+        // Sorting with an empty group present must not panic or touch
+        // neighbouring groups.
+        let mut keys: Vec<u32> = vec![4, 3, 9, 8, 7];
+        let mut oids: Vec<u32> = (0..5).collect();
+        let stats = sort_pairs_in_groups(
+            &mut keys,
+            &mut oids,
+            &GroupBounds::from_offsets(vec![0, 2, 2, 5]),
+            &SortConfig::default(),
+        );
+        assert_eq!(keys, vec![3, 4, 7, 8, 9]);
+        assert_eq!(stats.invocations, 2);
+    }
+
+    #[test]
+    fn single_row_partitions_survive_refinement() {
+        let g = GroupBounds::from_offsets(vec![0, 1, 2, 3]);
+        assert_eq!(g.num_sortable(), 0);
+        let keys: Vec<u32> = vec![7, 7, 7];
+        // Equal keys across singleton boundaries must not merge.
+        assert_eq!(g.refine_by(&keys).offsets, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn all_ties_collapse_to_one_whole_relation_group() {
+        let n = 300usize;
+        let keys: Vec<u16> = vec![42; n];
+        let g = group_boundaries(&keys);
+        assert_eq!(g.offsets, vec![0, n as u32]);
+        assert_eq!(g.num_groups(), 1);
+        // Refining the whole relation by an all-equal key is a no-op.
+        assert_eq!(
+            GroupBounds::whole(n).refine_by(&keys).offsets,
+            vec![0, n as u32]
+        );
+    }
+
+    #[test]
     fn segmented_sort_sorts_within_groups() {
         let mut keys: Vec<u32> = vec![3, 1, 2, 9, 8, 7, 5];
         let mut oids: Vec<u32> = (0..7).collect();
         let groups = GroupBounds::from_offsets(vec![0, 3, 7]);
-        let stats =
-            sort_pairs_in_groups(&mut keys, &mut oids, &groups, &SortConfig::default());
+        let stats = sort_pairs_in_groups(&mut keys, &mut oids, &groups, &SortConfig::default());
         assert_eq!(keys, vec![1, 2, 3, 5, 7, 8, 9]);
         assert_eq!(stats.invocations, 2);
         assert_eq!(stats.codes_sorted, 7);
@@ -184,8 +231,7 @@ mod tests {
         let mut keys: Vec<u32> = vec![5, 4, 3, 2, 1];
         let mut oids: Vec<u32> = (0..5).collect();
         let groups = GroupBounds::from_offsets(vec![0, 1, 2, 3, 4, 5]);
-        let stats =
-            sort_pairs_in_groups(&mut keys, &mut oids, &groups, &SortConfig::default());
+        let stats = sort_pairs_in_groups(&mut keys, &mut oids, &groups, &SortConfig::default());
         assert_eq!(stats.invocations, 0);
         assert_eq!(keys, vec![5, 4, 3, 2, 1]); // untouched
     }

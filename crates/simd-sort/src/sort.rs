@@ -266,7 +266,9 @@ mod tests {
 
     fn roundtrip<K: SortableKey>(n: usize, mask: u64, cfg: &SortConfig, seed: u64) {
         let mut state = seed;
-        let orig: Vec<K> = (0..n).map(|_| K::from_u64(xorshift(&mut state) & mask)).collect();
+        let orig: Vec<K> = (0..n)
+            .map(|_| K::from_u64(xorshift(&mut state) & mask))
+            .collect();
         let mut keys = orig.clone();
         let mut oids: Vec<u32> = (0..n as u32).collect();
         K::sort_pairs_with(&mut keys, &mut oids, cfg);
@@ -276,7 +278,9 @@ mod tests {
     #[test]
     fn sort_u32_sizes() {
         let cfg = SortConfig::default();
-        for n in [0usize, 1, 2, 63, 64, 65, 192, 193, 256, 1000, 4096, 10_000, 100_000] {
+        for n in [
+            0usize, 1, 2, 63, 64, 65, 192, 193, 256, 1000, 4096, 10_000, 100_000,
+        ] {
             roundtrip::<u32>(n, u64::MAX, &cfg, 42 + n as u64);
         }
     }

@@ -1,14 +1,17 @@
 //! Property-based tests: the SIMD sorts agree with the scalar oracle on
 //! arbitrary inputs, for every bank width, both backends and the
 //! segmented/parallel variants.
+//!
+//! Driven by the `mcs-test-support` mini-harness: `PROPTEST_CASES` caps
+//! the case count, `MCS_TEST_SEED` replays a reported failure.
 
 use mcs_simd_sort::{
     group_boundaries, sort_pairs_in_groups, sort_pairs_parallel, sort_pairs_with, GroupBounds,
     SortConfig, SortableKey,
 };
-use proptest::prelude::*;
+use mcs_test_support::{check, Rng};
 
-fn check<K: SortableKey>(orig: &[K], keys: &[K], oids: &[u32]) {
+fn verify<K: SortableKey>(orig: &[K], keys: &[K], oids: &[u32]) {
     assert!(keys.windows(2).all(|w| w[0] <= w[1]));
     let mut seen = vec![false; oids.len()];
     for (i, &o) in oids.iter().enumerate() {
@@ -30,50 +33,78 @@ fn run_sort<K: SortableKey>(orig: Vec<K>, force_portable: bool) {
     let mut keys = orig.clone();
     let mut oids: Vec<u32> = (0..orig.len() as u32).collect();
     sort_pairs_with(&mut keys, &mut oids, &cfg);
-    check(&orig, &keys, &oids);
+    verify(&orig, &keys, &oids);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_vec<K: SortableKey>(rng: &mut Rng, max_len: usize) -> Vec<K> {
+    let n = rng.gen_range(0..max_len);
+    (0..n).map(|_| K::from_u64(rng.gen())).collect()
+}
 
-    #[test]
-    fn sort_u16_matches_oracle(v in prop::collection::vec(any::<u16>(), 0..3000)) {
+#[test]
+fn sort_u16_matches_oracle() {
+    check("sort_u16_matches_oracle", 64, |rng| {
+        let v: Vec<u16> = random_vec(rng, 3000);
         run_sort(v.clone(), false);
         run_sort(v, true);
-    }
+    });
+}
 
-    #[test]
-    fn sort_u32_matches_oracle(v in prop::collection::vec(any::<u32>(), 0..3000)) {
+#[test]
+fn sort_u32_matches_oracle() {
+    check("sort_u32_matches_oracle", 64, |rng| {
+        let v: Vec<u32> = random_vec(rng, 3000);
         run_sort(v.clone(), false);
         run_sort(v, true);
-    }
+    });
+}
 
-    #[test]
-    fn sort_u64_matches_oracle(v in prop::collection::vec(any::<u64>(), 0..3000)) {
+#[test]
+fn sort_u64_matches_oracle() {
+    check("sort_u64_matches_oracle", 64, |rng| {
+        let v: Vec<u64> = random_vec(rng, 3000);
         run_sort(v.clone(), false);
         run_sort(v, true);
-    }
+    });
+}
 
-    /// Low-cardinality keys stress tie handling and padding compaction.
-    #[test]
-    fn sort_low_cardinality(v in prop::collection::vec(0u32..4, 0..4000)) {
+/// Low-cardinality keys stress tie handling and padding compaction.
+#[test]
+fn sort_low_cardinality() {
+    check("sort_low_cardinality", 64, |rng| {
+        let n = rng.gen_range(0..4000usize);
+        let v: Vec<u32> = (0..n).map(|_| rng.gen_range(0..4u32)).collect();
         run_sort(v, false);
-    }
+    });
+}
 
-    /// Keys including MAX stress the padding sentinel logic.
-    #[test]
-    fn sort_with_max_values(v in prop::collection::vec(
-        prop_oneof![Just(u16::MAX), any::<u16>()], 0..4000)) {
+/// Keys including MAX stress the padding sentinel logic.
+#[test]
+fn sort_with_max_values() {
+    check("sort_with_max_values", 64, |rng| {
+        let n = rng.gen_range(0..4000usize);
+        let v: Vec<u16> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    u16::MAX
+                } else {
+                    rng.gen()
+                }
+            })
+            .collect();
         run_sort(v, false);
-    }
+    });
+}
 
-    #[test]
-    fn segmented_sort_is_sorted_per_group(
-        v in prop::collection::vec(any::<u32>(), 1..2000),
-        cuts in prop::collection::vec(any::<u16>(), 0..20),
-    ) {
-        let n = v.len();
-        let mut offs: Vec<u32> = cuts.iter().map(|&c| (c as usize % (n + 1)) as u32).collect();
+#[test]
+fn segmented_sort_is_sorted_per_group() {
+    check("segmented_sort_is_sorted_per_group", 64, |rng| {
+        let n = rng.gen_range(1..2000usize);
+        let v: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+        let cut_count = rng.gen_range(0..20usize);
+        let mut offs: Vec<u32> = (0..cut_count)
+            .map(|_| rng.gen_range(0..=n) as u32)
+            .collect();
         offs.push(0);
         offs.push(n as u32);
         offs.sort_unstable();
@@ -83,15 +114,18 @@ proptest! {
         let mut oids: Vec<u32> = (0..n as u32).collect();
         sort_pairs_in_groups(&mut keys, &mut oids, &groups, &SortConfig::default());
         for r in groups.iter() {
-            prop_assert!(keys[r].windows(2).all(|w| w[0] <= w[1]));
+            assert!(keys[r].windows(2).all(|w| w[0] <= w[1]));
         }
         for i in 0..n {
-            prop_assert_eq!(keys[i], v[oids[i] as usize]);
+            assert_eq!(keys[i], v[oids[i] as usize]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn parallel_matches_serial_order(v in prop::collection::vec(any::<u32>(), 0..5000)) {
+#[test]
+fn parallel_matches_serial_order() {
+    check("parallel_matches_serial_order", 64, |rng| {
+        let v: Vec<u32> = random_vec(rng, 5000);
         let cfg = SortConfig::default();
         let mut k1 = v.clone();
         let mut o1: Vec<u32> = (0..v.len() as u32).collect();
@@ -99,23 +133,26 @@ proptest! {
         let mut k2 = v.clone();
         let mut o2: Vec<u32> = (0..v.len() as u32).collect();
         sort_pairs_parallel(&mut k2, &mut o2, 3, &cfg);
-        prop_assert_eq!(k1, k2);
-    }
+        assert_eq!(k1, k2);
+    });
+}
 
-    #[test]
-    fn group_boundaries_partition_equal_runs(v in prop::collection::vec(0u32..16, 0..1000)) {
-        let mut sorted = v.clone();
+#[test]
+fn group_boundaries_partition_equal_runs() {
+    check("group_boundaries_partition_equal_runs", 64, |rng| {
+        let n = rng.gen_range(0..1000usize);
+        let mut sorted: Vec<u32> = (0..n).map(|_| rng.gen_range(0..16u32)).collect();
         sorted.sort_unstable();
         let g = group_boundaries(&sorted);
         // Within groups: all equal. Across boundaries: strictly increasing.
         for r in g.iter() {
             if r.len() > 1 {
-                prop_assert!(sorted[r.clone()].windows(2).all(|w| w[0] == w[1]));
+                assert!(sorted[r.clone()].windows(2).all(|w| w[0] == w[1]));
             }
             if r.end < sorted.len() && r.end > r.start {
-                prop_assert!(sorted[r.end - 1] < sorted[r.end]);
+                assert!(sorted[r.end - 1] < sorted[r.end]);
             }
         }
-        prop_assert_eq!(g.num_rows(), sorted.len());
-    }
+        assert_eq!(g.num_rows(), sorted.len());
+    });
 }

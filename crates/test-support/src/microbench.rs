@@ -1,0 +1,236 @@
+//! A criterion-compatible micro-benchmark shim.
+//!
+//! The `criterion` crate cannot be fetched in offline builds, so this
+//! module reimplements the small API surface the workspace's bench
+//! targets use: `criterion_group!` / `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup` (throughput, sample_size, measurement_time,
+//! warm_up_time, bench_function, finish), `BenchmarkId`, and
+//! `Throughput`. Timing is wall-clock `Instant` with median-of-samples
+//! reporting — good enough to spot order-of-magnitude regressions, not
+//! a statistics engine.
+//!
+//! Set `MCS_BENCH_FAST=1` to clamp warm-up/measurement to a few
+//! milliseconds (used by CI smoke runs).
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque-value barrier, same contract as criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Work-per-iteration unit, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("gather_u32", n)` → `gather_u32/n`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh driver (mirrors `Criterion::default()`).
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var("MCS_BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Declare work-per-iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of timed samples to collect.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (warm_up, budget) = if fast_mode() {
+            (Duration::from_millis(1), Duration::from_millis(5))
+        } else {
+            (self.warm_up_time, self.measurement_time)
+        };
+
+        // Warm-up: run until the budget is spent (at least once).
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        let t0 = Instant::now();
+        loop {
+            f(&mut b);
+            if t0.elapsed() >= warm_up {
+                break;
+            }
+        }
+
+        // Sampling: collect per-sample mean iteration times.
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let t0 = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut s = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut s);
+            if s.iters > 0 {
+                samples.push(s.elapsed.as_nanos() as f64 / s.iters as f64);
+            }
+            if t0.elapsed() >= budget {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(f64::NAN);
+        let best = samples.first().copied().unwrap_or(f64::NAN);
+
+        let mut line = format!(
+            "bench {:<40} median {:>12.1} ns/iter  best {:>12.1} ns/iter",
+            format!("{}/{}", self.name, id.name),
+            median,
+            best
+        );
+        if let Some(t) = self.throughput {
+            let (work, unit) = match t {
+                Throughput::Elements(n) => (n as f64, "Melem/s"),
+                Throughput::Bytes(n) => (n as f64, "MB/s"),
+            };
+            if median > 0.0 {
+                line.push_str(&format!("  {:>10.1} {}", work / median * 1e3, unit));
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (criterion compatibility; prints a separator).
+    pub fn finish(&mut self) {
+        println!("group {} done", self.name);
+    }
+}
+
+/// Passed to the closure of `bench_function`; `iter` times the payload.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` (criterion runs many per sample;
+    /// we run one and accumulate, which keeps closures with per-iter
+    /// setup cost honest enough for regression spotting).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t = Instant::now();
+        let out = routine();
+        self.elapsed += t.elapsed();
+        self.iters += 1;
+        std_black_box(out);
+    }
+}
+
+/// Declare a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::microbench::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare `fn main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("MCS_BENCH_FAST", "1");
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("shim_self_test");
+        g.throughput(Throughput::Elements(64));
+        g.sample_size(3);
+        let mut ran = 0u32;
+        g.bench_function(BenchmarkId::new("sum", 64), |b| {
+            ran += 1;
+            b.iter(|| (0u64..64).sum::<u64>())
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

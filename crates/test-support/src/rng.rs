@@ -1,0 +1,268 @@
+//! A small, fast, seedable PRNG (xoshiro256++) with a `rand`-flavoured
+//! API surface.
+//!
+//! The workspace builds in fully offline environments, so it cannot pull
+//! the `rand` crate; this module provides the subset the repo actually
+//! uses — `seed_from_u64`, `gen`, `gen_range`, `gen_bool` — with
+//! deterministic, platform-independent output. Not cryptographic; test
+//! and workload generation only.
+
+/// SplitMix64 step — used for seeding and as a cheap stream splitter.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed the full 256-bit state from one `u64` via SplitMix64
+    /// (the standard xoshiro seeding recipe).
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Sample a value of a supported primitive type (`u8`..`u64`,
+    /// `usize`, `f64` in `[0, 1)`, `bool`).
+    #[inline]
+    pub fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a `Range` or `RangeInclusive` of an
+    /// unsigned integer type. Panics on empty ranges, like `rand`.
+    #[inline]
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, v: &mut [T]) {
+        for i in (1..v.len()).rev() {
+            let j = self.gen_range(0..=i);
+            v.swap(i, j);
+        }
+    }
+
+    /// Uniformly pick one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, v: &'a [T]) -> &'a T {
+        assert!(!v.is_empty(), "choose from empty slice");
+        &v[self.gen_range(0..v.len())]
+    }
+
+    /// A derived generator for a named stream: deterministic, and
+    /// distinct streams for distinct names (FNV-1a over the name mixed
+    /// into the seed).
+    pub fn stream(seed: u64, name: &str) -> Rng {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Rng::seed_from_u64(seed ^ h)
+    }
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample(rng: &mut Rng) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample(rng: &mut Rng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Unsigned integer types `gen_range` understands.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widen to u64.
+    fn to_u64(self) -> u64;
+    /// Narrow from u64 (value is guaranteed in range).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn to_u64(self) -> u64 { self as u64 }
+            #[inline]
+            fn from_u64(v: u64) -> $t { v as $t }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+/// Uniform draw from `[0, span)` via 128-bit widening multiply
+/// (Lemire's method without the rejection step — bias is < 2^-64,
+/// irrelevant for testing).
+#[inline]
+fn below(rng: &mut Rng, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> T {
+        let lo = self.start.to_u64();
+        let hi = self.end.to_u64();
+        assert!(lo < hi, "gen_range on empty range");
+        T::from_u64(lo + below(rng, hi - lo))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> T {
+        let lo = self.start().to_u64();
+        let hi = self.end().to_u64();
+        assert!(lo <= hi, "gen_range on empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + below(rng, span + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = r.gen_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w: usize = r.gen_range(0..=3usize);
+            assert!(w <= 3);
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn streams_are_distinct() {
+        let mut a = Rng::stream(42, "x");
+        let mut b = Rng::stream(42, "y");
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut s = v.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut r = Rng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+}

@@ -11,7 +11,6 @@
 
 use mcs_columnar::{Column, Predicate, Table};
 use mcs_engine::{Agg, AggKind, Filter, OrderKey, Query};
-use rand::Rng;
 
 use crate::gen::{gen_codes, stream, Distribution};
 use crate::suite::{BenchQuery, QuerySpec, Workload};

@@ -1,8 +1,7 @@
 //! Data-generation primitives: deterministic RNG streams, Zipf sampling
 //! (for TPC-H *skew* à la Chaudhuri–Narasayya), and code-column helpers.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mcs_test_support::Rng;
 
 /// A Zipf(θ) sampler over ranks `1..=n` (returned 0-based), using a
 /// precomputed CDF + binary search. θ = 1 reproduces the paper's
@@ -30,7 +29,7 @@ impl Zipf {
     }
 
     /// Draw one 0-based rank.
-    pub fn sample(&self, rng: &mut StdRng) -> usize {
+    pub fn sample(&self, rng: &mut Rng) -> usize {
         let u: f64 = rng.gen();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
@@ -50,21 +49,13 @@ pub enum Distribution {
 /// spread evenly over the domain (matching the paper's §3 micro setup:
 /// "2^13 distinct values uniformly distributed on a [0, 2^w − 1]
 /// domain").
-pub fn gen_codes(
-    rng: &mut StdRng,
-    n: usize,
-    domain: u64,
-    ndv: u64,
-    dist: &Distribution,
-) -> Vec<u64> {
+pub fn gen_codes(rng: &mut Rng, n: usize, domain: u64, ndv: u64, dist: &Distribution) -> Vec<u64> {
     assert!(domain >= 1);
     let ndv = ndv.clamp(1, domain);
     let stride = domain / ndv;
     let value_of = |rank: u64| -> u64 { (rank * stride).min(domain - 1) };
     match dist {
-        Distribution::Uniform => (0..n)
-            .map(|_| value_of(rng.gen_range(0..ndv)))
-            .collect(),
+        Distribution::Uniform => (0..n).map(|_| value_of(rng.gen_range(0..ndv))).collect(),
         Distribution::Zipf(theta) => {
             let z = Zipf::new(ndv as usize, *theta);
             // Shuffle the rank->value mapping so the hot values are not
@@ -74,22 +65,20 @@ pub fn gen_codes(
                 let j = rng.gen_range(0..=i);
                 perm.swap(i, j);
             }
-            (0..n)
-                .map(|_| value_of(perm[z.sample(rng)]))
-                .collect()
+            (0..n).map(|_| value_of(perm[z.sample(rng)])).collect()
         }
     }
 }
 
 /// A seeded RNG for a named stream (generation is reproducible and
 /// per-column independent).
-pub fn stream(seed: u64, name: &str) -> StdRng {
+pub fn stream(seed: u64, name: &str) -> Rng {
     let mut h = 1469598103934665603u64;
     for b in name.bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(1099511628211);
     }
-    StdRng::seed_from_u64(seed ^ h)
+    Rng::seed_from_u64(seed ^ h)
 }
 
 #[cfg(test)]

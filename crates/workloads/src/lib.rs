@@ -26,6 +26,8 @@ pub mod tpch;
 
 pub use airline::{airline, AirlineParams};
 pub use micro::{ex1, ex2, ex3, ex4, MicroInstance};
-pub use suite::{run_bench_query, run_bench_query_naive, BenchQuery, CombinedTimings, QuerySpec, Workload};
+pub use suite::{
+    run_bench_query, run_bench_query_naive, BenchQuery, CombinedTimings, QuerySpec, Workload,
+};
 pub use tpcds::{tpcds, TpcdsParams};
 pub use tpch::{tpch, TpchParams};

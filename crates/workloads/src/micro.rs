@@ -37,9 +37,7 @@ impl MicroInstance {
             stats: self
                 .specs
                 .iter()
-                .map(|s| {
-                    KeyColumnStats::uniform(s.width, 2f64.powi(s.width.min(13) as i32))
-                })
+                .map(|s| KeyColumnStats::uniform(s.width, 2f64.powi(s.width.min(13) as i32)))
                 .collect(),
             want_final_groups: true,
         }

@@ -26,8 +26,18 @@ impl QuerySpec {
     pub fn sort_width(&self) -> usize {
         match self {
             QuerySpec::Single(q) => q.sort_width(),
+            QuerySpec::TwoStage { first, second } => first.sort_width().max(second.sort_width()),
+        }
+    }
+
+    /// The widest multi-column sort any stage triggers anywhere in its
+    /// pipeline, including post-aggregation ORDER BY re-sorts (see
+    /// [`Query::max_sort_width`]).
+    pub fn max_sort_width(&self) -> usize {
+        match self {
+            QuerySpec::Single(q) => q.max_sort_width(),
             QuerySpec::TwoStage { first, second } => {
-                first.sort_width().max(second.sort_width())
+                first.max_sort_width().max(second.max_sort_width())
             }
         }
     }
@@ -165,7 +175,10 @@ pub fn extract_sort_instance(
     } else {
         let mut acc: Option<mcs_columnar::BitVec> = None;
         for f in &q.filters {
-            let bv = table.expect_column(&f.column).byteslice().scan(&f.predicate);
+            let bv = table
+                .expect_column(&f.column)
+                .byteslice()
+                .scan(&f.predicate);
             acc = Some(match acc {
                 None => bv,
                 Some(mut a) => {
@@ -201,10 +214,7 @@ pub fn extract_sort_instance(
 }
 
 /// Reference (naive) evaluation of a bench query, for correctness tests.
-pub fn run_bench_query_naive(
-    workload: &Workload,
-    bq: &BenchQuery,
-) -> Vec<(String, Vec<u64>)> {
+pub fn run_bench_query_naive(workload: &Workload, bq: &BenchQuery) -> Vec<(String, Vec<u64>)> {
     use mcs_engine::reference::naive_execute;
     let table = workload.table(&bq.table);
     match &bq.spec {
@@ -213,8 +223,7 @@ pub fn run_bench_query_naive(
             let r1 = naive_execute(table, first);
             let mut t = Table::new("stage1");
             for (name, vals) in &r1 {
-                let width =
-                    mcs_columnar::width_for_max(vals.iter().copied().max().unwrap_or(0));
+                let width = mcs_columnar::width_for_max(vals.iter().copied().max().unwrap_or(0));
                 t.add_column(mcs_columnar::Column::from_u64s(
                     name.clone(),
                     width,

@@ -16,7 +16,6 @@
 
 use mcs_columnar::{widen, width_for_max, Column, DimensionJoin, Predicate, Table};
 use mcs_engine::{Agg, AggKind, Filter, OrderKey, Query};
-use rand::Rng;
 
 use crate::gen::{gen_codes, stream, Distribution};
 use crate::suite::{BenchQuery, QuerySpec, Workload};
@@ -329,18 +328,16 @@ pub fn tpch(params: &TpchParams) -> Workload {
         let step2 = widen(
             "tpch_wide",
             &step1,
-            &[
-                DimensionJoin {
-                    fk_column: "o_custkey",
-                    dimension: &customer,
-                    select: vec![
-                        ("c_nation", "c_nation"),
-                        ("c_acctbal", "c_acctbal"),
-                        ("c_phone", "c_phone"),
-                        ("c_mktsegment", "c_mktsegment"),
-                    ],
-                },
-            ],
+            &[DimensionJoin {
+                fk_column: "o_custkey",
+                dimension: &customer,
+                select: vec![
+                    ("c_nation", "c_nation"),
+                    ("c_acctbal", "c_acctbal"),
+                    ("c_phone", "c_phone"),
+                    ("c_mktsegment", "c_mktsegment"),
+                ],
+            }],
         );
         let mut t = widen(
             "tpch_wide",
@@ -470,7 +467,7 @@ fn queries(wide: &Table, _orders: &Table) -> Vec<BenchQuery> {
         q.filters = vec![
             Filter {
                 column: "p_size".into(),
-                predicate: Predicate::Eq(15 % 50),
+                predicate: Predicate::Eq(15),
             },
             Filter {
                 column: "s_region".into(),
@@ -678,7 +675,11 @@ fn queries(wide: &Table, _orders: &Table) -> Vec<BenchQuery> {
         });
     }
 
-    debug_assert!(out.iter().all(|b| b.spec.sort_width() >= 2));
+    // Every benchmark query must exercise a multi-column (>= 2 attribute)
+    // sort somewhere in its pipeline. Q13's widest sort is the stage-2
+    // ORDER BY re-sort over the grouped table, so measure the widest
+    // sort anywhere, not just the planner-facing primary one.
+    debug_assert!(out.iter().all(|b| b.spec.max_sort_width() >= 2));
     debug_assert!(wide.rows() > 0);
     out
 }
@@ -718,8 +719,16 @@ mod tests {
             skew: Some(1.0),
             seed: 2,
         });
-        let hist_u = &u.table("tpch_wide").expect_column("l_quantity").stats().histogram;
-        let hist_s = &s.table("tpch_wide").expect_column("l_quantity").stats().histogram;
+        let hist_u = &u
+            .table("tpch_wide")
+            .expect_column("l_quantity")
+            .stats()
+            .histogram;
+        let hist_s = &s
+            .table("tpch_wide")
+            .expect_column("l_quantity")
+            .stats()
+            .histogram;
         let max_u = *hist_u.iter().max().unwrap() as f64;
         let max_s = *hist_s.iter().max().unwrap() as f64;
         // Zipf(1) puts much more mass in the hottest bucket.

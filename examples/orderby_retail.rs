@@ -44,7 +44,10 @@ fn main() {
     let plans = [
         ("column-at-a-time P0", MassagePlan::from_widths(&[12, 17])),
         ("stitch (12+17 -> 29/[32])", MassagePlan::from_widths(&[29])),
-        ("bit-borrow (13/[16] + 16/[16])", MassagePlan::from_widths(&[13, 16])),
+        (
+            "bit-borrow (13/[16] + 16/[16])",
+            MassagePlan::from_widths(&[13, 16]),
+        ),
     ];
 
     println!("ORDER BY order_date, retail_price over {n} rows\n");

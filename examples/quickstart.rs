@@ -39,20 +39,21 @@ fn main() {
     // into one 27-bit super-column and sorts once.
     let on = execute(&sales, &q, &EngineConfig::default());
 
-    println!("plan without massaging: {}", off.timings.plan.as_ref().unwrap());
-    println!("plan with massaging:    {}", on.timings.plan.as_ref().unwrap());
+    println!(
+        "plan without massaging: {}",
+        off.timings.plan.as_ref().unwrap()
+    );
+    println!(
+        "plan with massaging:    {}",
+        on.timings.plan.as_ref().unwrap()
+    );
 
     println!("\nnation_name  ship_date  SUM(price)");
     let names = on.column("nation_name").unwrap();
     let dates = on.column("ship_date").unwrap();
     let sums = on.column("sum_price").unwrap();
     for i in 0..on.rows {
-        println!(
-            "{:<12} {:<10} {}",
-            dict.decode(names[i]),
-            dates[i],
-            sums[i]
-        );
+        println!("{:<12} {:<10} {}", dict.decode(names[i]), dates[i], sums[i]);
     }
 
     // Same answer either way (Lemma 1).

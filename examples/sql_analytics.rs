@@ -46,11 +46,7 @@ fn main() {
         let headers: Vec<&str> = r.columns.iter().map(|(n, _)| n.as_str()).collect();
         println!("  {}", headers.join("  |  "));
         for row in 0..r.rows.min(5) {
-            let cells: Vec<String> = r
-                .columns
-                .iter()
-                .map(|(_, v)| v[row].to_string())
-                .collect();
+            let cells: Vec<String> = r.columns.iter().map(|(_, v)| v[row].to_string()).collect();
             println!("  {}", cells.join("  |  "));
         }
         if r.rows > 5 {

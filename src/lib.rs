@@ -50,16 +50,12 @@ pub use mcs_workloads as workloads;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use mcs_columnar::{
-        widen, Column, DimensionJoin, Dictionary, Predicate, Table,
-    };
-    pub use mcs_core::{
-        multi_column_sort, Bank, ExecConfig, MassagePlan, Round, SortSpec,
-    };
+    pub use mcs_columnar::{widen, Column, Dictionary, DimensionJoin, Predicate, Table};
+    pub use mcs_core::{multi_column_sort, Bank, ExecConfig, MassagePlan, Round, SortSpec};
     pub use mcs_cost::{calibrate, CalibrationOptions, CostModel, MachineSpec, SortInstance};
     pub use mcs_engine::{
-        execute, result_to_table, Agg, AggKind, EngineConfig, Filter, OrderKey, PlannerMode,
-        Query, QueryResult,
+        execute, result_to_table, Agg, AggKind, EngineConfig, Filter, OrderKey, PlannerMode, Query,
+        QueryResult,
     };
     pub use mcs_planner::{roga, rrs, RogaOptions, RrsOptions};
     pub use mcs_simd_sort::{sort_pairs, sort_pairs_with, SortConfig};

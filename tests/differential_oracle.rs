@@ -1,0 +1,291 @@
+//! The cross-crate differential oracle harness.
+//!
+//! Drives the full pipeline — massage → lookup → segmented SIMD sort →
+//! boundary scan → window rank / aggregates — and checks every output
+//! against the naive scalar reference in `mcs-test-support`, which
+//! shares no code with the engine.
+//!
+//! Coverage is enforced, not hoped for: the axis matrix test records a
+//! cell for every (plan shape × SIMD bank × thread count × direction
+//! mix) it actually executed and then asserts the full cross product is
+//! present, so dropping any axis from the driver loop fails the test.
+
+use std::collections::BTreeSet;
+
+use mcs_columnar::CodeVec;
+use mcs_core::{multi_column_sort, Bank, ExecConfig, MassagePlan, Round, SortSpec};
+use mcs_engine::rank_over;
+use mcs_test_support::{
+    check, degenerate_problems, gen_problem, random_specs, reference_aggregates, reference_rank,
+    reference_sort, Dist, Reference, Rng, SortProblem,
+};
+
+/// The four plan shapes of §4: column-at-a-time (identity), merged
+/// columns (stitch), a round boundary inside a column (borrow), and a
+/// column cut across rounds (split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Shape {
+    Identity,
+    Stitch,
+    Borrow,
+    Split,
+}
+
+const SHAPES: [Shape; 4] = [Shape::Identity, Shape::Stitch, Shape::Borrow, Shape::Split];
+
+/// Round widths realizing `shape` over columns of `widths`, or `None`
+/// when the shape is not expressible (e.g. stitching a single column).
+fn shape_widths(shape: Shape, widths: &[u32]) -> Option<Vec<u32>> {
+    match shape {
+        Shape::Identity => Some(widths.to_vec()),
+        Shape::Stitch => {
+            let mut out: Vec<u32> = Vec::new();
+            for &w in widths {
+                match out.last_mut() {
+                    Some(last) if *last + w <= 64 => *last += w,
+                    _ => out.push(w),
+                }
+            }
+            (out != widths).then_some(out)
+        }
+        Shape::Borrow => {
+            let i = (0..widths.len().saturating_sub(1))
+                .find(|&i| widths[i] < 64 && widths[i + 1] >= 2)?;
+            let mut out = widths.to_vec();
+            out[i] += 1;
+            out[i + 1] -= 1;
+            Some(out)
+        }
+        Shape::Split => {
+            let (j, &w) = widths.iter().enumerate().max_by_key(|(_, &w)| w)?;
+            if w < 2 {
+                return None;
+            }
+            let mut out = widths.to_vec();
+            out[j] = w.div_ceil(2);
+            out.insert(j + 1, w / 2);
+            Some(out)
+        }
+    }
+}
+
+/// A plan running *every* round in `bank`, or `None` if some round does
+/// not fit (the executor accepts any bank that holds the round width).
+fn plan_in_bank(round_widths: &[u32], bank: Bank) -> Option<MassagePlan> {
+    round_widths.iter().all(|&w| bank.holds(w)).then(|| {
+        MassagePlan::new(
+            round_widths
+                .iter()
+                .map(|&width| Round { width, bank })
+                .collect(),
+        )
+    })
+}
+
+fn code_vecs(p: &SortProblem) -> Vec<CodeVec> {
+    p.columns
+        .iter()
+        .zip(&p.widths)
+        .map(|(c, &w)| CodeVec::from_u64s(w, c.iter().copied()))
+        .collect()
+}
+
+fn sort_specs(p: &SortProblem) -> Vec<SortSpec> {
+    p.widths
+        .iter()
+        .zip(&p.descending)
+        .map(|(&width, &descending)| SortSpec { width, descending })
+        .collect()
+}
+
+/// Run the full pipeline for `p` under `plan`/`threads` and check the
+/// oid order, group bounds, per-group membership, window ranks, and
+/// per-group aggregates against the scalar reference.
+fn run_and_check(
+    label: &str,
+    p: &SortProblem,
+    reference: &Reference,
+    plan: &MassagePlan,
+    threads: usize,
+) {
+    let cols = code_vecs(p);
+    let refs: Vec<&CodeVec> = cols.iter().collect();
+    let specs = sort_specs(p);
+    let cfg = ExecConfig {
+        threads,
+        want_final_groups: true,
+        ..ExecConfig::default()
+    };
+    let out = multi_column_sort(&refs, &specs, plan, &cfg);
+    mcs_test_support::assert_matches_reference(
+        label,
+        p,
+        reference,
+        &out.oids,
+        Some(&out.groups.offsets),
+    );
+
+    // Aggregates over the first column's raw codes, per final tie group.
+    let want_agg = reference_aggregates(reference, &p.columns[0]);
+    let got_counts: Vec<u64> = out.groups.iter().map(|g| g.len() as u64).collect();
+    let got_sums: Vec<u64> = out
+        .groups
+        .iter()
+        .map(|g| {
+            g.clone()
+                .map(|pos| p.columns[0][out.oids[pos] as usize])
+                .fold(0u64, u64::wrapping_add)
+        })
+        .collect();
+    assert_eq!(got_counts, want_agg.counts, "[{label}] group counts");
+    assert_eq!(got_sums, want_agg.sums, "[{label}] group sums");
+
+    // RANK() OVER (PARTITION BY col0 ORDER BY col1..): partitions are
+    // the tie runs on the first column of the sorted output; the window
+    // key is the direction-adjusted concatenation of the rest (the
+    // engine pipeline's construction). Needs the window key to fit u64.
+    let window_width: u32 = p.widths[1..].iter().sum();
+    if p.num_cols() >= 2 && window_width <= 64 {
+        let n = p.num_rows();
+        let mut partition_offsets = vec![0u32];
+        for pos in 1..n {
+            let (a, b) = (out.oids[pos - 1] as usize, out.oids[pos] as usize);
+            if p.adjusted(0, a) != p.adjusted(0, b) {
+                partition_offsets.push(pos as u32);
+            }
+        }
+        partition_offsets.push(n as u32);
+        let window_keys: Vec<u64> = out
+            .oids
+            .iter()
+            .map(|&o| {
+                p.widths[1..]
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |k, (i, &w)| (k << w) | p.adjusted(i + 1, o as usize))
+            })
+            .collect();
+        let parts = mcs_core::GroupBounds::from_offsets(partition_offsets.clone());
+        let got_ranks = rank_over(&parts, &window_keys);
+        let want_ranks = reference_rank(&partition_offsets, &window_keys);
+        assert_eq!(got_ranks, want_ranks, "[{label}] window ranks");
+    }
+}
+
+/// The enforced axis matrix: every plan shape × every SIMD bank ×
+/// threads ∈ {1, 4} × ascending-only and mixed-direction keys, each
+/// under two value distributions.
+#[test]
+fn full_axis_matrix_against_reference() {
+    // Column widths per bank, chosen so every shape's rounds fit the
+    // bank: e.g. stitching [13, 12] gives a 25-bit round (B32-only),
+    // splitting [40, 20] gives 20-bit rounds that still *run* in B64.
+    let widths_for = |bank: Bank| -> Vec<u32> {
+        match bank {
+            Bank::B16 => vec![7, 6],
+            Bank::B32 => vec![13, 12],
+            Bank::B64 => vec![40, 20],
+        }
+    };
+
+    let mut rng = Rng::seed_from_u64(0xD1FF_0AC1E_u64);
+    let mut covered: BTreeSet<(Shape, u32, usize, bool)> = BTreeSet::new();
+
+    for bank in Bank::ALL {
+        for shape in SHAPES {
+            let widths = widths_for(bank);
+            let round_widths = shape_widths(shape, &widths)
+                .unwrap_or_else(|| panic!("{shape:?} not expressible over {widths:?}"));
+            let plan = plan_in_bank(&round_widths, bank)
+                .unwrap_or_else(|| panic!("{shape:?}/{bank:?} rounds {round_widths:?} overflow"));
+            for threads in [1usize, 4] {
+                for mixed in [false, true] {
+                    for dist in [Dist::Uniform, Dist::DupHeavy] {
+                        let specs: Vec<_> = widths
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &width)| mcs_test_support::ColumnSpec {
+                                width,
+                                descending: mixed && i % 2 == 1,
+                            })
+                            .collect();
+                        let p = gen_problem(&mut rng, 400, &specs, dist);
+                        let reference = reference_sort(&p);
+                        let label = format!(
+                            "{shape:?}/{bank:?}/t{threads}/{}/{dist:?}",
+                            if mixed { "mixed" } else { "asc" }
+                        );
+                        run_and_check(&label, &p, &reference, &plan, threads);
+                        covered.insert((shape, bank.bits(), threads, mixed));
+                    }
+                }
+            }
+        }
+    }
+
+    // The coverage contract, spelled out with its own literals so that
+    // dropping an axis from the driver loops above fails here.
+    for shape in [Shape::Identity, Shape::Stitch, Shape::Borrow, Shape::Split] {
+        for bank_bits in [16u32, 32, 64] {
+            for threads in [1usize, 4] {
+                for mixed in [false, true] {
+                    assert!(
+                        covered.contains(&(shape, bank_bits, threads, mixed)),
+                        "axis cell dropped: {shape:?} x B{bank_bits} x {threads} threads x mixed={mixed}"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(covered.len(), 4 * 3 * 2 * 2);
+}
+
+/// Randomized sweep: arbitrary column sets (totals past 64 bits force
+/// multi-round plans), all seven value distributions, every expressible
+/// shape, random thread counts.
+#[test]
+fn random_problems_every_shape_and_distribution() {
+    check("random_problems_every_shape_and_distribution", 48, |rng| {
+        let specs = random_specs(rng, 4, 90);
+        let n = rng.gen_range(0..500usize);
+        let dist = *rng.choose(&Dist::ALL);
+        let p = gen_problem(rng, n, &specs, dist);
+        let reference = reference_sort(&p);
+        let widths = p.widths.clone();
+        for shape in SHAPES {
+            let Some(round_widths) = shape_widths(shape, &widths) else {
+                continue;
+            };
+            let plan = MassagePlan::from_widths(&round_widths);
+            let threads = *rng.choose(&[1usize, 4]);
+            let label = format!("random/{shape:?}/t{threads}/{dist:?}/n{n}");
+            run_and_check(&label, &p, &reference, &plan, threads);
+        }
+    });
+}
+
+/// Degenerate shapes every engine change must keep working: zero rows,
+/// one row, a single 1-bit column with heavy ties, and an all-equal
+/// column collapsing to one group.
+#[test]
+fn degenerate_shapes_every_plan() {
+    let mut rng = Rng::seed_from_u64(7);
+    for (name, p) in degenerate_problems(&mut rng) {
+        let reference = reference_sort(&p);
+        for shape in SHAPES {
+            let Some(round_widths) = shape_widths(shape, &p.widths) else {
+                continue;
+            };
+            let plan = MassagePlan::from_widths(&round_widths);
+            for threads in [1usize, 4] {
+                run_and_check(
+                    &format!("degenerate/{name}/{shape:?}/t{threads}"),
+                    &p,
+                    &reference,
+                    &plan,
+                    threads,
+                );
+            }
+        }
+    }
+}

@@ -82,8 +82,10 @@ fn main() {
                     permute_columns: false,
                 },
             );
-            let (_, sort_d) =
-                time(|| multi_column_sort(&refs, &specs, &r.plan, &ExecConfig::default()));
+            let (_, sort_d) = time(|| {
+                multi_column_sort(&refs, &specs, &r.plan, &ExecConfig::default())
+                    .expect("valid sort instance")
+            });
             let rank = measured
                 .as_ref()
                 .map(|m| {

@@ -7,7 +7,7 @@
 //! query for all nine queries except Q13, whose multi-column ORDER BY
 //! runs on already-aggregated (tiny) data.
 
-use mcs_bench::{cost_model, ms, print_table, rows, seed};
+use mcs_bench::{cost_model, export_telemetry, maybe_explain, ms, print_table, rows, seed};
 use mcs_engine::{EngineConfig, PlannerMode};
 use mcs_workloads::{run_bench_query, tpch, TpchParams};
 
@@ -28,6 +28,7 @@ fn main() {
     let mut out = Vec::new();
     for bq in &w.queries {
         let (_, t) = run_bench_query(&w, bq, &cfg);
+        maybe_explain(&bq.name, &t.stages, &cfg.model);
         let pct = 100.0 * t.mcs_ns as f64 / t.total_ns.max(1) as f64;
         out.push(vec![
             bq.name.clone(),
@@ -45,4 +46,5 @@ fn main() {
         "\nShape check: mcs_share should dominate (paper: 60-92%) for all\n\
          queries except tpch_q13 (its multi-column sort runs post-aggregation)."
     );
+    export_telemetry("fig1_breakdown");
 }

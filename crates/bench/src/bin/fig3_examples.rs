@@ -19,7 +19,8 @@ fn run(m: &MicroInstance) {
     let cfg = ExecConfig::default();
     let mut out_rows = Vec::new();
     for (name, plan) in &m.plans {
-        let (res, d) = time(|| multi_column_sort(&refs, &m.specs, plan, &cfg));
+        let (res, d) =
+            time(|| multi_column_sort(&refs, &m.specs, plan, &cfg).expect("valid sort instance"));
         let s = &res.stats;
         out_rows.push(vec![
             name.clone(),

@@ -22,7 +22,8 @@ fn main() {
 
     let mut out_rows = Vec::new();
     for (name, plan) in &m.plans {
-        let (res, d) = time(|| multi_column_sort(&refs, &m.specs, plan, &cfg));
+        let (res, d) =
+            time(|| multi_column_sort(&refs, &m.specs, plan, &cfg).expect("valid sort instance"));
         let st = &res.stats;
         let r2 = st.rounds.get(1);
         let n_sort = r2.map_or(0, |r| r.invocations);

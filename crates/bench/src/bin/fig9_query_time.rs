@@ -7,7 +7,9 @@
 //! speeds the whole query by up to ~4.7× on sorting-dominated queries,
 //! with consistent gains across scales; Q13 barely moves.
 
-use mcs_bench::{cost_model, engine_pair, ms, print_table, rows, seed, speedup};
+use mcs_bench::{
+    cost_model, engine_pair, export_telemetry, maybe_explain, ms, print_table, rows, seed, speedup,
+};
 use mcs_workloads::{
     airline, run_bench_query, tpcds, tpch, AirlineParams, TpcdsParams, TpchParams, Workload,
 };
@@ -50,6 +52,11 @@ fn main() {
             for bq in &w.queries {
                 let (_, t_off) = run_bench_query(w, bq, &off);
                 let (_, t_on) = run_bench_query(w, bq, &on);
+                maybe_explain(
+                    &format!("{}/{} n={n}", w.name, bq.name),
+                    &t_on.stages,
+                    &model,
+                );
                 out.push(vec![
                     format!("{n}"),
                     w.name.clone(),
@@ -76,4 +83,5 @@ fn main() {
         "\nShape check: consistent speedups across scales on every workload;\n\
          tpch_q13's end-to-end speedup stays near 1x (paper's exception)."
     );
+    export_telemetry("fig9_query_time");
 }

@@ -20,7 +20,7 @@
 use std::time::{Duration, Instant};
 
 use mcs_cost::{calibrate, CalibrationOptions, CostModel, MachineSpec};
-use mcs_engine::{EngineConfig, PlannerMode};
+use mcs_engine::{EngineConfig, ExplainReport, PlannerMode, QueryTimings};
 
 /// Read an env var as usize.
 pub fn env_usize(name: &str, default: usize) -> usize {
@@ -99,6 +99,44 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     line(widths.iter().map(|w| "-".repeat(*w)).collect());
     for row in rows {
         line(row.clone());
+    }
+}
+
+/// Whether `MCS_EXPLAIN=1`: bench bins print an EXPLAIN-style plan
+/// report (predicted vs. measured per-round cost) for each query stage.
+pub fn explain_enabled() -> bool {
+    std::env::var("MCS_EXPLAIN").as_deref() == Ok("1")
+}
+
+/// When `MCS_EXPLAIN=1`, print an [`ExplainReport`] for every stage of a
+/// bench query that ran a multi-column sort.
+pub fn maybe_explain(name: &str, stages: &[QueryTimings], model: &CostModel) {
+    if !explain_enabled() {
+        return;
+    }
+    for (i, t) in stages.iter().enumerate() {
+        let label = if stages.len() > 1 {
+            format!("{name} (stage {})", i + 1)
+        } else {
+            name.to_string()
+        };
+        match ExplainReport::from_timings(&label, t, model) {
+            Some(rep) => println!("\n{}", rep.render()),
+            None => println!("\nEXPLAIN mcs: {label}\n  (no multi-column sort executed)"),
+        }
+    }
+}
+
+/// Drain collected telemetry into `results/telemetry/<run>.jsonl`
+/// (machine-readable run report). No-op when the workspace was built with
+/// telemetry off (`--no-default-features`).
+pub fn export_telemetry(run: &str) {
+    if !mcs_telemetry::is_enabled() {
+        return;
+    }
+    match mcs_telemetry::write_run_report("results/telemetry", run) {
+        Ok(p) => eprintln!("[mcs-bench] telemetry run report: {}", p.display()),
+        Err(e) => eprintln!("[mcs-bench] telemetry export failed: {e}"),
     }
 }
 

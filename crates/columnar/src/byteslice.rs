@@ -149,8 +149,24 @@ impl ByteSliceColumn {
     }
 
     /// Evaluate `pred` over the whole column with early stopping.
+    ///
+    /// Emits one `scan.byteslice` telemetry span per call.
     pub fn scan(&self, pred: &Predicate) -> BitVec {
-        self.scan_with_stats(pred).0
+        let t = std::time::Instant::now();
+        let (out, stats) = self.scan_with_stats(pred);
+        if mcs_telemetry::is_enabled() {
+            mcs_telemetry::record_span(
+                "scan.byteslice",
+                t.elapsed().as_nanos() as u64,
+                vec![
+                    ("rows", self.n.into()),
+                    ("width", self.width.into()),
+                    ("words_touched", stats.words_touched.into()),
+                    ("words_total", stats.words_total.into()),
+                ],
+            );
+        }
+        out
     }
 
     /// [`ByteSliceColumn::scan`] plus early-stopping telemetry.

@@ -10,12 +10,63 @@ use std::time::Instant;
 
 use mcs_columnar::CodeVec;
 use mcs_simd_sort::{
-    sort_pairs_in_groups, sort_pairs_in_groups_parallel, GroupBounds, SegmentedSortStats,
-    SortConfig,
+    sort_pairs_in_groups, sort_pairs_in_groups_parallel, GroupBounds, PhaseTimes,
+    SegmentedSortStats, SortConfig,
 };
+use mcs_telemetry as telemetry;
 
 use crate::massage::{massage, width_mask, RoundKeys};
-use crate::plan::{MassagePlan, SortSpec};
+use crate::plan::{MassagePlan, PlanError, SortSpec};
+
+/// Why a [`multi_column_sort`] invocation was rejected before running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SortError {
+    /// The massage plan fails [`MassagePlan::validate`] for the given
+    /// total key width.
+    InvalidPlan(PlanError),
+    /// `inputs` and `specs` have different lengths.
+    ColumnCountMismatch {
+        /// Number of input columns.
+        inputs: usize,
+        /// Number of sort specs.
+        specs: usize,
+    },
+    /// No sort columns were given.
+    NoColumns,
+    /// The row count does not fit the u32 oid space
+    /// (`u32::MAX` is reserved as the padding sentinel).
+    TooManyRows(usize),
+}
+
+impl core::fmt::Display for SortError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SortError::InvalidPlan(e) => write!(f, "invalid massage plan: {e}"),
+            SortError::ColumnCountMismatch { inputs, specs } => {
+                write!(f, "{inputs} input columns but {specs} sort specs")
+            }
+            SortError::NoColumns => write!(f, "need at least one sort column"),
+            SortError::TooManyRows(n) => {
+                write!(f, "{n} rows exceed the u32 oid space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SortError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SortError::InvalidPlan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for SortError {
+    fn from(e: PlanError) -> Self {
+        SortError::InvalidPlan(e)
+    }
+}
 
 /// Execution configuration.
 #[derive(Debug, Clone)]
@@ -56,6 +107,10 @@ pub struct RoundStats {
     pub groups_in: usize,
     /// Groups after this round's refinement (`N_group`).
     pub groups_out: usize,
+    /// Merge-sort sub-phase times (in-register / in-cache / multiway),
+    /// summed over this round's SIMD-sort invocations. All zero unless
+    /// the `phase-timing` feature of `mcs-simd-sort` is enabled.
+    pub phases: PhaseTimes,
 }
 
 /// Whole-execution telemetry.
@@ -145,18 +200,31 @@ fn refine_groups(groups: &GroupBounds, keys: &RoundKeys) -> GroupBounds {
 /// final grouping. The permutation satisfies the `ORDER BY` comparator
 /// `t_a ≺ t_b` of §3 for every pair of consecutive output positions; by
 /// Lemma 1 this holds for *any* valid massage plan.
+///
+/// Fails with a [`SortError`] (instead of running or panicking) when the
+/// plan does not cover the concatenated key width or the inputs are
+/// malformed.
 pub fn multi_column_sort(
     inputs: &[&CodeVec],
     specs: &[SortSpec],
     plan: &MassagePlan,
     cfg: &ExecConfig,
-) -> MultiColumnSortOutput {
-    assert_eq!(inputs.len(), specs.len(), "one spec per input column");
-    assert!(!inputs.is_empty(), "need at least one sort column");
+) -> Result<MultiColumnSortOutput, SortError> {
+    if inputs.len() != specs.len() {
+        return Err(SortError::ColumnCountMismatch {
+            inputs: inputs.len(),
+            specs: specs.len(),
+        });
+    }
+    if inputs.is_empty() {
+        return Err(SortError::NoColumns);
+    }
     let total_width: u32 = specs.iter().map(|s| s.width).sum();
-    plan.validate(total_width).expect("invalid massage plan");
+    plan.validate(total_width)?;
     let n = inputs[0].len();
-    assert!(n < u32::MAX as usize, "row count must fit in u32");
+    if n >= u32::MAX as usize {
+        return Err(SortError::TooManyRows(n));
+    }
 
     let t0 = Instant::now();
     let mut stats = ExecStats::default();
@@ -173,6 +241,18 @@ pub fn multi_column_sort(
     } else {
         massage_elapsed
     };
+    if telemetry::is_enabled() {
+        telemetry::record_span(
+            "mcs.massage",
+            stats.massage_ns,
+            vec![
+                ("rows", n.into()),
+                ("rounds", plan.rounds.len().into()),
+                ("identity", prog.is_identity().into()),
+                ("plan", plan.notation().into()),
+            ],
+        );
+    }
 
     let mut oids: Vec<u32> = (0..n as u32).collect();
     let mut groups = GroupBounds::whole(n);
@@ -198,6 +278,7 @@ pub fn multi_column_sort(
         rs.sort_ns = ts.elapsed().as_nanos() as u64;
         rs.invocations = sstats.invocations;
         rs.codes_sorted = sstats.codes_sorted;
+        rs.phases = sstats.phases;
 
         // Scan for refined boundaries (step 2b); skipped after the last
         // round unless the caller needs the final grouping.
@@ -207,14 +288,57 @@ pub fn multi_column_sort(
             rs.scan_ns = tc.elapsed().as_nanos() as u64;
         }
         rs.groups_out = groups.num_groups();
+        if telemetry::is_enabled() {
+            record_round_spans(k, &plan.rounds[k], &rs, k < last || cfg.want_final_groups);
+            telemetry::histogram_record("mcs.round.max_group", sstats.max_group as u64);
+        }
         stats.rounds.push(rs);
     }
 
     stats.total_ns = t0.elapsed().as_nanos() as u64;
-    MultiColumnSortOutput {
+    if telemetry::is_enabled() {
+        telemetry::counter_add("mcs.sorts", 1);
+        telemetry::counter_add("mcs.rounds", stats.rounds.len() as u64);
+    }
+    Ok(MultiColumnSortOutput {
         oids,
         groups,
         stats,
+    })
+}
+
+/// Emit the per-round telemetry spans: one lookup span (rounds after the
+/// first), one sort span with its three merge-sort sub-phase spans, and
+/// one boundary-scan span when the scan ran. Aggregated per round — the
+/// segmented sort may cover thousands of groups, so spans are recorded
+/// from the already-measured [`RoundStats`] rather than per group.
+fn record_round_spans(k: usize, round: &crate::plan::Round, rs: &RoundStats, scanned: bool) {
+    let base = |rs: &RoundStats| {
+        vec![
+            ("round", k.into()),
+            ("width", round.width.into()),
+            ("bank", u64::from(round.bank.bits()).into()),
+            ("groups_in", rs.groups_in.into()),
+        ]
+    };
+    if k > 0 {
+        telemetry::record_span("mcs.round.lookup", rs.lookup_ns, base(rs));
+    }
+    let mut sort_attrs = base(rs);
+    sort_attrs.push(("invocations", rs.invocations.into()));
+    sort_attrs.push(("codes_sorted", rs.codes_sorted.into()));
+    telemetry::record_span("mcs.round.sort", rs.sort_ns, sort_attrs);
+    for (name, ns) in [
+        ("mcs.round.sort.in_register", rs.phases.in_register_ns),
+        ("mcs.round.sort.in_cache_merge", rs.phases.in_cache_merge_ns),
+        ("mcs.round.sort.multiway_merge", rs.phases.multiway_merge_ns),
+    ] {
+        telemetry::record_span(name, ns, vec![("round", k.into())]);
+    }
+    if scanned {
+        let mut scan_attrs = base(rs);
+        scan_attrs.push(("groups_out", rs.groups_out.into()));
+        telemetry::record_span("mcs.round.scan", rs.scan_ns, scan_attrs);
     }
 }
 
@@ -307,7 +431,8 @@ mod tests {
             MassagePlan::from_widths(&[27]),       // Figure 2b (stitched)
             MassagePlan::from_widths(&[11, 16]),   // bit borrowing
         ] {
-            let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default());
+            let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default())
+                .expect("valid sort instance");
             verify_sorted(&inputs, &specs, &out, true);
             // Groups: (0,301)x2, (1,501)x2, (1,1201).
             assert_eq!(out.groups.num_groups(), 3, "plan {plan}");
@@ -333,7 +458,8 @@ mod tests {
 
         // Reference final grouping from P0.
         let p0 = MassagePlan::column_at_a_time(&specs);
-        let ref_out = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default());
+        let ref_out = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default())
+            .expect("valid sort instance");
         verify_sorted(&inputs, &specs, &ref_out, true);
 
         // All compositions of 11 into <= 4 parts (plus the 11-part one).
@@ -354,7 +480,8 @@ mod tests {
         }
         for widths in plans {
             let plan = MassagePlan::from_widths(&widths);
-            let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default());
+            let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default())
+                .expect("valid sort instance");
             verify_sorted(&inputs, &specs, &out, true);
             // Lemma 1: identical grouping structure regardless of plan.
             assert_eq!(
@@ -374,12 +501,14 @@ mod tests {
         // Stitched plan must complement B first; expected output order is
         // the input order (x, y, z) per the paper.
         let plan = MassagePlan::from_widths(&[6]);
-        let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default());
+        let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default())
+            .expect("valid sort instance");
         assert_eq!(out.oids, vec![0, 1, 2]);
         // And the wrong (no-complement) order would have been 1,0,2: check
         // the column-at-a-time plan agrees with the stitched one.
         let p0 = MassagePlan::column_at_a_time(&specs);
-        let out0 = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default());
+        let out0 = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default())
+            .expect("valid sort instance");
         assert_eq!(out0.oids, out.oids);
     }
 
@@ -401,7 +530,8 @@ mod tests {
         let inputs = vec![&a, &b];
         let specs = vec![SortSpec::asc(13), SortSpec::asc(17)];
         let p0 = MassagePlan::column_at_a_time(&specs);
-        let out = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default());
+        let out = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default())
+            .expect("valid sort instance");
         assert_eq!(out.stats.rounds.len(), 2);
         assert_eq!(out.stats.massage_ns, 0, "P0 ascending pays no massage");
         let r2 = &out.stats.rounds[1];
@@ -410,9 +540,48 @@ mod tests {
         assert!(r2.invocations <= r2.groups_in);
         // Massaged plan records massage time.
         let p = MassagePlan::from_widths(&[16, 14]);
-        let out2 = multi_column_sort(&inputs, &specs, &p, &ExecConfig::default());
+        let out2 = multi_column_sort(&inputs, &specs, &p, &ExecConfig::default())
+            .expect("valid sort instance");
         assert!(out2.stats.massage_ns > 0);
         verify_sorted(&inputs, &specs, &out2, true);
+    }
+
+    #[test]
+    fn inconsistent_inputs_return_typed_errors() {
+        let a = col(10, &[3, 1, 2]);
+        let b = col(17, &[30, 10, 20]);
+        let inputs = vec![&a, &b];
+        let specs = vec![SortSpec::asc(10), SortSpec::asc(17)];
+        let cfg = ExecConfig::default();
+
+        // Plan covers 30 bits but the key is 27: width mismatch.
+        let short = MassagePlan::from_widths(&[15, 15]);
+        let err = multi_column_sort(&inputs, &specs, &short, &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            SortError::InvalidPlan(crate::plan::PlanError::WidthMismatch {
+                got: 30,
+                expected: 27
+            })
+        );
+        assert!(err.to_string().contains("invalid massage plan"));
+        // The error chain surfaces the underlying PlanError.
+        assert!(std::error::Error::source(&err).is_some());
+
+        // One spec too few.
+        let p0 = MassagePlan::column_at_a_time(&specs);
+        let err = multi_column_sort(&inputs, &specs[..1], &p0, &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            SortError::ColumnCountMismatch {
+                inputs: 2,
+                specs: 1
+            }
+        );
+
+        // No columns at all.
+        let err = multi_column_sort(&[], &[], &p0, &cfg).unwrap_err();
+        assert_eq!(err, SortError::NoColumns);
     }
 
     #[test]
@@ -421,7 +590,8 @@ mod tests {
         let inputs = vec![&a];
         let specs = vec![SortSpec::asc(12)];
         let p0 = MassagePlan::column_at_a_time(&specs);
-        let out = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default());
+        let out = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default())
+            .expect("valid sort instance");
         assert_eq!(out.oids, vec![0]);
         assert_eq!(out.groups.num_groups(), 1);
     }
@@ -449,7 +619,8 @@ mod tests {
             MassagePlan::from_widths(&[32, 32, 26]),
             MassagePlan::from_widths(&[64, 26]),
         ] {
-            let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default());
+            let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default())
+                .expect("valid sort instance");
             verify_sorted(&inputs, &specs, &out, true);
         }
     }
@@ -470,7 +641,8 @@ mod tests {
         let inputs = vec![&a, &b];
         let specs = vec![SortSpec::asc(11), SortSpec::asc(21)];
         let plan = MassagePlan::from_widths(&[16, 16]);
-        let s1 = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default());
+        let s1 = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default())
+            .expect("valid sort instance");
         let s4 = multi_column_sort(
             &inputs,
             &specs,
@@ -479,7 +651,8 @@ mod tests {
                 threads: 4,
                 ..ExecConfig::default()
             },
-        );
+        )
+        .expect("valid sort instance");
         verify_sorted(&inputs, &specs, &s4, true);
         assert_eq!(s1.groups.offsets, s4.groups.offsets);
     }

@@ -31,7 +31,8 @@
 //! let ship = CodeVec::from_u64s(17, [1201u64, 301, 501]);
 //! let specs = [SortSpec::asc(10), SortSpec::asc(17)];
 //! let plan = MassagePlan::from_widths(&[27]);
-//! let out = multi_column_sort(&[&nation, &ship], &specs, &plan, &ExecConfig::default());
+//! let out = multi_column_sort(&[&nation, &ship], &specs, &plan, &ExecConfig::default())
+//!     .expect("plan covers the 27-bit key");
 //! assert_eq!(out.oids, vec![1, 2, 0]);
 //! ```
 
@@ -43,10 +44,10 @@ mod plan;
 
 pub use executor::{
     multi_column_sort, tuple_cmp, verify_sorted, ExecConfig, ExecStats, MultiColumnSortOutput,
-    RoundStats,
+    RoundStats, SortError,
 };
 pub use massage::{massage, width_mask, FipStep, MassageProgram, RoundKeys};
 pub use plan::{MassagePlan, PlanError, Round, SortSpec};
 
 // Re-export the pieces callers need alongside plans.
-pub use mcs_simd_sort::{Bank, GroupBounds, SortConfig};
+pub use mcs_simd_sort::{Bank, GroupBounds, PhaseTimes, SortConfig};

@@ -73,7 +73,7 @@ fn lemma1_any_partition_sorts_correctly() {
         let reference = reference_sort(&problem);
 
         let p0 = MassagePlan::column_at_a_time(&specs);
-        let ref_out = multi_column_sort(&inputs, &specs, &p0, &cfg);
+        let ref_out = multi_column_sort(&inputs, &specs, &p0, &cfg).expect("valid sort instance");
         verify_sorted(&inputs, &specs, &ref_out, true);
         assert_matches_reference(
             "P0",
@@ -87,7 +87,7 @@ fn lemma1_any_partition_sorts_correctly() {
         for _ in 0..3 {
             let widths = random_partition(rng, total);
             let plan = MassagePlan::from_widths(&widths);
-            let out = multi_column_sort(&inputs, &specs, &plan, &cfg);
+            let out = multi_column_sort(&inputs, &specs, &plan, &cfg).expect("valid sort instance");
             verify_sorted(&inputs, &specs, &out, true);
             // Lemma 1: the grouping (tie structure) is plan-invariant, and
             // the oracle agrees on order and groups.
@@ -124,7 +124,8 @@ fn oversized_banks_are_still_correct() {
                 bank: Bank::B32,
             },
         ]);
-        let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default());
+        let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default())
+            .expect("valid sort instance");
         verify_sorted(&inputs, &specs, &out, true);
         let problem = problem_of(&cols, &specs);
         let reference = reference_sort(&problem);

@@ -26,7 +26,8 @@ fn round2_invocations_counted_like_the_model() {
     let inputs = vec![&a, &b];
     let specs = vec![SortSpec::asc(10), SortSpec::asc(17)];
     let p0 = MassagePlan::column_at_a_time(&specs);
-    let out = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default());
+    let out = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default())
+        .expect("valid sort instance");
 
     let r1 = &out.stats.rounds[0];
     let r2 = &out.stats.rounds[1];
@@ -60,7 +61,8 @@ fn more_first_round_bits_never_decrease_groups() {
     let mut prev_groups = 0usize;
     for shift in 0..=8u32 {
         let plan = MassagePlan::from_widths(&[17 + shift, 33 - shift]);
-        let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default());
+        let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default())
+            .expect("valid sort instance");
         let g = out.stats.rounds[0].groups_out;
         assert!(
             g >= prev_groups,
@@ -81,7 +83,8 @@ fn singleton_groups_skip_sorting() {
     let inputs = vec![&a, &b];
     let specs = vec![SortSpec::asc(13), SortSpec::asc(17)];
     let p0 = MassagePlan::column_at_a_time(&specs);
-    let out = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default());
+    let out = multi_column_sort(&inputs, &specs, &p0, &ExecConfig::default())
+        .expect("valid sort instance");
     assert_eq!(out.stats.rounds[1].invocations, 0);
     assert_eq!(out.stats.rounds[1].codes_sorted, 0);
     assert_eq!(out.groups.num_groups(), n);

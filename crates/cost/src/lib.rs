@@ -43,4 +43,6 @@ pub use estimate::{
 };
 pub use linalg::{least_squares, least_squares_nonneg, solve};
 pub use machine::MachineSpec;
-pub use model::{BankConstants, CostBreakdown, CostConstants, CostModel, SortInstance};
+pub use model::{
+    BankConstants, CostBreakdown, CostConstants, CostModel, PlanCost, RoundCost, SortInstance,
+};

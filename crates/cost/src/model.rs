@@ -147,6 +147,57 @@ impl CostBreakdown {
     }
 }
 
+/// Predicted cost of one execution round (ns) — the per-round view the
+/// `EXPLAIN` report lines up against measured [`mcs_core::RoundStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundCost {
+    /// Bits sorted this round.
+    pub width: u32,
+    /// SIMD bank of the round.
+    pub bank: Bank,
+    /// Predicted `T_lookup` (0 for the first round).
+    pub lookup: f64,
+    /// Predicted `T_sort`.
+    pub sort: f64,
+    /// Predicted `T_scan` (0 when the final scan is skipped).
+    pub scan: f64,
+    /// Estimated number of groups entering the round (1 for round 1).
+    pub est_groups_in: f64,
+}
+
+impl RoundCost {
+    /// Predicted round total.
+    pub fn total(&self) -> f64 {
+        self.lookup + self.sort + self.scan
+    }
+}
+
+/// Per-round predicted cost of a whole plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCost {
+    /// Predicted `T_massage` (0 for identity plans on ascending keys).
+    pub massage: f64,
+    /// One entry per plan round, in execution order.
+    pub rounds: Vec<RoundCost>,
+}
+
+impl PlanCost {
+    /// `T_mcs` — the plan total.
+    pub fn total(&self) -> f64 {
+        self.massage + self.rounds.iter().map(RoundCost::total).sum::<f64>()
+    }
+
+    /// Collapse to the four-phase [`CostBreakdown`].
+    pub fn breakdown(&self) -> CostBreakdown {
+        CostBreakdown {
+            massage: self.massage,
+            lookup: self.rounds.iter().map(|r| r.lookup).sum(),
+            sort: self.rounds.iter().map(|r| r.sort).sum(),
+            scan: self.rounds.iter().map(|r| r.scan).sum(),
+        }
+    }
+}
+
 /// The calibrated cost model.
 #[derive(Debug, Clone)]
 pub struct CostModel {
@@ -249,35 +300,55 @@ impl CostModel {
         self.t_sort_round(&est, bank)
     }
 
-    /// Full `T_mcs` (ns) of executing `plan` on `inst`, with breakdown.
-    pub fn t_mcs_breakdown(&self, inst: &SortInstance, plan: &MassagePlan) -> CostBreakdown {
+    /// Full per-round `T_mcs` prediction of executing `plan` on `inst` —
+    /// one [`RoundCost`] per round plus the massage term. This is the
+    /// model's finest-grained output; [`Self::t_mcs_breakdown`] and
+    /// [`Self::t_mcs`] are sums over it.
+    pub fn t_mcs_rounds(&self, inst: &SortInstance, plan: &MassagePlan) -> PlanCost {
         let n = inst.rows;
         let in_widths: Vec<u32> = inst.specs.iter().map(|s| s.width).collect();
-        let mut out = CostBreakdown::default();
 
         // Massage: free only for the identity (column-aligned, all-ASC).
         let identity =
             plan.is_column_aligned(&in_widths) && inst.specs.iter().all(|s| !s.descending);
-        if !identity {
-            out.massage = self.t_massage(n, plan.i_fip(&in_widths));
-        }
+        let massage = if identity {
+            0.0
+        } else {
+            self.t_massage(n, plan.i_fip(&in_widths))
+        };
 
         let last = plan.rounds.len() - 1;
         let mut prefix_bits = 0u32;
+        let mut rounds = Vec::with_capacity(plan.rounds.len());
         for (k, round) in plan.rounds.iter().enumerate() {
+            let mut rc = RoundCost {
+                width: round.width,
+                bank: round.bank,
+                lookup: 0.0,
+                sort: 0.0,
+                scan: 0.0,
+                est_groups_in: 1.0,
+            };
             if k == 0 {
-                out.sort += self.t_sort_invocation(n as f64, round.bank);
+                rc.sort = self.t_sort_invocation(n as f64, round.bank);
             } else {
-                out.lookup += self.t_lookup(n, round.width);
+                rc.lookup = self.t_lookup(n, round.width);
                 let est = estimate_groups(&inst.stats, n, prefix_bits);
-                out.sort += self.t_sort_round(&est, round.bank);
+                rc.est_groups_in = est.groups;
+                rc.sort = self.t_sort_round(&est, round.bank);
             }
             if k < last || inst.want_final_groups {
-                out.scan += self.t_scan(n);
+                rc.scan = self.t_scan(n);
             }
             prefix_bits += round.width;
+            rounds.push(rc);
         }
-        out
+        PlanCost { massage, rounds }
+    }
+
+    /// Full `T_mcs` (ns) of executing `plan` on `inst`, with breakdown.
+    pub fn t_mcs_breakdown(&self, inst: &SortInstance, plan: &MassagePlan) -> CostBreakdown {
+        self.t_mcs_rounds(inst, plan).breakdown()
     }
 
     /// `T_mcs` (ns).

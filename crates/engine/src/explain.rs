@@ -1,0 +1,246 @@
+//! `EXPLAIN`-style plan reports: the chosen [`MassagePlan`], the cost
+//! model's per-round predictions, and — after execution — the measured
+//! per-round times with a predicted/actual ratio column.
+//!
+//! The report exists in two renderings: [`ExplainReport::render`] (full,
+//! human-facing) and [`ExplainReport::render_redacted`] (every timing and
+//! ratio cell replaced by a fixed placeholder), the latter byte-stable
+//! across runs for golden-snapshot testing.
+
+use mcs_core::{ExecStats, MassagePlan};
+use mcs_cost::{CostModel, PlanCost, SortInstance};
+
+use crate::pipeline::QueryTimings;
+
+/// A predicted-vs-measured account of one executed multi-column sort.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// Label shown in the header (query or experiment name).
+    pub query: String,
+    /// Rows sorted.
+    pub rows: usize,
+    /// The plan that ran.
+    pub plan: MassagePlan,
+    /// Per-round predictions from the cost model.
+    pub predicted: PlanCost,
+    /// Measured execution statistics.
+    pub measured: ExecStats,
+}
+
+impl ExplainReport {
+    /// Build a report from a sort instance, the plan that ran on it, and
+    /// the executor's measured stats — the path for callers that invoke
+    /// `multi_column_sort` directly (bench bins, examples).
+    pub fn from_parts(
+        query: impl Into<String>,
+        inst: &SortInstance,
+        plan: &MassagePlan,
+        measured: &ExecStats,
+        model: &CostModel,
+    ) -> ExplainReport {
+        ExplainReport {
+            query: query.into(),
+            rows: inst.rows,
+            plan: plan.clone(),
+            predicted: model.t_mcs_rounds(inst, plan),
+            measured: measured.clone(),
+        }
+    }
+
+    /// Build a report from an executed query's timings. Returns `None`
+    /// when the query ran no multi-column sort (e.g. zero qualifying
+    /// rows).
+    pub fn from_timings(
+        query: impl Into<String>,
+        timings: &QueryTimings,
+        model: &CostModel,
+    ) -> Option<ExplainReport> {
+        let plan = timings.plan.as_ref()?;
+        let inst = timings.sort_instance.as_ref()?;
+        Some(ExplainReport::from_parts(
+            query,
+            inst,
+            plan,
+            &timings.mcs_stats,
+            model,
+        ))
+    }
+
+    /// Human-facing rendering with real timings.
+    pub fn render(&self) -> String {
+        self.render_impl(false)
+    }
+
+    /// Rendering with every timing/ratio cell replaced by a fixed-width
+    /// placeholder; byte-identical across runs for a fixed instance and
+    /// plan (structure, widths, banks, groups and invocation counts are
+    /// deterministic — wall-clock is not).
+    pub fn render_redacted(&self) -> String {
+        self.render_impl(true)
+    }
+
+    fn render_impl(&self, redact: bool) -> String {
+        let t = |ns: f64| -> String {
+            if redact {
+                "###".to_string()
+            } else {
+                fmt_ns(ns)
+            }
+        };
+        let ratio = |pred: f64, meas: f64| -> String {
+            if redact {
+                "###".to_string()
+            } else if meas <= 0.0 {
+                "-".to_string()
+            } else {
+                format!("{:.2}", pred / meas)
+            }
+        };
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "EXPLAIN mcs: {}\nplan {}  rows {}  predicted T_mcs {}  measured {}\n",
+            self.query,
+            self.plan.notation(),
+            self.rows,
+            t(self.predicted.total()),
+            t(self.measured.total_ns as f64),
+        ));
+        out.push_str(&format!(
+            "{:<22} {:>5} {:>5} {:>10} {:>10} {:>9}\n",
+            "phase", "width", "bank", "predicted", "measured", "pred/act"
+        ));
+        let row = |phase: &str, width: &str, bank: &str, pred: f64, meas: f64| -> String {
+            format!(
+                "{:<22} {:>5} {:>5} {:>10} {:>10} {:>9}\n",
+                phase,
+                width,
+                bank,
+                t(pred),
+                t(meas),
+                ratio(pred, meas),
+            )
+        };
+
+        out.push_str(&row(
+            "massage",
+            "-",
+            "-",
+            self.predicted.massage,
+            self.measured.massage_ns as f64,
+        ));
+        for (k, (pc, rs)) in self
+            .predicted
+            .rounds
+            .iter()
+            .zip(&self.measured.rounds)
+            .enumerate()
+        {
+            let width = pc.width.to_string();
+            let bank = format!("[{}]", pc.bank.bits());
+            if k > 0 {
+                out.push_str(&row(
+                    &format!("R{} lookup", k + 1),
+                    &width,
+                    &bank,
+                    pc.lookup,
+                    rs.lookup_ns as f64,
+                ));
+            }
+            out.push_str(&row(
+                &format!("R{} sort", k + 1),
+                &width,
+                &bank,
+                pc.sort,
+                rs.sort_ns as f64,
+            ));
+            for (name, ns) in [
+                ("in-register", rs.phases.in_register_ns),
+                ("in-cache merge", rs.phases.in_cache_merge_ns),
+                ("multiway merge", rs.phases.multiway_merge_ns),
+            ] {
+                if ns > 0 && !redact {
+                    out.push_str(&format!(
+                        "{:<22} {:>5} {:>5} {:>10} {:>10} {:>9}\n",
+                        format!("   {name}"),
+                        "",
+                        "",
+                        "-",
+                        fmt_ns(ns as f64),
+                        "-",
+                    ));
+                }
+            }
+            if pc.scan > 0.0 || rs.scan_ns > 0 {
+                out.push_str(&row(
+                    &format!("R{} scan", k + 1),
+                    &width,
+                    &bank,
+                    pc.scan,
+                    rs.scan_ns as f64,
+                ));
+            }
+            out.push_str(&format!(
+                "   groups {} -> {}, {} sort invocations, {} codes\n",
+                rs.groups_in, rs.groups_out, rs.invocations, rs.codes_sorted
+            ));
+        }
+        out.push_str(&row(
+            "total",
+            "-",
+            "-",
+            self.predicted.total(),
+            self.measured.total_ns as f64,
+        ));
+        out
+    }
+}
+
+/// Render nanoseconds human-readably (`842 ns`, `12.4 us`, `3.217 ms`).
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1} us", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_core::{multi_column_sort, ExecConfig};
+
+    #[test]
+    fn report_lines_up_rounds() {
+        let n = 4096usize;
+        let a = mcs_columnar::CodeVec::from_u64s(9, (0..n).map(|i| (i as u64 * 37) % 512));
+        let b = mcs_columnar::CodeVec::from_u64s(15, (0..n).map(|i| (i as u64 * 101) % 32768));
+        let inst = SortInstance::uniform(n, &[(9, 512.0), (15, 16384.0)]);
+        let plan = inst.p0();
+        let out = multi_column_sort(&[&a, &b], &inst.specs, &plan, &ExecConfig::default())
+            .expect("valid sort instance");
+        let model = CostModel::with_defaults();
+        let rep = ExplainReport::from_parts("unit", &inst, &plan, &out.stats, &model);
+        assert_eq!(rep.predicted.rounds.len(), rep.measured.rounds.len());
+        let text = rep.render();
+        assert!(text.contains("EXPLAIN mcs: unit"));
+        assert!(text.contains("R1 sort"));
+        assert!(text.contains("R2 lookup"));
+        assert!(text.contains("pred/act"));
+        // Redacted rendering hides every timing but keeps the structure.
+        let red = rep.render_redacted();
+        assert!(red.contains("###"));
+        assert!(!red.contains(" ns"));
+        assert!(!red.contains(" ms"));
+        assert!(red.contains("R2 sort"));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(850.0), "850 ns");
+        assert_eq!(fmt_ns(12_400.0), "12.4 us");
+        assert_eq!(fmt_ns(3_217_000.0), "3.217 ms");
+    }
+}

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod aggregate;
+mod explain;
 pub mod mal;
 mod pipeline;
 mod query;
@@ -35,6 +36,7 @@ pub mod sql;
 mod window;
 
 pub use aggregate::aggregate_groups;
+pub use explain::ExplainReport;
 pub use pipeline::{
     execute, result_to_table, EngineConfig, PlannerMode, QueryResult, QueryTimings,
 };

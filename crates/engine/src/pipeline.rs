@@ -14,6 +14,7 @@ use mcs_columnar::{BitVec, CodeVec, Column, Table};
 use mcs_core::{multi_column_sort, ExecConfig, ExecStats, MassagePlan, SortSpec};
 use mcs_cost::{CostModel, KeyColumnStats, SortInstance};
 use mcs_planner::{roga, rrs, RogaOptions, RrsOptions};
+use mcs_telemetry as telemetry;
 
 use crate::aggregate::aggregate_groups;
 use crate::query::{OrderKey, Query};
@@ -91,6 +92,9 @@ pub struct QueryTimings {
     pub mcs_stats: ExecStats,
     /// The plan that was executed.
     pub plan: Option<MassagePlan>,
+    /// The sort instance the planner saw (rows, specs, column stats) —
+    /// what EXPLAIN needs to re-derive per-round cost predictions.
+    pub sort_instance: Option<SortInstance>,
 }
 
 impl QueryTimings {
@@ -156,6 +160,21 @@ pub fn execute(table: &Table, query: &Query, cfg: &EngineConfig) -> QueryResult 
     };
 
     timings.total_ns = t_total.elapsed().as_nanos() as u64;
+    if telemetry::is_enabled() {
+        telemetry::record_span(
+            "engine.query",
+            timings.total_ns,
+            vec![
+                ("query", query.name.clone().into()),
+                ("rows_in", oids.len().into()),
+                (
+                    "rows_out",
+                    result.first().map_or(0, |(_, v)| v.len()).into(),
+                ),
+            ],
+        );
+        telemetry::counter_add("engine.queries", 1);
+    }
     QueryResult {
         rows: result.first().map_or(0, |(_, v)| v.len()),
         columns: result,
@@ -255,10 +274,14 @@ fn run_mcs(
         order.iter().map(|&i| specs[i]).collect(),
     );
     let t = Instant::now();
-    let out = multi_column_sort(&pcols, &pspecs, &plan, &cfg.exec);
+    let out = multi_column_sort(&pcols, &pspecs, &plan, &cfg.exec)
+        .expect("engine-constructed plan covers the key");
     timings.mcs_ns += t.elapsed().as_nanos() as u64;
     timings.mcs_stats = out.stats.clone();
     timings.plan = Some(plan);
+    // Record the instance in planner column order so EXPLAIN's predictions
+    // price exactly the plan that ran.
+    timings.sort_instance = Some(mcs_planner::permute_instance(inst, &order));
     out
 }
 
@@ -331,7 +354,18 @@ fn execute_grouped(
         result.push((g.clone(), vals));
     }
     result.extend(agg_out);
-    timings.aggregate_ns += t.elapsed().as_nanos() as u64;
+    let agg_elapsed = t.elapsed().as_nanos() as u64;
+    timings.aggregate_ns += agg_elapsed;
+    if telemetry::is_enabled() {
+        telemetry::record_span(
+            "engine.aggregate",
+            agg_elapsed,
+            vec![
+                ("groups", out.groups.num_groups().into()),
+                ("aggregates", query.aggregates.len().into()),
+            ],
+        );
+    }
 
     // ORDER BY over group keys / aggregate labels: a second multi-column
     // sort on the grouped table (this is TPC-H Q13's situation).
@@ -378,7 +412,8 @@ fn execute_grouped(
             order2.iter().map(|&i| refs[i]).collect(),
             order2.iter().map(|&i| ob_specs[i]).collect(),
         );
-        let sorted = multi_column_sort(&pcols, &pspecs, &plan2, &cfg.exec);
+        let sorted =
+            multi_column_sort(&pcols, &pspecs, &plan2, &cfg.exec).expect("valid sort instance");
         for (_, vals) in result.iter_mut() {
             *vals = sorted.oids.iter().map(|&p| vals[p as usize]).collect();
         }
@@ -436,7 +471,18 @@ fn execute_window(
         result.push((name.clone(), col.gather(&final_oids).iter_u64().collect()));
     }
     result.push(("rank".to_string(), ranks));
-    timings.aggregate_ns += t.elapsed().as_nanos() as u64;
+    let rank_elapsed = t.elapsed().as_nanos() as u64;
+    timings.aggregate_ns += rank_elapsed;
+    if telemetry::is_enabled() {
+        telemetry::record_span(
+            "engine.window.rank",
+            rank_elapsed,
+            vec![
+                ("partitions", parts.num_groups().into()),
+                ("rows", out.oids.len().into()),
+            ],
+        );
+    }
     result
 }
 

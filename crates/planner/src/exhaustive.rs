@@ -75,7 +75,8 @@ pub fn measure_all_plans(
             let mut best = u64::MAX;
             for _ in 0..opts.repeats.max(1) {
                 let t = Instant::now();
-                let r = multi_column_sort(inputs, specs, &plan, &opts.exec);
+                let r = multi_column_sort(inputs, specs, &plan, &opts.exec)
+                    .expect("valid sort instance");
                 let ns = t.elapsed().as_nanos() as u64;
                 std::hint::black_box(&r.oids);
                 best = best.min(ns);
@@ -111,7 +112,7 @@ pub fn measure_plan(
     let mut best = u64::MAX;
     for _ in 0..opts.repeats.max(1) {
         let t = Instant::now();
-        let r = multi_column_sort(inputs, specs, plan, &opts.exec);
+        let r = multi_column_sort(inputs, specs, plan, &opts.exec).expect("valid sort instance");
         let ns = t.elapsed().as_nanos() as u64;
         std::hint::black_box(&r.oids);
         best = best.min(ns);

@@ -9,6 +9,7 @@
 //!   incumbent plan keeps improving, capped at a high watermark.
 
 use mcs_cost::{CostModel, SortInstance};
+use mcs_telemetry as telemetry;
 
 use crate::roga::{roga, RogaOptions, SearchResult};
 
@@ -89,6 +90,8 @@ pub fn online_roga(
             permute_columns,
         },
     );
+    record_ladder_step(0, rho, &best, false);
+    let mut step = 0usize;
     while best.timed_out && rho < rho_high {
         let next_rho = (rho * 2.0).min(rho_high);
         let r = roga(
@@ -102,6 +105,8 @@ pub fn online_roga(
         let improved = r.est_cost < best.est_cost * 0.9999;
         let finished = !r.timed_out;
         let starved = r.timed_out && r.plans_costed < 64;
+        step += 1;
+        record_ladder_step(step, next_rho, &r, starved);
         if r.est_cost <= best.est_cost {
             best = r;
         }
@@ -111,6 +116,26 @@ pub fn online_roga(
         }
     }
     (best, rho)
+}
+
+/// One `planner.roga.ladder` span per doubling of the online search,
+/// carrying the ρ tried, the plans costed within its deadline, and
+/// whether the step was starved.
+fn record_ladder_step(step: usize, rho: f64, r: &SearchResult, starved: bool) {
+    if telemetry::is_enabled() {
+        telemetry::record_span(
+            "planner.roga.ladder",
+            r.elapsed.as_nanos() as u64,
+            vec![
+                ("step", step.into()),
+                ("rho", rho.into()),
+                ("plans_costed", r.plans_costed.into()),
+                ("est_cost_ns", r.est_cost.into()),
+                ("timed_out", r.timed_out.into()),
+                ("starved", starved.into()),
+            ],
+        );
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use std::time::Instant;
 
 use mcs_core::{Bank, MassagePlan, Round};
 use mcs_cost::{CostModel, SortInstance};
+use mcs_telemetry as telemetry;
 
 use crate::space::{bank_combos, max_rounds, permutations, width_assignments};
 
@@ -127,6 +128,22 @@ pub fn roga(inst: &SortInstance, model: &CostModel, opts: &RogaOptions) -> Searc
         }
     }
 
+    if telemetry::is_enabled() {
+        telemetry::record_span(
+            "planner.roga",
+            start.elapsed().as_nanos() as u64,
+            vec![
+                ("plans_costed", plans_costed.into()),
+                ("est_cost_ns", best_cost.into()),
+                ("timed_out", timed_out.into()),
+                ("plan", best_plan.notation().into()),
+            ],
+        );
+        telemetry::counter_add("planner.plans_costed", plans_costed as u64);
+        if timed_out {
+            telemetry::counter_add("planner.deadline_hits", 1);
+        }
+    }
     SearchResult {
         plan: best_plan,
         column_order: best_order,

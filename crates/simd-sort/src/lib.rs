@@ -42,6 +42,7 @@ mod merge_tree;
 pub mod multiway;
 pub mod network;
 pub mod parallel;
+pub mod phase;
 pub mod portable;
 pub mod radix;
 pub mod scalar;
@@ -50,6 +51,7 @@ mod sort;
 
 pub use key::{Bank, Key};
 pub use parallel::{for_each_chunk, sort_pairs_in_groups_parallel, sort_pairs_parallel};
+pub use phase::PhaseTimes;
 pub use radix::{sort_pairs_radix, sort_pairs_radix_in_groups};
 pub use scalar::{insertion_sort_pairs, sort_pairs_scalar};
 pub use segmented::{group_boundaries, sort_pairs_in_groups, GroupBounds, SegmentedSortStats};

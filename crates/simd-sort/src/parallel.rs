@@ -119,6 +119,8 @@ pub fn sort_pairs_in_groups_parallel<K: SortableKey>(
         total.invocations += s.invocations;
         total.codes_sorted += s.codes_sorted;
         total.max_group = total.max_group.max(s.max_group);
+        // CPU time summed across workers; may exceed the round's wall time.
+        total.phases.add(s.phases);
     }
     total
 }

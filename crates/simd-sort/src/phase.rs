@@ -1,0 +1,129 @@
+//! Per-phase timing of the three-phase merge-sort.
+//!
+//! The merge-sort runs once per sortable group, often thousands of times
+//! per round, so phase times are accumulated in a thread-local and
+//! harvested *once per round* into [`PhaseTimes`] — no lock or allocation
+//! on the sort path. With the `phase-timing` feature disabled every
+//! function here is an empty inline stub and the hot loops take no
+//! timestamps at all.
+
+/// Nanoseconds spent in each of the merge-sort's three phases
+/// (the paper's Eq. 5 decomposition), summed over every SIMD-sort
+/// invocation covered by one harvest.
+///
+/// Groups small enough for the scalar insertion-sort fallback never enter
+/// the phased pipeline and contribute zero to all three fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Phase (a): in-register sorting networks + transpose.
+    pub in_register_ns: u64,
+    /// Phase (b): in-cache binary bitonic merge passes.
+    pub in_cache_merge_ns: u64,
+    /// Phase (c): out-of-cache multiway merge passes.
+    pub multiway_merge_ns: u64,
+}
+
+impl PhaseTimes {
+    /// Element-wise sum (used when merging per-thread stats).
+    pub fn add(&mut self, other: PhaseTimes) {
+        self.in_register_ns += other.in_register_ns;
+        self.in_cache_merge_ns += other.in_cache_merge_ns;
+        self.multiway_merge_ns += other.multiway_merge_ns;
+    }
+
+    /// Total time across all three phases.
+    pub fn total_ns(&self) -> u64 {
+        self.in_register_ns + self.in_cache_merge_ns + self.multiway_merge_ns
+    }
+}
+
+#[cfg(feature = "phase-timing")]
+mod imp {
+    use super::PhaseTimes;
+    use std::cell::Cell;
+    use std::time::Instant;
+
+    thread_local! {
+        static ACC: Cell<PhaseTimes> = const { Cell::new(PhaseTimes {
+            in_register_ns: 0,
+            in_cache_merge_ns: 0,
+            multiway_merge_ns: 0,
+        }) };
+    }
+
+    /// A timestamp taken at a phase boundary.
+    pub type Mark = Instant;
+
+    /// Take a phase-boundary timestamp.
+    #[inline(always)]
+    pub fn mark() -> Mark {
+        Instant::now()
+    }
+
+    /// Credit one merge-sort invocation's phase boundaries
+    /// (`a`→`b` in-register, `b`→`c` in-cache, `c`→`d` multiway) to the
+    /// current thread's accumulator.
+    #[inline]
+    pub fn record_marks(a: Mark, b: Mark, c: Mark, d: Mark) {
+        ACC.with(|acc| {
+            let mut t = acc.get();
+            t.in_register_ns += b.duration_since(a).as_nanos() as u64;
+            t.in_cache_merge_ns += c.duration_since(b).as_nanos() as u64;
+            t.multiway_merge_ns += d.duration_since(c).as_nanos() as u64;
+            acc.set(t);
+        });
+    }
+
+    /// Drain this thread's accumulated phase times.
+    pub fn take_phases() -> PhaseTimes {
+        ACC.with(|acc| acc.replace(PhaseTimes::default()))
+    }
+}
+
+#[cfg(not(feature = "phase-timing"))]
+mod imp {
+    use super::PhaseTimes;
+
+    /// Zero-sized stand-in for the phase-boundary timestamp.
+    pub type Mark = ();
+
+    /// No-op.
+    #[inline(always)]
+    pub fn mark() -> Mark {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record_marks(_a: Mark, _b: Mark, _c: Mark, _d: Mark) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn take_phases() -> PhaseTimes {
+        PhaseTimes::default()
+    }
+}
+
+pub use imp::{mark, record_marks, take_phases, Mark};
+
+#[cfg(all(test, feature = "phase-timing"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_drains_per_thread() {
+        let _ = take_phases();
+        let a = mark();
+        let b = mark();
+        record_marks(a, b, b, b);
+        record_marks(a, a, a, b);
+        let t = take_phases();
+        assert!(t.in_register_ns <= t.total_ns());
+        assert_eq!(take_phases(), PhaseTimes::default(), "drained");
+
+        // Another thread's accumulator is independent.
+        std::thread::spawn(|| {
+            assert_eq!(take_phases(), PhaseTimes::default());
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -8,6 +8,7 @@
 //! the Figure 4 time hill.
 
 use crate::key::Key;
+use crate::phase::{self, PhaseTimes};
 use crate::scalar::insertion_sort_pairs;
 use crate::sort::{SortConfig, SortableKey};
 
@@ -94,6 +95,9 @@ pub struct SegmentedSortStats {
     pub codes_sorted: usize,
     /// Largest group size encountered.
     pub max_group: usize,
+    /// Time spent in each merge-sort phase, summed across invocations
+    /// (all zero unless the `phase-timing` feature is on).
+    pub phases: PhaseTimes,
 }
 
 /// Sort `(keys, oids)` within each group independently.
@@ -110,6 +114,7 @@ pub fn sort_pairs_in_groups<K: SortableKey>(
     assert_eq!(keys.len(), oids.len());
     assert_eq!(groups.num_rows(), keys.len(), "group bounds mismatch");
     let mut stats = SegmentedSortStats::default();
+    let _ = phase::take_phases(); // clear any stale thread-local residue
     for r in groups.iter() {
         let len = r.len();
         if len <= 1 {
@@ -126,6 +131,7 @@ pub fn sort_pairs_in_groups<K: SortableKey>(
             K::sort_pairs_with(k, o, cfg);
         }
     }
+    stats.phases = phase::take_phases();
     stats
 }
 

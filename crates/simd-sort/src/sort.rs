@@ -5,6 +5,7 @@ use crate::kernel::{merge_pass, phase1_block_sort, Kernel};
 use crate::key::Key;
 use crate::merge_tree::multiway_pass_simd;
 use crate::multiway::multiway_pass;
+use crate::phase;
 use crate::scalar;
 
 /// Tuning knobs of the merge-sort, mirroring the constants of the paper's
@@ -75,6 +76,9 @@ pub fn avx2_available() -> bool {
 /// Caller must guarantee the kernel's instructions are supported by the
 /// current CPU (trivially true for portable kernels).
 #[inline(always)]
+// With `phase-timing` off, `phase::Mark` is `()` and the phase marks
+// become unit values — fine, they compile away entirely.
+#[allow(clippy::let_unit_value, clippy::unit_arg)]
 unsafe fn mergesort_generic<Kn: Kernel>(keys: &mut [Kn::K], oids: &mut [u32], cfg: &SortConfig) {
     let n = keys.len();
     let l = Kn::L;
@@ -92,7 +96,9 @@ unsafe fn mergesort_generic<Kn: Kernel>(keys: &mut [Kn::K], oids: &mut [u32], cf
     let mut ob: Vec<u32> = vec![0u32; padded];
 
     // Phase (a): in-register sorting -> runs of L.
+    let t0 = phase::mark();
     phase1_block_sort::<Kn>(&mut ka, &mut oa);
+    let t1 = phase::mark();
 
     // Phase (b): binary SIMD bitonic merging while runs fit in cache.
     let in_cache_run = cfg.in_cache_run::<Kn::K>(l);
@@ -110,6 +116,7 @@ unsafe fn mergesort_generic<Kn: Kernel>(keys: &mut [Kn::K], oids: &mut [u32], cf
 
     // Phase (c): F-way out-of-cache merge passes (SIMD merge tree with
     // cache-resident node buffers, or the scalar loser tree for ablation).
+    let t2 = phase::mark();
     let buf_elems = 4096;
     while run < padded {
         run = if cfg.scalar_multiway {
@@ -125,6 +132,7 @@ unsafe fn mergesort_generic<Kn: Kernel>(keys: &mut [Kn::K], oids: &mut [u32], cf
         };
         src_is_a = !src_is_a;
     }
+    phase::record_marks(t0, t1, t2, phase::mark());
 
     let (fk, fo) = if src_is_a {
         (&mut ka, &mut oa)

@@ -181,7 +181,8 @@ mod tests {
         for m in [ex1(500, 2), ex2(500, 3), ex4(500, 4)] {
             let refs = m.column_refs();
             for (name, plan) in &m.plans {
-                let out = multi_column_sort(&refs, &m.specs, plan, &ExecConfig::default());
+                let out = multi_column_sort(&refs, &m.specs, plan, &ExecConfig::default())
+                    .expect("valid sort instance");
                 verify_sorted(&refs, &m.specs, &out, true);
                 let _ = name;
             }

@@ -28,7 +28,8 @@ fn extracted_instance_matches_query_shape() {
 
     // The extracted columns sort correctly under P0.
     let refs: Vec<&mcs_columnar::CodeVec> = cols.iter().collect();
-    let out = multi_column_sort(&refs, &specs, &inst.p0(), &ExecConfig::default());
+    let out = multi_column_sort(&refs, &specs, &inst.p0(), &ExecConfig::default())
+        .expect("valid sort instance");
     verify_sorted(&refs, &specs, &out, true);
 }
 

@@ -46,6 +46,7 @@ pub use mcs_cost as cost;
 pub use mcs_engine as engine;
 pub use mcs_planner as planner;
 pub use mcs_simd_sort as simd_sort;
+pub use mcs_telemetry as telemetry;
 pub use mcs_workloads as workloads;
 
 /// One-stop imports for applications.
@@ -54,8 +55,8 @@ pub mod prelude {
     pub use mcs_core::{multi_column_sort, Bank, ExecConfig, MassagePlan, Round, SortSpec};
     pub use mcs_cost::{calibrate, CalibrationOptions, CostModel, MachineSpec, SortInstance};
     pub use mcs_engine::{
-        execute, result_to_table, Agg, AggKind, EngineConfig, Filter, OrderKey, PlannerMode, Query,
-        QueryResult,
+        execute, result_to_table, Agg, AggKind, EngineConfig, ExplainReport, Filter, OrderKey,
+        PlannerMode, Query, QueryResult,
     };
     pub use mcs_planner::{roga, rrs, RogaOptions, RrsOptions};
     pub use mcs_simd_sort::{sort_pairs, sort_pairs_with, SortConfig};

@@ -116,7 +116,7 @@ fn run_and_check(
         want_final_groups: true,
         ..ExecConfig::default()
     };
-    let out = multi_column_sort(&refs, &specs, plan, &cfg);
+    let out = multi_column_sort(&refs, &specs, plan, &cfg).expect("valid sort instance");
     mcs_test_support::assert_matches_reference(
         label,
         p,

@@ -54,7 +54,8 @@ fn micro_examples_and_planner() {
     for m in [ex1(800, 1), ex2(800, 2), ex3(400, 3), ex4(800, 4)] {
         let refs = m.column_refs();
         for (_, plan) in &m.plans {
-            let out = multi_column_sort(&refs, &m.specs, plan, &ExecConfig::default());
+            let out = multi_column_sort(&refs, &m.specs, plan, &ExecConfig::default())
+                .expect("valid sort instance");
             verify_sorted(&refs, &m.specs, &out, true);
         }
         let inst = m.instance();

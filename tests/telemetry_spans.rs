@@ -1,0 +1,148 @@
+//! Acceptance test for the telemetry layer: every pipeline phase —
+//! ByteSlice scan, per-round lookup, per-round sort (with its three
+//! sub-phases), boundary scan, aggregation, window rank — emits exactly
+//! one span per execution, with the expected names, and the JSONL export
+//! carries them all.
+//!
+//! Runs a 3-column GROUP BY under a fixed `P_0` plan (3 rounds, known
+//! counts) and a PARTITION BY query for the window span.
+#![cfg(feature = "telemetry")]
+
+use std::collections::BTreeMap;
+
+use codemassage::prelude::*;
+use codemassage::telemetry;
+
+/// The global collector is shared; serialize against any future test in
+/// this binary that also drains it.
+static TELEMETRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn span_counts() -> BTreeMap<&'static str, usize> {
+    let snap = telemetry::take_all();
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for s in &snap.spans {
+        *counts.entry(s.name).or_default() += 1;
+    }
+    assert_eq!(snap.spans_dropped, 0, "span buffer overflowed");
+    counts
+}
+
+fn demo_table(n: usize) -> Table {
+    let mut t = Table::new("sales");
+    t.add_column(Column::from_u64s(
+        "nation",
+        10,
+        (0..n).map(|i| (i as u64).wrapping_mul(0x9e37_79b9) % 50),
+    ));
+    t.add_column(Column::from_u64s(
+        "ship_date",
+        17,
+        (0..n).map(|i| (i as u64).wrapping_mul(0x85eb_ca6b) % 5000),
+    ));
+    t.add_column(Column::from_u64s(
+        "category",
+        9,
+        (0..n).map(|i| (i as u64).wrapping_mul(0xc2b2_ae35) % 300),
+    ));
+    t.add_column(Column::from_u64s(
+        "price",
+        17,
+        (0..n).map(|i| i as u64 % 1000),
+    ));
+    t
+}
+
+#[test]
+fn three_column_query_emits_one_span_per_phase() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    assert!(telemetry::is_enabled());
+
+    let n = 4096;
+    let t = demo_table(n);
+
+    // 3-column GROUP BY with one filter, fixed P0 => exactly 3 rounds.
+    let mut q = Query::named("spans_groupby");
+    q.filters = vec![Filter {
+        column: "price".into(),
+        predicate: Predicate::Lt(900),
+    }];
+    q.group_by = vec!["nation".into(), "ship_date".into(), "category".into()];
+    q.aggregates = vec![Agg::new(AggKind::Sum("price".into()), "sum_price")];
+    let cfg = EngineConfig {
+        planner: PlannerMode::Fixed(MassagePlan::from_widths(&[10, 17, 9])),
+        ..EngineConfig::default()
+    };
+
+    telemetry::reset();
+    let r = execute(&t, &q, &cfg);
+    assert!(r.rows > 0);
+    let counts = span_counts();
+
+    // One span per phase execution: 1 filter scan; 1 massage; lookups for
+    // rounds 2 and 3 only (round 1 sorts the gathered column directly);
+    // 3 sorts, each with its three sub-phase spans; 3 boundary scans
+    // (want_final_groups prices the last round's scan too); 1 aggregation;
+    // 1 query envelope.
+    let expect: &[(&str, usize)] = &[
+        ("scan.byteslice", 1),
+        ("mcs.massage", 1),
+        ("mcs.round.lookup", 2),
+        ("mcs.round.sort", 3),
+        ("mcs.round.sort.in_register", 3),
+        ("mcs.round.sort.in_cache_merge", 3),
+        ("mcs.round.sort.multiway_merge", 3),
+        ("mcs.round.scan", 3),
+        ("engine.aggregate", 1),
+        ("engine.query", 1),
+    ];
+    for &(name, want) in expect {
+        assert_eq!(
+            counts.get(name).copied().unwrap_or(0),
+            want,
+            "span count for {name} (all: {counts:?})"
+        );
+    }
+    // Fixed plan => no planner search spans.
+    assert_eq!(counts.get("planner.roga"), None, "all: {counts:?}");
+}
+
+#[test]
+fn window_query_emits_rank_span_and_jsonl_roundtrip() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let t = demo_table(2048);
+
+    let mut q = Query::named("spans_window");
+    q.select = vec!["nation".into(), "price".into()];
+    q.partition_by = vec!["nation".into()];
+    q.window_order = vec![OrderKey::asc("ship_date")];
+    let cfg = EngineConfig::default(); // ROGA: planner spans expected
+
+    telemetry::reset();
+    let r = execute(&t, &q, &cfg);
+    assert!(r.rows > 0);
+
+    let snap = telemetry::snapshot();
+    let jsonl = telemetry::render_jsonl(&snap);
+    let counts = span_counts();
+
+    assert_eq!(counts.get("engine.window.rank").copied(), Some(1));
+    assert_eq!(counts.get("engine.query").copied(), Some(1));
+    assert_eq!(
+        counts.get("planner.roga").copied(),
+        Some(1),
+        "all: {counts:?}"
+    );
+    assert_eq!(counts.get("mcs.massage").copied(), Some(1));
+
+    // Every span name must round-trip into the JSONL export, one line per
+    // span, plus counter lines and the trailing meta line.
+    for name in counts.keys() {
+        assert!(
+            jsonl.contains(&format!("\"name\":\"{name}\"")),
+            "JSONL missing span {name}"
+        );
+    }
+    assert!(jsonl.contains("\"type\":\"counter\""));
+    assert!(jsonl.lines().last().unwrap().contains("\"type\":\"meta\""));
+    assert!(jsonl.contains("\"enabled\":true"));
+}

@@ -81,7 +81,8 @@ fn main() {
                     rho: *rho,
                     permute_columns: false,
                 },
-            );
+            )
+            .expect("non-empty sort key");
             let (_, sort_d) = time(|| {
                 multi_column_sort(&refs, &specs, &r.plan, &ExecConfig::default())
                     .expect("valid sort instance")
@@ -90,7 +91,7 @@ fn main() {
                 .as_ref()
                 .map(|m| {
                     let opts = ExhaustiveOptions::default();
-                    let t = measure_plan(&refs, &specs, &r.plan, &opts);
+                    let t = measure_plan(&refs, &specs, &r.plan, &opts).expect("valid plan");
                     format!("{}", rank_by_time(t, m))
                 })
                 .unwrap_or_else(|| "-".into());

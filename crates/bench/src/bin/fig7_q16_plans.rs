@@ -58,7 +58,8 @@ fn main() {
             rho: None,
             permute_columns: false,
         },
-    );
+    )
+    .expect("non-empty sort key");
     let rrs_res = rrs(
         &inst,
         &model,
@@ -67,7 +68,8 @@ fn main() {
             permute_columns: false,
             ..Default::default()
         },
-    );
+    )
+    .expect("non-empty sort key");
 
     let mut out = Vec::new();
     for (i, m) in measured.iter().enumerate() {
@@ -101,10 +103,13 @@ fn main() {
     );
 
     let r_roga = rank_by_time(
-        measure_plan(&refs, &specs, &roga_res.plan, &opts),
+        measure_plan(&refs, &specs, &roga_res.plan, &opts).expect("valid plan"),
         &measured,
     );
-    let r_rrs = rank_by_time(measure_plan(&refs, &specs, &rrs_res.plan, &opts), &measured);
+    let r_rrs = rank_by_time(
+        measure_plan(&refs, &specs, &rrs_res.plan, &opts).expect("valid plan"),
+        &measured,
+    );
     println!(
         "\nROGA plan {}: actual rank {} of {} (costed {} plans in {:?})",
         roga_res.plan,

@@ -92,7 +92,8 @@ fn main() {
                     rho: Some(0.001),
                     permute_columns: false,
                 },
-            );
+            )
+            .expect("non-empty sort key");
             let rr = rrs(
                 &inst,
                 &model,
@@ -101,15 +102,16 @@ fn main() {
                     permute_columns: false,
                     ..Default::default()
                 },
-            );
+            )
+            .expect("non-empty sort key");
             let opts = ExhaustiveOptions {
                 max_rounds,
                 max_plans,
                 repeats: 1,
                 exec: ExecConfig::default(),
             };
-            let t_roga = measure_plan(&refs, &specs, &r.plan, &opts);
-            let t_rrs = measure_plan(&refs, &specs, &rr.plan, &opts);
+            let t_roga = measure_plan(&refs, &specs, &r.plan, &opts).expect("valid plan");
+            let t_rrs = measure_plan(&refs, &specs, &rr.plan, &opts).expect("valid plan");
             acc.roga_ranks.push(rank_by_time(t_roga, &measured));
             acc.rrs_ranks.push(rank_by_time(t_rrs, &measured));
             for m in &measured {

@@ -61,7 +61,8 @@ fn main() {
                     rho: Some(0.001),
                     permute_columns: order_free,
                 },
-            );
+            )
+            .expect("non-empty sort key");
             total += 1;
             if !r.timed_out {
                 finished += 1;

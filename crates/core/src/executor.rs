@@ -11,7 +11,7 @@ use std::time::Instant;
 use mcs_columnar::CodeVec;
 use mcs_simd_sort::{
     sort_pairs_in_groups, sort_pairs_in_groups_parallel, GroupBounds, PhaseTimes,
-    SegmentedSortStats, SortConfig,
+    SegmentedSortStats, SortConfig, WorkerPanic,
 };
 use mcs_telemetry as telemetry;
 
@@ -36,6 +36,18 @@ pub enum SortError {
     /// The row count does not fit the u32 oid space
     /// (`u32::MAX` is reserved as the padding sentinel).
     TooManyRows(usize),
+    /// A parallel-sort worker thread panicked mid-round. The panic was
+    /// contained at the thread boundary; the output buffers were
+    /// discarded.
+    WorkerPanicked {
+        /// Round (0-based) whose sort lost a worker.
+        round: usize,
+        /// Chunk index of the dead worker within that round.
+        chunk: usize,
+    },
+    /// A fault-injection point fired (chaos testing only; carries the
+    /// fault-point name from [`mcs_faults::points`]).
+    Injected(&'static str),
 }
 
 impl core::fmt::Display for SortError {
@@ -49,6 +61,10 @@ impl core::fmt::Display for SortError {
             SortError::TooManyRows(n) => {
                 write!(f, "{n} rows exceed the u32 oid space")
             }
+            SortError::WorkerPanicked { round, chunk } => {
+                write!(f, "sort worker panicked in round {round}, chunk {chunk}")
+            }
+            SortError::Injected(name) => write!(f, "injected fault: {name}"),
         }
     }
 }
@@ -168,13 +184,13 @@ fn sort_round(
     oids: &mut [u32],
     groups: &GroupBounds,
     cfg: &ExecConfig,
-) -> SegmentedSortStats {
+) -> Result<SegmentedSortStats, WorkerPanic> {
     macro_rules! go {
         ($v:expr) => {
             if cfg.threads > 1 {
                 sort_pairs_in_groups_parallel($v, oids, groups, cfg.threads, &cfg.sort)
             } else {
-                sort_pairs_in_groups($v, oids, groups, &cfg.sort)
+                Ok(sort_pairs_in_groups($v, oids, groups, &cfg.sort))
             }
         };
     }
@@ -273,8 +289,15 @@ pub fn multi_column_sort(
         }
 
         // Segmented SIMD sort (steps 1/3).
+        if mcs_faults::fault_point!(mcs_faults::points::CORE_ROUND_SORT) {
+            return Err(SortError::Injected(mcs_faults::points::CORE_ROUND_SORT));
+        }
         let ts = Instant::now();
-        let sstats = sort_round(keys, &mut oids, &groups, cfg);
+        let sstats =
+            sort_round(keys, &mut oids, &groups, cfg).map_err(|p| SortError::WorkerPanicked {
+                round: k,
+                chunk: p.chunk,
+            })?;
         rs.sort_ns = ts.elapsed().as_nanos() as u64;
         rs.invocations = sstats.invocations;
         rs.codes_sorted = sstats.codes_sorted;
@@ -411,6 +434,7 @@ pub fn verify_sorted(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -623,6 +647,58 @@ mod tests {
                 .expect("valid sort instance");
             verify_sorted(&inputs, &specs, &out, true);
         }
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn injected_round_failure_and_worker_panic_become_typed_errors() {
+        use mcs_faults::{points, with_armed, FireMode};
+        let n = 20_000usize;
+        let a = col(
+            11,
+            &(0..n).map(|i| ((i * 31) % 2048) as u64).collect::<Vec<_>>(),
+        );
+        let b = col(
+            21,
+            &(0..n)
+                .map(|i| ((i * 7_919) % (1 << 21)) as u64)
+                .collect::<Vec<_>>(),
+        );
+        let inputs = vec![&a, &b];
+        let specs = vec![SortSpec::asc(11), SortSpec::asc(21)];
+        let plan = MassagePlan::column_at_a_time(&specs);
+
+        // Round-sort fault on the second round.
+        with_armed(&[(points::CORE_ROUND_SORT, FireMode::Nth(2))], || {
+            let err = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default())
+                .map(|out| out.oids);
+            assert_eq!(err, Err(SortError::Injected(points::CORE_ROUND_SORT)));
+        });
+
+        // Worker panic in the parallel path surfaces round + chunk.
+        with_armed(&[(points::SIMD_WORKER_PANIC, FireMode::Once)], || {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let err = multi_column_sort(
+                &inputs,
+                &specs,
+                &plan,
+                &ExecConfig {
+                    threads: 4,
+                    ..ExecConfig::default()
+                },
+            );
+            std::panic::set_hook(prev);
+            match err {
+                Err(SortError::WorkerPanicked { round: 0, .. }) => {}
+                other => panic!("expected WorkerPanicked in round 0, got {other:?}"),
+            }
+        });
+
+        // Disarmed: the identical call succeeds again.
+        let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default())
+            .expect("no faults armed");
+        verify_sorted(&inputs, &specs, &out, true);
     }
 
     #[test]

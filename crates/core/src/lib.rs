@@ -37,6 +37,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors, never panic on a
+// recoverable path. Test modules opt back in with `#[allow]`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod executor;
 mod massage;

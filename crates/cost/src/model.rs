@@ -305,6 +305,12 @@ impl CostModel {
     /// model's finest-grained output; [`Self::t_mcs_breakdown`] and
     /// [`Self::t_mcs`] are sums over it.
     pub fn t_mcs_rounds(&self, inst: &SortInstance, plan: &MassagePlan) -> PlanCost {
+        if mcs_faults::fault_point!(mcs_faults::points::COST_NAN) {
+            return PlanCost {
+                massage: f64::NAN,
+                rounds: Vec::new(),
+            };
+        }
         let n = inst.rows;
         let in_widths: Vec<u32> = inst.specs.iter().map(|s| s.width).collect();
 

@@ -70,6 +70,7 @@ pub fn aggregate_groups(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

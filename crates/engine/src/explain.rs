@@ -25,6 +25,9 @@ pub struct ExplainReport {
     pub predicted: PlanCost,
     /// Measured execution statistics.
     pub measured: ExecStats,
+    /// Degradation-ladder rungs taken while executing (stable snake_case
+    /// labels; empty on the happy path).
+    pub degradations: Vec<String>,
 }
 
 impl ExplainReport {
@@ -44,6 +47,7 @@ impl ExplainReport {
             plan: plan.clone(),
             predicted: model.t_mcs_rounds(inst, plan),
             measured: measured.clone(),
+            degradations: Vec::new(),
         }
     }
 
@@ -57,13 +61,13 @@ impl ExplainReport {
     ) -> Option<ExplainReport> {
         let plan = timings.plan.as_ref()?;
         let inst = timings.sort_instance.as_ref()?;
-        Some(ExplainReport::from_parts(
-            query,
-            inst,
-            plan,
-            &timings.mcs_stats,
-            model,
-        ))
+        let mut rep = ExplainReport::from_parts(query, inst, plan, &timings.mcs_stats, model);
+        rep.degradations = timings
+            .degradations
+            .iter()
+            .map(|r| r.as_str().to_string())
+            .collect();
+        Some(rep)
     }
 
     /// Human-facing rendering with real timings.
@@ -106,6 +110,11 @@ impl ExplainReport {
             t(self.predicted.total()),
             t(self.measured.total_ns as f64),
         ));
+        // Only annotate degraded executions: happy-path reports stay
+        // byte-identical to the pre-ladder golden snapshots.
+        if !self.degradations.is_empty() {
+            out.push_str(&format!("degraded: {}\n", self.degradations.join(" -> ")));
+        }
         out.push_str(&format!(
             "{:<22} {:>5} {:>5} {:>10} {:>10} {:>9}\n",
             "phase", "width", "bank", "predicted", "measured", "pred/act"
@@ -208,6 +217,7 @@ fn fmt_ns(ns: f64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use mcs_core::{multi_column_sort, ExecConfig};

@@ -25,8 +25,12 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors, never panic on a
+// recoverable path. Test modules opt back in with `#[allow]`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod aggregate;
+mod error;
 mod explain;
 pub mod mal;
 mod pipeline;
@@ -36,9 +40,10 @@ pub mod sql;
 mod window;
 
 pub use aggregate::aggregate_groups;
+pub use error::{DegradeReason, EngineError};
 pub use explain::ExplainReport;
 pub use pipeline::{
-    execute, result_to_table, EngineConfig, PlannerMode, QueryResult, QueryTimings,
+    execute, result_to_table, run_query, EngineConfig, PlannerMode, QueryResult, QueryTimings,
 };
 pub use query::{Agg, AggKind, Filter, OrderKey, Query};
 pub use sql::{parse_query, SqlError};

@@ -7,17 +7,38 @@
 //! (ROGA, or column-at-a-time when massaging is off) picks a plan, and
 //! the multi-column sort executor produces the order and grouping the
 //! aggregates or window ranks consume.
+//!
+//! ## Degradation ladder
+//!
+//! Failures the engine can execute around never abort a query. The
+//! ladder, each rung recorded in [`QueryTimings::degradations`] and the
+//! `engine.degraded` telemetry counter:
+//!
+//! 1. plan search fails / cost estimate non-finite / deadline starves /
+//!    chosen plan invalid → run column-at-a-time `P_0`, which is valid
+//!    for any instance by the paper's Lemma 1;
+//! 2. the sort execution itself fails (e.g. a worker-thread panic) →
+//!    re-run under `P_0`;
+//! 3. the `P_0` sort fails too → scalar comparator sort over the raw key
+//!    columns (no SIMD, no massage — always executable).
+//!
+//! Only input conditions no plan can fix ([`EngineError`]) surface as
+//! errors from [`run_query`].
 
 use std::time::{Duration, Instant};
 
 use mcs_columnar::{BitVec, CodeVec, Column, Table};
-use mcs_core::{multi_column_sort, ExecConfig, ExecStats, MassagePlan, SortSpec};
+use mcs_core::{
+    multi_column_sort, tuple_cmp, ExecConfig, ExecStats, GroupBounds, MassagePlan,
+    MultiColumnSortOutput, SortError, SortSpec,
+};
 use mcs_cost::{CostModel, KeyColumnStats, SortInstance};
-use mcs_planner::{roga, rrs, RogaOptions, RrsOptions};
+use mcs_planner::{roga, rrs, RogaOptions, RrsOptions, SearchError};
 use mcs_telemetry as telemetry;
 
 use crate::aggregate::aggregate_groups;
-use crate::query::{OrderKey, Query};
+use crate::error::{DegradeReason, EngineError};
+use crate::query::{AggKind, OrderKey, Query};
 use crate::window::rank_over;
 
 /// How the engine picks massage plans.
@@ -90,11 +111,15 @@ pub struct QueryTimings {
     pub total_ns: u64,
     /// Detailed multi-column sort stats.
     pub mcs_stats: ExecStats,
-    /// The plan that was executed.
+    /// The plan that was executed (`None` if no multi-column sort ran, or
+    /// the scalar fallback — which runs no massage plan — carried it).
     pub plan: Option<MassagePlan>,
     /// The sort instance the planner saw (rows, specs, column stats) —
     /// what EXPLAIN needs to re-derive per-round cost predictions.
     pub sort_instance: Option<SortInstance>,
+    /// Degradation-ladder rungs taken while executing, in order (empty on
+    /// the happy path).
+    pub degradations: Vec<DegradeReason>,
 }
 
 impl QueryTimings {
@@ -125,38 +150,66 @@ impl QueryResult {
     }
 }
 
-/// Execute `query` against `table`.
-pub fn execute(table: &Table, query: &Query, cfg: &EngineConfig) -> QueryResult {
+/// Push a degradation rung: remembered in the timings, counted under
+/// `engine.degraded` with a `reason` label, and given a zero-duration
+/// marker span carrying the detail.
+fn record_degradation(timings: &mut QueryTimings, reason: DegradeReason, detail: &str) {
+    timings.degradations.push(reason);
+    if telemetry::is_enabled() {
+        telemetry::counter_add("engine.degraded", 1);
+        telemetry::record_span(
+            "engine.degraded",
+            0,
+            vec![
+                ("reason", reason.as_str().into()),
+                ("detail", detail.to_string().into()),
+            ],
+        );
+    }
+}
+
+/// Execute `query` against `table`, returning a typed error for
+/// conditions the engine cannot execute around (see [`EngineError`]).
+/// Recoverable faults degrade along the module-level ladder instead.
+pub fn run_query(
+    table: &Table,
+    query: &Query,
+    cfg: &EngineConfig,
+) -> Result<QueryResult, EngineError> {
     let t_total = Instant::now();
     let mut timings = QueryTimings::default();
 
     // 1. Filters: ByteSlice scans, ANDed.
     let t = Instant::now();
-    let oids: Vec<u32> = if query.filters.is_empty() {
-        (0..table.rows() as u32).collect()
-    } else {
-        let mut acc: Option<BitVec> = None;
-        for f in &query.filters {
-            let col = table.expect_column(&f.column);
-            let bv = col.byteslice().scan(&f.predicate);
-            acc = Some(match acc {
-                None => bv,
-                Some(mut a) => {
-                    a.and_assign(&bv);
-                    a
-                }
-            });
-        }
-        acc.unwrap().to_oids()
+    let mut acc: Option<BitVec> = None;
+    for f in &query.filters {
+        let col = table
+            .column(&f.column)
+            .ok_or_else(|| EngineError::UnknownColumn {
+                column: f.column.clone(),
+                context: "filter",
+            })?;
+        let bv = col.byteslice().scan(&f.predicate);
+        acc = Some(match acc {
+            None => bv,
+            Some(mut a) => {
+                a.and_assign(&bv);
+                a
+            }
+        });
+    }
+    let oids: Vec<u32> = match acc {
+        Some(a) => a.to_oids(),
+        None => (0..table.rows() as u32).collect(),
     };
     timings.filter_scan_ns = t.elapsed().as_nanos() as u64;
 
     let result = if !query.partition_by.is_empty() {
-        execute_window(table, query, cfg, &oids, &mut timings)
+        execute_window(table, query, cfg, &oids, &mut timings)?
     } else if !query.group_by.is_empty() {
-        execute_grouped(table, query, cfg, &oids, &mut timings)
+        execute_grouped(table, query, cfg, &oids, &mut timings)?
     } else {
-        execute_orderby(table, query, cfg, &oids, &mut timings)
+        execute_orderby(table, query, cfg, &oids, &mut timings)?
     };
 
     timings.total_ns = t_total.elapsed().as_nanos() as u64;
@@ -175,10 +228,22 @@ pub fn execute(table: &Table, query: &Query, cfg: &EngineConfig) -> QueryResult 
         );
         telemetry::counter_add("engine.queries", 1);
     }
-    QueryResult {
+    Ok(QueryResult {
         rows: result.first().map_or(0, |(_, v)| v.len()),
         columns: result,
         timings,
+    })
+}
+
+/// Execute `query` against `table`, panicking on [`EngineError`].
+///
+/// This is the legacy infallible entry point kept for benches, examples,
+/// and tests whose queries are known-well-formed; new callers should
+/// prefer [`run_query`].
+pub fn execute(table: &Table, query: &Query, cfg: &EngineConfig) -> QueryResult {
+    match run_query(table, query, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("query {} failed: {e}", query.name),
     }
 }
 
@@ -190,13 +255,18 @@ fn prepare_sort(
     oids: &[u32],
     want_final_groups: bool,
     timings: &mut QueryTimings,
-) -> (Vec<CodeVec>, Vec<SortSpec>, SortInstance) {
+) -> Result<(Vec<CodeVec>, Vec<SortSpec>, SortInstance), EngineError> {
     let t = Instant::now();
     let mut cols: Vec<CodeVec> = Vec::with_capacity(keys.len());
     let mut specs: Vec<SortSpec> = Vec::with_capacity(keys.len());
     let mut stats: Vec<KeyColumnStats> = Vec::with_capacity(keys.len());
     for k in keys {
-        let col = table.expect_column(&k.column);
+        let col = table
+            .column(&k.column)
+            .ok_or_else(|| EngineError::UnknownColumn {
+                column: k.column.clone(),
+                context: "sort key",
+            })?;
         cols.push(col.gather(oids));
         specs.push(SortSpec {
             width: col.width(),
@@ -214,48 +284,206 @@ fn prepare_sort(
         stats,
         want_final_groups,
     };
-    (cols, specs, inst)
+    Ok((cols, specs, inst))
 }
 
-/// Run the planner, returning the plan, the column order to apply, and
+/// Run the planner, returning the plan and the column order to apply,
 /// recording search time.
+///
+/// First rung of the degradation ladder: a failed search, a starved
+/// deadline, or a non-finite cost estimate falls back to `P_0` on the
+/// identity order (recording why) instead of failing the query. Only an
+/// empty sort key — for which `P_0` is equally impossible — is an error.
 fn pick_plan(
     inst: &SortInstance,
     order_free: bool,
     cfg: &EngineConfig,
     timings: &mut QueryTimings,
-) -> (MassagePlan, Vec<usize>) {
+) -> Result<(MassagePlan, Vec<usize>), EngineError> {
     let t = Instant::now();
     let identity: Vec<usize> = (0..inst.specs.len()).collect();
-    let picked = match &cfg.planner {
-        PlannerMode::ColumnAtATime => (inst.p0(), identity),
-        PlannerMode::Fixed(p) => (p.clone(), identity),
-        PlannerMode::Roga { rho } => {
-            let r = roga(
-                inst,
-                &cfg.model,
-                &RogaOptions {
-                    rho: *rho,
-                    permute_columns: order_free,
-                },
-            );
-            (r.plan, r.column_order)
+    let searched = match &cfg.planner {
+        PlannerMode::ColumnAtATime => Ok(None),
+        PlannerMode::Fixed(p) => {
+            // Experiments may hand the engine arbitrary plans; an invalid
+            // one degrades to P0 rather than reaching the executor.
+            if let Err(e) = p.validate(inst.total_width()) {
+                record_degradation(timings, DegradeReason::InvalidPlan, &e.to_string());
+                Ok(None)
+            } else {
+                Ok(Some((p.clone(), identity.clone(), f64::NAN, false)))
+            }
         }
-        PlannerMode::Rrs { budget } => {
-            let r = rrs(
-                inst,
-                &cfg.model,
-                &RrsOptions {
-                    budget: *budget,
-                    permute_columns: order_free,
-                    ..Default::default()
-                },
-            );
-            (r.plan, r.column_order)
+        PlannerMode::Roga { rho } => roga(
+            inst,
+            &cfg.model,
+            &RogaOptions {
+                rho: *rho,
+                permute_columns: order_free,
+            },
+        )
+        .map(|r| {
+            Some((
+                r.plan,
+                r.column_order,
+                r.est_cost,
+                r.timed_out && r.plans_costed == 0,
+            ))
+        }),
+        PlannerMode::Rrs { budget } => rrs(
+            inst,
+            &cfg.model,
+            &RrsOptions {
+                budget: *budget,
+                permute_columns: order_free,
+                ..Default::default()
+            },
+        )
+        .map(|r| Some((r.plan, r.column_order, r.est_cost, r.plans_costed == 0))),
+    };
+
+    let picked = match searched {
+        // Nothing can plan a zero-width key; P0 would be just as invalid.
+        Err(SearchError::EmptySortKey) => {
+            return Err(EngineError::PlanSearch(SearchError::EmptySortKey))
+        }
+        Err(e) => {
+            record_degradation(timings, DegradeReason::PlanSearchFailed, &e.to_string());
+            (inst.p0(), identity)
+        }
+        Ok(None) => (inst.p0(), identity),
+        Ok(Some((plan, order, est_cost, starved))) => {
+            if starved {
+                // The deadline fired before anything was costed: the
+                // search result is P0-by-default with no usable estimate.
+                record_degradation(
+                    timings,
+                    DegradeReason::DeadlineStarved,
+                    "search deadline fired with zero plans costed",
+                );
+                (inst.p0(), identity)
+            } else if matches!(
+                &cfg.planner,
+                PlannerMode::Roga { .. } | PlannerMode::Rrs { .. }
+            ) && !est_cost.is_finite()
+            {
+                // Cost-model breakdown (NaN/∞ estimates): the plan
+                // ranking is meaningless, so trust Lemma 1 over it.
+                record_degradation(
+                    timings,
+                    DegradeReason::NonFiniteCost,
+                    &format!("estimated cost {est_cost}"),
+                );
+                (inst.p0(), identity)
+            } else {
+                (plan, order)
+            }
         }
     };
     timings.plan_search_ns += t.elapsed().as_nanos() as u64;
-    picked
+    Ok(picked)
+}
+
+/// Whether a sort failure can be executed around by another plan. Input
+/// conditions (no columns, spec mismatch, row-count overflow) cannot.
+fn sort_error_recoverable(e: &SortError) -> bool {
+    matches!(
+        e,
+        SortError::InvalidPlan(_) | SortError::WorkerPanicked { .. } | SortError::Injected(_)
+    )
+}
+
+/// Execute the sort under `plan`, degrading to `P_0` and then to the
+/// scalar comparator sort (rungs 2 and 3 of the ladder). Returns the
+/// output and the plan that actually ran (`None` = scalar fallback).
+fn sort_with_ladder(
+    pcols: &[&CodeVec],
+    pspecs: &[SortSpec],
+    plan: MassagePlan,
+    exec: &ExecConfig,
+    timings: &mut QueryTimings,
+) -> Result<(MultiColumnSortOutput, Option<MassagePlan>), EngineError> {
+    let total: u32 = pspecs.iter().map(|s| s.width).sum();
+    // Belt and braces: a plan that fails validation degrades here even if
+    // the planner produced it.
+    let plan = match plan.validate(total) {
+        Ok(()) => plan,
+        Err(e) => {
+            record_degradation(timings, DegradeReason::InvalidPlan, &e.to_string());
+            MassagePlan::column_at_a_time(pspecs)
+        }
+    };
+    let first = multi_column_sort(pcols, pspecs, &plan, exec);
+    let err = match first {
+        Ok(out) => return Ok((out, Some(plan))),
+        Err(e) => e,
+    };
+    if !sort_error_recoverable(&err) {
+        return Err(EngineError::Sort(err));
+    }
+    record_degradation(timings, DegradeReason::ExecFailed, &err.to_string());
+
+    // Rung 2: P0 (skipped when the failing plan already was P0 — identical
+    // input, identical outcome).
+    let p0 = MassagePlan::column_at_a_time(pspecs);
+    if plan != p0 {
+        match multi_column_sort(pcols, pspecs, &p0, exec) {
+            Ok(out) => return Ok((out, Some(p0))),
+            Err(e) if sort_error_recoverable(&e) => {
+                record_degradation(timings, DegradeReason::ScalarFallback, &e.to_string());
+            }
+            Err(e) => return Err(EngineError::Sort(e)),
+        }
+    } else {
+        record_degradation(
+            timings,
+            DegradeReason::ScalarFallback,
+            "failing plan already was P0",
+        );
+    }
+
+    // Rung 3: scalar comparator sort — no SIMD, no massage, no threads.
+    Ok((scalar_fallback_sort(pcols, pspecs, exec), None))
+}
+
+/// The bottom of the ladder: a stable scalar sort by the §3 tuple
+/// comparator over the raw key columns, grouping built from tie runs.
+/// Slow, but free of every machinery the ladder is escaping.
+fn scalar_fallback_sort(
+    pcols: &[&CodeVec],
+    pspecs: &[SortSpec],
+    exec: &ExecConfig,
+) -> MultiColumnSortOutput {
+    let t0 = Instant::now();
+    let n = pcols.first().map_or(0, |c| c.len());
+    let mut oids: Vec<u32> = (0..n as u32).collect();
+    oids.sort_by(|&a, &b| tuple_cmp(pcols, pspecs, a, b));
+    let groups = if exec.want_final_groups {
+        let mut offsets: Vec<u32> = vec![0];
+        for p in 1..n {
+            if tuple_cmp(pcols, pspecs, oids[p - 1], oids[p]) != core::cmp::Ordering::Equal {
+                offsets.push(p as u32);
+            }
+        }
+        offsets.push(n as u32);
+        if n == 0 {
+            GroupBounds::whole(0)
+        } else {
+            GroupBounds::from_offsets(offsets)
+        }
+    } else {
+        GroupBounds::whole(n)
+    };
+    let stats = ExecStats {
+        massage_ns: 0,
+        rounds: Vec::new(),
+        total_ns: t0.elapsed().as_nanos() as u64,
+    };
+    MultiColumnSortOutput {
+        oids,
+        groups,
+        stats,
+    }
 }
 
 /// Sort the gathered key columns under the chosen plan; returns the
@@ -267,22 +495,21 @@ fn run_mcs(
     order_free: bool,
     cfg: &EngineConfig,
     timings: &mut QueryTimings,
-) -> mcs_core::MultiColumnSortOutput {
-    let (plan, order) = pick_plan(inst, order_free, cfg, timings);
+) -> Result<MultiColumnSortOutput, EngineError> {
+    let (plan, order) = pick_plan(inst, order_free, cfg, timings)?;
     let (pcols, pspecs): (Vec<&CodeVec>, Vec<SortSpec>) = (
         order.iter().map(|&i| &cols[i]).collect(),
         order.iter().map(|&i| specs[i]).collect(),
     );
     let t = Instant::now();
-    let out = multi_column_sort(&pcols, &pspecs, &plan, &cfg.exec)
-        .expect("engine-constructed plan covers the key");
+    let (out, ran_plan) = sort_with_ladder(&pcols, &pspecs, plan, &cfg.exec, timings)?;
     timings.mcs_ns += t.elapsed().as_nanos() as u64;
     timings.mcs_stats = out.stats.clone();
-    timings.plan = Some(plan);
+    timings.plan = ran_plan;
     // Record the instance in planner column order so EXPLAIN's predictions
     // price exactly the plan that ran.
     timings.sort_instance = Some(mcs_planner::permute_instance(inst, &order));
-    out
+    Ok(out)
 }
 
 fn execute_orderby(
@@ -291,11 +518,15 @@ fn execute_orderby(
     cfg: &EngineConfig,
     oids: &[u32],
     timings: &mut QueryTimings,
-) -> Vec<(String, Vec<u64>)> {
+) -> Result<Vec<(String, Vec<u64>)>, EngineError> {
     let keys = query.sort_keys();
-    assert!(!keys.is_empty(), "query {} has no sort keys", query.name);
-    let (cols, specs, inst) = prepare_sort(table, &keys, oids, false, timings);
-    let out = run_mcs(&cols, &specs, &inst, false, cfg, timings);
+    if keys.is_empty() {
+        return Err(EngineError::NoSortKeys {
+            query: query.name.clone(),
+        });
+    }
+    let (cols, specs, inst) = prepare_sort(table, &keys, oids, false, timings)?;
+    let out = run_mcs(&cols, &specs, &inst, false, cfg, timings)?;
 
     // Final oids into the base table.
     let final_oids: Vec<u32> = out.oids.iter().map(|&p| oids[p as usize]).collect();
@@ -303,11 +534,28 @@ fn execute_orderby(
     let t = Instant::now();
     let mut result = Vec::new();
     for name in &query.select {
-        let col = table.expect_column(name);
+        let col = table
+            .column(name)
+            .ok_or_else(|| EngineError::UnknownColumn {
+                column: name.clone(),
+                context: "SELECT",
+            })?;
         result.push((name.clone(), col.gather(&final_oids).iter_u64().collect()));
     }
     timings.gather_ns += t.elapsed().as_nanos() as u64;
-    result
+    Ok(result)
+}
+
+/// The column an aggregate reads, if any.
+fn agg_column(kind: &AggKind) -> Option<&str> {
+    match kind {
+        AggKind::Count => None,
+        AggKind::CountDistinct(c)
+        | AggKind::Sum(c)
+        | AggKind::Avg(c)
+        | AggKind::Min(c)
+        | AggKind::Max(c) => Some(c),
+    }
 }
 
 fn execute_grouped(
@@ -316,29 +564,39 @@ fn execute_grouped(
     cfg: &EngineConfig,
     oids: &[u32],
     timings: &mut QueryTimings,
-) -> Vec<(String, Vec<u64>)> {
+) -> Result<Vec<(String, Vec<u64>)>, EngineError> {
     // No qualifying rows: zero groups, empty output columns.
     if oids.is_empty() {
         let mut result: Vec<(String, Vec<u64>)> =
             query.group_by.iter().map(|g| (g.clone(), vec![])).collect();
         result.extend(query.aggregates.iter().map(|a| (a.label.clone(), vec![])));
-        return result;
+        return Ok(result);
     }
 
     let keys = query.sort_keys();
-    let (cols, specs, inst) = prepare_sort(table, &keys, oids, true, timings);
-    let out = run_mcs(&cols, &specs, &inst, query.order_free(), cfg, timings);
+    let (cols, specs, inst) = prepare_sort(table, &keys, oids, true, timings)?;
+    let out = run_mcs(&cols, &specs, &inst, query.order_free(), cfg, timings)?;
     let final_oids: Vec<u32> = out.oids.iter().map(|&p| oids[p as usize]).collect();
 
-    // Aggregate per group (Figure 2 steps 4-5): gather each referenced
-    // column once in output order.
+    // Aggregate per group (Figure 2 steps 4-5): check every referenced
+    // column up front so the gather closure below stays infallible, then
+    // gather each once in output order.
+    for agg in &query.aggregates {
+        if let Some(c) = agg_column(&agg.kind) {
+            if table.column(c).is_none() {
+                return Err(EngineError::UnknownColumn {
+                    column: c.to_string(),
+                    context: "aggregate",
+                });
+            }
+        }
+    }
     let t = Instant::now();
     let fetch = |name: &str| -> Vec<u64> {
         table
-            .expect_column(name)
-            .gather(&final_oids)
-            .iter_u64()
-            .collect()
+            .column(name)
+            .map(|c| c.gather(&final_oids).iter_u64().collect())
+            .unwrap_or_default()
     };
     let agg_out = aggregate_groups(&query.aggregates, &out.groups, &fetch);
 
@@ -378,7 +636,10 @@ fn execute_grouped(
             let vals = result
                 .iter()
                 .find(|(n, _)| n == &k.column)
-                .unwrap_or_else(|| panic!("ORDER BY column {} not in result", k.column))
+                .ok_or_else(|| EngineError::UnknownColumn {
+                    column: k.column.clone(),
+                    context: "ORDER BY over grouped result",
+                })?
                 .1
                 .clone();
             let width = mcs_columnar::width_for_max(vals.iter().copied().max().unwrap_or(0));
@@ -407,19 +668,18 @@ fn execute_grouped(
                 .collect(),
             want_final_groups: false,
         };
-        let (plan2, order2) = pick_plan(&inst2, false, cfg, timings);
+        let (plan2, order2) = pick_plan(&inst2, false, cfg, timings)?;
         let (pcols, pspecs): (Vec<&CodeVec>, Vec<SortSpec>) = (
             order2.iter().map(|&i| refs[i]).collect(),
             order2.iter().map(|&i| ob_specs[i]).collect(),
         );
-        let sorted =
-            multi_column_sort(&pcols, &pspecs, &plan2, &cfg.exec).expect("valid sort instance");
+        let (sorted, _) = sort_with_ladder(&pcols, &pspecs, plan2, &cfg.exec, timings)?;
         for (_, vals) in result.iter_mut() {
             *vals = sorted.oids.iter().map(|&p| vals[p as usize]).collect();
         }
         timings.post_sort_ns += t.elapsed().as_nanos() as u64;
     }
-    result
+    Ok(result)
 }
 
 fn execute_window(
@@ -428,32 +688,32 @@ fn execute_window(
     cfg: &EngineConfig,
     oids: &[u32],
     timings: &mut QueryTimings,
-) -> Vec<(String, Vec<u64>)> {
+) -> Result<Vec<(String, Vec<u64>)>, EngineError> {
     let keys = query.sort_keys();
-    let (cols, specs, inst) = prepare_sort(table, &keys, oids, true, timings);
-    let out = run_mcs(&cols, &specs, &inst, query.order_free(), cfg, timings);
+    let (cols, specs, inst) = prepare_sort(table, &keys, oids, true, timings)?;
+    // Window key: direction-adjusted concatenation of the window-order
+    // columns — bounded by one machine word, checked before sorting so a
+    // too-wide query fails fast without wasted work.
+    let np = query.partition_by.len();
+    let wo_specs = &specs[np..];
+    let total_wo: u32 = wo_specs.iter().map(|s| s.width).sum();
+    if total_wo > 64 {
+        return Err(EngineError::WindowKeyTooWide { bits: total_wo });
+    }
+    let out = run_mcs(&cols, &specs, &inst, query.order_free(), cfg, timings)?;
     let final_oids: Vec<u32> = out.oids.iter().map(|&p| oids[p as usize]).collect();
 
     let t = Instant::now();
     // Partition bounds = ties on the partition keys only: recompute by
     // scanning the sorted partition-key columns (they are the first
     // `partition_by.len()` sort keys).
-    let np = query.partition_by.len();
     let mut parts = mcs_core::GroupBounds::whole(out.oids.len());
     for c in cols.iter().take(np) {
         let permuted: Vec<u64> = out.oids.iter().map(|&p| c.get(p as usize)).collect();
         parts = parts.refine_by(&permuted);
     }
-    // Window key: direction-adjusted concatenation of the window-order
-    // columns in output order.
     let wo_cols: Vec<&CodeVec> = cols.iter().skip(np).collect();
-    let wo_specs = &specs[np..];
     let mut window_keys = vec![0u64; out.oids.len()];
-    let total_wo: u32 = wo_specs.iter().map(|s| s.width).sum();
-    assert!(
-        total_wo <= 64,
-        "window ORDER BY keys wider than 64 bits are not supported"
-    );
     for (c, s) in wo_cols.iter().zip(wo_specs) {
         for (p, wk) in window_keys.iter_mut().enumerate() {
             let mut v = c.get(out.oids[p] as usize);
@@ -467,7 +727,12 @@ fn execute_window(
 
     let mut result = Vec::new();
     for name in &query.select {
-        let col = table.expect_column(name);
+        let col = table
+            .column(name)
+            .ok_or_else(|| EngineError::UnknownColumn {
+                column: name.clone(),
+                context: "SELECT",
+            })?;
         result.push((name.clone(), col.gather(&final_oids).iter_u64().collect()));
     }
     result.push(("rank".to_string(), ranks));
@@ -483,7 +748,7 @@ fn execute_window(
             ],
         );
     }
-    result
+    Ok(result)
 }
 
 /// Materialize a query result as a new [`Table`] (multi-stage queries such
@@ -499,4 +764,213 @@ pub fn result_to_table(name: impl Into<String>, result: &QueryResult) -> Table {
         ));
     }
     t
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::query::{Agg, Filter};
+    use mcs_columnar::Predicate;
+
+    fn small_table() -> Table {
+        let mut t = Table::new("sales");
+        t.add_column(Column::from_u64s("nation", 2, [1u64, 0, 1, 0, 2, 2]));
+        t.add_column(Column::from_u64s("ship_date", 3, [5u64, 2, 5, 1, 3, 3]));
+        t.add_column(Column::from_u64s("price", 8, [40u64, 30, 10, 20, 50, 60]));
+        t
+    }
+
+    // Old panic site: the filter scan's `expect_column`.
+    #[test]
+    fn unknown_filter_column_is_a_typed_error() {
+        let t = small_table();
+        let mut q = Query::named("q");
+        q.order_by = vec![OrderKey::asc("nation")];
+        q.select = vec!["nation".into()];
+        q.filters = vec![Filter {
+            column: "zip".into(),
+            predicate: Predicate::Lt(3),
+        }];
+        let err = run_query(&t, &q, &EngineConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::UnknownColumn {
+                column: "zip".into(),
+                context: "filter"
+            }
+        );
+    }
+
+    // Old panic site: `prepare_sort`'s `expect_column` on a sort key.
+    #[test]
+    fn unknown_sort_key_column_is_a_typed_error() {
+        let t = small_table();
+        let mut q = Query::named("q");
+        q.order_by = vec![OrderKey::asc("no_such_key")];
+        q.select = vec!["nation".into()];
+        let err = run_query(&t, &q, &EngineConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::UnknownColumn {
+                context: "sort key",
+                ..
+            }
+        ));
+    }
+
+    // Old panic site: `assert!(!keys.is_empty())` in execute_orderby.
+    #[test]
+    fn query_without_sort_keys_is_a_typed_error() {
+        let t = small_table();
+        let mut q = Query::named("bare");
+        q.select = vec!["nation".into()];
+        let err = run_query(&t, &q, &EngineConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::NoSortKeys {
+                query: "bare".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_select_column_is_a_typed_error() {
+        let t = small_table();
+        let mut q = Query::named("q");
+        q.order_by = vec![OrderKey::asc("nation")];
+        q.select = vec!["nation".into(), "ghost".into()];
+        let err = run_query(&t, &q, &EngineConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::UnknownColumn {
+                context: "SELECT",
+                ..
+            }
+        ));
+    }
+
+    // Old panic site: the aggregate fetch closure's `expect_column`.
+    #[test]
+    fn unknown_aggregate_column_is_a_typed_error() {
+        let t = small_table();
+        let mut q = Query::named("q");
+        q.group_by = vec!["nation".into()];
+        q.aggregates = vec![Agg::new(AggKind::Sum("ghost".into()), "s")];
+        let err = run_query(&t, &q, &EngineConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::UnknownColumn {
+                context: "aggregate",
+                ..
+            }
+        ));
+    }
+
+    // Old panic site: `unwrap_or_else(|| panic!("ORDER BY column ..."))`
+    // on the grouped-result post-sort.
+    #[test]
+    fn unknown_grouped_order_by_column_is_a_typed_error() {
+        let t = small_table();
+        let mut q = Query::named("q");
+        q.group_by = vec!["nation".into()];
+        q.aggregates = vec![Agg::new(AggKind::Count, "cnt")];
+        q.order_by = vec![OrderKey::desc("not_a_label")];
+        let err = run_query(&t, &q, &EngineConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::UnknownColumn {
+                context: "ORDER BY over grouped result",
+                ..
+            }
+        ));
+    }
+
+    // Old panic site: `assert!(total_wo <= 64)` in execute_window. The
+    // check now fires *before* any sorting work.
+    #[test]
+    fn too_wide_window_key_is_a_typed_error() {
+        let mut t = Table::new("wide");
+        t.add_column(Column::from_u64s("p", 2, [0u64, 1, 0, 1]));
+        t.add_column(Column::from_u64s("a", 40, [7u64, 5, 3, 1]));
+        t.add_column(Column::from_u64s("b", 40, [1u64, 2, 3, 4]));
+        let mut q = Query::named("w");
+        q.partition_by = vec!["p".into()];
+        q.window_order = vec![OrderKey::asc("a"), OrderKey::asc("b")];
+        q.select = vec!["p".into()];
+        let err = run_query(&t, &q, &EngineConfig::default()).unwrap_err();
+        assert_eq!(err, EngineError::WindowKeyTooWide { bits: 80 });
+    }
+
+    // Old panic site: `multi_column_sort(...).expect(...)` in run_mcs. An
+    // invalid fixed plan now degrades to P0 instead of reaching the
+    // executor, and the rung is recorded.
+    #[test]
+    fn invalid_fixed_plan_degrades_to_p0() {
+        let t = small_table();
+        let mut q = Query::named("q");
+        q.order_by = vec![OrderKey::asc("nation"), OrderKey::asc("ship_date")];
+        q.select = vec!["price".into()];
+        let cfg = EngineConfig {
+            // Total key width is 5 bits; a 9-bit plan is invalid.
+            planner: PlannerMode::Fixed(MassagePlan::from_widths(&[9])),
+            ..EngineConfig::default()
+        };
+        let r = run_query(&t, &q, &cfg).expect("degrades, does not fail");
+        assert_eq!(r.timings.degradations, vec![DegradeReason::InvalidPlan]);
+        let ran = r.timings.plan.as_ref().expect("a plan ran");
+        assert_eq!(ran.num_rounds(), 2, "fell back to column-at-a-time");
+        // Correctness is untouched: nation ASC, ship_date ASC.
+        assert_eq!(r.column("price").unwrap(), &vec![20, 30, 40, 10, 50, 60]);
+    }
+
+    #[test]
+    fn scalar_fallback_sort_matches_comparator_order() {
+        let a = CodeVec::from_u64s(3, [5u64, 2, 5, 1, 3, 3]);
+        let b = CodeVec::from_u64s(8, [40u64, 30, 10, 20, 50, 60]);
+        let specs = [
+            SortSpec {
+                width: 3,
+                descending: false,
+            },
+            SortSpec {
+                width: 8,
+                descending: true,
+            },
+        ];
+        let exec = ExecConfig {
+            want_final_groups: true,
+            ..ExecConfig::default()
+        };
+        let out = scalar_fallback_sort(&[&a, &b], &specs, &exec);
+        assert_eq!(out.oids, vec![3, 1, 5, 4, 0, 2]);
+        // Groups = ties on (a, b): all distinct here.
+        assert_eq!(out.groups.num_groups(), 6);
+        // And the trivial-grouping path.
+        let exec2 = ExecConfig {
+            want_final_groups: false,
+            ..ExecConfig::default()
+        };
+        assert_eq!(
+            scalar_fallback_sort(&[&a, &b], &specs, &exec2)
+                .groups
+                .num_groups(),
+            1
+        );
+    }
+
+    #[test]
+    fn execute_panics_with_the_typed_message() {
+        let t = small_table();
+        let mut q = Query::named("boom");
+        q.select = vec!["nation".into()];
+        // Silence the expected panic backtrace.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let res = std::panic::catch_unwind(|| execute(&t, &q, &EngineConfig::default()));
+        std::panic::set_hook(prev);
+        let msg = *res.unwrap_err().downcast::<String>().expect("string panic");
+        assert!(msg.contains("query boom failed"), "{msg}");
+        assert!(msg.contains("no sort keys"), "{msg}");
+    }
 }

@@ -5,6 +5,10 @@
 //! encoding tricks. Every integration test compares the fast pipeline
 //! against this oracle.
 
+// Test-support code: the oracle asserts by design, it never ships on a
+// production query path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::BTreeMap;
 
 use mcs_columnar::Table;

@@ -376,6 +376,7 @@ pub fn parse_query(sql: &str) -> Result<(Query, String), SqlError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use mcs_columnar::CodeVec;
-use mcs_core::{multi_column_sort, ExecConfig, MassagePlan, SortSpec};
+use mcs_core::{multi_column_sort, ExecConfig, MassagePlan, SortError, SortSpec};
 
 use crate::space::enumerate_compositions;
 
@@ -50,7 +50,9 @@ impl Default for ExhaustiveOptions {
 
 /// Enumerate (capped) feasible plans for the key width of `specs` and
 /// execute each on the given columns, returning plans with measured
-/// times, **sorted fastest-first**.
+/// times, **sorted fastest-first**. Plans whose execution fails (which
+/// only happens on malformed inputs or under fault injection) are
+/// skipped rather than aborting the whole enumeration.
 pub fn measure_all_plans(
     inputs: &[&CodeVec],
     specs: &[SortSpec],
@@ -71,20 +73,9 @@ pub fn measure_all_plans(
     };
     let mut out: Vec<MeasuredPlan> = plans
         .into_iter()
-        .map(|plan| {
-            let mut best = u64::MAX;
-            for _ in 0..opts.repeats.max(1) {
-                let t = Instant::now();
-                let r = multi_column_sort(inputs, specs, &plan, &opts.exec)
-                    .expect("valid sort instance");
-                let ns = t.elapsed().as_nanos() as u64;
-                std::hint::black_box(&r.oids);
-                best = best.min(ns);
-            }
-            MeasuredPlan {
-                plan,
-                actual_ns: best,
-            }
+        .filter_map(|plan| {
+            let actual_ns = measure_plan(inputs, specs, &plan, opts).ok()?;
+            Some(MeasuredPlan { plan, actual_ns })
         })
         .collect();
     out.sort_by_key(|m| m.actual_ns);
@@ -102,22 +93,23 @@ pub fn rank_of(plan: &MassagePlan, measured: &[MeasuredPlan]) -> usize {
 }
 
 /// Measure one plan's actual execution time (same protocol as
-/// [`measure_all_plans`]).
+/// [`measure_all_plans`]), propagating execution failures instead of
+/// panicking.
 pub fn measure_plan(
     inputs: &[&CodeVec],
     specs: &[SortSpec],
     plan: &MassagePlan,
     opts: &ExhaustiveOptions,
-) -> u64 {
+) -> Result<u64, SortError> {
     let mut best = u64::MAX;
     for _ in 0..opts.repeats.max(1) {
         let t = Instant::now();
-        let r = multi_column_sort(inputs, specs, plan, &opts.exec).expect("valid sort instance");
+        let r = multi_column_sort(inputs, specs, plan, &opts.exec)?;
         let ns = t.elapsed().as_nanos() as u64;
         std::hint::black_box(&r.oids);
         best = best.min(ns);
     }
-    best
+    Ok(best)
 }
 
 /// Rank a plan by its own measured time within a measured population:
@@ -128,6 +120,7 @@ pub fn rank_by_time(actual_ns: u64, measured: &[MeasuredPlan]) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -18,19 +18,24 @@
 //!
 //! let inst = SortInstance::uniform(1 << 24, &[(17, 8192.0), (33, 8192.0)]);
 //! let model = CostModel::with_defaults();
-//! let found = roga(&inst, &model, &RogaOptions::default());
+//! let found = roga(&inst, &model, &RogaOptions::default()).expect("non-empty sort key");
 //! // The search never does worse than column-at-a-time.
 //! assert!(found.est_cost <= model.t_mcs(&inst, &inst.p0()));
 //! ```
 
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors, never panic on a
+// recoverable path. Test modules opt back in with `#[allow]`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
+mod error;
 mod exhaustive;
 mod rho_auto;
 mod roga;
 mod rrs;
 pub mod space;
 
+pub use error::SearchError;
 pub use exhaustive::{
     measure_all_plans, measure_plan, rank_by_time, rank_of, ExhaustiveOptions, MeasuredPlan,
 };

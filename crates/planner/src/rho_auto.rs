@@ -11,6 +11,7 @@
 use mcs_cost::{CostModel, SortInstance};
 use mcs_telemetry as telemetry;
 
+use crate::error::SearchError;
 use crate::roga::{roga, RogaOptions, SearchResult};
 
 /// The ρ ladder of Appendix C: from "very stringent" to "very loose".
@@ -20,35 +21,38 @@ pub const RHO_LADDER: [f64; 6] = [0.0001, 0.0005, 0.001, 0.005, 0.01, 0.1];
 /// sample query reach the same estimated plan cost it reaches at the
 /// largest ρ. Only the cost model is invoked — "the process is fast and
 /// incurs very little overhead" (App. C).
+///
+/// Fails with [`SearchError::EmptyRhoLadder`] on an empty ladder (there
+/// is no ρ to return) and propagates search failures on the samples.
 pub fn offline_rho(
     samples: &[SortInstance],
     model: &CostModel,
     ladder: &[f64],
     permute_columns: bool,
-) -> f64 {
-    assert!(!ladder.is_empty());
+) -> Result<f64, SearchError> {
     let mut sorted = ladder.to_vec();
     sorted.sort_by(f64::total_cmp);
-    let loosest = *sorted.last().unwrap();
+    let Some(&loosest) = sorted.last() else {
+        return Err(SearchError::EmptyRhoLadder);
+    };
 
     // Best reachable cost per query at the loosest setting.
-    let targets: Vec<f64> = samples
-        .iter()
-        .map(|inst| {
-            roga(
-                inst,
-                model,
-                &RogaOptions {
-                    rho: Some(loosest),
-                    permute_columns,
-                },
-            )
-            .est_cost
-        })
-        .collect();
+    let mut targets: Vec<f64> = Vec::with_capacity(samples.len());
+    for inst in samples {
+        let r = roga(
+            inst,
+            model,
+            &RogaOptions {
+                rho: Some(loosest),
+                permute_columns,
+            },
+        )?;
+        targets.push(r.est_cost);
+    }
 
     for &rho in &sorted {
-        let ok = samples.iter().zip(&targets).all(|(inst, &target)| {
+        let mut ok = true;
+        for (inst, &target) in samples.iter().zip(&targets) {
             let r = roga(
                 inst,
                 model,
@@ -56,14 +60,17 @@ pub fn offline_rho(
                     rho: Some(rho),
                     permute_columns,
                 },
-            );
-            r.est_cost <= target * 1.0001
-        });
+            )?;
+            if r.est_cost > target * 1.0001 {
+                ok = false;
+                break;
+            }
+        }
         if ok {
-            return rho;
+            return Ok(rho);
         }
     }
-    loosest
+    Ok(loosest)
 }
 
 /// Online calibration: run ROGA at `rho_low`; while the search hit its
@@ -80,7 +87,7 @@ pub fn online_roga(
     rho_low: f64,
     rho_high: f64,
     permute_columns: bool,
-) -> (SearchResult, f64) {
+) -> Result<(SearchResult, f64), SearchError> {
     let mut rho = rho_low;
     let mut best = roga(
         inst,
@@ -89,7 +96,7 @@ pub fn online_roga(
             rho: Some(rho),
             permute_columns,
         },
-    );
+    )?;
     record_ladder_step(0, rho, &best, false);
     let mut step = 0usize;
     while best.timed_out && rho < rho_high {
@@ -101,7 +108,7 @@ pub fn online_roga(
                 rho: Some(next_rho),
                 permute_columns,
             },
-        );
+        )?;
         let improved = r.est_cost < best.est_cost * 0.9999;
         let finished = !r.timed_out;
         let starved = r.timed_out && r.plans_costed < 64;
@@ -115,7 +122,7 @@ pub fn online_roga(
             break;
         }
     }
-    (best, rho)
+    Ok((best, rho))
 }
 
 /// One `planner.roga.ladder` span per doubling of the online search,
@@ -139,6 +146,7 @@ fn record_ladder_step(step: usize, rho: f64, r: &SearchResult, starved: bool) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use mcs_cost::CostModel;
@@ -154,17 +162,25 @@ mod tests {
     #[test]
     fn offline_returns_ladder_member() {
         let model = CostModel::with_defaults();
-        let rho = offline_rho(&samples(), &model, &RHO_LADDER, false);
+        let rho = offline_rho(&samples(), &model, &RHO_LADDER, false).expect("non-empty ladder");
         assert!(RHO_LADDER.contains(&rho));
         // Small instances finish fast, so even a small rho suffices.
         assert!(rho <= 0.1);
     }
 
     #[test]
+    fn empty_ladder_is_a_typed_error() {
+        let model = CostModel::with_defaults();
+        let r = offline_rho(&samples(), &model, &[], false);
+        assert_eq!(r, Err(SearchError::EmptyRhoLadder));
+    }
+
+    #[test]
     fn online_matches_unbounded_quality_on_small_spaces() {
         let model = CostModel::with_defaults();
         for inst in samples() {
-            let (r, final_rho) = online_roga(&inst, &model, 0.0001, 0.1, false);
+            let (r, final_rho) =
+                online_roga(&inst, &model, 0.0001, 0.1, false).expect("non-empty key");
             let unbounded = roga(
                 &inst,
                 &model,
@@ -172,7 +188,8 @@ mod tests {
                     rho: None,
                     permute_columns: false,
                 },
-            );
+            )
+            .expect("non-empty key");
             assert!(
                 r.est_cost <= unbounded.est_cost * 1.2,
                 "online {} vs unbounded {}",

@@ -15,6 +15,7 @@ use mcs_core::{Bank, MassagePlan, Round};
 use mcs_cost::{CostModel, SortInstance};
 use mcs_telemetry as telemetry;
 
+use crate::error::SearchError;
 use crate::space::{bank_combos, max_rounds, permutations, width_assignments};
 
 /// Options of the plan search.
@@ -67,10 +68,36 @@ pub fn permute_instance(inst: &SortInstance, order: &[usize]) -> SortInstance {
 }
 
 /// Run ROGA on `inst` with `model`.
-pub fn roga(inst: &SortInstance, model: &CostModel, opts: &RogaOptions) -> SearchResult {
+///
+/// Fails with [`SearchError::EmptySortKey`] on a zero-width instance
+/// (there is nothing to plan); a fired deadline is *not* an error — the
+/// incumbent (at worst `P_0`) is returned with `timed_out` set.
+pub fn roga(
+    inst: &SortInstance,
+    model: &CostModel,
+    opts: &RogaOptions,
+) -> Result<SearchResult, SearchError> {
     let w = inst.total_width();
-    assert!(w >= 1, "empty sort key");
+    if w == 0 {
+        return Err(SearchError::EmptySortKey);
+    }
     let start = Instant::now();
+    if mcs_faults::fault_point!(mcs_faults::points::PLANNER_SEARCH) {
+        return Err(SearchError::Injected(mcs_faults::points::PLANNER_SEARCH));
+    }
+    if mcs_faults::fault_point!(mcs_faults::points::PLANNER_STARVE) {
+        // Simulated total starvation: the deadline fired before even P0
+        // could be costed. The plan is still valid (Lemma 1), but the
+        // caller gets no usable estimate and should degrade.
+        return Ok(SearchResult {
+            plan: inst.p0(),
+            column_order: (0..inst.specs.len()).collect(),
+            est_cost: f64::INFINITY,
+            plans_costed: 0,
+            elapsed: start.elapsed(),
+            timed_out: true,
+        });
+    }
 
     let orders: Vec<Vec<usize>> = if opts.permute_columns {
         permutations(inst.specs.len())
@@ -144,14 +171,14 @@ pub fn roga(inst: &SortInstance, model: &CostModel, opts: &RogaOptions) -> Searc
             telemetry::counter_add("planner.deadline_hits", 1);
         }
     }
-    SearchResult {
+    Ok(SearchResult {
         plan: best_plan,
         column_order: best_order,
         est_cost: best_cost,
         plans_costed,
         elapsed: start.elapsed(),
         timed_out,
-    }
+    })
 }
 
 /// Greedy width assignment for a `k ≥ 3` bank combo (Algorithm 1 lines
@@ -197,7 +224,7 @@ fn greedy_assign(
     }
     // Remaining bits to the last round (line 16).
     let last = total_width - assigned;
-    let b_last = *combo.last().unwrap();
+    let b_last = *combo.last()?;
     if last == 0 || last > b_last.bits() || Bank::min_for_width(last) != b_last {
         return None;
     }
@@ -212,6 +239,7 @@ fn greedy_assign(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use mcs_cost::CostModel;
@@ -227,7 +255,7 @@ mod tests {
         // stitch and P0.
         let inst = SortInstance::uniform(1 << 24, &[(10, 1024.0), (17, 8192.0)]);
         let m = model();
-        let r = roga(&inst, &m, &RogaOptions::default());
+        let r = roga(&inst, &m, &RogaOptions::default()).expect("non-empty key");
         let stitch = MassagePlan::from_widths(&[27]);
         assert!(r.est_cost <= m.t_mcs(&inst, &stitch) + 1.0);
         assert!(r.est_cost <= m.t_mcs(&inst, &inst.p0()) + 1.0);
@@ -239,7 +267,7 @@ mod tests {
         // Ex3 (17+33): the optimum P_<<1 = {18/[32], 32/[32]}.
         let inst = SortInstance::uniform(1 << 24, &[(17, 8192.0), (33, 8192.0)]);
         let m = model();
-        let r = roga(&inst, &m, &RogaOptions::default());
+        let r = roga(&inst, &m, &RogaOptions::default()).expect("non-empty key");
         let p_ll1 = MassagePlan::from_widths(&[18, 32]);
         assert!(
             r.est_cost <= m.t_mcs(&inst, &p_ll1) + 1.0,
@@ -260,7 +288,7 @@ mod tests {
             (1 << 14, vec![(64, 1e4)]),
         ] {
             let inst = SortInstance::uniform(rows, &cols);
-            let r = roga(&inst, &m, &RogaOptions::default());
+            let r = roga(&inst, &m, &RogaOptions::default()).expect("non-empty key");
             assert!(r.est_cost <= m.t_mcs(&inst, &inst.p0()) + 1.0);
             assert!(r.plan.validate(inst.total_width()).is_ok());
         }
@@ -280,7 +308,8 @@ mod tests {
                 permute_columns: false,
                 ..Default::default()
             },
-        );
+        )
+        .expect("non-empty key");
         let free = roga(
             &inst,
             &m,
@@ -288,7 +317,8 @@ mod tests {
                 permute_columns: true,
                 rho: None,
             },
-        );
+        )
+        .expect("non-empty key");
         assert!(free.est_cost <= fixed.est_cost + 1.0);
     }
 
@@ -305,10 +335,40 @@ mod tests {
                 rho: Some(1e-9),
                 permute_columns: false,
             },
-        );
+        )
+        .expect("non-empty key");
         assert!(r.timed_out);
         // Still returns a valid plan (at worst P0).
         assert!(r.plan.validate(inst.total_width()).is_ok());
+    }
+
+    #[test]
+    fn empty_sort_key_is_a_typed_error() {
+        let inst = SortInstance::uniform(1 << 10, &[]);
+        let r = roga(&inst, &model(), &RogaOptions::default()).map(|r| r.plans_costed);
+        assert_eq!(r, Err(SearchError::EmptySortKey));
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn injected_search_failure_and_starvation() {
+        use mcs_faults::{points, with_armed, FireMode};
+        let inst = SortInstance::uniform(1 << 20, &[(10, 1024.0), (17, 8192.0)]);
+        let m = model();
+
+        with_armed(&[(points::PLANNER_SEARCH, FireMode::Always)], || {
+            let r = roga(&inst, &m, &RogaOptions::default()).map(|r| r.plans_costed);
+            assert_eq!(r, Err(SearchError::Injected(points::PLANNER_SEARCH)));
+        });
+
+        with_armed(&[(points::PLANNER_STARVE, FireMode::Always)], || {
+            let r = roga(&inst, &m, &RogaOptions::default()).expect("starvation is not an error");
+            assert!(r.timed_out);
+            assert_eq!(r.plans_costed, 0);
+            assert!(!r.est_cost.is_finite());
+            // Lemma 1: the starved result still carries a valid plan.
+            assert!(r.plan.validate(inst.total_width()).is_ok());
+        });
     }
 
     #[test]

@@ -15,6 +15,7 @@ use mcs_core::MassagePlan;
 use mcs_cost::{CostModel, SortInstance};
 use mcs_test_support::Rng;
 
+use crate::error::SearchError;
 use crate::roga::{permute_instance, SearchResult};
 use crate::space::{max_rounds, permutations};
 
@@ -119,8 +120,21 @@ fn neighbor(rng: &mut Rng, plan: &MassagePlan, total: u32, delta: u32) -> Massag
 }
 
 /// Run RRS on `inst` under `opts.budget`.
-pub fn rrs(inst: &SortInstance, model: &CostModel, opts: &RrsOptions) -> SearchResult {
+///
+/// Fails with [`SearchError::EmptySortKey`] on a zero-width instance;
+/// budget expiry is the normal stopping rule, not an error.
+pub fn rrs(
+    inst: &SortInstance,
+    model: &CostModel,
+    opts: &RrsOptions,
+) -> Result<SearchResult, SearchError> {
     let total = inst.total_width();
+    if total == 0 {
+        return Err(SearchError::EmptySortKey);
+    }
+    if mcs_faults::fault_point!(mcs_faults::points::PLANNER_SEARCH) {
+        return Err(SearchError::Injected(mcs_faults::points::PLANNER_SEARCH));
+    }
     let start = Instant::now();
     let mut rng = Rng::seed_from_u64(opts.seed);
     let k_max = max_rounds(total, 16);
@@ -189,17 +203,18 @@ pub fn rrs(inst: &SortInstance, model: &CostModel, opts: &RrsOptions) -> SearchR
         }
     }
 
-    SearchResult {
+    Ok(SearchResult {
         plan: best_plan,
         column_order: best_order,
         est_cost: best_cost,
         plans_costed,
         elapsed: start.elapsed(),
         timed_out: true,
-    }
+    })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -211,7 +226,7 @@ mod tests {
             budget: Duration::from_millis(20),
             ..Default::default()
         };
-        let r = rrs(&inst, &m, &opts);
+        let r = rrs(&inst, &m, &opts).expect("non-empty key");
         assert!(r.plan.validate(50).is_ok());
         assert!(r.est_cost <= m.t_mcs(&inst, &inst.p0()) + 1.0);
         assert!(r.plans_costed > 10);

@@ -84,7 +84,8 @@ fn assert_roga_invariants(widths: &[u32], rows_log: u32) {
             rho: None,
             permute_columns: false,
         },
-    );
+    )
+    .expect("non-empty sort key");
     let total = inst.total_width();
     assert!(r.plan.validate(total).is_ok());
     assert!(r.est_cost <= model.t_mcs(&inst, &inst.p0()) + 1.0);
@@ -104,7 +105,8 @@ fn assert_roga_invariants(widths: &[u32], rows_log: u32) {
             rho: Some(0.001),
             permute_columns: false,
         },
-    );
+    )
+    .expect("non-empty sort key");
     assert!(rd.plan.validate(total).is_ok());
 }
 

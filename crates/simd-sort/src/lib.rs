@@ -50,7 +50,9 @@ mod segmented;
 mod sort;
 
 pub use key::{Bank, Key};
-pub use parallel::{for_each_chunk, sort_pairs_in_groups_parallel, sort_pairs_parallel};
+pub use parallel::{
+    for_each_chunk, sort_pairs_in_groups_parallel, sort_pairs_parallel, WorkerPanic,
+};
 pub use phase::PhaseTimes;
 pub use radix::{sort_pairs_radix, sort_pairs_radix_in_groups};
 pub use scalar::{insertion_sort_pairs, sort_pairs_scalar};

@@ -5,29 +5,60 @@
 //! thread-per-core execution), then produce the total order with one
 //! multiway merge. Segmented sorts parallelize by distributing whole
 //! groups across threads.
+//!
+//! Worker panics are caught at the scope boundary and surfaced as a typed
+//! [`WorkerPanic`] carrying the chunk index, so a dying worker can be
+//! degraded around (the caller's buffers may hold partially sorted data
+//! and must be treated as garbage) instead of aborting the process.
 
 use crate::multiway::multiway_merge;
 use crate::segmented::{GroupBounds, SegmentedSortStats};
 use crate::sort::{SortConfig, SortableKey};
 
+/// A worker thread of a parallel sort panicked.
+///
+/// The input slices are left in an unspecified (partially sorted) state;
+/// callers recover by re-running the work from their own pristine inputs
+/// (serially or via a fallback path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the chunk (or group span) whose worker died.
+    pub chunk: usize,
+}
+
+impl core::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "parallel-sort worker for chunk {} panicked", self.chunk)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
 /// Sort `(keys, oids)` using up to `threads` worker threads.
+///
+/// Returns `Err(WorkerPanic)` — with `keys`/`oids` in an unspecified
+/// order — if a worker thread panics; the panic is contained at the
+/// scope boundary rather than propagated.
 pub fn sort_pairs_parallel<K: SortableKey>(
     keys: &mut [K],
     oids: &mut [u32],
     threads: usize,
     cfg: &SortConfig,
-) {
+) -> Result<(), WorkerPanic> {
     assert_eq!(keys.len(), oids.len());
     let n = keys.len();
     let threads = threads.max(1);
     if threads == 1 || n < 4096 {
         K::sort_pairs_with(keys, oids, cfg);
-        return;
+        return Ok(());
     }
     let chunk = n.div_ceil(threads);
 
-    // Sort chunks in parallel.
+    // Sort chunks in parallel; join every handle explicitly so a panicked
+    // worker is reported as data instead of re-panicking the scope.
+    let mut first_panic: Option<usize> = None;
     std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
         let mut rem_k: &mut [K] = keys;
         let mut rem_o: &mut [u32] = oids;
         while !rem_k.is_empty() {
@@ -36,9 +67,22 @@ pub fn sort_pairs_parallel<K: SortableKey>(
             let (co, rest_o) = rem_o.split_at_mut(take);
             rem_k = rest_k;
             rem_o = rest_o;
-            scope.spawn(move || K::sort_pairs_with(ck, co, cfg));
+            handles.push(scope.spawn(move || {
+                if mcs_faults::fault_point!(mcs_faults::points::SIMD_WORKER_PANIC) {
+                    panic!("injected fault: {}", mcs_faults::points::SIMD_WORKER_PANIC);
+                }
+                K::sort_pairs_with(ck, co, cfg)
+            }));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            if h.join().is_err() && first_panic.is_none() {
+                first_panic = Some(i);
+            }
         }
     });
+    if let Some(chunk) = first_panic {
+        return Err(WorkerPanic { chunk });
+    }
 
     // Single multiway merge of the sorted chunks.
     let runs: Vec<core::ops::Range<usize>> = (0..n)
@@ -50,22 +94,28 @@ pub fn sort_pairs_parallel<K: SortableKey>(
     multiway_merge(keys, oids, &mut out_k, &mut out_o, &runs, 0);
     keys.copy_from_slice(&out_k);
     oids.copy_from_slice(&out_o);
+    Ok(())
 }
 
 /// Segmented sort with groups distributed round-robin by cumulative size
 /// across `threads` workers.
+///
+/// Worker panics are caught and returned as a [`WorkerPanic`] carrying
+/// the group-span index; the slices are then in an unspecified state.
 pub fn sort_pairs_in_groups_parallel<K: SortableKey>(
     keys: &mut [K],
     oids: &mut [u32],
     groups: &GroupBounds,
     threads: usize,
     cfg: &SortConfig,
-) -> SegmentedSortStats {
+) -> Result<SegmentedSortStats, WorkerPanic> {
     assert_eq!(keys.len(), oids.len());
     assert_eq!(groups.num_rows(), keys.len());
     let threads = threads.max(1);
     if threads == 1 {
-        return crate::segmented::sort_pairs_in_groups(keys, oids, groups, cfg);
+        return Ok(crate::segmented::sort_pairs_in_groups(
+            keys, oids, groups, cfg,
+        ));
     }
 
     // Assign contiguous group spans of roughly equal row counts: spans of
@@ -86,7 +136,7 @@ pub fn sort_pairs_in_groups_parallel<K: SortableKey>(
         spans.push((span_start, groups.num_groups()));
     }
 
-    let stats: Vec<SegmentedSortStats> = std::thread::scope(|scope| {
+    let joined: Vec<std::thread::Result<SegmentedSortStats>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         let mut rem_k: &mut [K] = keys;
         let mut rem_o: &mut [u32] = oids;
@@ -104,25 +154,31 @@ pub fn sort_pairs_in_groups_parallel<K: SortableKey>(
             // Rebase this span's bounds to its local slice.
             let local =
                 GroupBounds::from_offsets(offs[gs..=ge].iter().map(|&b| b - offs[gs]).collect());
-            handles.push(
-                scope.spawn(move || crate::segmented::sort_pairs_in_groups(ck, co, &local, cfg)),
-            );
+            handles.push(scope.spawn(move || {
+                if mcs_faults::fault_point!(mcs_faults::points::SIMD_WORKER_PANIC) {
+                    panic!("injected fault: {}", mcs_faults::points::SIMD_WORKER_PANIC);
+                }
+                crate::segmented::sort_pairs_in_groups(ck, co, &local, cfg)
+            }));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join()).collect()
     });
 
     let mut total = SegmentedSortStats::default();
-    for s in stats {
-        total.invocations += s.invocations;
-        total.codes_sorted += s.codes_sorted;
-        total.max_group = total.max_group.max(s.max_group);
-        // CPU time summed across workers; may exceed the round's wall time.
-        total.phases.add(s.phases);
+    for (i, r) in joined.into_iter().enumerate() {
+        match r {
+            Ok(s) => {
+                total.invocations += s.invocations;
+                total.codes_sorted += s.codes_sorted;
+                total.max_group = total.max_group.max(s.max_group);
+                // CPU time summed across workers; may exceed the round's
+                // wall time.
+                total.phases.add(s.phases);
+            }
+            Err(_) => return Err(WorkerPanic { chunk: i }),
+        }
     }
-    total
+    Ok(total)
 }
 
 /// Parallel code over `threads` contiguous chunks of equal size, used by
@@ -170,7 +226,7 @@ mod tests {
         for threads in [1usize, 2, 3, 4, 8] {
             let mut keys = orig.clone();
             let mut oids: Vec<u32> = (0..n as u32).collect();
-            sort_pairs_parallel(&mut keys, &mut oids, threads, &cfg);
+            sort_pairs_parallel(&mut keys, &mut oids, threads, &cfg).expect("no injected faults");
             assert!(keys.windows(2).all(|w| w[0] <= w[1]));
             for i in 0..n as usize {
                 assert_eq!(keys[i], orig[oids[i] as usize]);
@@ -201,7 +257,8 @@ mod tests {
 
         let mut k2 = keys0.clone();
         let mut o2: Vec<u32> = (0..n as u32).collect();
-        let s2 = sort_pairs_in_groups_parallel(&mut k2, &mut o2, &groups, 4, &cfg);
+        let s2 = sort_pairs_in_groups_parallel(&mut k2, &mut o2, &groups, 4, &cfg)
+            .expect("no injected faults");
 
         assert_eq!(k1, k2);
         assert_eq!(s1.invocations, s2.invocations);
@@ -223,8 +280,42 @@ mod tests {
     fn parallel_small_input_falls_back() {
         let mut keys: Vec<u64> = vec![3, 1, 2];
         let mut oids: Vec<u32> = vec![0, 1, 2];
-        sort_pairs_parallel(&mut keys, &mut oids, 8, &SortConfig::default());
+        sort_pairs_parallel(&mut keys, &mut oids, 8, &SortConfig::default())
+            .expect("serial fallback cannot panic");
         assert_eq!(keys, vec![1, 2, 3]);
         assert_eq!(u64::MAX_KEY, u64::MAX);
+    }
+
+    #[test]
+    fn worker_panic_error_formats() {
+        let e = WorkerPanic { chunk: 3 };
+        assert!(e.to_string().contains("chunk 3"));
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn injected_worker_panic_is_caught() {
+        use mcs_faults::{points, with_armed, FireMode};
+        let n = 20_000usize;
+        let mut state = 99u64;
+        let orig: Vec<u32> = (0..n).map(|_| xorshift(&mut state) as u32).collect();
+        let cfg = SortConfig::default();
+
+        with_armed(&[(points::SIMD_WORKER_PANIC, FireMode::Once)], || {
+            // Silence the expected worker-panic backtrace.
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let mut keys = orig.clone();
+            let mut oids: Vec<u32> = (0..n as u32).collect();
+            let err = sort_pairs_parallel(&mut keys, &mut oids, 4, &cfg);
+            std::panic::set_hook(prev);
+            assert_eq!(err, Err(WorkerPanic { chunk: 0 }));
+        });
+
+        // Disarmed again: the same call succeeds.
+        let mut keys = orig.clone();
+        let mut oids: Vec<u32> = (0..n as u32).collect();
+        sort_pairs_parallel(&mut keys, &mut oids, 4, &cfg).expect("disarmed");
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
     }
 }

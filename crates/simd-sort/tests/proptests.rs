@@ -132,7 +132,7 @@ fn parallel_matches_serial_order() {
         sort_pairs_with(&mut k1, &mut o1, &cfg);
         let mut k2 = v.clone();
         let mut o2: Vec<u32> = (0..v.len() as u32).collect();
-        sort_pairs_parallel(&mut k2, &mut o2, 3, &cfg);
+        sort_pairs_parallel(&mut k2, &mut o2, 3, &cfg).expect("no faults armed");
         assert_eq!(k1, k2);
     });
 }

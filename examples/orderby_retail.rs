@@ -86,7 +86,7 @@ fn main() {
         ],
         want_final_groups: false,
     };
-    let found = roga(&inst, &model, &RogaOptions::default());
+    let found = roga(&inst, &model, &RogaOptions::default()).expect("non-empty sort key");
     println!(
         "\nROGA chooses {} (estimated {:.2} ms, searched {} plans in {:?})",
         found.plan,

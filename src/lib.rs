@@ -44,6 +44,7 @@ pub use mcs_columnar as columnar;
 pub use mcs_core as core;
 pub use mcs_cost as cost;
 pub use mcs_engine as engine;
+pub use mcs_faults as faults;
 pub use mcs_planner as planner;
 pub use mcs_simd_sort as simd_sort;
 pub use mcs_telemetry as telemetry;
@@ -55,9 +56,9 @@ pub mod prelude {
     pub use mcs_core::{multi_column_sort, Bank, ExecConfig, MassagePlan, Round, SortSpec};
     pub use mcs_cost::{calibrate, CalibrationOptions, CostModel, MachineSpec, SortInstance};
     pub use mcs_engine::{
-        execute, result_to_table, Agg, AggKind, EngineConfig, ExplainReport, Filter, OrderKey,
-        PlannerMode, Query, QueryResult,
+        execute, result_to_table, run_query, Agg, AggKind, DegradeReason, EngineConfig,
+        EngineError, ExplainReport, Filter, OrderKey, PlannerMode, Query, QueryResult,
     };
-    pub use mcs_planner::{roga, rrs, RogaOptions, RrsOptions};
+    pub use mcs_planner::{roga, rrs, RogaOptions, RrsOptions, SearchError};
     pub use mcs_simd_sort::{sort_pairs, sort_pairs_with, SortConfig};
 }

@@ -1,0 +1,239 @@
+//! Chaos suite: drive the full engine through the differential oracle
+//! while deterministic faults fire at every seam the `mcs-faults` crate
+//! instruments — planner search, search-deadline starvation, cost
+//! evaluation, per-round sort execution, and worker-thread spawning.
+//!
+//! The contract under test is the graceful-degradation ladder:
+//!
+//! * the process never aborts — worker panics become data;
+//! * every query either returns the *correct* result (via the `P_0` or
+//!   scalar fallback rungs) or a typed [`EngineError`];
+//! * each taken rung is recorded in `QueryTimings::degradations` and the
+//!   `engine.degraded` telemetry counter.
+//!
+//! Only compiled with `--features faults`; the injection hooks fold to
+//! constant `false` otherwise.
+#![cfg(feature = "faults")]
+
+use codemassage::engine::reference::{assert_same_rows, naive_execute};
+use codemassage::faults::{fired, points, with_armed, FireMode};
+use codemassage::prelude::*;
+use codemassage::telemetry;
+
+fn chaos_table(n: usize) -> Table {
+    let mut t = Table::new("sales");
+    t.add_column(Column::from_u64s(
+        "nation",
+        10,
+        (0..n).map(|i| (i as u64).wrapping_mul(0x9e37_79b9) % 50),
+    ));
+    t.add_column(Column::from_u64s(
+        "ship_date",
+        17,
+        (0..n).map(|i| (i as u64).wrapping_mul(0x85eb_ca6b) % 5000),
+    ));
+    t.add_column(Column::from_u64s(
+        "price",
+        17,
+        (0..n).map(|i| i as u64 % 1000),
+    ));
+    t
+}
+
+fn groupby_query() -> Query {
+    let mut q = Query::named("chaos_groupby");
+    q.group_by = vec!["nation".into(), "ship_date".into()];
+    q.aggregates = vec![
+        Agg::new(AggKind::Count, "cnt"),
+        Agg::new(AggKind::Sum("price".into()), "sum_price"),
+    ];
+    q
+}
+
+/// Run under ROGA, check against the oracle, and return the rungs taken.
+/// Telemetry counters are only asserted when the feature is on (the chaos
+/// suite also builds under `--no-default-features --features faults`).
+fn run_and_check(t: &Table, q: &Query, cfg: &EngineConfig) -> Vec<DegradeReason> {
+    telemetry::reset();
+    let r = run_query(t, q, cfg).expect("recoverable fault must not fail the query");
+    let want = naive_execute(t, q);
+    let got: Vec<(String, Vec<u64>)> = r.columns.clone();
+    assert_same_rows(&got, &want);
+    if telemetry::is_enabled() {
+        let snap = telemetry::take_all();
+        let counted = snap
+            .counters
+            .iter()
+            .find(|(n, _)| *n == "engine.degraded")
+            .map_or(0, |&(_, v)| v);
+        assert_eq!(
+            counted,
+            r.timings.degradations.len() as u64,
+            "every rung must be counted (counters: {:?})",
+            snap.counters
+        );
+    }
+    r.timings.degradations
+}
+
+/// Fault 1: the planner search itself errors out. The engine must fall
+/// back to P0 and still produce the right answer.
+#[test]
+fn planner_search_failure_degrades_to_p0() {
+    let t = chaos_table(4096);
+    let q = groupby_query();
+    let cfg = EngineConfig::default(); // ROGA
+    let rungs = with_armed(&[(points::PLANNER_SEARCH, FireMode::Always)], || {
+        let rungs = run_and_check(&t, &q, &cfg);
+        assert!(fired(points::PLANNER_SEARCH) > 0, "fault never traversed");
+        rungs
+    });
+    assert_eq!(rungs, vec![DegradeReason::PlanSearchFailed]);
+}
+
+/// Fault 2: the ρ deadline starves the search — it times out before a
+/// single plan is costed. P0 runs without an estimate.
+#[test]
+fn deadline_starvation_runs_p0() {
+    let t = chaos_table(4096);
+    let q = groupby_query();
+    let cfg = EngineConfig::default();
+    let rungs = with_armed(&[(points::PLANNER_STARVE, FireMode::Always)], || {
+        run_and_check(&t, &q, &cfg)
+    });
+    assert_eq!(rungs, vec![DegradeReason::DeadlineStarved]);
+}
+
+/// Fault 3: the cost model returns NaN for every plan. NaN comparisons
+/// are all false, so the search's ranking is meaningless — the engine
+/// must detect the non-finite estimate and trust Lemma 1 over it.
+#[test]
+fn nan_cost_estimates_degrade_to_p0() {
+    let t = chaos_table(4096);
+    let q = groupby_query();
+    let cfg = EngineConfig {
+        // No deadline: starvation can't mask the NaN path.
+        planner: PlannerMode::Roga { rho: None },
+        ..EngineConfig::default()
+    };
+    let rungs = with_armed(&[(points::COST_NAN, FireMode::Always)], || {
+        let rungs = run_and_check(&t, &q, &cfg);
+        assert!(fired(points::COST_NAN) > 0, "fault never traversed");
+        rungs
+    });
+    assert_eq!(rungs, vec![DegradeReason::NonFiniteCost]);
+}
+
+/// Fault 4: a parallel-sort worker thread panics mid-round. The panic is
+/// caught at the scope boundary, converted to a typed error carrying the
+/// chunk index, and the engine re-runs the sort.
+#[test]
+fn worker_panic_is_caught_and_rerun() {
+    let t = chaos_table(20_000); // big enough for the parallel path
+    let q = groupby_query();
+    let cfg = EngineConfig {
+        exec: ExecConfig {
+            threads: 4,
+            ..ExecConfig::default()
+        },
+        ..EngineConfig::default()
+    };
+    let rungs = with_armed(&[(points::SIMD_WORKER_PANIC, FireMode::Once)], || {
+        // Silence the injected worker's panic backtrace.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let rungs = run_and_check(&t, &q, &cfg);
+        std::panic::set_hook(prev);
+        assert!(
+            fired(points::SIMD_WORKER_PANIC) > 0,
+            "fault never traversed"
+        );
+        rungs
+    });
+    assert_eq!(rungs.first(), Some(&DegradeReason::ExecFailed));
+}
+
+/// Fault 5: every round-sort attempt fails, under every plan — the P0
+/// retry included. The engine must reach the bottom rung and answer via
+/// the scalar comparator sort.
+#[test]
+fn persistent_round_failure_falls_to_scalar_sort() {
+    let t = chaos_table(4096);
+    let q = groupby_query();
+    let cfg = EngineConfig::default();
+    let rungs = with_armed(&[(points::CORE_ROUND_SORT, FireMode::Always)], || {
+        run_and_check(&t, &q, &cfg)
+    });
+    assert_eq!(rungs.first(), Some(&DegradeReason::ExecFailed));
+    assert_eq!(rungs.last(), Some(&DegradeReason::ScalarFallback));
+}
+
+/// The same ladder holds for ORDER BY (no grouping) and for the
+/// grouped-result post-sort (TPC-H Q13's shape).
+#[test]
+fn orderby_and_post_sort_survive_round_faults() {
+    let t = chaos_table(4096);
+
+    let mut ob = Query::named("chaos_orderby");
+    ob.order_by = vec![OrderKey::asc("nation"), OrderKey::desc("ship_date")];
+    ob.select = vec!["nation".into(), "ship_date".into(), "price".into()];
+
+    let mut post = groupby_query();
+    post.order_by = vec![OrderKey::desc("cnt")];
+
+    let cfg = EngineConfig::default();
+    for q in [&ob, &post] {
+        let rungs = with_armed(&[(points::CORE_ROUND_SORT, FireMode::Always)], || {
+            run_and_check(&t, q, &cfg)
+        });
+        assert_eq!(
+            rungs.last(),
+            Some(&DegradeReason::ScalarFallback),
+            "query {}",
+            q.name
+        );
+    }
+}
+
+/// Sweep: every registered fault point, in several deterministic firing
+/// patterns, across query shapes. No process abort, and always either a
+/// correct answer or (never, for these faults) a typed error.
+#[test]
+fn chaos_sweep_never_aborts_and_stays_correct() {
+    let t = chaos_table(8192);
+    let mut ob = Query::named("sweep_orderby");
+    ob.order_by = vec![OrderKey::desc("price"), OrderKey::asc("nation")];
+    ob.select = vec!["price".into(), "nation".into()];
+    let queries = [groupby_query(), ob];
+
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for &point in points::ALL {
+        for mode in [
+            FireMode::Always,
+            FireMode::Once,
+            FireMode::Nth(3),
+            FireMode::Probability {
+                millionths: 500_000,
+                seed: 0xC0FFEE,
+            },
+        ] {
+            for q in &queries {
+                let cfg = EngineConfig {
+                    exec: ExecConfig {
+                        threads: 2,
+                        ..ExecConfig::default()
+                    },
+                    ..EngineConfig::default()
+                };
+                with_armed(&[(point, mode)], || {
+                    let r =
+                        run_query(&t, q, &cfg).expect("recoverable fault must not fail the query");
+                    let want = naive_execute(&t, q);
+                    assert_same_rows(&r.columns, &want);
+                });
+            }
+        }
+    }
+    std::panic::set_hook(prev);
+}

@@ -59,7 +59,7 @@ fn micro_examples_and_planner() {
             verify_sorted(&refs, &m.specs, &out, true);
         }
         let inst = m.instance();
-        let r = roga(&inst, &model, &RogaOptions::default());
+        let r = roga(&inst, &model, &RogaOptions::default()).expect("non-empty sort key");
         assert!(r.plan.validate(inst.total_width()).is_ok());
         assert!(r.est_cost <= model.t_mcs(&inst, &inst.p0()) + 1.0);
     }

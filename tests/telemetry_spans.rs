@@ -146,3 +146,76 @@ fn window_query_emits_rank_span_and_jsonl_roundtrip() {
     assert!(jsonl.lines().last().unwrap().contains("\"type\":\"meta\""));
     assert!(jsonl.contains("\"enabled\":true"));
 }
+
+/// A degraded execution (here: an invalid fixed plan, no fault injection
+/// needed) bumps the `engine.degraded` counter with a reason-labelled
+/// marker span, records the rung in the timings, and annotates EXPLAIN.
+#[test]
+fn degraded_execution_fires_counter_span_and_explain_annotation() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let t = demo_table(2048);
+
+    let mut q = Query::named("spans_degraded");
+    q.group_by = vec!["nation".into()];
+    q.aggregates = vec![Agg::new(AggKind::Count, "cnt")];
+    let cfg = EngineConfig {
+        // The nation key is 10 bits; a 60-bit plan fails validation.
+        planner: PlannerMode::Fixed(MassagePlan::from_widths(&[60])),
+        ..EngineConfig::default()
+    };
+
+    telemetry::reset();
+    let r = execute(&t, &q, &cfg);
+    assert!(r.rows > 0);
+    assert_eq!(r.timings.degradations, vec![DegradeReason::InvalidPlan]);
+
+    let snap = telemetry::take_all();
+    let degraded = snap
+        .counters
+        .iter()
+        .find(|(n, _)| *n == "engine.degraded")
+        .map(|&(_, v)| v);
+    assert_eq!(degraded, Some(1), "counters: {:?}", snap.counters);
+    let marker = snap
+        .spans
+        .iter()
+        .find(|s| s.name == "engine.degraded")
+        .expect("degradation marker span");
+    assert!(
+        marker
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "reason" && format!("{v:?}").contains("invalid_plan")),
+        "attrs: {:?}",
+        marker.attrs
+    );
+
+    let rep =
+        ExplainReport::from_timings("spans_degraded", &r.timings, &CostModel::with_defaults())
+            .expect("a multi-column sort ran");
+    assert!(rep.render().contains("degraded: invalid_plan"));
+    // The redacted (golden) rendering carries the same annotation.
+    assert!(rep.render_redacted().contains("degraded: invalid_plan"));
+}
+
+/// The fault-point registry is part of the observability contract: chaos
+/// tooling and dashboards key off these exact names.
+#[test]
+fn fault_point_registry_is_pinned() {
+    use codemassage::faults::points;
+    assert_eq!(
+        points::ALL,
+        [
+            "planner.search.fail",
+            "planner.search.starve",
+            "cost.eval.nan",
+            "core.round.sort",
+            "simd.worker.panic",
+        ]
+    );
+    assert_eq!(points::PLANNER_SEARCH, "planner.search.fail");
+    assert_eq!(points::PLANNER_STARVE, "planner.search.starve");
+    assert_eq!(points::COST_NAN, "cost.eval.nan");
+    assert_eq!(points::CORE_ROUND_SORT, "core.round.sort");
+    assert_eq!(points::SIMD_WORKER_PANIC, "simd.worker.panic");
+}

@@ -1,0 +1,170 @@
+//! Session throughput — queries/sec serving a TPC-H Q1-style prepared
+//! query from a shared [`Database`] at 1/2/4/8 admission threads, with
+//! the plan cache cold (capacity 0: every execution re-plans) vs warm
+//! (prepared once, every execution serves the cached plan).
+//!
+//! Expected shape: queries/sec scales with threads until cores saturate,
+//! and the warm cache adds the plan-search time back to every execution.
+//! Writes `BENCH_throughput.json` next to the working directory.
+//!
+//! Knobs: `MCS_ROWS` (lineitem rows, default 65536), `MCS_QUERIES`
+//! (batch size per measurement, default 64), `MCS_SEED`.
+
+use mcs_bench::{env_usize, export_telemetry, print_table, rows, seed};
+use mcs_engine::{Database, EngineConfig, PlannerMode, Query, Session};
+use mcs_workloads::{tpch, QuerySpec, TpchParams};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Measurement {
+    threads: usize,
+    cache: &'static str,
+    elapsed_ms: f64,
+    qps: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn measure(
+    db: &Database,
+    cfg: &EngineConfig,
+    query: &Query,
+    batch_size: usize,
+    threads: usize,
+    warm: bool,
+) -> Measurement {
+    let session = if warm {
+        Session::new(db, cfg.clone())
+    } else {
+        // Capacity 0: inserts are dropped, every lookup misses — each
+        // execution pays the full stats + ROGA cost ("cold").
+        Session::with_cache_capacity(db, cfg.clone(), 0)
+    };
+    let prepared = session
+        .prepare("tpch_wide", query)
+        .expect("well-formed Q1 query");
+    let batch = vec![prepared; batch_size];
+    let t = std::time::Instant::now();
+    let results = session.run_concurrent(&batch, threads);
+    let elapsed = t.elapsed();
+    assert!(
+        results.iter().all(|r| r.is_ok()),
+        "every query must succeed"
+    );
+    let stats = session.cache_stats();
+    Measurement {
+        threads,
+        cache: if warm { "warm" } else { "cold" },
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        qps: batch_size as f64 / elapsed.as_secs_f64(),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+    }
+}
+
+fn main() {
+    let n = rows(1 << 16);
+    let batch_size = env_usize("MCS_QUERIES", 64);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "Session throughput: TPC-H Q1 on {n} rows, {batch_size} queries/batch, \
+         plan cache cold vs warm, {cores} core(s) available\n"
+    );
+    if cores < 2 {
+        println!("NOTE: single-core machine — thread counts > 1 cannot speed up.\n");
+    }
+
+    let w = tpch(&TpchParams {
+        lineitem_rows: n,
+        skew: None,
+        seed: seed(),
+    });
+    let QuerySpec::Single(q1) = &w.query("tpch_q1").spec else {
+        panic!("tpch_q1 is a single-stage query");
+    };
+    let q1 = q1.clone();
+    let mut db = Database::new();
+    for t in w.tables {
+        db.register(t);
+    }
+    let cfg = EngineConfig::builder()
+        .planner(PlannerMode::Roga { rho: Some(0.001) })
+        // One intra-query worker: the concurrency under test is
+        // *between* queries, not inside the sort.
+        .threads(1)
+        .build();
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for &threads in &THREADS {
+        for warm in [false, true] {
+            measurements.push(measure(&db, &cfg, &q1, batch_size, threads, warm));
+        }
+    }
+
+    let table_rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.threads.to_string(),
+                m.cache.to_string(),
+                format!("{:.1}", m.elapsed_ms),
+                format!("{:.1}", m.qps),
+                m.cache_hits.to_string(),
+                m.cache_misses.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "threads",
+            "cache",
+            "batch ms",
+            "queries/s",
+            "hits",
+            "misses",
+        ],
+        &table_rows,
+    );
+
+    let qps_at = |threads: usize, cache: &str| {
+        measurements
+            .iter()
+            .find(|m| m.threads == threads && m.cache == cache)
+            .map_or(0.0, |m| m.qps)
+    };
+    println!(
+        "\nscaling 1 -> 4 threads: cold {:.2}x, warm {:.2}x",
+        qps_at(4, "cold") / qps_at(1, "cold"),
+        qps_at(4, "warm") / qps_at(1, "warm"),
+    );
+    println!(
+        "warm vs cold at 4 threads: {:.2}x",
+        qps_at(4, "warm") / qps_at(4, "cold")
+    );
+
+    // Hand-rolled JSON (no serde in the workspace).
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"throughput\",\n");
+    json.push_str("  \"workload\": \"tpch_q1\",\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"rows\": {n},\n"));
+    json.push_str(&format!("  \"queries_per_batch\": {batch_size},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"cache\": \"{}\", \"elapsed_ms\": {:.3}, \
+             \"qps\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}}}{}\n",
+            m.threads,
+            m.cache,
+            m.elapsed_ms,
+            m.qps,
+            m.cache_hits,
+            m.cache_misses,
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    println!("\nwrote BENCH_throughput.json");
+    export_telemetry("throughput");
+}

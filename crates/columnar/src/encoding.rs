@@ -1,6 +1,6 @@
 //! Order-preserving fixed-length encoding of native values into codes.
 //!
-//! Following the encoding scheme the paper adopts ([30]; §2 "Column
+//! Following the encoding scheme the paper adopts (\[30\]; §2 "Column
 //! Encoding"): every data type becomes an unsigned integer code whose
 //! order matches the native order, using `⌈log2(NDV)⌉` bits for
 //! dictionary-encoded domains.

@@ -26,6 +26,12 @@ pub enum EngineError {
         /// Which clause referenced it (`"filter"`, `"ORDER BY"`, …).
         context: &'static str,
     },
+    /// A referenced table is not registered in the session's
+    /// [`Database`](crate::Database).
+    UnknownTable {
+        /// The missing table name.
+        table: String,
+    },
     /// The query has no sort keys (nothing to order, group, or rank by).
     NoSortKeys {
         /// The query's name.
@@ -51,6 +57,9 @@ impl core::fmt::Display for EngineError {
         match self {
             EngineError::UnknownColumn { column, context } => {
                 write!(f, "unknown column {column:?} in {context}")
+            }
+            EngineError::UnknownTable { table } => {
+                write!(f, "no table {table:?} registered in the database")
             }
             EngineError::NoSortKeys { query } => {
                 write!(f, "query {query:?} has no sort keys")
@@ -167,6 +176,12 @@ mod tests {
                     query: "q99".into(),
                 },
                 "q99",
+            ),
+            (
+                EngineError::UnknownTable {
+                    table: "ghost".into(),
+                },
+                "ghost",
             ),
             (
                 EngineError::PlanSearch(SearchError::EmptySortKey),

@@ -28,6 +28,10 @@ pub struct ExplainReport {
     /// Degradation-ladder rungs taken while executing (stable snake_case
     /// labels; empty on the happy path).
     pub degradations: Vec<String>,
+    /// Whether every plan came from the session's plan cache (no plan
+    /// search ran; see
+    /// [`QueryTimings::plan_cached`](crate::QueryTimings::plan_cached)).
+    pub plan_cached: bool,
 }
 
 impl ExplainReport {
@@ -48,6 +52,7 @@ impl ExplainReport {
             predicted: model.t_mcs_rounds(inst, plan),
             measured: measured.clone(),
             degradations: Vec::new(),
+            plan_cached: false,
         }
     }
 
@@ -67,6 +72,7 @@ impl ExplainReport {
             .iter()
             .map(|r| r.as_str().to_string())
             .collect();
+        rep.plan_cached = timings.plan_cached();
         Some(rep)
     }
 
@@ -110,8 +116,12 @@ impl ExplainReport {
             t(self.predicted.total()),
             t(self.measured.total_ns as f64),
         ));
-        // Only annotate degraded executions: happy-path reports stay
-        // byte-identical to the pre-ladder golden snapshots.
+        // Only annotate degraded / cache-served executions: happy-path
+        // stateless reports stay byte-identical to the pre-ladder golden
+        // snapshots.
+        if self.plan_cached {
+            out.push_str("plan: cached\n");
+        }
         if !self.degradations.is_empty() {
             out.push_str(&format!("degraded: {}\n", self.degradations.join(" -> ")));
         }
@@ -245,6 +255,36 @@ mod tests {
         assert!(!red.contains(" ns"));
         assert!(!red.contains(" ms"));
         assert!(red.contains("R2 sort"));
+    }
+
+    #[test]
+    fn cached_plan_line_renders_only_for_cache_hits() {
+        use crate::{Database, EngineConfig, OrderKey, Query, Session};
+        let mut t = mcs_columnar::Table::new("t");
+        t.add_column(mcs_columnar::Column::from_u64s(
+            "k",
+            6,
+            (0..256u64).map(|i| (i * 37) % 64),
+        ));
+        let mut db = Database::new();
+        db.register(t);
+        let session = Session::new(&db, EngineConfig::default());
+        let mut q = Query::named("q");
+        q.order_by = vec![OrderKey::asc("k")];
+        q.select = vec!["k".into()];
+        let model = CostModel::with_defaults();
+
+        let cold = session.run_query("t", &q).unwrap();
+        let cold_rep = ExplainReport::from_timings("q", &cold.timings, &model).unwrap();
+        assert!(!cold_rep.plan_cached);
+        assert!(!cold_rep.render().contains("plan: cached"));
+
+        let warm = session.run_query("t", &q).unwrap();
+        let warm_rep = ExplainReport::from_timings("q", &warm.timings, &model).unwrap();
+        assert!(warm_rep.plan_cached);
+        assert!(warm_rep.render().contains("plan: cached\n"));
+        // The annotation survives redaction (it carries no timing).
+        assert!(warm_rep.render_redacted().contains("plan: cached\n"));
     }
 
     #[test]

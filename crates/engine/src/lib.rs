@@ -8,20 +8,26 @@
 //!
 //! ```
 //! use mcs_columnar::{Column, Table};
-//! use mcs_engine::{execute, Agg, AggKind, EngineConfig, Query};
+//! use mcs_engine::{Agg, AggKind, Database, EngineConfig, Query, Session};
 //!
 //! let mut t = Table::new("sales");
 //! t.add_column(Column::from_u64s("nation", 2, [1u64, 0, 1, 0]));
 //! t.add_column(Column::from_u64s("ship_date", 3, [5u64, 2, 5, 1]));
 //! t.add_column(Column::from_u64s("price", 8, [40u64, 30, 10, 20]));
+//! let mut db = Database::new();
+//! db.register(t);
 //!
 //! let mut q = Query::named("q1");
 //! q.group_by = vec!["nation".into(), "ship_date".into()];
 //! q.aggregates = vec![Agg::new(AggKind::Sum("price".into()), "sum_price")];
 //!
-//! let r = execute(&t, &q, &EngineConfig::default());
+//! // A session plans each query shape once and caches the plan.
+//! let session = Session::new(&db, EngineConfig::default());
+//! let prepared = session.prepare("sales", &q)?;
+//! let r = prepared.execute(&session)?;
 //! assert_eq!(r.rows, 3);
-//! assert_eq!(r.column("sum_price").unwrap(), &vec![20, 30, 50]);
+//! assert_eq!(r.column_required("sum_price")?, vec![20, 30, 50]);
+//! # Ok::<(), mcs_engine::EngineError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -36,16 +42,24 @@ pub mod mal;
 mod pipeline;
 mod query;
 pub mod reference;
+mod session;
 pub mod sql;
 mod window;
 
 pub use aggregate::aggregate_groups;
 pub use error::{DegradeReason, EngineError};
 pub use explain::ExplainReport;
+#[allow(deprecated)]
+pub use pipeline::execute;
 pub use pipeline::{
-    execute, result_to_table, run_query, EngineConfig, PlannerMode, QueryResult, QueryTimings,
+    result_to_table, run_query, EngineConfig, EngineConfigBuilder, PlannerMode, QueryResult,
+    QueryTimings,
 };
 pub use query::{Agg, AggKind, Filter, OrderKey, Query};
+pub use session::{
+    AdmissionGate, Database, GatePermit, PlanCacheStats, PreparedQuery, Session,
+    DEFAULT_PLAN_CACHE_CAPACITY,
+};
 pub use sql::{parse_query, SqlError};
 pub use window::rank_over;
 

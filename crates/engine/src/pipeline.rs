@@ -33,12 +33,13 @@ use mcs_core::{
     MultiColumnSortOutput, SortError, SortSpec,
 };
 use mcs_cost::{CostModel, KeyColumnStats, SortInstance};
-use mcs_planner::{roga, rrs, RogaOptions, RrsOptions, SearchError};
+use mcs_planner::{roga, rrs, PlanFingerprint, RogaOptions, RrsOptions, SearchError};
 use mcs_telemetry as telemetry;
 
 use crate::aggregate::aggregate_groups;
 use crate::error::{DegradeReason, EngineError};
 use crate::query::{AggKind, OrderKey, Query};
+use crate::session::PlanCache;
 use crate::window::rank_over;
 
 /// How the engine picks massage plans.
@@ -89,6 +90,60 @@ impl EngineConfig {
             ..EngineConfig::default()
         }
     }
+
+    /// Start building a config with chainable setters.
+    ///
+    /// ```
+    /// use mcs_engine::{EngineConfig, PlannerMode};
+    /// let cfg = EngineConfig::builder()
+    ///     .planner(PlannerMode::Roga { rho: None })
+    ///     .threads(4)
+    ///     .build();
+    /// assert_eq!(cfg.exec.threads, 4);
+    /// ```
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            cfg: EngineConfig::default(),
+        }
+    }
+}
+
+/// Chainable builder for [`EngineConfig`] (see [`EngineConfig::builder`]).
+/// Every unset field keeps its [`Default`] value.
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Set the plan-selection mode.
+    pub fn planner(mut self, planner: PlannerMode) -> Self {
+        self.cfg.planner = planner;
+        self
+    }
+
+    /// Set the multi-column sort execution settings.
+    pub fn exec(mut self, exec: ExecConfig) -> Self {
+        self.cfg.exec = exec;
+        self
+    }
+
+    /// Set the cost model used by the planner.
+    pub fn model(mut self, model: CostModel) -> Self {
+        self.cfg.model = model;
+        self
+    }
+
+    /// Convenience: set only the intra-query worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.exec.threads = threads;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> EngineConfig {
+        self.cfg
+    }
 }
 
 /// Per-phase wall-clock breakdown of one query execution.
@@ -120,6 +175,11 @@ pub struct QueryTimings {
     /// Degradation-ladder rungs taken while executing, in order (empty on
     /// the happy path).
     pub degradations: Vec<DegradeReason>,
+    /// Plan-cache hits during this execution (sessions only; a stateless
+    /// [`run_query`] has no cache and leaves this `0`).
+    pub plan_cache_hits: u32,
+    /// Plan-cache misses during this execution.
+    pub plan_cache_misses: u32,
 }
 
 impl QueryTimings {
@@ -128,6 +188,13 @@ impl QueryTimings {
     pub fn non_mcs_ns(&self) -> u64 {
         self.total_ns
             .saturating_sub(self.mcs_ns + self.post_sort_ns + self.plan_search_ns)
+    }
+
+    /// Whether *every* plan this execution needed came from the session's
+    /// plan cache (so no plan search ran at all and
+    /// [`plan_search_ns`](QueryTimings::plan_search_ns) is zero).
+    pub fn plan_cached(&self) -> bool {
+        self.plan_cache_hits > 0 && self.plan_cache_misses == 0
     }
 }
 
@@ -145,8 +212,20 @@ pub struct QueryResult {
 
 impl QueryResult {
     /// Fetch an output column by name.
-    pub fn column(&self, name: &str) -> Option<&Vec<u64>> {
-        self.columns.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    pub fn column(&self, name: &str) -> Option<&[u64]> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Fetch an output column by name, or a typed
+    /// [`UnknownColumn`](EngineError::UnknownColumn) error naming it.
+    pub fn column_required(&self, name: &str) -> Result<&[u64], EngineError> {
+        self.column(name).ok_or_else(|| EngineError::UnknownColumn {
+            column: name.to_string(),
+            context: "result",
+        })
     }
 }
 
@@ -171,45 +250,37 @@ fn record_degradation(timings: &mut QueryTimings, reason: DegradeReason, detail:
 /// Execute `query` against `table`, returning a typed error for
 /// conditions the engine cannot execute around (see [`EngineError`]).
 /// Recoverable faults degrade along the module-level ladder instead.
+///
+/// This stateless entry point plans every query from scratch. A
+/// [`Session`](crate::Session) runs the same pipeline with a shared plan
+/// cache, skipping the search for repeated query shapes.
 pub fn run_query(
     table: &Table,
     query: &Query,
     cfg: &EngineConfig,
 ) -> Result<QueryResult, EngineError> {
+    run_query_impl(table, query, cfg, None)
+}
+
+/// The shared pipeline body behind [`run_query`] (no cache) and the
+/// session path (`cache = Some(…)`).
+pub(crate) fn run_query_impl(
+    table: &Table,
+    query: &Query,
+    cfg: &EngineConfig,
+    cache: Option<&PlanCache>,
+) -> Result<QueryResult, EngineError> {
     let t_total = Instant::now();
     let mut timings = QueryTimings::default();
 
-    // 1. Filters: ByteSlice scans, ANDed.
-    let t = Instant::now();
-    let mut acc: Option<BitVec> = None;
-    for f in &query.filters {
-        let col = table
-            .column(&f.column)
-            .ok_or_else(|| EngineError::UnknownColumn {
-                column: f.column.clone(),
-                context: "filter",
-            })?;
-        let bv = col.byteslice().scan(&f.predicate);
-        acc = Some(match acc {
-            None => bv,
-            Some(mut a) => {
-                a.and_assign(&bv);
-                a
-            }
-        });
-    }
-    let oids: Vec<u32> = match acc {
-        Some(a) => a.to_oids(),
-        None => (0..table.rows() as u32).collect(),
-    };
-    timings.filter_scan_ns = t.elapsed().as_nanos() as u64;
+    let oids = filter_oids(table, query, &mut timings)?;
 
     let result = if !query.partition_by.is_empty() {
-        execute_window(table, query, cfg, &oids, &mut timings)?
+        execute_window(table, query, cfg, &oids, &mut timings, cache)?
     } else if !query.group_by.is_empty() {
-        execute_grouped(table, query, cfg, &oids, &mut timings)?
+        execute_grouped(table, query, cfg, &oids, &mut timings, cache)?
     } else {
-        execute_orderby(table, query, cfg, &oids, &mut timings)?
+        execute_orderby(table, query, cfg, &oids, &mut timings, cache)?
     };
 
     timings.total_ns = t_total.elapsed().as_nanos() as u64;
@@ -237,14 +308,75 @@ pub fn run_query(
 
 /// Execute `query` against `table`, panicking on [`EngineError`].
 ///
-/// This is the legacy infallible entry point kept for benches, examples,
-/// and tests whose queries are known-well-formed; new callers should
-/// prefer [`run_query`].
+/// This is the legacy infallible entry point; it aborts the process on
+/// malformed queries instead of surfacing the typed error.
+#[deprecated(note = "use Session::prepare / run_query")]
 pub fn execute(table: &Table, query: &Query, cfg: &EngineConfig) -> QueryResult {
     match run_query(table, query, cfg) {
         Ok(r) => r,
         Err(e) => panic!("query {} failed: {e}", query.name),
     }
+}
+
+/// Run `query`'s filters: ByteSlice scans, ANDed; no filters selects the
+/// whole table.
+fn filter_oids(
+    table: &Table,
+    query: &Query,
+    timings: &mut QueryTimings,
+) -> Result<Vec<u32>, EngineError> {
+    let t = Instant::now();
+    let mut acc: Option<BitVec> = None;
+    for f in &query.filters {
+        let col = table
+            .column(&f.column)
+            .ok_or_else(|| EngineError::UnknownColumn {
+                column: f.column.clone(),
+                context: "filter",
+            })?;
+        let bv = col.byteslice().scan(&f.predicate);
+        acc = Some(match acc {
+            None => bv,
+            Some(mut a) => {
+                a.and_assign(&bv);
+                a
+            }
+        });
+    }
+    let oids: Vec<u32> = match acc {
+        Some(a) => a.to_oids(),
+        None => (0..table.rows() as u32).collect(),
+    };
+    timings.filter_scan_ns += t.elapsed().as_nanos() as u64;
+    Ok(oids)
+}
+
+/// Run the planning front half of `query` — filters, sort-key gathering
+/// and statistics, plan search — populating `cache`, without executing
+/// the sort. This is [`Session::prepare`](crate::Session::prepare)'s
+/// engine half.
+pub(crate) fn warm_plan(
+    table: &Table,
+    query: &Query,
+    cfg: &EngineConfig,
+    cache: &PlanCache,
+) -> Result<(), EngineError> {
+    let mut timings = QueryTimings::default();
+    let keys = query.sort_keys();
+    if keys.is_empty() {
+        return Err(EngineError::NoSortKeys {
+            query: query.name.clone(),
+        });
+    }
+    let oids = filter_oids(table, query, &mut timings)?;
+    if oids.is_empty() {
+        // Nothing qualifies: execution short-circuits before planning too.
+        return Ok(());
+    }
+    let want_groups = !query.group_by.is_empty() || !query.partition_by.is_empty();
+    let (_cols, _specs, inst) = prepare_sort(table, &keys, &oids, want_groups, &mut timings)?;
+    let _ = pick_plan(&inst, query.order_free(), cfg, &mut timings, Some(cache))?;
+    Ok(())
 }
 
 /// Gather the sort-key columns (restricted to `oids`) and build the
@@ -290,6 +422,13 @@ fn prepare_sort(
 /// Run the planner, returning the plan and the column order to apply,
 /// recording search time.
 ///
+/// On the session path a plan cache is consulted first: a fingerprint hit
+/// returns the cached plan with **no** search and **no** contribution to
+/// `plan_search_ns`; a miss searches as usual and, when the search
+/// succeeded cleanly (no degradation rung taken), publishes the result
+/// for the next equal-fingerprint query. Only the searched modes
+/// (ROGA / RRS) cache — fixed and column-at-a-time picks cost nothing.
+///
 /// First rung of the degradation ladder: a failed search, a starved
 /// deadline, or a non-finite cost estimate falls back to `P_0` on the
 /// identity order (recording why) instead of failing the query. Only an
@@ -299,7 +438,25 @@ fn pick_plan(
     order_free: bool,
     cfg: &EngineConfig,
     timings: &mut QueryTimings,
+    cache: Option<&PlanCache>,
 ) -> Result<(MassagePlan, Vec<usize>), EngineError> {
+    let cache = cache.filter(|_| {
+        matches!(
+            &cfg.planner,
+            PlannerMode::Roga { .. } | PlannerMode::Rrs { .. }
+        )
+    });
+    let fp = cache.map(|_| PlanFingerprint::of(inst, order_free));
+    if let (Some(c), Some(f)) = (cache, &fp) {
+        if let Some(hit) = c.lookup(f) {
+            timings.plan_cache_hits += 1;
+            return Ok(hit);
+        }
+        c.note_miss();
+        timings.plan_cache_misses += 1;
+    }
+    let rungs_before = timings.degradations.len();
+
     let t = Instant::now();
     let identity: Vec<usize> = (0..inst.specs.len()).collect();
     let searched = match &cfg.planner {
@@ -381,6 +538,14 @@ fn pick_plan(
         }
     };
     timings.plan_search_ns += t.elapsed().as_nanos() as u64;
+    // Publish only clean search results: a degraded pick (P0 stand-in) is
+    // this query's problem, not a plan worth pinning for every future
+    // equal-fingerprint query — and never poisons the shared cache.
+    if let (Some(c), Some(f)) = (cache, fp) {
+        if timings.degradations.len() == rungs_before {
+            c.insert(f, picked.0.clone(), picked.1.clone());
+        }
+    }
     Ok(picked)
 }
 
@@ -495,8 +660,9 @@ fn run_mcs(
     order_free: bool,
     cfg: &EngineConfig,
     timings: &mut QueryTimings,
+    cache: Option<&PlanCache>,
 ) -> Result<MultiColumnSortOutput, EngineError> {
-    let (plan, order) = pick_plan(inst, order_free, cfg, timings)?;
+    let (plan, order) = pick_plan(inst, order_free, cfg, timings, cache)?;
     let (pcols, pspecs): (Vec<&CodeVec>, Vec<SortSpec>) = (
         order.iter().map(|&i| &cols[i]).collect(),
         order.iter().map(|&i| specs[i]).collect(),
@@ -518,6 +684,7 @@ fn execute_orderby(
     cfg: &EngineConfig,
     oids: &[u32],
     timings: &mut QueryTimings,
+    cache: Option<&PlanCache>,
 ) -> Result<Vec<(String, Vec<u64>)>, EngineError> {
     let keys = query.sort_keys();
     if keys.is_empty() {
@@ -526,7 +693,7 @@ fn execute_orderby(
         });
     }
     let (cols, specs, inst) = prepare_sort(table, &keys, oids, false, timings)?;
-    let out = run_mcs(&cols, &specs, &inst, false, cfg, timings)?;
+    let out = run_mcs(&cols, &specs, &inst, false, cfg, timings, cache)?;
 
     // Final oids into the base table.
     let final_oids: Vec<u32> = out.oids.iter().map(|&p| oids[p as usize]).collect();
@@ -564,6 +731,7 @@ fn execute_grouped(
     cfg: &EngineConfig,
     oids: &[u32],
     timings: &mut QueryTimings,
+    cache: Option<&PlanCache>,
 ) -> Result<Vec<(String, Vec<u64>)>, EngineError> {
     // No qualifying rows: zero groups, empty output columns.
     if oids.is_empty() {
@@ -575,7 +743,15 @@ fn execute_grouped(
 
     let keys = query.sort_keys();
     let (cols, specs, inst) = prepare_sort(table, &keys, oids, true, timings)?;
-    let out = run_mcs(&cols, &specs, &inst, query.order_free(), cfg, timings)?;
+    let out = run_mcs(
+        &cols,
+        &specs,
+        &inst,
+        query.order_free(),
+        cfg,
+        timings,
+        cache,
+    )?;
     let final_oids: Vec<u32> = out.oids.iter().map(|&p| oids[p as usize]).collect();
 
     // Aggregate per group (Figure 2 steps 4-5): check every referenced
@@ -668,7 +844,7 @@ fn execute_grouped(
                 .collect(),
             want_final_groups: false,
         };
-        let (plan2, order2) = pick_plan(&inst2, false, cfg, timings)?;
+        let (plan2, order2) = pick_plan(&inst2, false, cfg, timings, cache)?;
         let (pcols, pspecs): (Vec<&CodeVec>, Vec<SortSpec>) = (
             order2.iter().map(|&i| refs[i]).collect(),
             order2.iter().map(|&i| ob_specs[i]).collect(),
@@ -688,6 +864,7 @@ fn execute_window(
     cfg: &EngineConfig,
     oids: &[u32],
     timings: &mut QueryTimings,
+    cache: Option<&PlanCache>,
 ) -> Result<Vec<(String, Vec<u64>)>, EngineError> {
     let keys = query.sort_keys();
     let (cols, specs, inst) = prepare_sort(table, &keys, oids, true, timings)?;
@@ -700,7 +877,15 @@ fn execute_window(
     if total_wo > 64 {
         return Err(EngineError::WindowKeyTooWide { bits: total_wo });
     }
-    let out = run_mcs(&cols, &specs, &inst, query.order_free(), cfg, timings)?;
+    let out = run_mcs(
+        &cols,
+        &specs,
+        &inst,
+        query.order_free(),
+        cfg,
+        timings,
+        cache,
+    )?;
     let final_oids: Vec<u32> = out.oids.iter().map(|&p| oids[p as usize]).collect();
 
     let t = Instant::now();
@@ -921,7 +1106,43 @@ mod tests {
         let ran = r.timings.plan.as_ref().expect("a plan ran");
         assert_eq!(ran.num_rounds(), 2, "fell back to column-at-a-time");
         // Correctness is untouched: nation ASC, ship_date ASC.
-        assert_eq!(r.column("price").unwrap(), &vec![20, 30, 40, 10, 50, 60]);
+        assert_eq!(r.column("price").unwrap(), vec![20, 30, 40, 10, 50, 60]);
+    }
+
+    #[test]
+    fn column_required_names_the_missing_column() {
+        let t = small_table();
+        let mut q = Query::named("q");
+        q.order_by = vec![OrderKey::asc("nation")];
+        q.select = vec!["price".into()];
+        let r = run_query(&t, &q, &EngineConfig::default()).unwrap();
+        assert_eq!(r.column_required("price").unwrap().len(), 6);
+        assert_eq!(
+            r.column_required("ghost").unwrap_err(),
+            EngineError::UnknownColumn {
+                column: "ghost".into(),
+                context: "result",
+            }
+        );
+    }
+
+    #[test]
+    fn builder_matches_default_and_overrides() {
+        let built = EngineConfig::builder().build();
+        assert!(matches!(built.planner, PlannerMode::Roga { rho: Some(r) } if r == 0.001));
+        let cfg = EngineConfig::builder()
+            .planner(PlannerMode::ColumnAtATime)
+            .threads(3)
+            .model(CostModel::with_defaults())
+            .exec(ExecConfig {
+                threads: 2,
+                ..ExecConfig::default()
+            })
+            .build();
+        // Later setters win: exec() replaced the whole struct after
+        // threads() touched one field.
+        assert_eq!(cfg.exec.threads, 2);
+        assert!(matches!(cfg.planner, PlannerMode::ColumnAtATime));
     }
 
     #[test]
@@ -960,6 +1181,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn execute_panics_with_the_typed_message() {
         let t = small_table();
         let mut q = Query::named("boom");

@@ -1,0 +1,590 @@
+//! Sessions: a shared immutable [`Database`], prepared queries whose
+//! plans live in a fingerprint-keyed [plan cache](PlanCacheStats), and
+//! concurrent query serving over `std::thread::scope`.
+//!
+//! The paper prices plan search (ROGA) as a per-query cost; under
+//! repeated query shapes that cost is pure overhead after the first
+//! execution. A [`Session`] keeps one [`MassagePlan`] per distinct
+//! [`PlanFingerprint`] — sort-key widths and directions, bucketed row
+//! count, quantized column statistics — so [`Session::prepare`] pays for
+//! stats collection and ROGA once and every later
+//! [`PreparedQuery::execute`] with an equal fingerprint skips the search
+//! entirely (`plan_search_ns == 0`,
+//! [`QueryTimings::plan_cached`](crate::QueryTimings::plan_cached)).
+//! Statistics drift past a quantization boundary changes the
+//! fingerprint, which *is* the invalidation rule: the lookup misses and
+//! a fresh search replaces the stale entry.
+//!
+//! Concurrency: tables and cached plans are immutable once published, so
+//! [`Session::run_concurrent`] serves independent queries from scoped
+//! threads over the shared database, admission-limited by a
+//! dependency-free counting semaphore ([`AdmissionGate`]).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use mcs_columnar::Table;
+use mcs_core::MassagePlan;
+use mcs_planner::PlanFingerprint;
+use mcs_telemetry as telemetry;
+
+use crate::error::EngineError;
+use crate::pipeline::{run_query_impl, warm_plan, EngineConfig, QueryResult};
+use crate::query::Query;
+
+/// Default number of cached plans per session.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// A set of registered, immutable, named tables queries run against.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: Vec<Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Register `table` under its own name, replacing any same-named
+    /// table. Returns `&mut self` for chaining.
+    pub fn register(&mut self, table: Table) -> &mut Database {
+        self.tables.retain(|t| t.name() != table.name());
+        self.tables.push(table);
+        self
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name() == name)
+    }
+
+    /// All registered tables, in registration order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    plan: MassagePlan,
+    column_order: Vec<usize>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<PlanFingerprint, CacheEntry>,
+    tick: u64,
+}
+
+/// The session's fingerprint-keyed plan cache (LRU, bounded capacity).
+///
+/// Shared by every query the session runs; thread-safe. Hits, misses,
+/// and evictions are counted both here (exact, per session — see
+/// [`PlanCacheStats`]) and on the global telemetry counters
+/// `planner.cache.{hit,miss,evict}`.
+#[derive(Debug)]
+pub(crate) struct PlanCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    pub(crate) fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A poisoned cache mutex only means another query panicked mid-
+    /// lookup; the map itself is always consistent, so keep serving.
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn lookup(&self, fp: &PlanFingerprint) -> Option<(MassagePlan, Vec<usize>)> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(fp)?;
+        entry.last_used = tick;
+        let hit = (entry.plan.clone(), entry.column_order.clone());
+        drop(inner);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if telemetry::is_enabled() {
+            telemetry::counter_add("planner.cache.hit", 1);
+        }
+        Some(hit)
+    }
+
+    /// Count a lookup miss (the caller decides whether a search follows).
+    pub(crate) fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if telemetry::is_enabled() {
+            telemetry::counter_add("planner.cache.miss", 1);
+        }
+    }
+
+    /// Publish a cleanly-searched plan, evicting the least-recently-used
+    /// entry when full. A zero-capacity cache (the benchmark's "cold"
+    /// mode) drops everything immediately.
+    pub(crate) fn insert(&self, fp: PlanFingerprint, plan: MassagePlan, column_order: Vec<usize>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let mut evicted = false;
+        if !inner.map.contains_key(&fp) && inner.map.len() >= self.capacity {
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+                evicted = true;
+            }
+        }
+        inner.map.insert(
+            fp,
+            CacheEntry {
+                plan,
+                column_order,
+                last_used: tick,
+            },
+        );
+        drop(inner);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if telemetry::is_enabled() {
+                telemetry::counter_add("planner.cache.evict", 1);
+            }
+        }
+    }
+
+    pub(crate) fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.lock().map.len(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one session's plan-cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache (no plan search ran).
+    pub hits: u64,
+    /// Lookups that fell through to a fresh plan search.
+    pub misses: u64,
+    /// Entries evicted to make room (LRU).
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+/// A query-serving context over a shared [`Database`]: one engine
+/// config, one plan cache, any number of (possibly concurrent) queries.
+///
+/// ```
+/// use mcs_columnar::{Column, Table};
+/// use mcs_engine::{Database, EngineConfig, Query, OrderKey, Session};
+///
+/// let mut t = Table::new("sales");
+/// t.add_column(Column::from_u64s("qty", 4, [3u64, 1, 2]));
+/// let mut db = Database::new();
+/// db.register(t);
+///
+/// let session = Session::new(&db, EngineConfig::default());
+/// let mut q = Query::named("by_qty");
+/// q.order_by = vec![OrderKey::asc("qty")];
+/// q.select = vec!["qty".into()];
+/// let prepared = session.prepare("sales", &q)?;   // plans once
+/// let r = prepared.execute(&session)?;            // serves cached plan
+/// assert_eq!(r.column_required("qty")?, vec![1, 2, 3]);
+/// # Ok::<(), mcs_engine::EngineError>(())
+/// ```
+#[derive(Debug)]
+pub struct Session<'db> {
+    db: &'db Database,
+    cfg: EngineConfig,
+    cache: PlanCache,
+}
+
+impl<'db> Session<'db> {
+    /// A session with the default plan-cache capacity
+    /// ([`DEFAULT_PLAN_CACHE_CAPACITY`]).
+    pub fn new(db: &'db Database, cfg: EngineConfig) -> Session<'db> {
+        Session::with_cache_capacity(db, cfg, DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// A session holding at most `capacity` cached plans. `0` disables
+    /// caching — every execution plans from scratch (the throughput
+    /// benchmark's "cold" mode).
+    pub fn with_cache_capacity(
+        db: &'db Database,
+        cfg: EngineConfig,
+        capacity: usize,
+    ) -> Session<'db> {
+        Session {
+            db,
+            cfg,
+            cache: PlanCache::new(capacity),
+        }
+    }
+
+    /// The shared database this session serves queries from.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+
+    /// The engine configuration every query in this session runs under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Exact plan-cache counters for this session.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.cache.stats()
+    }
+
+    fn resolve(&self, table: &str) -> Result<&'db Table, EngineError> {
+        self.db
+            .table(table)
+            .ok_or_else(|| EngineError::UnknownTable {
+                table: table.to_string(),
+            })
+    }
+
+    /// Plan `query` against `table` now — filters, statistics, ROGA —
+    /// caching the chosen plan, and return a handle that executes
+    /// without re-planning (for as long as the fingerprint still
+    /// matches).
+    pub fn prepare(&self, table: &str, query: &Query) -> Result<PreparedQuery, EngineError> {
+        let t = self.resolve(table)?;
+        warm_plan(t, query, &self.cfg, &self.cache)?;
+        Ok(PreparedQuery {
+            table: table.to_string(),
+            query: query.clone(),
+        })
+    }
+
+    /// Execute `query` against `table` through the session's plan cache
+    /// (the one-shot path; [`Session::prepare`] + execute is the
+    /// repeated-query path).
+    pub fn run_query(&self, table: &str, query: &Query) -> Result<QueryResult, EngineError> {
+        let t = self.resolve(table)?;
+        run_query_impl(t, query, &self.cfg, Some(&self.cache))
+    }
+
+    /// Execute independent prepared queries concurrently over the shared
+    /// database, at most `threads` in flight at once, returning results
+    /// in input order.
+    ///
+    /// Queries are independent: each gets its own [`QueryResult`] or
+    /// [`EngineError`]; one query's failure (or degradation) does not
+    /// affect the others. A panicking query thread propagates after the
+    /// scope joins.
+    pub fn run_concurrent(
+        &self,
+        prepared: &[PreparedQuery],
+        threads: usize,
+    ) -> Vec<Result<QueryResult, EngineError>> {
+        let t0 = std::time::Instant::now();
+        let gate = AdmissionGate::new(threads.max(1));
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = prepared
+                .iter()
+                .map(|p| {
+                    let gate = &gate;
+                    s.spawn(move || {
+                        let _permit = gate.acquire();
+                        p.execute(self)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        if telemetry::is_enabled() {
+            telemetry::record_span(
+                "session.run_concurrent",
+                t0.elapsed().as_nanos() as u64,
+                vec![
+                    ("queries", prepared.len().into()),
+                    ("threads", threads.max(1).into()),
+                ],
+            );
+        }
+        results
+    }
+}
+
+/// A query whose plan the owning [`Session`] has already searched and
+/// cached. Cheap to clone; reusable across
+/// [`run_concurrent`](Session::run_concurrent) batches.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    table: String,
+    query: Query,
+}
+
+impl PreparedQuery {
+    /// The table this query runs against.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The underlying query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Execute through `session`'s plan cache. On a warm cache this
+    /// skips plan search entirely: `timings.plan_search_ns == 0` and
+    /// [`plan_cached()`](crate::QueryTimings::plan_cached) is true.
+    pub fn execute(&self, session: &Session<'_>) -> Result<QueryResult, EngineError> {
+        session.run_query(&self.table, &self.query)
+    }
+}
+
+/// A dependency-free counting semaphore bounding concurrent query
+/// admission (Mutex + Condvar; permits are RAII).
+#[derive(Debug)]
+pub struct AdmissionGate {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `permits` holders at once.
+    pub fn new(permits: usize) -> AdmissionGate {
+        AdmissionGate {
+            permits: Mutex::new(permits),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Block until a permit is free and take it; released on drop.
+    pub fn acquire(&self) -> GatePermit<'_> {
+        let mut free = self.permits.lock().unwrap_or_else(|e| e.into_inner());
+        while *free == 0 {
+            free = self.available.wait(free).unwrap_or_else(|e| e.into_inner());
+        }
+        *free -= 1;
+        GatePermit { gate: self }
+    }
+}
+
+/// An admission permit; dropping it readmits the next waiter.
+#[must_use = "dropping the permit immediately readmits the next waiter"]
+#[derive(Debug)]
+pub struct GatePermit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        let mut free = self.gate.permits.lock().unwrap_or_else(|e| e.into_inner());
+        *free += 1;
+        self.gate.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::query::OrderKey;
+    use mcs_columnar::Column;
+
+    fn db_with_sales() -> Database {
+        let mut t = Table::new("sales");
+        t.add_column(Column::from_u64s("nation", 2, [1u64, 0, 1, 0, 2, 2]));
+        t.add_column(Column::from_u64s("ship_date", 3, [5u64, 2, 5, 1, 3, 3]));
+        t.add_column(Column::from_u64s("price", 8, [40u64, 30, 10, 20, 50, 60]));
+        let mut db = Database::new();
+        db.register(t);
+        db
+    }
+
+    fn orderby_query() -> Query {
+        let mut q = Query::named("by_keys");
+        q.order_by = vec![OrderKey::asc("nation"), OrderKey::asc("ship_date")];
+        q.select = vec!["price".into()];
+        q
+    }
+
+    #[test]
+    fn register_replaces_same_named_table() {
+        let mut db = db_with_sales();
+        assert_eq!(db.table("sales").unwrap().rows(), 6);
+        let mut t2 = Table::new("sales");
+        t2.add_column(Column::from_u64s("nation", 2, [1u64]));
+        db.register(t2);
+        assert_eq!(db.tables().len(), 1);
+        assert_eq!(db.table("sales").unwrap().rows(), 1);
+        assert!(db.table("ghost").is_none());
+    }
+
+    #[test]
+    fn unknown_table_is_a_typed_error() {
+        let db = db_with_sales();
+        let session = Session::new(&db, EngineConfig::default());
+        let err = session.prepare("ghost", &orderby_query()).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::UnknownTable {
+                table: "ghost".into()
+            }
+        );
+    }
+
+    // The ISSUE's acceptance check: a warm-cache PreparedQuery::execute
+    // spends zero time in plan search and reports the hit.
+    #[test]
+    fn warm_execute_skips_plan_search_entirely() {
+        let db = db_with_sales();
+        let session = Session::new(&db, EngineConfig::default());
+        let prepared = session.prepare("sales", &orderby_query()).unwrap();
+        let warm = session.cache_stats();
+        assert_eq!((warm.misses, warm.entries), (1, 1), "prepare planned once");
+
+        let r = prepared.execute(&session).unwrap();
+        assert_eq!(r.timings.plan_search_ns, 0, "no search ran");
+        assert_eq!(r.timings.plan_cache_hits, 1);
+        assert_eq!(r.timings.plan_cache_misses, 0);
+        assert!(r.timings.plan_cached());
+        assert_eq!(
+            r.column_required("price").unwrap(),
+            vec![20, 30, 40, 10, 50, 60]
+        );
+
+        let stats = session.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn session_results_match_the_stateless_path() {
+        let db = db_with_sales();
+        let session = Session::new(&db, EngineConfig::default());
+        let q = orderby_query();
+        let via_session = session.run_query("sales", &q).unwrap();
+        let stateless = crate::run_query(db.table("sales").unwrap(), &q, session.config()).unwrap();
+        assert_eq!(via_session.columns, stateless.columns);
+    }
+
+    #[test]
+    fn zero_capacity_cache_always_plans_fresh() {
+        let db = db_with_sales();
+        let session = Session::with_cache_capacity(&db, EngineConfig::default(), 0);
+        let prepared = session.prepare("sales", &orderby_query()).unwrap();
+        for _ in 0..3 {
+            let r = prepared.execute(&session).unwrap();
+            assert_eq!(r.timings.plan_cache_hits, 0);
+            assert!(!r.timings.plan_cached());
+        }
+        let stats = session.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 4, "prepare + 3 executes all missed");
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_at_capacity() {
+        let cache = PlanCache::new(2);
+        let fps: Vec<PlanFingerprint> = [100usize, 200, 300]
+            .iter()
+            .map(|&ndv| {
+                let inst = mcs_cost::SortInstance::uniform(1 << 12, &[(17, ndv as f64)]);
+                PlanFingerprint::of(&inst, false)
+            })
+            .collect();
+        let plan = MassagePlan::from_widths(&[17]);
+        cache.insert(fps[0].clone(), plan.clone(), vec![0]);
+        cache.insert(fps[1].clone(), plan.clone(), vec![0]);
+        assert!(cache.lookup(&fps[0]).is_some(), "refresh fps[0]");
+        cache.insert(fps[2].clone(), plan, vec![0]);
+        let stats = cache.stats();
+        assert_eq!((stats.evictions, stats.entries), (1, 2));
+        assert!(cache.lookup(&fps[1]).is_none(), "fps[1] was the LRU");
+        assert!(cache.lookup(&fps[0]).is_some());
+        assert!(cache.lookup(&fps[2]).is_some());
+    }
+
+    #[test]
+    fn column_at_a_time_sessions_bypass_the_cache() {
+        let db = db_with_sales();
+        let session = Session::new(&db, EngineConfig::without_massaging());
+        let prepared = session.prepare("sales", &orderby_query()).unwrap();
+        let r = prepared.execute(&session).unwrap();
+        assert_eq!(r.timings.plan_cache_hits + r.timings.plan_cache_misses, 0);
+        assert_eq!(session.cache_stats(), PlanCacheStats::default());
+    }
+
+    #[test]
+    fn run_concurrent_returns_per_query_results_in_order() {
+        let db = db_with_sales();
+        let session = Session::new(&db, EngineConfig::default());
+        let good = session.prepare("sales", &orderby_query()).unwrap();
+        // A prepared query can also be built for a table that later
+        // fails resolution only at execute; simulate a per-query error
+        // with an unknown SELECT column instead.
+        let mut bad_q = orderby_query();
+        bad_q.select = vec!["ghost".into()];
+        let bad = PreparedQuery {
+            table: "sales".into(),
+            query: bad_q,
+        };
+        let batch = vec![good.clone(), bad, good];
+        let results = session.run_concurrent(&batch, 4);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1].as_ref().unwrap_err(),
+            EngineError::UnknownColumn { .. }
+        ));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn admission_gate_bounds_in_flight_work() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let gate = AdmissionGate::new(2);
+        let active = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let _permit = gate.acquire();
+                    let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "gate admitted too many");
+    }
+}

@@ -448,15 +448,15 @@ mod tests {
 
     #[test]
     fn parsed_query_executes() {
-        use crate::{execute, EngineConfig};
+        use crate::{run_query, EngineConfig};
         use mcs_columnar::{Column, Table};
         let mut t = Table::new("t");
         t.add_column(Column::from_u64s("g", 2, [1u64, 0, 1, 0]));
         t.add_column(Column::from_u64s("x", 4, [1u64, 2, 3, 4]));
         let (q, _) =
             parse_query("SELECT g, SUM(x) AS s FROM t GROUP BY g ORDER BY s DESC").unwrap();
-        let r = execute(&t, &q, &EngineConfig::default());
-        assert_eq!(r.column("s").unwrap(), &vec![6, 4]);
-        assert_eq!(r.column("g").unwrap(), &vec![0, 1]);
+        let r = run_query(&t, &q, &EngineConfig::default()).unwrap();
+        assert_eq!(r.column("s").unwrap(), vec![6, 4]);
+        assert_eq!(r.column("g").unwrap(), vec![0, 1]);
     }
 }

@@ -3,7 +3,7 @@
 
 use mcs_columnar::{Column, Predicate, Table};
 use mcs_engine::reference::{assert_same_order, assert_same_rows, naive_execute};
-use mcs_engine::{execute, Agg, AggKind, EngineConfig, Filter, OrderKey, PlannerMode, Query};
+use mcs_engine::{run_query, Agg, AggKind, EngineConfig, Filter, OrderKey, PlannerMode, Query};
 use mcs_test_support::Rng;
 
 fn test_table(rows: usize, seed: u64) -> Table {
@@ -66,7 +66,7 @@ fn group_by_with_aggregates() {
     ];
     let want = naive_execute(&t, &q);
     for (name, cfg) in configs() {
-        let got = execute(&t, &q, &cfg);
+        let got = run_query(&t, &q, &cfg).unwrap();
         assert_same_rows(&got.columns, &want);
         assert!(got.rows > 0, "{name}");
     }
@@ -81,7 +81,7 @@ fn group_by_with_order_by_aggregate_q13_style() {
     q.order_by = vec![OrderKey::desc("custdist"), OrderKey::desc("nation")];
     let want = naive_execute(&t, &q);
     for (name, cfg) in configs() {
-        let got = execute(&t, &q, &cfg);
+        let got = run_query(&t, &q, &cfg).unwrap();
         assert_same_order(
             &got.columns,
             &want,
@@ -107,7 +107,7 @@ fn order_by_mixed_directions_with_filter() {
     ];
     let want = naive_execute(&t, &q);
     for (_, cfg) in configs() {
-        let got = execute(&t, &q, &cfg);
+        let got = run_query(&t, &q, &cfg).unwrap();
         // The full key (nation, date, price) is unique enough to compare
         // the ordered key columns directly.
         assert_same_order(
@@ -135,7 +135,7 @@ fn window_rank_partition_by() {
     q.window_order = vec![OrderKey::asc("qty")];
     let want = naive_execute(&t, &q);
     for (_, cfg) in configs() {
-        let got = execute(&t, &q, &cfg);
+        let got = run_query(&t, &q, &cfg).unwrap();
         assert_same_rows(&got.columns, &want);
     }
 }
@@ -149,7 +149,7 @@ fn window_rank_desc_order() {
     q.window_order = vec![OrderKey::desc("price")];
     let want = naive_execute(&t, &q);
     for (_, cfg) in configs() {
-        let got = execute(&t, &q, &cfg);
+        let got = run_query(&t, &q, &cfg).unwrap();
         assert_same_rows(&got.columns, &want);
     }
 }
@@ -165,7 +165,7 @@ fn empty_filter_result() {
     q.group_by = vec!["nation".into(), "flag".into()];
     q.aggregates = vec![Agg::new(AggKind::Count, "c")];
     for (_, cfg) in configs() {
-        let got = execute(&t, &q, &cfg);
+        let got = run_query(&t, &q, &cfg).unwrap();
         // One empty "group" covering zero rows collapses to zero output
         // rows in the reference; the engine may produce either zero rows
         // or a single empty group — check totals instead.
@@ -185,7 +185,7 @@ fn fixed_plan_mode_works() {
         planner: PlannerMode::Fixed(mcs_engine::MassagePlan::from_widths(&[17])),
         ..EngineConfig::default()
     };
-    let got = execute(&t, &q, &cfg);
+    let got = run_query(&t, &q, &cfg).unwrap();
     let want = naive_execute(&t, &q);
     assert_same_rows(&got.columns, &want);
     assert_eq!(
@@ -206,7 +206,7 @@ fn rrs_planner_mode_works() {
         },
         ..EngineConfig::default()
     };
-    let got = execute(&t, &q, &cfg);
+    let got = run_query(&t, &q, &cfg).unwrap();
     assert_same_rows(&got.columns, &naive_execute(&t, &q));
 }
 
@@ -220,7 +220,7 @@ fn timings_are_recorded() {
     }];
     q.group_by = vec!["nation".into(), "date".into()];
     q.aggregates = vec![Agg::new(AggKind::Sum("price".into()), "rev")];
-    let got = execute(&t, &q, &EngineConfig::default());
+    let got = run_query(&t, &q, &EngineConfig::default()).unwrap();
     let tm = &got.timings;
     assert!(tm.filter_scan_ns > 0);
     assert!(tm.gather_ns > 0);

@@ -2,7 +2,7 @@
 
 use mcs_columnar::{Column, Table};
 use mcs_engine::reference::{assert_same_rows, naive_execute};
-use mcs_engine::{execute, EngineConfig, OrderKey, Query};
+use mcs_engine::{run_query, EngineConfig, OrderKey, Query};
 
 fn table() -> Table {
     let mut t = Table::new("t");
@@ -19,7 +19,7 @@ fn multi_key_window_order() {
     q.partition_by = vec!["p".into()];
     q.window_order = vec![OrderKey::asc("a"), OrderKey::desc("b")];
     let t = table();
-    let got = execute(&t, &q, &EngineConfig::default());
+    let got = run_query(&t, &q, &EngineConfig::default()).unwrap();
     let want = naive_execute(&t, &q);
     assert_same_rows(&got.columns, &want);
 }
@@ -33,7 +33,7 @@ fn all_rows_one_partition() {
     let mut t = Table::new("t");
     t.add_column(Column::from_u64s("p", 1, [0u64; 6]));
     t.add_column(Column::from_u64s("a", 4, [3u64, 1, 4, 1, 5, 9]));
-    let got = execute(&t, &q, &EngineConfig::default());
+    let got = run_query(&t, &q, &EngineConfig::default()).unwrap();
     let ranks = got.column("rank").unwrap();
     // Sorted a: 1,1,3,4,5,9 -> ranks 1,1,3,4,5,6.
     assert_eq!(ranks, &vec![1, 1, 3, 4, 5, 6]);
@@ -48,7 +48,7 @@ fn every_row_its_own_partition() {
     let mut t = Table::new("t");
     t.add_column(Column::from_u64s("p", 4, [0u64, 1, 2, 3, 4]));
     t.add_column(Column::from_u64s("a", 4, [9u64, 8, 7, 6, 5]));
-    let got = execute(&t, &q, &EngineConfig::default());
+    let got = run_query(&t, &q, &EngineConfig::default()).unwrap();
     assert_eq!(got.column("rank").unwrap(), &vec![1, 1, 1, 1, 1]);
 }
 
@@ -61,7 +61,7 @@ fn all_ties_in_window_order() {
     let mut t = Table::new("t");
     t.add_column(Column::from_u64s("p", 1, [0u64, 0, 0, 1, 1]));
     t.add_column(Column::from_u64s("a", 4, [7u64; 5]));
-    let got = execute(&t, &q, &EngineConfig::default());
+    let got = run_query(&t, &q, &EngineConfig::default()).unwrap();
     assert_eq!(got.column("rank").unwrap(), &vec![1, 1, 1, 1, 1]);
 }
 
@@ -74,7 +74,7 @@ fn empty_table_window() {
     let mut t = Table::new("t");
     t.add_column(Column::from_u64s("p", 1, std::iter::empty()));
     t.add_column(Column::from_u64s("a", 4, std::iter::empty()));
-    let got = execute(&t, &q, &EngineConfig::default());
+    let got = run_query(&t, &q, &EngineConfig::default()).unwrap();
     assert_eq!(got.rows, 0);
 }
 
@@ -85,7 +85,7 @@ fn desc_window_with_reference() {
     q.select = vec!["p".into(), "b".into()];
     q.partition_by = vec!["p".into()];
     q.window_order = vec![OrderKey::desc("b")];
-    let got = execute(&t, &q, &EngineConfig::default());
+    let got = run_query(&t, &q, &EngineConfig::default()).unwrap();
     let want = naive_execute(&t, &q);
     assert_same_rows(&got.columns, &want);
 }

@@ -53,7 +53,7 @@
 /// The canonical fault-point names wired into the workspace.
 ///
 /// Names are dotted `crate.site` paths mirroring the telemetry span
-/// naming. Keep [`ALL`] in sync — `tests/chaos.rs` and the span registry
+/// naming. Keep [`points::ALL`] in sync — `tests/chaos.rs` and the span registry
 /// test iterate it.
 pub mod points {
     /// Planner search (ROGA / RRS) fails outright before costing a plan.

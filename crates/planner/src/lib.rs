@@ -30,6 +30,7 @@
 
 mod error;
 mod exhaustive;
+mod fingerprint;
 mod rho_auto;
 mod roga;
 mod rrs;
@@ -39,6 +40,7 @@ pub use error::SearchError;
 pub use exhaustive::{
     measure_all_plans, measure_plan, rank_by_time, rank_of, ExhaustiveOptions, MeasuredPlan,
 };
+pub use fingerprint::PlanFingerprint;
 pub use rho_auto::{offline_rho, online_roga, RHO_LADDER};
 pub use roga::{permute_instance, roga, RogaOptions, SearchResult};
 pub use rrs::{rrs, RrsOptions};

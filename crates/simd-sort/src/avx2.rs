@@ -10,7 +10,7 @@
 //!
 //! # Safety
 //! These kernels execute AVX2 instructions unconditionally; they must only
-//! be reached through the runtime dispatch in [`crate::sort`], which
+//! be reached through the runtime dispatch in `crate::sort`, which
 //! checks `is_x86_feature_detected!("avx2")` first.
 
 #![allow(unsafe_op_in_unsafe_fn)]

@@ -4,12 +4,12 @@
 //! Multi-Column Sorting* evaluation (§6):
 //!
 //! * [`micro`] — the §3 Examples Ex1–Ex4 (Figures 3, 4);
-//! * [`tpch`] — mini TPC-H and TPC-H *skew* (Zipf-1) WideTables with the
+//! * [`mod@tpch`] — mini TPC-H and TPC-H *skew* (Zipf-1) WideTables with the
 //!   nine multi-column-sorting queries (Q1, Q2, Q3, Q7, Q9, Q10, Q13,
 //!   Q16, Q18);
-//! * [`tpcds`] — a TPC-DS store_sales WideTable with the four
+//! * [`mod@tpcds`] — a TPC-DS store_sales WideTable with the four
 //!   PARTITION BY queries (Q67 and three analogs);
-//! * [`airline`] — a synthetic stand-in for the DB1B Airline Origin &
+//! * [`mod@airline`] — a synthetic stand-in for the DB1B Airline Origin &
 //!   Destination Survey (Table 4 schema, Table 5's five queries);
 //! * [`suite`] — the multi-stage query runner used by all benchmarks.
 //!

@@ -3,7 +3,7 @@
 //! and combines their timings.
 
 use mcs_columnar::Table;
-use mcs_engine::{execute, result_to_table, EngineConfig, Query, QueryResult, QueryTimings};
+use mcs_engine::{result_to_table, run_query, EngineConfig, Query, QueryResult, QueryTimings};
 
 /// A benchmark query: one or two engine stages.
 #[derive(Debug, Clone)]
@@ -130,21 +130,26 @@ pub fn run_bench_query(
 ) -> (QueryResult, CombinedTimings) {
     let table = workload.table(&bq.table);
     let mut combined = CombinedTimings::default();
+    // Bench queries are known-well-formed; a typed error here is a bug
+    // in the workload definition, so fail loudly.
+    let run = |table: &mcs_columnar::Table, q: &mcs_engine::Query| -> QueryResult {
+        run_query(table, q, cfg).unwrap_or_else(|e| panic!("bench query {} failed: {e}", q.name))
+    };
     match &bq.spec {
         QuerySpec::Single(q) => {
-            let r = execute(table, q, cfg);
+            let r = run(table, q);
             combined.add(q, &r.timings);
             (r, combined)
         }
         QuerySpec::TwoStage { first, second } => {
-            let r1 = execute(table, first, cfg);
+            let r1 = run(table, first);
             combined.add(first, &r1.timings);
             let t = std::time::Instant::now();
             let mid = result_to_table("stage1", &r1);
             let materialize_ns = t.elapsed().as_nanos() as u64;
             combined.total_ns += materialize_ns;
             combined.rest_ns += materialize_ns;
-            let r2 = execute(&mid, second, cfg);
+            let r2 = run(&mid, second);
             combined.add(second, &r2.timings);
             (r2, combined)
         }

@@ -41,7 +41,7 @@ fn main() {
     q.aggregates = vec![Agg::new(AggKind::Sum("price".into()), "sum_price")];
 
     let cfg = EngineConfig::default();
-    let result = execute(&sales, &q, &cfg);
+    let result = run_query(&sales, &q, &cfg).unwrap();
 
     match ExplainReport::from_timings("explain_demo", &result.timings, &cfg.model) {
         Some(rep) => println!("{}", rep.render()),

@@ -58,7 +58,7 @@ fn main() {
             ..EngineConfig::default()
         };
         let t = Instant::now();
-        let r = execute(&orders, &q, &cfg);
+        let r = run_query(&orders, &q, &cfg).unwrap();
         let ns = t.elapsed().as_nanos() as u64;
         if baseline_ns == 0 {
             baseline_ns = ns;

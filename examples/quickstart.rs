@@ -33,11 +33,18 @@ fn main() {
     q.group_by = vec!["nation_name".into(), "ship_date".into()];
     q.aggregates = vec![Agg::new(AggKind::Sum("price".into()), "sum_price")];
 
-    // Execute without code massaging (column-at-a-time, Figure 2a) …
-    let off = execute(&sales, &q, &EngineConfig::without_massaging());
-    // … and with it (Figure 2b): the optimizer stitches the two columns
-    // into one 27-bit super-column and sorts once.
-    let on = execute(&sales, &q, &EngineConfig::default());
+    // Register the table in a shared database and serve queries from
+    // sessions: one without code massaging (column-at-a-time, Figure 2a) …
+    let mut db = Database::new();
+    db.register(sales);
+    let off_session = Session::new(&db, EngineConfig::without_massaging());
+    let off = off_session.run_query("sales", &q).unwrap();
+    // … and one with it (Figure 2b): the optimizer stitches the two
+    // columns into one 27-bit super-column and sorts once. prepare()
+    // searches and caches the plan; execute() serves it.
+    let on_session = Session::new(&db, EngineConfig::default());
+    let prepared = on_session.prepare("sales", &q).unwrap();
+    let on = prepared.execute(&on_session).unwrap();
 
     println!(
         "plan without massaging: {}",
@@ -46,6 +53,12 @@ fn main() {
     println!(
         "plan with massaging:    {}",
         on.timings.plan.as_ref().unwrap()
+    );
+    println!(
+        "plan served from the session cache: {} (hits {}, misses {})",
+        on.timings.plan_cached(),
+        on_session.cache_stats().hits,
+        on_session.cache_stats().misses,
     );
 
     println!("\nnation_name  ship_date  SUM(price)");

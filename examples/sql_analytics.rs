@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --release --example sql_analytics`.
 
-use codemassage::engine::{execute, parse_query, EngineConfig};
+use codemassage::engine::{parse_query, run_query, EngineConfig};
 use codemassage::workloads::{tpch, TpchParams};
 
 fn main() {
@@ -40,7 +40,7 @@ fn main() {
         println!("sql> {sql}");
         let (q, table) = parse_query(sql).expect("parse");
         let t = std::time::Instant::now();
-        let r = execute(w.table(&table), &q, &cfg);
+        let r = run_query(w.table(&table), &q, &cfg).expect("well-formed demo query");
         let elapsed = t.elapsed();
         // Print header + first rows.
         let headers: Vec<&str> = r.columns.iter().map(|(n, _)| n.as_str()).collect();

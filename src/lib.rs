@@ -36,8 +36,14 @@
 //! q.group_by = vec!["nation".into(), "ship_date".into()];
 //! q.aggregates = vec![Agg::new(AggKind::Sum("price".into()), "sum_price")];
 //!
-//! let result = execute(&t, &q, &EngineConfig::default());
+//! // Sessions plan a query shape once and serve the cached plan after.
+//! let mut db = Database::new();
+//! db.register(t);
+//! let session = Session::new(&db, EngineConfig::default());
+//! let prepared = session.prepare("sales", &q)?;
+//! let result = prepared.execute(&session)?;
 //! assert_eq!(result.rows, 4);
+//! # Ok::<(), codemassage::engine::EngineError>(())
 //! ```
 
 pub use mcs_columnar as columnar;
@@ -55,9 +61,12 @@ pub mod prelude {
     pub use mcs_columnar::{widen, Column, Dictionary, DimensionJoin, Predicate, Table};
     pub use mcs_core::{multi_column_sort, Bank, ExecConfig, MassagePlan, Round, SortSpec};
     pub use mcs_cost::{calibrate, CalibrationOptions, CostModel, MachineSpec, SortInstance};
+    #[allow(deprecated)]
+    pub use mcs_engine::execute;
     pub use mcs_engine::{
-        execute, result_to_table, run_query, Agg, AggKind, DegradeReason, EngineConfig,
-        EngineError, ExplainReport, Filter, OrderKey, PlannerMode, Query, QueryResult,
+        result_to_table, run_query, Agg, AggKind, Database, DegradeReason, EngineConfig,
+        EngineError, ExplainReport, Filter, OrderKey, PlanCacheStats, PlannerMode, PreparedQuery,
+        Query, QueryResult, Session,
     };
     pub use mcs_planner::{roga, rrs, RogaOptions, RrsOptions, SearchError};
     pub use mcs_simd_sort::{sort_pairs, sort_pairs_with, SortConfig};

@@ -1,0 +1,190 @@
+//! Session-layer stress tests: many threads executing repeated prepared
+//! queries over one shared [`Database`], checked against the naive
+//! differential oracle, with exact plan-cache accounting — and, under
+//! `--features faults`, chaos runs proving a degraded query never
+//! poisons the shared plan cache.
+
+use codemassage::engine::reference::{assert_same_rows, naive_execute};
+use codemassage::prelude::*;
+
+/// Serialize tests in this binary: they reset shared global state (the
+/// telemetry collector, the fault registry).
+static SESSION_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn stress_table(n: usize) -> Table {
+    let mut t = Table::new("sales");
+    t.add_column(Column::from_u64s(
+        "nation",
+        10,
+        (0..n).map(|i| (i as u64).wrapping_mul(0x9e37_79b9) % 50),
+    ));
+    t.add_column(Column::from_u64s(
+        "ship_date",
+        17,
+        (0..n).map(|i| (i as u64).wrapping_mul(0x85eb_ca6b) % 5000),
+    ));
+    t.add_column(Column::from_u64s(
+        "category",
+        9,
+        (0..n).map(|i| (i as u64).wrapping_mul(0xc2b2_ae35) % 300),
+    ));
+    t.add_column(Column::from_u64s(
+        "price",
+        17,
+        (0..n).map(|i| i as u64 % 1000),
+    ));
+    t
+}
+
+fn stress_db(n: usize) -> Database {
+    let mut db = Database::new();
+    db.register(stress_table(n));
+    db
+}
+
+/// Three distinct query shapes — three fingerprints, three cached plans.
+fn shapes() -> Vec<Query> {
+    let mut by_date = Query::named("by_date");
+    by_date.order_by = vec![OrderKey::asc("ship_date"), OrderKey::asc("nation")];
+    by_date.select = vec!["ship_date".into(), "nation".into(), "price".into()];
+
+    let mut grouped = Query::named("grouped");
+    grouped.group_by = vec!["nation".into(), "category".into()];
+    grouped.aggregates = vec![
+        Agg::new(AggKind::Count, "cnt"),
+        Agg::new(AggKind::Sum("price".into()), "rev"),
+    ];
+
+    let mut filtered = Query::named("filtered");
+    filtered.filters = vec![Filter {
+        column: "price".into(),
+        predicate: Predicate::Lt(500),
+    }];
+    filtered.order_by = vec![OrderKey::desc("price"), OrderKey::asc("category")];
+    filtered.select = vec!["price".into(), "category".into()];
+
+    vec![by_date, grouped, filtered]
+}
+
+/// N threads × repeated prepared queries: every result matches the
+/// scalar reference, and the cache counters come out exact — one miss
+/// per distinct shape (at prepare), one hit per execution.
+#[test]
+fn concurrent_prepared_queries_match_the_oracle_with_exact_cache_hits() {
+    let _guard = SESSION_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let db = stress_db(4096);
+    let session = Session::new(&db, EngineConfig::default());
+
+    let queries = shapes();
+    let oracles: Vec<Vec<(String, Vec<u64>)>> = queries
+        .iter()
+        .map(|q| naive_execute(db.table("sales").unwrap(), q))
+        .collect();
+
+    // Prepare each shape once: one search (miss) per shape.
+    let prepared: Vec<PreparedQuery> = queries
+        .iter()
+        .map(|q| session.prepare("sales", q).unwrap())
+        .collect();
+    let after_prepare = session.cache_stats();
+    assert_eq!(after_prepare.misses, queries.len() as u64);
+    assert_eq!(after_prepare.entries, queries.len());
+    assert_eq!(after_prepare.hits, 0);
+
+    // A batch of 8 repetitions of every shape, executed 4-way concurrent.
+    const REPS: usize = 8;
+    let batch: Vec<PreparedQuery> = (0..REPS).flat_map(|_| prepared.iter().cloned()).collect();
+    for threads in [1, 4] {
+        let results = session.run_concurrent(&batch, threads);
+        assert_eq!(results.len(), batch.len());
+        for (i, r) in results.into_iter().enumerate() {
+            let r = r.unwrap();
+            assert_same_rows(&r.columns, &oracles[i % queries.len()]);
+            assert!(
+                r.timings.plan_cached(),
+                "warm execution {i} must be served from the cache"
+            );
+            assert_eq!(r.timings.plan_search_ns, 0);
+        }
+    }
+
+    // Exactly one hit per warm execution, not a miss more.
+    let stats = session.cache_stats();
+    assert_eq!(stats.hits, (2 * REPS * queries.len()) as u64);
+    assert_eq!(stats.misses, queries.len() as u64);
+    assert_eq!(stats.entries, queries.len());
+    assert_eq!(stats.evictions, 0);
+}
+
+/// The admission gate really bounds concurrency: a batch larger than the
+/// thread budget completes, in order, with every query answered.
+#[test]
+fn oversubscribed_batch_completes_in_order() {
+    let _guard = SESSION_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let db = stress_db(1024);
+    let session = Session::new(&db, EngineConfig::default());
+    let q = &shapes()[0];
+    let prepared = session.prepare("sales", q).unwrap();
+    let oracle = naive_execute(db.table("sales").unwrap(), q);
+
+    let batch = vec![prepared; 32];
+    let results = session.run_concurrent(&batch, 2);
+    assert_eq!(results.len(), 32);
+    for r in results {
+        assert_same_rows(&r.unwrap().columns, &oracle);
+    }
+}
+
+/// Chaos mode: faults degrade each query individually — the answer stays
+/// correct via the ladder — and never poison the shared plan cache with
+/// a fallback plan.
+#[cfg(feature = "faults")]
+#[test]
+fn chaos_degrades_per_query_without_poisoning_the_shared_cache() {
+    use codemassage::faults::{points, with_armed, FireMode};
+
+    let _guard = SESSION_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let db = stress_db(2048);
+    let q = &shapes()[0];
+    let oracle = naive_execute(db.table("sales").unwrap(), q);
+
+    // 1. Plan search fails while the cache is cold: the query degrades to
+    //    P0 and the P0 stand-in must NOT be published.
+    let session = Session::new(&db, EngineConfig::default());
+    with_armed(&[(points::PLANNER_SEARCH, FireMode::Always)], || {
+        let r = session.run_query("sales", q).unwrap();
+        assert_same_rows(&r.columns, &oracle);
+        assert!(r
+            .timings
+            .degradations
+            .contains(&DegradeReason::PlanSearchFailed));
+    });
+    let stats = session.cache_stats();
+    assert_eq!(
+        (stats.entries, stats.misses),
+        (0, 1),
+        "a degraded search result must not be cached"
+    );
+
+    // 2. Disarmed: the next run searches cleanly and publishes its plan…
+    let prepared = session.prepare("sales", q).unwrap();
+    assert_eq!(session.cache_stats().entries, 1);
+
+    // 3. …and an execution-time fault on a warm cache degrades that one
+    //    query (correct answer via the ladder) while the cached plan —
+    //    which is valid; the fault was transient — survives for the next
+    //    execution to hit cleanly.
+    with_armed(&[(points::CORE_ROUND_SORT, FireMode::Once)], || {
+        let r = prepared.execute(&session).unwrap();
+        assert_same_rows(&r.columns, &oracle);
+        assert!(r.timings.degradations.contains(&DegradeReason::ExecFailed));
+        assert!(r.timings.plan_cached(), "the plan itself came from cache");
+    });
+    let r = prepared.execute(&session).unwrap();
+    assert_same_rows(&r.columns, &oracle);
+    assert!(r.timings.degradations.is_empty(), "fault was transient");
+    assert_eq!(r.timings.plan_search_ns, 0);
+    let stats = session.cache_stats();
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.hits, 2);
+}

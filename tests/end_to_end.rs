@@ -104,7 +104,7 @@ fn dictionary_groupby_roundtrip() {
     let mut q = Query::named("g");
     q.group_by = vec!["nation".into()];
     q.aggregates = vec![Agg::new(AggKind::Count, "cnt")];
-    let r = execute(&t, &q, &EngineConfig::default());
+    let r = run_query(&t, &q, &EngineConfig::default()).unwrap();
     let decoded: Vec<&str> = r
         .column("nation")
         .unwrap()
@@ -112,7 +112,7 @@ fn dictionary_groupby_roundtrip() {
         .map(|&c| dict.decode(c))
         .collect();
     assert_eq!(decoded, vec!["AUS", "CHN", "USA"]);
-    assert_eq!(r.column("cnt").unwrap(), &vec![2, 1, 3]);
+    assert_eq!(r.column("cnt").unwrap(), vec![2, 1, 3]);
 }
 
 /// WideTable denormalization feeds the engine: a two-hop star join
@@ -138,10 +138,10 @@ fn widetable_star_join_query() {
     let mut q = Query::named("by_region");
     q.group_by = vec!["region".into(), "o_nation".into()];
     q.aggregates = vec![Agg::new(AggKind::Sum("o_price".into()), "rev")];
-    let r = execute(&wide, &q, &EngineConfig::default());
+    let r = run_query(&wide, &q, &EngineConfig::default()).unwrap();
     // Regions: nation0->r0 (10+50), nation1->r1 (20), nation2->r1 (30),
     // nation3->r2 (40+60).
-    assert_eq!(r.column("rev").unwrap(), &vec![60, 20, 30, 100]);
+    assert_eq!(r.column("rev").unwrap(), vec![60, 20, 30, 100]);
 }
 
 /// Multithreaded execution returns the same groups as single-threaded.

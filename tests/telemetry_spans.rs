@@ -74,7 +74,7 @@ fn three_column_query_emits_one_span_per_phase() {
     };
 
     telemetry::reset();
-    let r = execute(&t, &q, &cfg);
+    let r = run_query(&t, &q, &cfg).unwrap();
     assert!(r.rows > 0);
     let counts = span_counts();
 
@@ -118,7 +118,7 @@ fn window_query_emits_rank_span_and_jsonl_roundtrip() {
     let cfg = EngineConfig::default(); // ROGA: planner spans expected
 
     telemetry::reset();
-    let r = execute(&t, &q, &cfg);
+    let r = run_query(&t, &q, &cfg).unwrap();
     assert!(r.rows > 0);
 
     let snap = telemetry::snapshot();
@@ -165,7 +165,7 @@ fn degraded_execution_fires_counter_span_and_explain_annotation() {
     };
 
     telemetry::reset();
-    let r = execute(&t, &q, &cfg);
+    let r = run_query(&t, &q, &cfg).unwrap();
     assert!(r.rows > 0);
     assert_eq!(r.timings.degradations, vec![DegradeReason::InvalidPlan]);
 
@@ -196,6 +196,52 @@ fn degraded_execution_fires_counter_span_and_explain_annotation() {
     assert!(rep.render().contains("degraded: invalid_plan"));
     // The redacted (golden) rendering carries the same annotation.
     assert!(rep.render_redacted().contains("degraded: invalid_plan"));
+}
+
+/// The session layer's plan-cache counters and concurrency span: cold
+/// executions count `planner.cache.miss`, warm ones `planner.cache.hit`
+/// (with no planner search span), and `run_concurrent` wraps the batch
+/// in one `session.run_concurrent` span.
+#[test]
+fn session_plan_cache_counters_and_span() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let t = demo_table(2048);
+    let mut db = Database::new();
+    db.register(t);
+    let session = Session::new(&db, EngineConfig::default());
+
+    let mut q = Query::named("spans_session");
+    q.order_by = vec![OrderKey::asc("nation"), OrderKey::asc("ship_date")];
+    q.select = vec!["price".into()];
+
+    telemetry::reset();
+    let prepared = session.prepare("sales", &q).unwrap();
+    let results = session.run_concurrent(&[prepared.clone(), prepared], 2);
+    assert!(results.iter().all(|r| r.is_ok()));
+
+    let snap = telemetry::take_all();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    };
+    // prepare missed once and searched; both concurrent executes hit.
+    assert_eq!(counter("planner.cache.miss"), Some(1));
+    assert_eq!(counter("planner.cache.hit"), Some(2));
+    let roga_spans = snap
+        .spans
+        .iter()
+        .filter(|s| s.name == "planner.roga")
+        .count();
+    assert_eq!(roga_spans, 1, "only the prepare searched");
+    assert_eq!(
+        snap.spans
+            .iter()
+            .filter(|s| s.name == "session.run_concurrent")
+            .count(),
+        1
+    );
 }
 
 /// The fault-point registry is part of the observability contract: chaos

@@ -7,12 +7,22 @@
 //! and the warm cache adds the plan-search time back to every execution.
 //! Writes `BENCH_throughput.json` next to the working directory.
 //!
+//! Memory: the bin installs the counting allocator from
+//! `mcs-test-support`, so each measurement also reports heap allocations
+//! per query (whole pipeline) and the session arena's byte high-water
+//! mark — the warm rows should allocate markedly less than the cold
+//! ones, and their round loops not at all (single intra-query thread).
+//!
 //! Knobs: `MCS_ROWS` (lineitem rows, default 65536), `MCS_QUERIES`
 //! (batch size per measurement, default 64), `MCS_SEED`.
 
 use mcs_bench::{env_usize, export_telemetry, print_table, rows, seed};
 use mcs_engine::{Database, EngineConfig, PlannerMode, Query, Session};
+use mcs_test_support::{allocation_count, CountingAlloc};
 use mcs_workloads::{tpch, QuerySpec, TpchParams};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
@@ -23,6 +33,14 @@ struct Measurement {
     qps: f64,
     cache_hits: u64,
     cache_misses: u64,
+    /// Heap allocations per query across the whole batch (all pipeline
+    /// phases, amortized; admission threads add a small constant).
+    allocs_per_query: f64,
+    /// Allocations inside the executor round loops, summed over the
+    /// batch (the arena's zero-allocation target once warm).
+    round_loop_allocs: u64,
+    /// Byte high-water mark across the session's arena pool.
+    arena_bytes_peak: u64,
 }
 
 fn measure(
@@ -44,13 +62,20 @@ fn measure(
         .prepare("tpch_wide", query)
         .expect("well-formed Q1 query");
     let batch = vec![prepared; batch_size];
+    let allocs_before = allocation_count();
     let t = std::time::Instant::now();
     let results = session.run_concurrent(&batch, threads);
     let elapsed = t.elapsed();
+    let allocs = allocation_count() - allocs_before;
     assert!(
         results.iter().all(|r| r.is_ok()),
         "every query must succeed"
     );
+    let round_loop_allocs = results
+        .iter()
+        .flatten()
+        .map(|r| r.timings.mcs_stats.round_loop_allocs.unwrap_or(0))
+        .sum();
     let stats = session.cache_stats();
     Measurement {
         threads,
@@ -59,6 +84,9 @@ fn measure(
         qps: batch_size as f64 / elapsed.as_secs_f64(),
         cache_hits: stats.hits,
         cache_misses: stats.misses,
+        allocs_per_query: allocs as f64 / batch_size as f64,
+        round_loop_allocs,
+        arena_bytes_peak: session.arena_stats().bytes_peak,
     }
 }
 
@@ -87,12 +115,15 @@ fn main() {
     for t in w.tables {
         db.register(t);
     }
-    let cfg = EngineConfig::builder()
+    let mut cfg = EngineConfig::builder()
         .planner(PlannerMode::Roga { rho: Some(0.001) })
         // One intra-query worker: the concurrency under test is
         // *between* queries, not inside the sort.
         .threads(1)
         .build();
+    // Sample the allocation counter around every executor round loop so
+    // the warm rows can demonstrate the arena's zero-allocation target.
+    cfg.exec.alloc_probe = Some(allocation_count);
 
     let mut measurements: Vec<Measurement> = Vec::new();
     for &threads in &THREADS {
@@ -111,6 +142,9 @@ fn main() {
                 format!("{:.1}", m.qps),
                 m.cache_hits.to_string(),
                 m.cache_misses.to_string(),
+                format!("{:.0}", m.allocs_per_query),
+                m.round_loop_allocs.to_string(),
+                m.arena_bytes_peak.to_string(),
             ]
         })
         .collect();
@@ -122,6 +156,9 @@ fn main() {
             "queries/s",
             "hits",
             "misses",
+            "allocs/q",
+            "loop allocs",
+            "arena peak B",
         ],
         &table_rows,
     );
@@ -153,13 +190,18 @@ fn main() {
     for (i, m) in measurements.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"threads\": {}, \"cache\": \"{}\", \"elapsed_ms\": {:.3}, \
-             \"qps\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}}}{}\n",
+             \"qps\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"allocs_per_query\": {:.2}, \"round_loop_allocs\": {}, \
+             \"arena_bytes_peak\": {}}}{}\n",
             m.threads,
             m.cache,
             m.elapsed_ms,
             m.qps,
             m.cache_hits,
             m.cache_misses,
+            m.allocs_per_query,
+            m.round_loop_allocs,
+            m.arena_bytes_peak,
             if i + 1 < measurements.len() { "," } else { "" },
         ));
     }

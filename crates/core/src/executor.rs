@@ -10,12 +10,13 @@ use std::time::Instant;
 
 use mcs_columnar::CodeVec;
 use mcs_simd_sort::{
-    sort_pairs_in_groups, sort_pairs_in_groups_parallel, GroupBounds, PhaseTimes,
-    SegmentedSortStats, SortConfig, WorkerPanic,
+    sort_pairs_in_groups_parallel_scratch, GroupBounds, PhaseTimes, SegmentedSortStats, SortConfig,
+    WorkerPanic, WorkerScratch,
 };
 use mcs_telemetry as telemetry;
 
-use crate::massage::{massage, width_mask, RoundKeys};
+use crate::arena::{ArenaStats, ExecArena, Lease};
+use crate::massage::{massage_into, width_mask, RoundKeys};
 use crate::plan::{MassagePlan, PlanError, SortSpec};
 
 /// Why a [`multi_column_sort`] invocation was rejected before running.
@@ -94,6 +95,12 @@ pub struct ExecConfig {
     /// Whether the final grouping (ties on all keys) must be produced —
     /// needed by GROUP BY / PARTITION BY, skippable for pure ORDER BY.
     pub want_final_groups: bool,
+    /// Optional heap-allocation counter probe (e.g. the count of
+    /// allocations on the current thread). When set, the executor samples
+    /// it immediately before and after the round loop and reports the
+    /// difference in [`ExecStats::round_loop_allocs`] — the allocation
+    /// budget the [`ExecArena`] is designed to drive to zero when warm.
+    pub alloc_probe: Option<fn() -> u64>,
 }
 
 impl Default for ExecConfig {
@@ -102,6 +109,7 @@ impl Default for ExecConfig {
             sort: SortConfig::default(),
             threads: 1,
             want_final_groups: true,
+            alloc_probe: None,
         }
     }
 }
@@ -123,6 +131,8 @@ pub struct RoundStats {
     pub groups_in: usize,
     /// Groups after this round's refinement (`N_group`).
     pub groups_out: usize,
+    /// Largest group fed to this round's segmented sort.
+    pub max_group: usize,
     /// Merge-sort sub-phase times (in-register / in-cache / multiway),
     /// summed over this round's SIMD-sort invocations. All zero unless
     /// the `phase-timing` feature of `mcs-simd-sort` is enabled.
@@ -138,6 +148,13 @@ pub struct ExecStats {
     pub rounds: Vec<RoundStats>,
     /// End-to-end ns.
     pub total_ns: u64,
+    /// Heap allocations observed across the round loop, when
+    /// [`ExecConfig::alloc_probe`] was set (`Some(0)` on a warm
+    /// [`ExecArena`] with `threads == 1`).
+    pub round_loop_allocs: Option<u64>,
+    /// Reuse counters of the [`ExecArena`] that served this execution;
+    /// default (all-zero) for arena-less [`multi_column_sort`] calls.
+    pub arena: ArenaStats,
 }
 
 impl ExecStats {
@@ -171,12 +188,13 @@ pub struct MultiColumnSortOutput {
     pub stats: ExecStats,
 }
 
-fn gather_round_keys(keys: &RoundKeys, oids: &[u32]) -> RoundKeys {
-    match keys {
-        RoundKeys::B16(v) => RoundKeys::B16(oids.iter().map(|&o| v[o as usize]).collect()),
-        RoundKeys::B32(v) => RoundKeys::B32(oids.iter().map(|&o| v[o as usize]).collect()),
-        RoundKeys::B64(v) => RoundKeys::B64(oids.iter().map(|&o| v[o as usize]).collect()),
-    }
+/// Permute `src` by `oids` into `dst` — allocation-free when `dst` has
+/// capacity (the arena ping-pongs `dst` with the round buffer, so after
+/// the first execution it always does).
+fn gather_into<T: Copy>(src: &[T], oids: &[u32], dst: &mut Vec<T>) {
+    debug_assert_eq!(src.len(), oids.len());
+    dst.clear();
+    dst.extend(oids.iter().map(|&o| src[o as usize]));
 }
 
 fn sort_round(
@@ -184,14 +202,11 @@ fn sort_round(
     oids: &mut [u32],
     groups: &GroupBounds,
     cfg: &ExecConfig,
+    scratch: &mut WorkerScratch,
 ) -> Result<SegmentedSortStats, WorkerPanic> {
     macro_rules! go {
         ($v:expr) => {
-            if cfg.threads > 1 {
-                sort_pairs_in_groups_parallel($v, oids, groups, cfg.threads, &cfg.sort)
-            } else {
-                Ok(sort_pairs_in_groups($v, oids, groups, &cfg.sort))
-            }
+            sort_pairs_in_groups_parallel_scratch($v, oids, groups, cfg.threads, &cfg.sort, scratch)
         };
     }
     match keys {
@@ -201,12 +216,15 @@ fn sort_round(
     }
 }
 
-fn refine_groups(groups: &GroupBounds, keys: &RoundKeys) -> GroupBounds {
+/// Refine `groups` in place by the sorted `keys`, using `spare` as the
+/// write destination (swapped in afterwards).
+fn refine_groups_into(groups: &mut GroupBounds, keys: &RoundKeys, spare: &mut Vec<u32>) {
     match keys {
-        RoundKeys::B16(v) => groups.refine_by(v),
-        RoundKeys::B32(v) => groups.refine_by(v),
-        RoundKeys::B64(v) => groups.refine_by(v),
+        RoundKeys::B16(v) => groups.refine_into(v, spare),
+        RoundKeys::B32(v) => groups.refine_into(v, spare),
+        RoundKeys::B64(v) => groups.refine_into(v, spare),
     }
+    core::mem::swap(&mut groups.offsets, spare);
 }
 
 /// Execute a multi-column sort of `inputs` (one column per [`SortSpec`])
@@ -226,6 +244,38 @@ pub fn multi_column_sort(
     plan: &MassagePlan,
     cfg: &ExecConfig,
 ) -> Result<MultiColumnSortOutput, SortError> {
+    let mut arena = ExecArena::new();
+    sort_impl(inputs, specs, plan, cfg, &mut arena, false)
+}
+
+/// Like [`multi_column_sort`], but drawing all working memory — round-key
+/// buffers, gather spares, the oid permutation, group offsets, and the
+/// SIMD merge-sort scratch — from `arena`.
+///
+/// The arena grows monotonically to the high-water mark of the
+/// executions it has served, so repeated calls (a session replaying a
+/// prepared query) run the whole round loop without heap allocation when
+/// `cfg.threads == 1`. The arena is restored on every exit path,
+/// including injected faults and worker panics, so a failed execution
+/// never poisons it. [`ExecStats::arena`] carries its reuse counters.
+pub fn multi_column_sort_with(
+    inputs: &[&CodeVec],
+    specs: &[SortSpec],
+    plan: &MassagePlan,
+    cfg: &ExecConfig,
+    arena: &mut ExecArena,
+) -> Result<MultiColumnSortOutput, SortError> {
+    sort_impl(inputs, specs, plan, cfg, arena, true)
+}
+
+fn sort_impl(
+    inputs: &[&CodeVec],
+    specs: &[SortSpec],
+    plan: &MassagePlan,
+    cfg: &ExecConfig,
+    arena: &mut ExecArena,
+    external_arena: bool,
+) -> Result<MultiColumnSortOutput, SortError> {
     if inputs.len() != specs.len() {
         return Err(SortError::ColumnCountMismatch {
             inputs: inputs.len(),
@@ -244,13 +294,17 @@ pub fn multi_column_sort(
 
     let t0 = Instant::now();
     let mut stats = ExecStats::default();
+    stats.rounds.reserve_exact(plan.rounds.len());
 
-    // Step 1: massage (Figure 2b step 1). Identity plans on ascending
+    let mut lease = arena.lease(plan, n);
+
+    // Step 1: massage (Figure 2b step 1), emitted straight into the
+    // leased bank-native round buffers. Identity plans on ascending
     // columns still materialize round keys, but we charge that to lookup
     // semantics of round 1 rather than massage, matching the paper's P_0
     // (which has no massage phase).
     let tm = Instant::now();
-    let (mut round_keys, prog) = massage(inputs, specs, plan, cfg.threads);
+    let prog = massage_into(inputs, specs, plan, cfg.threads, &mut lease.rounds);
     let massage_elapsed = tm.elapsed().as_nanos() as u64;
     stats.massage_ns = if prog.is_identity() {
         0
@@ -270,21 +324,101 @@ pub fn multi_column_sort(
         );
     }
 
-    let mut oids: Vec<u32> = (0..n as u32).collect();
-    let mut groups = GroupBounds::whole(n);
-    let last = round_keys.len() - 1;
+    // The round loop proper, bracketed by the allocation probe: on a warm
+    // arena with `threads == 1` this window performs zero heap
+    // allocations (telemetry emission is deferred below for that reason).
+    let before = cfg.alloc_probe.map(|p| p());
+    let result = run_rounds(cfg, &mut lease, &mut stats);
+    if let (Some(p), Some(b)) = (cfg.alloc_probe, before) {
+        stats.round_loop_allocs = Some(p() - b);
+    }
 
-    for (k, keys) in round_keys.iter_mut().enumerate() {
+    // Deferred per-round telemetry: span emission allocates attribute
+    // vectors, so it happens outside the audited loop, replayed from the
+    // accumulated RoundStats. Rounds completed before a failure still
+    // get their spans; the whole-sort counters only count successes.
+    if telemetry::is_enabled() {
+        let last = plan.rounds.len() - 1;
+        for (k, rs) in stats.rounds.iter().enumerate() {
+            record_round_spans(k, &plan.rounds[k], rs, k < last || cfg.want_final_groups);
+            telemetry::histogram_record("mcs.round.max_group", rs.max_group as u64);
+        }
+        if result.is_ok() {
+            telemetry::counter_add("mcs.sorts", 1);
+            telemetry::counter_add("mcs.rounds", stats.rounds.len() as u64);
+        }
+    }
+
+    // Clone the outputs out of the lease, then restore the arena — on
+    // the error path too, so a failed round never poisons it.
+    let out_data = result.map(|()| (lease.oids.clone(), lease.groups.clone()));
+    arena.restore(lease);
+    if external_arena {
+        stats.arena = arena.stats();
+        if telemetry::is_enabled() {
+            let (grows, reuses, peak_growth) = arena.take_counter_deltas();
+            for (name, delta) in [
+                ("exec.arena.grow", grows),
+                ("exec.arena.reuse", reuses),
+                ("exec.arena.bytes_peak", peak_growth),
+            ] {
+                if delta > 0 {
+                    telemetry::counter_add(name, delta);
+                }
+            }
+        }
+    }
+
+    let (oids, groups) = out_data?;
+    stats.total_ns = t0.elapsed().as_nanos() as u64;
+    Ok(MultiColumnSortOutput {
+        oids,
+        groups,
+        stats,
+    })
+}
+
+/// The per-round pipeline (Figure 2a): lookup-permute → segmented SIMD
+/// sort → boundary scan, entirely on leased buffers. Allocation-free on
+/// a warm lease when `cfg.threads == 1`.
+fn run_rounds(cfg: &ExecConfig, lease: &mut Lease, stats: &mut ExecStats) -> Result<(), SortError> {
+    let Lease {
+        rounds,
+        spare16,
+        spare32,
+        spare64,
+        oids,
+        groups,
+        spare_offsets,
+        workers,
+    } = lease;
+    let last = rounds.len() - 1;
+
+    for (k, keys) in rounds.iter_mut().enumerate() {
         let mut rs = RoundStats {
             groups_in: groups.num_groups(),
             ..RoundStats::default()
         };
 
         // Lookup: permute this round's keys by the current order
-        // (Figure 2a step 2a). Round 1 is already in row order.
+        // (Figure 2a step 2a), ping-ponging with the bank's spare
+        // buffer. Round 1 is already in row order.
         if k > 0 {
             let tl = Instant::now();
-            *keys = gather_round_keys(keys, &oids);
+            match keys {
+                RoundKeys::B16(v) => {
+                    gather_into(v, oids, spare16);
+                    core::mem::swap(v, spare16);
+                }
+                RoundKeys::B32(v) => {
+                    gather_into(v, oids, spare32);
+                    core::mem::swap(v, spare32);
+                }
+                RoundKeys::B64(v) => {
+                    gather_into(v, oids, spare64);
+                    core::mem::swap(v, spare64);
+                }
+            }
             rs.lookup_ns = tl.elapsed().as_nanos() as u64;
         }
 
@@ -293,41 +427,29 @@ pub fn multi_column_sort(
             return Err(SortError::Injected(mcs_faults::points::CORE_ROUND_SORT));
         }
         let ts = Instant::now();
-        let sstats =
-            sort_round(keys, &mut oids, &groups, cfg).map_err(|p| SortError::WorkerPanicked {
+        let sstats = sort_round(keys, oids, groups, cfg, workers).map_err(|p| {
+            SortError::WorkerPanicked {
                 round: k,
                 chunk: p.chunk,
-            })?;
+            }
+        })?;
         rs.sort_ns = ts.elapsed().as_nanos() as u64;
         rs.invocations = sstats.invocations;
         rs.codes_sorted = sstats.codes_sorted;
+        rs.max_group = sstats.max_group;
         rs.phases = sstats.phases;
 
         // Scan for refined boundaries (step 2b); skipped after the last
         // round unless the caller needs the final grouping.
         if k < last || cfg.want_final_groups {
             let tc = Instant::now();
-            groups = refine_groups(&groups, keys);
+            refine_groups_into(groups, keys, spare_offsets);
             rs.scan_ns = tc.elapsed().as_nanos() as u64;
         }
         rs.groups_out = groups.num_groups();
-        if telemetry::is_enabled() {
-            record_round_spans(k, &plan.rounds[k], &rs, k < last || cfg.want_final_groups);
-            telemetry::histogram_record("mcs.round.max_group", sstats.max_group as u64);
-        }
         stats.rounds.push(rs);
     }
-
-    stats.total_ns = t0.elapsed().as_nanos() as u64;
-    if telemetry::is_enabled() {
-        telemetry::counter_add("mcs.sorts", 1);
-        telemetry::counter_add("mcs.rounds", stats.rounds.len() as u64);
-    }
-    Ok(MultiColumnSortOutput {
-        oids,
-        groups,
-        stats,
-    })
+    Ok(())
 }
 
 /// Emit the per-round telemetry spans: one lookup span (rounds after the
@@ -699,6 +821,81 @@ mod tests {
         let out = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default())
             .expect("no faults armed");
         verify_sorted(&inputs, &specs, &out, true);
+    }
+
+    #[test]
+    fn arena_reuse_matches_fresh_and_reports_stats() {
+        let n = 8_000usize;
+        let a = col(
+            13,
+            &(0..n)
+                .map(|i| ((i * 2654435761) % 8192) as u64)
+                .collect::<Vec<_>>(),
+        );
+        let b = col(
+            17,
+            &(0..n)
+                .map(|i| ((i * 40503) % 131072) as u64)
+                .collect::<Vec<_>>(),
+        );
+        let inputs = vec![&a, &b];
+        let specs = vec![SortSpec::asc(13), SortSpec::asc(17)];
+        let cfg = ExecConfig::default();
+
+        let mut arena = ExecArena::new();
+        for plan in [
+            MassagePlan::column_at_a_time(&specs),
+            MassagePlan::from_widths(&[16, 14]),
+            MassagePlan::from_widths(&[30]),
+        ] {
+            let fresh =
+                multi_column_sort(&inputs, &specs, &plan, &cfg).expect("valid sort instance");
+            for _ in 0..2 {
+                let warm = multi_column_sort_with(&inputs, &specs, &plan, &cfg, &mut arena)
+                    .expect("valid sort instance");
+                assert_eq!(warm.oids, fresh.oids, "plan {plan}");
+                assert_eq!(warm.groups.offsets, fresh.groups.offsets, "plan {plan}");
+                assert!(!warm.stats.arena.is_empty());
+            }
+        }
+        let stats = arena.stats();
+        assert_eq!(stats.grows + stats.reuses, 6);
+        assert!(stats.reuses >= 3, "repeat executions must reuse: {stats:?}");
+        assert!(stats.bytes_peak > 0);
+
+        // The arena-less entry point reports default arena stats.
+        let plainest = multi_column_sort(
+            &inputs,
+            &specs,
+            &MassagePlan::column_at_a_time(&specs),
+            &cfg,
+        )
+        .expect("valid sort instance");
+        assert!(plainest.stats.arena.is_empty());
+    }
+
+    #[test]
+    fn alloc_probe_reports_round_loop_allocations() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // A fake probe: the executor only subtracts two samples, so a
+        // monotone counter stands in for a real allocation count.
+        static TICKS: AtomicU64 = AtomicU64::new(0);
+        fn probe() -> u64 {
+            TICKS.fetch_add(3, Ordering::Relaxed)
+        }
+        let a = col(10, &[3, 1, 2, 1]);
+        let inputs = vec![&a];
+        let specs = vec![SortSpec::asc(10)];
+        let plan = MassagePlan::column_at_a_time(&specs);
+        let cfg = ExecConfig {
+            alloc_probe: Some(probe),
+            ..ExecConfig::default()
+        };
+        let out = multi_column_sort(&inputs, &specs, &plan, &cfg).expect("valid sort instance");
+        assert_eq!(out.stats.round_loop_allocs, Some(3));
+        let no_probe = multi_column_sort(&inputs, &specs, &plan, &ExecConfig::default())
+            .expect("valid sort instance");
+        assert_eq!(no_probe.stats.round_loop_allocs, None);
     }
 
     #[test]

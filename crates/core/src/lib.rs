@@ -19,7 +19,10 @@
 //!   shift) program of the paper's Figure 6, with `I_FIP` accounting and
 //!   `DESC` complementing (Figure 5);
 //! * [`multi_column_sort`] — the executor: massage → per-round
-//!   lookup/segmented-SIMD-sort/scan, with per-phase telemetry.
+//!   lookup/segmented-SIMD-sort/scan, with per-phase telemetry;
+//! * [`ExecArena`] / [`multi_column_sort_with`] — the reusable execution
+//!   arena: repeated sorts run their round loop with zero heap
+//!   allocations once the arena is warm.
 //!
 //! ```
 //! use mcs_columnar::CodeVec;
@@ -41,15 +44,17 @@
 // recoverable path. Test modules opt back in with `#[allow]`.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+mod arena;
 mod executor;
 mod massage;
 mod plan;
 
+pub use arena::{ArenaStats, ExecArena};
 pub use executor::{
-    multi_column_sort, tuple_cmp, verify_sorted, ExecConfig, ExecStats, MultiColumnSortOutput,
-    RoundStats, SortError,
+    multi_column_sort, multi_column_sort_with, tuple_cmp, verify_sorted, ExecConfig, ExecStats,
+    MultiColumnSortOutput, RoundStats, SortError,
 };
-pub use massage::{massage, width_mask, FipStep, MassageProgram, RoundKeys};
+pub use massage::{massage, massage_into, width_mask, FipStep, MassageProgram, RoundKeys};
 pub use plan::{MassagePlan, PlanError, Round, SortSpec};
 
 // Re-export the pieces callers need alongside plans.

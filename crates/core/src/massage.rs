@@ -11,7 +11,7 @@
 
 use crate::plan::{MassagePlan, SortSpec};
 use mcs_columnar::CodeVec;
-use mcs_simd_sort::{for_each_chunk, Bank};
+use mcs_simd_sort::{for_each_chunk, Bank, Key};
 
 /// One shift/mask/or/shift step: move `len` bits of input column
 /// `in_col` into output round `out_col`.
@@ -165,11 +165,50 @@ pub fn width_mask(w: u32) -> u64 {
     }
 }
 
-#[derive(Clone, Copy)]
-struct SendPtr(*mut u64);
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
 // SAFETY: used only with disjoint index ranges per thread.
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Run one FIP step with a bank-native destination: OR the step's bit
+/// segment of every row directly into `dst` in the bank's physical type.
+///
+/// `bits << out_shift` always fits the bank because the round width is
+/// bounded by the bank width (enforced by plan validation), so the
+/// narrowing `K::from_u64` is lossless.
+fn execute_step_into<K: Key>(
+    src: &CodeVec,
+    step: &FipStep,
+    comp_mask: u64,
+    dst: &mut [K],
+    threads: usize,
+) {
+    let seg_mask = width_mask(step.len);
+    let n = dst.len();
+    let dst_ptr = SendPtr(dst.as_mut_ptr());
+    for_each_chunk(n, threads, |_, start, len| {
+        // Rebind to capture the whole SendPtr rather than its raw *mut
+        // field (edition-2021 closures capture disjoint fields, and a
+        // bare *mut is not Send).
+        #[allow(clippy::redundant_locals)]
+        let dst_ptr = dst_ptr;
+        for r in start..start + len {
+            let code = src.get(r) ^ comp_mask;
+            let bits = (code >> step.in_shift) & seg_mask;
+            // SAFETY: row ranges of different chunks are disjoint.
+            unsafe {
+                let p = dst_ptr.0.add(r);
+                *p = K::from_u64((*p).to_u64() | (bits << step.out_shift));
+            }
+        }
+    });
+}
 
 /// Round keys in their bank's physical type, ready for the SIMD sort.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -189,6 +228,15 @@ impl RoundKeys {
             Bank::B16 => RoundKeys::B16(keys.iter().map(|&v| v as u16).collect()),
             Bank::B32 => RoundKeys::B32(keys.iter().map(|&v| v as u32).collect()),
             Bank::B64 => RoundKeys::B64(keys.to_vec()),
+        }
+    }
+
+    /// The bank this buffer physically is.
+    pub fn bank(&self) -> Bank {
+        match self {
+            RoundKeys::B16(_) => Bank::B16,
+            RoundKeys::B32(_) => Bank::B32,
+            RoundKeys::B64(_) => Bank::B64,
         }
     }
 
@@ -216,6 +264,50 @@ impl RoundKeys {
     }
 }
 
+/// Massage `inputs` directly into caller-provided bank-native buffers —
+/// the allocation-free core of [`massage`], used by
+/// [`crate::ExecArena`]-backed execution.
+///
+/// `outs` must hold one zero-filled [`RoundKeys`] per plan round, each
+/// of the round's bank and of the input row count; every FIP step ORs
+/// its bit segment straight into the destination bank type, so no
+/// intermediate wide `u64` vectors are materialized. Returns the
+/// compiled program (for `I_FIP` accounting).
+pub fn massage_into(
+    inputs: &[&CodeVec],
+    specs: &[SortSpec],
+    plan: &MassagePlan,
+    threads: usize,
+    outs: &mut [RoundKeys],
+) -> MassageProgram {
+    assert_eq!(inputs.len(), specs.len());
+    let n = inputs.first().map_or(0, |c| c.len());
+    for c in inputs {
+        assert_eq!(c.len(), n, "input column length mismatch");
+    }
+    assert_eq!(outs.len(), plan.rounds.len(), "one output buffer per round");
+    for (out, round) in outs.iter().zip(&plan.rounds) {
+        assert_eq!(out.bank(), round.bank, "output buffer bank mismatch");
+        assert_eq!(out.len(), n, "output buffer length mismatch");
+    }
+    let prog = MassageProgram::compile(specs, plan);
+    for step in &prog.steps {
+        let src = inputs[step.in_col];
+        let spec = prog.specs[step.in_col];
+        let comp_mask = if spec.descending {
+            width_mask(spec.width)
+        } else {
+            0
+        };
+        match &mut outs[step.out_col] {
+            RoundKeys::B16(dst) => execute_step_into::<u16>(src, step, comp_mask, dst, threads),
+            RoundKeys::B32(dst) => execute_step_into::<u32>(src, step, comp_mask, dst, threads),
+            RoundKeys::B64(dst) => execute_step_into::<u64>(src, step, comp_mask, dst, threads),
+        }
+    }
+    prog
+}
+
 /// Massage `inputs` according to `plan`, returning bank-typed keys per
 /// round plus the executed program (for `I_FIP` accounting).
 pub fn massage(
@@ -224,14 +316,17 @@ pub fn massage(
     plan: &MassagePlan,
     threads: usize,
 ) -> (Vec<RoundKeys>, MassageProgram) {
-    let prog = MassageProgram::compile(specs, plan);
-    let wide = prog.execute(inputs, threads);
-    let keys = plan
+    let n = inputs.first().map_or(0, |c| c.len());
+    let mut keys: Vec<RoundKeys> = plan
         .rounds
         .iter()
-        .zip(&wide)
-        .map(|(r, w)| RoundKeys::from_u64s(r.bank, w))
+        .map(|r| match r.bank {
+            Bank::B16 => RoundKeys::B16(vec![0u16; n]),
+            Bank::B32 => RoundKeys::B32(vec![0u32; n]),
+            Bank::B64 => RoundKeys::B64(vec![0u64; n]),
+        })
         .collect();
+    let prog = massage_into(inputs, specs, plan, threads, &mut keys);
     (keys, prog)
 }
 
@@ -406,6 +501,51 @@ mod tests {
         let prog = MassageProgram::compile(&sp, &plan);
         let out = prog.execute(&[&c], 1);
         assert_eq!(out[0], vec![0, u64::MAX, !42]);
+    }
+
+    #[test]
+    fn massage_into_matches_wide_execute_across_plans() {
+        // The bank-native path must agree with the legacy wide-u64
+        // execute + narrow pipeline for every plan shape and direction.
+        let c1 = CodeVec::from_u64s(17, [0u64, 131_071, 42, 99_999]);
+        let c2 = CodeVec::from_u64s(33, [1u64 << 32, 0, 8_589_934_591, 12345]);
+        let inputs = vec![&c1, &c2];
+        for plan_widths in [vec![17, 33], vec![18, 32], vec![50], vec![16, 16, 18]] {
+            let plan = MassagePlan::from_widths(&plan_widths);
+            for desc_pattern in [[false, false], [true, true]] {
+                let sp: Vec<SortSpec> = [17u32, 33]
+                    .iter()
+                    .zip(desc_pattern)
+                    .map(|(&w, d)| SortSpec {
+                        width: w,
+                        descending: d,
+                    })
+                    .collect();
+                let prog = MassageProgram::compile(&sp, &plan);
+                let wide = prog.execute(&inputs, 1);
+                let want: Vec<RoundKeys> = plan
+                    .rounds
+                    .iter()
+                    .zip(&wide)
+                    .map(|(r, w)| RoundKeys::from_u64s(r.bank, w))
+                    .collect();
+                for threads in [1usize, 3] {
+                    let (got, prog2) = massage(&inputs, &sp, &plan, threads);
+                    assert_eq!(prog2.i_fip(), prog.i_fip());
+                    assert_eq!(got, want, "plan={plan_widths:?} desc={desc_pattern:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer bank mismatch")]
+    fn massage_into_rejects_wrong_bank() {
+        let c1 = CodeVec::from_u64s(20, [1u64, 2, 3]);
+        let sp = specs(&[20]);
+        let plan = MassagePlan::from_widths(&[20]); // wants B32
+        let mut outs = vec![RoundKeys::B16(vec![0u16; 3])];
+        massage_into(&[&c1], &sp, &plan, 1, &mut outs);
     }
 
     #[test]

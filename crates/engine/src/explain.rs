@@ -122,6 +122,22 @@ impl ExplainReport {
         if self.plan_cached {
             out.push_str("plan: cached\n");
         }
+        // Arena-backed executions (session path) report buffer reuse;
+        // the stateless path leaves `measured.arena` empty and renders
+        // no line, keeping the pre-arena golden snapshots stable. Grow/
+        // reuse counts are deterministic; the byte peak is not, so it
+        // redacts like a timing.
+        if !self.measured.arena.is_empty() {
+            let peak = if redact {
+                "###".to_string()
+            } else {
+                self.measured.arena.bytes_peak.to_string()
+            };
+            out.push_str(&format!(
+                "arena: peak {} bytes, grows {}, reuses {}\n",
+                peak, self.measured.arena.grows, self.measured.arena.reuses
+            ));
+        }
         if !self.degradations.is_empty() {
             out.push_str(&format!("degraded: {}\n", self.degradations.join(" -> ")));
         }
@@ -278,6 +294,8 @@ mod tests {
         let cold_rep = ExplainReport::from_timings("q", &cold.timings, &model).unwrap();
         assert!(!cold_rep.plan_cached);
         assert!(!cold_rep.render().contains("plan: cached"));
+        // Session executions run through the arena: the first one grew it.
+        assert!(cold_rep.render().contains("bytes, grows 1, reuses 0\n"));
 
         let warm = session.run_query("t", &q).unwrap();
         let warm_rep = ExplainReport::from_timings("q", &warm.timings, &model).unwrap();
@@ -285,6 +303,28 @@ mod tests {
         assert!(warm_rep.render().contains("plan: cached\n"));
         // The annotation survives redaction (it carries no timing).
         assert!(warm_rep.render_redacted().contains("plan: cached\n"));
+        // The warm rerun reused capacity; the byte peak redacts away.
+        assert!(warm_rep.render().contains("grows 1, reuses 1\n"));
+        assert!(warm_rep.render_redacted().contains("arena: peak ### bytes"));
+    }
+
+    #[test]
+    fn stateless_reports_render_no_arena_line() {
+        let n = 1024usize;
+        let a = mcs_columnar::CodeVec::from_u64s(9, (0..n).map(|i| (i as u64 * 37) % 512));
+        let inst = SortInstance::uniform(n, &[(9, 512.0)]);
+        let plan = inst.p0();
+        let out = multi_column_sort(&[&a], &inst.specs, &plan, &ExecConfig::default())
+            .expect("valid sort instance");
+        let rep = ExplainReport::from_parts(
+            "unit",
+            &inst,
+            &plan,
+            &out.stats,
+            &CostModel::with_defaults(),
+        );
+        assert!(!rep.render().contains("arena:"));
+        assert!(!rep.render_redacted().contains("arena:"));
     }
 
     #[test]

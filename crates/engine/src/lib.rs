@@ -65,4 +65,4 @@ pub use window::rank_over;
 
 // Convenient re-exports for engine users.
 pub use mcs_columnar::{Column, Predicate, Table};
-pub use mcs_core::{ExecConfig, MassagePlan, SortSpec};
+pub use mcs_core::{ArenaStats, ExecArena, ExecConfig, MassagePlan, SortSpec};

@@ -29,8 +29,8 @@ use std::time::{Duration, Instant};
 
 use mcs_columnar::{BitVec, CodeVec, Column, Table};
 use mcs_core::{
-    multi_column_sort, tuple_cmp, ExecConfig, ExecStats, GroupBounds, MassagePlan,
-    MultiColumnSortOutput, SortError, SortSpec,
+    multi_column_sort, multi_column_sort_with, tuple_cmp, ExecArena, ExecConfig, ExecStats,
+    GroupBounds, MassagePlan, MultiColumnSortOutput, SortError, SortSpec,
 };
 use mcs_cost::{CostModel, KeyColumnStats, SortInstance};
 use mcs_planner::{roga, rrs, PlanFingerprint, RogaOptions, RrsOptions, SearchError};
@@ -259,16 +259,17 @@ pub fn run_query(
     query: &Query,
     cfg: &EngineConfig,
 ) -> Result<QueryResult, EngineError> {
-    run_query_impl(table, query, cfg, None)
+    run_query_impl(table, query, cfg, None, None)
 }
 
-/// The shared pipeline body behind [`run_query`] (no cache) and the
-/// session path (`cache = Some(…)`).
+/// The shared pipeline body behind [`run_query`] (no cache, no arena) and
+/// the session path (`cache = Some(…)`, `arena = Some(…)`).
 pub(crate) fn run_query_impl(
     table: &Table,
     query: &Query,
     cfg: &EngineConfig,
     cache: Option<&PlanCache>,
+    arena: Option<&mut ExecArena>,
 ) -> Result<QueryResult, EngineError> {
     let t_total = Instant::now();
     let mut timings = QueryTimings::default();
@@ -276,11 +277,11 @@ pub(crate) fn run_query_impl(
     let oids = filter_oids(table, query, &mut timings)?;
 
     let result = if !query.partition_by.is_empty() {
-        execute_window(table, query, cfg, &oids, &mut timings, cache)?
+        execute_window(table, query, cfg, &oids, &mut timings, cache, arena)?
     } else if !query.group_by.is_empty() {
-        execute_grouped(table, query, cfg, &oids, &mut timings, cache)?
+        execute_grouped(table, query, cfg, &oids, &mut timings, cache, arena)?
     } else {
-        execute_orderby(table, query, cfg, &oids, &mut timings, cache)?
+        execute_orderby(table, query, cfg, &oids, &mut timings, cache, arena)?
     };
 
     timings.total_ns = t_total.elapsed().as_nanos() as u64;
@@ -567,6 +568,7 @@ fn sort_with_ladder(
     plan: MassagePlan,
     exec: &ExecConfig,
     timings: &mut QueryTimings,
+    mut arena: Option<&mut ExecArena>,
 ) -> Result<(MultiColumnSortOutput, Option<MassagePlan>), EngineError> {
     let total: u32 = pspecs.iter().map(|s| s.width).sum();
     // Belt and braces: a plan that fails validation degrades here even if
@@ -578,7 +580,14 @@ fn sort_with_ladder(
             MassagePlan::column_at_a_time(pspecs)
         }
     };
-    let first = multi_column_sort(pcols, pspecs, &plan, exec);
+    // Every rung draws from the same arena when one is provided — the
+    // executor restores it on failure, so rung N+1 reuses rung N's
+    // buffers rather than starting cold.
+    let sort = |plan: &MassagePlan, arena: Option<&mut ExecArena>| match arena {
+        Some(a) => multi_column_sort_with(pcols, pspecs, plan, exec, a),
+        None => multi_column_sort(pcols, pspecs, plan, exec),
+    };
+    let first = sort(&plan, arena.as_deref_mut());
     let err = match first {
         Ok(out) => return Ok((out, Some(plan))),
         Err(e) => e,
@@ -592,7 +601,7 @@ fn sort_with_ladder(
     // input, identical outcome).
     let p0 = MassagePlan::column_at_a_time(pspecs);
     if plan != p0 {
-        match multi_column_sort(pcols, pspecs, &p0, exec) {
+        match sort(&p0, arena) {
             Ok(out) => return Ok((out, Some(p0))),
             Err(e) if sort_error_recoverable(&e) => {
                 record_degradation(timings, DegradeReason::ScalarFallback, &e.to_string());
@@ -640,9 +649,8 @@ fn scalar_fallback_sort(
         GroupBounds::whole(n)
     };
     let stats = ExecStats {
-        massage_ns: 0,
-        rounds: Vec::new(),
         total_ns: t0.elapsed().as_nanos() as u64,
+        ..ExecStats::default()
     };
     MultiColumnSortOutput {
         oids,
@@ -653,6 +661,7 @@ fn scalar_fallback_sort(
 
 /// Sort the gathered key columns under the chosen plan; returns the
 /// permutation (positions into `oids`) and grouping.
+#[allow(clippy::too_many_arguments)]
 fn run_mcs(
     cols: &[CodeVec],
     specs: &[SortSpec],
@@ -661,6 +670,7 @@ fn run_mcs(
     cfg: &EngineConfig,
     timings: &mut QueryTimings,
     cache: Option<&PlanCache>,
+    arena: Option<&mut ExecArena>,
 ) -> Result<MultiColumnSortOutput, EngineError> {
     let (plan, order) = pick_plan(inst, order_free, cfg, timings, cache)?;
     let (pcols, pspecs): (Vec<&CodeVec>, Vec<SortSpec>) = (
@@ -668,7 +678,7 @@ fn run_mcs(
         order.iter().map(|&i| specs[i]).collect(),
     );
     let t = Instant::now();
-    let (out, ran_plan) = sort_with_ladder(&pcols, &pspecs, plan, &cfg.exec, timings)?;
+    let (out, ran_plan) = sort_with_ladder(&pcols, &pspecs, plan, &cfg.exec, timings, arena)?;
     timings.mcs_ns += t.elapsed().as_nanos() as u64;
     timings.mcs_stats = out.stats.clone();
     timings.plan = ran_plan;
@@ -685,6 +695,7 @@ fn execute_orderby(
     oids: &[u32],
     timings: &mut QueryTimings,
     cache: Option<&PlanCache>,
+    arena: Option<&mut ExecArena>,
 ) -> Result<Vec<(String, Vec<u64>)>, EngineError> {
     let keys = query.sort_keys();
     if keys.is_empty() {
@@ -693,7 +704,7 @@ fn execute_orderby(
         });
     }
     let (cols, specs, inst) = prepare_sort(table, &keys, oids, false, timings)?;
-    let out = run_mcs(&cols, &specs, &inst, false, cfg, timings, cache)?;
+    let out = run_mcs(&cols, &specs, &inst, false, cfg, timings, cache, arena)?;
 
     // Final oids into the base table.
     let final_oids: Vec<u32> = out.oids.iter().map(|&p| oids[p as usize]).collect();
@@ -732,6 +743,7 @@ fn execute_grouped(
     oids: &[u32],
     timings: &mut QueryTimings,
     cache: Option<&PlanCache>,
+    mut arena: Option<&mut ExecArena>,
 ) -> Result<Vec<(String, Vec<u64>)>, EngineError> {
     // No qualifying rows: zero groups, empty output columns.
     if oids.is_empty() {
@@ -751,6 +763,7 @@ fn execute_grouped(
         cfg,
         timings,
         cache,
+        arena.as_deref_mut(),
     )?;
     let final_oids: Vec<u32> = out.oids.iter().map(|&p| oids[p as usize]).collect();
 
@@ -849,7 +862,7 @@ fn execute_grouped(
             order2.iter().map(|&i| refs[i]).collect(),
             order2.iter().map(|&i| ob_specs[i]).collect(),
         );
-        let (sorted, _) = sort_with_ladder(&pcols, &pspecs, plan2, &cfg.exec, timings)?;
+        let (sorted, _) = sort_with_ladder(&pcols, &pspecs, plan2, &cfg.exec, timings, arena)?;
         for (_, vals) in result.iter_mut() {
             *vals = sorted.oids.iter().map(|&p| vals[p as usize]).collect();
         }
@@ -858,6 +871,7 @@ fn execute_grouped(
     Ok(result)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_window(
     table: &Table,
     query: &Query,
@@ -865,6 +879,7 @@ fn execute_window(
     oids: &[u32],
     timings: &mut QueryTimings,
     cache: Option<&PlanCache>,
+    arena: Option<&mut ExecArena>,
 ) -> Result<Vec<(String, Vec<u64>)>, EngineError> {
     let keys = query.sort_keys();
     let (cols, specs, inst) = prepare_sort(table, &keys, oids, true, timings)?;
@@ -885,6 +900,7 @@ fn execute_window(
         cfg,
         timings,
         cache,
+        arena,
     )?;
     let final_oids: Vec<u32> = out.oids.iter().map(|&p| oids[p as usize]).collect();
 

@@ -19,13 +19,19 @@
 //! [`Session::run_concurrent`] serves independent queries from scoped
 //! threads over the shared database, admission-limited by a
 //! dependency-free counting semaphore ([`AdmissionGate`]).
+//!
+//! Memory: the session keeps a pool of [`ExecArena`]s, one per
+//! in-flight query. Every execution borrows an arena for its working
+//! buffers and returns it afterwards, so a warm prepared query re-runs
+//! its round loop without heap allocations; [`Session::arena_stats`]
+//! reports the pool's aggregate reuse counters.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
 use mcs_columnar::Table;
-use mcs_core::MassagePlan;
+use mcs_core::{ArenaStats, ExecArena, MassagePlan};
 use mcs_planner::PlanFingerprint;
 use mcs_telemetry as telemetry;
 
@@ -223,6 +229,11 @@ pub struct Session<'db> {
     db: &'db Database,
     cfg: EngineConfig,
     cache: PlanCache,
+    /// Pooled execution arenas: each query pops one (or starts fresh
+    /// when the pool is empty, e.g. under new peak concurrency) and
+    /// pushes it back when done, so buffers are reused across queries
+    /// without blocking concurrent executions on each other.
+    arenas: Mutex<Vec<ExecArena>>,
 }
 
 impl<'db> Session<'db> {
@@ -244,6 +255,7 @@ impl<'db> Session<'db> {
             db,
             cfg,
             cache: PlanCache::new(capacity),
+            arenas: Mutex::new(Vec::new()),
         }
     }
 
@@ -260,6 +272,37 @@ impl<'db> Session<'db> {
     /// Exact plan-cache counters for this session.
     pub fn cache_stats(&self) -> PlanCacheStats {
         self.cache.stats()
+    }
+
+    /// Aggregate [`ExecArena`] reuse counters across the session's
+    /// arena pool: `grows`/`reuses` sum every execution's accounting,
+    /// `bytes_peak` sums the per-arena high-water marks (the pool's
+    /// total held memory at peak). Arenas borrowed by in-flight queries
+    /// are not counted until they return.
+    pub fn arena_stats(&self) -> ArenaStats {
+        let arenas = self.lock_arenas();
+        let mut total = ArenaStats::default();
+        for arena in arenas.iter() {
+            let s = arena.stats();
+            total.bytes_peak += s.bytes_peak;
+            total.grows += s.grows;
+            total.reuses += s.reuses;
+        }
+        total
+    }
+
+    /// Like [`PlanCache::lock`]: a poisoned pool mutex only means a
+    /// query panicked while popping/pushing; the `Vec` stays consistent.
+    fn lock_arenas(&self) -> MutexGuard<'_, Vec<ExecArena>> {
+        self.arenas.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn take_arena(&self) -> ExecArena {
+        self.lock_arenas().pop().unwrap_or_default()
+    }
+
+    fn put_arena(&self, arena: ExecArena) {
+        self.lock_arenas().push(arena);
     }
 
     fn resolve(&self, table: &str) -> Result<&'db Table, EngineError> {
@@ -288,7 +331,12 @@ impl<'db> Session<'db> {
     /// repeated-query path).
     pub fn run_query(&self, table: &str, query: &Query) -> Result<QueryResult, EngineError> {
         let t = self.resolve(table)?;
-        run_query_impl(t, query, &self.cfg, Some(&self.cache))
+        let mut arena = self.take_arena();
+        let result = run_query_impl(t, query, &self.cfg, Some(&self.cache), Some(&mut arena));
+        // Return the arena even on error: the executor restores its
+        // buffers on every exit path, so they stay reusable.
+        self.put_arena(arena);
+        result
     }
 
     /// Execute independent prepared queries concurrently over the shared
@@ -483,6 +531,26 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn session_reuses_its_arena_across_executions() {
+        let db = db_with_sales();
+        let session = Session::new(&db, EngineConfig::default());
+        assert!(session.arena_stats().is_empty(), "nothing executed yet");
+        let prepared = session.prepare("sales", &orderby_query()).unwrap();
+        let first = prepared.execute(&session).unwrap();
+        assert!(
+            !first.timings.mcs_stats.arena.is_empty(),
+            "session executions run through the arena"
+        );
+        for _ in 0..3 {
+            prepared.execute(&session).unwrap();
+        }
+        let stats = session.arena_stats();
+        assert_eq!(stats.grows + stats.reuses, 4, "one accounting per run");
+        assert!(stats.reuses >= 3, "identical reruns reuse capacity");
+        assert!(stats.bytes_peak > 0);
     }
 
     #[test]

@@ -100,9 +100,13 @@ pub unsafe fn phase1_block_sort<Kn: Kernel>(keys: &mut [Kn::K], oids: &mut [u32]
     debug_assert_eq!(keys.len() % block, 0);
     let net = cached_network(l);
 
-    // Temp buffers for the in-block transpose (stack-friendly: ≤ 256 elems).
-    let mut tk = vec![Kn::K::default(); block];
-    let mut to = vec![0u32; block];
+    // Temp buffers for the in-block transpose, on the stack: the max
+    // lane count is 16, so a block is at most 256 elements. Heap
+    // allocations here would break the warm round loop's zero-allocation
+    // guarantee (two per sort invocation).
+    debug_assert!(block <= 256);
+    let mut tk = [Kn::K::default(); 256];
+    let mut to = [0u32; 256];
 
     let mut base = 0;
     while base < keys.len() {

@@ -46,17 +46,24 @@ pub mod phase;
 pub mod portable;
 pub mod radix;
 pub mod scalar;
+mod scratch;
 mod segmented;
 mod sort;
 
 pub use key::{Bank, Key};
+pub use multiway::{multiway_merge_scratch, multiway_pass_scratch};
 pub use parallel::{
-    for_each_chunk, sort_pairs_in_groups_parallel, sort_pairs_parallel, WorkerPanic,
+    for_each_chunk, sort_pairs_in_groups_parallel, sort_pairs_in_groups_parallel_scratch,
+    sort_pairs_parallel, WorkerPanic,
 };
 pub use phase::PhaseTimes;
 pub use radix::{sort_pairs_radix, sort_pairs_radix_in_groups};
 pub use scalar::{insertion_sort_pairs, sort_pairs_scalar};
-pub use segmented::{group_boundaries, sort_pairs_in_groups, GroupBounds, SegmentedSortStats};
+pub use scratch::{MergeScratch, SortScratch, WorkerScratch};
+pub use segmented::{
+    group_boundaries, sort_pairs_in_groups, sort_pairs_in_groups_scratch, GroupBounds,
+    SegmentedSortStats,
+};
 pub use sort::{avx2_available, SortConfig, SortableKey};
 
 /// Sort `(keys, oids)` ascending by key with default configuration.

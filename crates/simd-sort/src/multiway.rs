@@ -4,49 +4,47 @@
 //! whole dataset `log2(R)` more times. A merge tree with fan-out `F`
 //! reduces that to `⌈log_F(R)⌉` passes (Eq. 8 in the paper). Each pass
 //! merges groups of up to `F` adjacent runs with a classic loser tree.
+//!
+//! The tree's node arrays live in a caller-provided [`MergeScratch`] so
+//! repeated passes (and repeated sorts) reuse the same memory; the plain
+//! entry points allocate a fresh scratch per call.
 
 use crate::key::Key;
+use crate::scratch::MergeScratch;
 use core::ops::Range;
 
 /// A loser tree over up to `F` input runs of `(key, oid)` pairs.
 ///
 /// Exhausted runs are represented by an explicit `valid = false` flag
 /// rather than a sentinel key, so `K::MAX` remains a legal key value.
+/// Head keys are held widened to `u64` in the scratch (order-preserving
+/// for unsigned codes), which lets one scratch serve every bank.
 struct LoserTree<'a, K: Key> {
     keys: &'a [K],
     oids: &'a [u32],
-    /// Cursor and end per run.
-    cursors: Vec<(usize, usize)>,
-    /// `tree[i]` = run index of the *loser* at internal node `i`; `tree[0]`
-    /// holds the overall winner.
-    tree: Vec<u32>,
-    /// Current head key per run (`None` when the run is exhausted).
-    heads: Vec<Option<K>>,
+    /// Node arrays: cursors, heads, losers (`s.tree[0]` = winner).
+    s: &'a mut MergeScratch,
     /// Number of leaves (padded to a power of two).
     m: usize,
 }
 
 impl<'a, K: Key> LoserTree<'a, K> {
-    fn new(keys: &'a [K], oids: &'a [u32], runs: &[Range<usize>]) -> Self {
+    fn new(keys: &'a [K], oids: &'a [u32], runs: &[Range<usize>], s: &'a mut MergeScratch) -> Self {
         let m = runs.len().next_power_of_two().max(2);
-        let mut cursors = vec![(0usize, 0usize); m];
-        let mut heads = vec![None; m];
+        s.prepare(m);
+        for i in 0..m {
+            s.cursors[i] = (0, 0);
+            s.heads[i] = (0, false);
+        }
         for (i, r) in runs.iter().enumerate() {
-            cursors[i] = (r.start, r.end);
-            heads[i] = if r.start < r.end {
-                Some(keys[r.start])
+            s.cursors[i] = (r.start, r.end);
+            s.heads[i] = if r.start < r.end {
+                (keys[r.start].to_u64(), true)
             } else {
-                None
+                (0, false)
             };
         }
-        let mut lt = LoserTree {
-            keys,
-            oids,
-            cursors,
-            tree: vec![0; m],
-            heads,
-            m,
-        };
+        let mut lt = LoserTree { keys, oids, s, m };
         lt.rebuild();
         lt
     }
@@ -56,58 +54,89 @@ impl<'a, K: Key> LoserTree<'a, K> {
     /// required by the callers).
     #[inline]
     fn beats(&self, a: u32, b: u32) -> bool {
-        match (self.heads[a as usize], self.heads[b as usize]) {
-            (Some(ka), Some(kb)) => ka < kb || (ka == kb && a < b),
-            (Some(_), None) => true,
-            (None, _) => false,
+        match (self.s.heads[a as usize], self.s.heads[b as usize]) {
+            ((ka, true), (kb, true)) => ka < kb || (ka == kb && a < b),
+            ((_, true), (_, false)) => true,
+            ((_, false), _) => false,
         }
     }
 
     /// Full rebuild: play all matches bottom-up.
     fn rebuild(&mut self) {
-        // Temporary winner array for internal nodes [1, 2m).
         let m = self.m;
-        let mut winner = vec![0u32; 2 * m];
         for i in 0..m {
-            winner[m + i] = i as u32;
+            self.s.winner[m + i] = i as u32;
         }
         for i in (1..m).rev() {
-            let (a, b) = (winner[2 * i], winner[2 * i + 1]);
+            let (a, b) = (self.s.winner[2 * i], self.s.winner[2 * i + 1]);
             let (w, l) = if self.beats(a, b) { (a, b) } else { (b, a) };
-            winner[i] = w;
-            self.tree[i] = l;
+            self.s.winner[i] = w;
+            self.s.tree[i] = l;
         }
-        self.tree[0] = winner[1];
+        self.s.tree[0] = self.s.winner[1];
     }
 
     /// Pop the smallest `(key, oid)`; returns `None` when all runs drain.
     #[inline]
     fn pop(&mut self) -> Option<(K, u32)> {
-        let w = self.tree[0] as usize;
-        let key = self.heads[w]?;
-        let (cur, end) = self.cursors[w];
+        let w = self.s.tree[0] as usize;
+        let (key_u64, valid) = self.s.heads[w];
+        if !valid {
+            return None;
+        }
+        let key = K::from_u64(key_u64);
+        let (cur, end) = self.s.cursors[w];
         let oid = self.oids[cur];
         let next = cur + 1;
-        self.cursors[w].0 = next;
-        self.heads[w] = if next < end {
-            Some(self.keys[next])
+        self.s.cursors[w].0 = next;
+        self.s.heads[w] = if next < end {
+            (self.keys[next].to_u64(), true)
         } else {
-            None
+            (0, false)
         };
         // Replay matches from leaf w to the root.
         let mut winner = w as u32;
         let mut node = (self.m + w) >> 1;
         while node >= 1 {
-            let other = self.tree[node];
+            let other = self.s.tree[node];
             if self.beats(other, winner) {
-                self.tree[node] = winner;
+                self.s.tree[node] = winner;
                 winner = other;
             }
             node >>= 1;
         }
-        self.tree[0] = winner;
+        self.s.tree[0] = winner;
         Some((key, oid))
     }
+}
+
+/// Merge `runs` (disjoint, individually sorted index ranges of `src_*`)
+/// into `dst_*` starting at `dst_at`, with caller-provided node arrays.
+pub fn multiway_merge_scratch<K: Key>(
+    src_k: &[K],
+    src_o: &[u32],
+    dst_k: &mut [K],
+    dst_o: &mut [u32],
+    runs: &[Range<usize>],
+    dst_at: usize,
+    scratch: &mut MergeScratch,
+) {
+    debug_assert!(!runs.is_empty());
+    if runs.len() == 1 {
+        let r = runs[0].clone();
+        let n = r.len();
+        dst_k[dst_at..dst_at + n].copy_from_slice(&src_k[r.clone()]);
+        dst_o[dst_at..dst_at + n].copy_from_slice(&src_o[r]);
+        return;
+    }
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut lt = LoserTree::new(src_k, src_o, runs, scratch);
+    for i in 0..total {
+        let (k, o) = lt.pop().expect("loser tree drained early");
+        dst_k[dst_at + i] = k;
+        dst_o[dst_at + i] = o;
+    }
+    debug_assert!(lt.pop().is_none());
 }
 
 /// Merge `runs` (disjoint, individually sorted index ranges of `src_*`)
@@ -120,22 +149,41 @@ pub fn multiway_merge<K: Key>(
     runs: &[Range<usize>],
     dst_at: usize,
 ) {
-    debug_assert!(!runs.is_empty());
-    if runs.len() == 1 {
-        let r = runs[0].clone();
-        let n = r.len();
-        dst_k[dst_at..dst_at + n].copy_from_slice(&src_k[r.clone()]);
-        dst_o[dst_at..dst_at + n].copy_from_slice(&src_o[r]);
-        return;
+    let mut scratch = MergeScratch::new();
+    multiway_merge_scratch(src_k, src_o, dst_k, dst_o, runs, dst_at, &mut scratch);
+}
+
+/// One `F`-way pass over the whole buffer with caller-provided scratch:
+/// merges consecutive groups of up to `fanout` runs of length `run` from
+/// `src` into `dst`. Returns the new run length (`run * fanout`).
+#[allow(clippy::too_many_arguments)]
+pub fn multiway_pass_scratch<K: Key>(
+    src_k: &[K],
+    src_o: &[u32],
+    dst_k: &mut [K],
+    dst_o: &mut [u32],
+    run: usize,
+    fanout: usize,
+    runs_buf: &mut Vec<Range<usize>>,
+    merge: &mut MergeScratch,
+) -> usize {
+    let n = src_k.len();
+    debug_assert!(fanout >= 2);
+    let group = run * fanout;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + group).min(n);
+        runs_buf.clear();
+        let mut s = start;
+        while s < end {
+            let e = (s + run).min(end);
+            runs_buf.push(s..e);
+            s = e;
+        }
+        multiway_merge_scratch(src_k, src_o, dst_k, dst_o, runs_buf, start, merge);
+        start = end;
     }
-    let total: usize = runs.iter().map(|r| r.len()).sum();
-    let mut lt = LoserTree::new(src_k, src_o, runs);
-    for i in 0..total {
-        let (k, o) = lt.pop().expect("loser tree drained early");
-        dst_k[dst_at + i] = k;
-        dst_o[dst_at + i] = o;
-    }
-    debug_assert!(lt.pop().is_none());
+    group
 }
 
 /// One `F`-way pass over the whole buffer: merges consecutive groups of up
@@ -149,24 +197,18 @@ pub fn multiway_pass<K: Key>(
     run: usize,
     fanout: usize,
 ) -> usize {
-    let n = src_k.len();
-    debug_assert!(fanout >= 2);
-    let group = run * fanout;
-    let mut start = 0usize;
-    let mut runs: Vec<Range<usize>> = Vec::with_capacity(fanout);
-    while start < n {
-        let end = (start + group).min(n);
-        runs.clear();
-        let mut s = start;
-        while s < end {
-            let e = (s + run).min(end);
-            runs.push(s..e);
-            s = e;
-        }
-        multiway_merge(src_k, src_o, dst_k, dst_o, &runs, start);
-        start = end;
-    }
-    group
+    let mut runs_buf: Vec<Range<usize>> = Vec::with_capacity(fanout);
+    let mut merge = MergeScratch::new();
+    multiway_pass_scratch(
+        src_k,
+        src_o,
+        dst_k,
+        dst_o,
+        run,
+        fanout,
+        &mut runs_buf,
+        &mut merge,
+    )
 }
 
 #[cfg(test)]
@@ -237,5 +279,42 @@ mod tests {
         let mut got = dlo.clone();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn scratch_reuse_across_merges_is_clean() {
+        // A big merge followed by a smaller one through the same scratch:
+        // stale node state from the first must not leak into the second.
+        let mut scratch = MergeScratch::new();
+        let k: Vec<u32> = vec![1, 4, 7, 2, 5, 8, 0, 3, 6, 9];
+        let o: Vec<u32> = (0..10).collect();
+        let mut dk = vec![0u32; 10];
+        let mut dlo = vec![0u32; 10];
+        multiway_merge_scratch(
+            &k,
+            &o,
+            &mut dk,
+            &mut dlo,
+            &[0..3, 3..6, 6..8, 8..10],
+            0,
+            &mut scratch,
+        );
+        assert_eq!(dk, vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+
+        let k2: Vec<u32> = vec![9, 1];
+        let o2: Vec<u32> = vec![0, 1];
+        let mut dk2 = vec![0u32; 2];
+        let mut dlo2 = vec![0u32; 2];
+        multiway_merge_scratch(
+            &k2,
+            &o2,
+            &mut dk2,
+            &mut dlo2,
+            &[0..1, 1..2],
+            0,
+            &mut scratch,
+        );
+        assert_eq!(dk2, vec![1, 9]);
+        assert_eq!(dlo2, vec![1, 0]);
     }
 }

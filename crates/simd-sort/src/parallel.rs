@@ -12,6 +12,7 @@
 //! and must be treated as garbage) instead of aborting the process.
 
 use crate::multiway::multiway_merge;
+use crate::scratch::WorkerScratch;
 use crate::segmented::{GroupBounds, SegmentedSortStats};
 use crate::sort::{SortConfig, SortableKey};
 
@@ -109,12 +110,33 @@ pub fn sort_pairs_in_groups_parallel<K: SortableKey>(
     threads: usize,
     cfg: &SortConfig,
 ) -> Result<SegmentedSortStats, WorkerPanic> {
+    let mut scratch = WorkerScratch::new();
+    sort_pairs_in_groups_parallel_scratch(keys, oids, groups, threads, cfg, &mut scratch)
+}
+
+/// Like [`sort_pairs_in_groups_parallel`], but drawing span bookkeeping
+/// and every worker's merge-sort buffers from `scratch` — the hot-path
+/// work is allocation-free once the scratch is warm (thread spawning and
+/// join collection still allocate; the serial `threads == 1` path does
+/// not).
+pub fn sort_pairs_in_groups_parallel_scratch<K: SortableKey>(
+    keys: &mut [K],
+    oids: &mut [u32],
+    groups: &GroupBounds,
+    threads: usize,
+    cfg: &SortConfig,
+    scratch: &mut WorkerScratch,
+) -> Result<SegmentedSortStats, WorkerPanic> {
     assert_eq!(keys.len(), oids.len());
     assert_eq!(groups.num_rows(), keys.len());
     let threads = threads.max(1);
     if threads == 1 {
-        return Ok(crate::segmented::sort_pairs_in_groups(
-            keys, oids, groups, cfg,
+        return Ok(crate::segmented::sort_pairs_in_groups_scratch(
+            keys,
+            oids,
+            groups,
+            cfg,
+            scratch.serial(),
         ));
     }
 
@@ -122,26 +144,41 @@ pub fn sort_pairs_in_groups_parallel<K: SortableKey>(
     // whole groups keep every sort local to one thread.
     let n = keys.len();
     let target = n.div_ceil(threads).max(1);
-    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(threads); // offsets-index ranges
     let offs = &groups.offsets;
+    scratch.spans.clear();
     let mut span_start = 0usize;
     for g in 0..groups.num_groups() {
         let span_rows = (offs[g + 1] - offs[span_start]) as usize;
         if span_rows >= target {
-            spans.push((span_start, g + 1));
+            scratch.spans.push((span_start, g + 1));
             span_start = g + 1;
         }
     }
     if span_start < groups.num_groups() {
-        spans.push((span_start, groups.num_groups()));
+        scratch.spans.push((span_start, groups.num_groups()));
     }
 
+    // One rebased offsets buffer and one sort scratch per span.
+    let num_spans = scratch.spans.len();
+    scratch.locals.resize_with(num_spans, Vec::new);
+    scratch.workers.resize_with(num_spans, Default::default);
+    for (&(gs, ge), local) in scratch.spans.iter().zip(scratch.locals.iter_mut()) {
+        local.clear();
+        local.extend(offs[gs..=ge].iter().map(|&b| b - offs[gs]));
+    }
+
+    let spans = &scratch.spans;
+    let locals = &scratch.locals;
     let joined: Vec<std::thread::Result<SegmentedSortStats>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
+        let mut handles = Vec::with_capacity(num_spans);
         let mut rem_k: &mut [K] = keys;
         let mut rem_o: &mut [u32] = oids;
         let mut consumed = 0usize;
-        for &(gs, ge) in &spans {
+        for ((&(gs, ge), local), worker) in spans
+            .iter()
+            .zip(locals.iter())
+            .zip(scratch.workers.iter_mut())
+        {
             let start = offs[gs] as usize;
             let end = offs[ge] as usize;
             debug_assert_eq!(start, consumed);
@@ -151,14 +188,11 @@ pub fn sort_pairs_in_groups_parallel<K: SortableKey>(
             rem_k = rest_k;
             rem_o = rest_o;
             consumed += take;
-            // Rebase this span's bounds to its local slice.
-            let local =
-                GroupBounds::from_offsets(offs[gs..=ge].iter().map(|&b| b - offs[gs]).collect());
             handles.push(scope.spawn(move || {
                 if mcs_faults::fault_point!(mcs_faults::points::SIMD_WORKER_PANIC) {
                     panic!("injected fault: {}", mcs_faults::points::SIMD_WORKER_PANIC);
                 }
-                crate::segmented::sort_pairs_in_groups(ck, co, &local, cfg)
+                crate::segmented::sort_groups_by_offsets(ck, co, local, cfg, worker)
             }));
         }
         handles.into_iter().map(|h| h.join()).collect()

@@ -1,0 +1,142 @@
+//! Caller-provided scratch memory for the merge-sort pipeline.
+//!
+//! Every phase of the three-phase merge-sort ([`crate::sort`]) and the
+//! out-of-cache loser tree ([`crate::multiway`]) needs working memory:
+//! the padded ping-pong key/oid buffer pairs, the per-pass run list, and
+//! the loser-tree node arrays. The plain entry points allocate these on
+//! demand per call; the `_scratch` variants instead draw them from a
+//! [`SortScratch`] owned by the caller, growing each buffer monotonically
+//! to its high-water mark so a warm caller performs no heap allocation
+//! at all.
+//!
+//! [`SortScratch`] holds one buffer pair per key bank (`u16`/`u32`/`u64`)
+//! so a single instance serves every round of a multi-column sort
+//! regardless of the plan's bank choices. [`WorkerScratch`] extends this
+//! with per-worker instances plus the span bookkeeping the parallel
+//! segmented sort needs.
+//!
+//! Scratch contents are *not* meaningful between calls: every user
+//! overwrites what it reads. A caller that aborts mid-sort (e.g. on an
+//! injected fault) leaves garbage behind, which is fine — the next call
+//! resizes and overwrites.
+
+use core::ops::Range;
+
+/// Reusable working memory for one serial merge-sort stream.
+///
+/// `Default`/`new` construct an empty scratch that allocates nothing
+/// until first use; buffers then grow monotonically and are reused by
+/// later calls.
+#[derive(Debug, Default)]
+pub struct SortScratch {
+    /// Padded ping-pong key buffers per bank.
+    pub(crate) k16: (Vec<u16>, Vec<u16>),
+    /// 32-bit-bank key buffers.
+    pub(crate) k32: (Vec<u32>, Vec<u32>),
+    /// 64-bit-bank key buffers.
+    pub(crate) k64: (Vec<u64>, Vec<u64>),
+    /// Padded ping-pong oid buffers (shared by all banks).
+    pub(crate) oids: (Vec<u32>, Vec<u32>),
+    /// Run list reused by each out-of-cache merge pass.
+    pub(crate) runs: Vec<Range<usize>>,
+    /// Loser-tree node arrays.
+    pub(crate) merge: MergeScratch,
+}
+
+impl SortScratch {
+    /// An empty scratch; nothing is allocated until first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes currently held across all buffers.
+    pub fn bytes(&self) -> usize {
+        fn pair<T>(p: &(Vec<T>, Vec<T>)) -> usize {
+            (p.0.capacity() + p.1.capacity()) * core::mem::size_of::<T>()
+        }
+        pair(&self.k16)
+            + pair(&self.k32)
+            + pair(&self.k64)
+            + pair(&self.oids)
+            + self.runs.capacity() * core::mem::size_of::<Range<usize>>()
+            + self.merge.bytes()
+    }
+}
+
+/// Reusable node arrays for the loser-tree multiway merge.
+///
+/// Head keys are stored widened to `u64` (zero-extension is
+/// order-preserving for unsigned codes), so one instance serves every
+/// key bank.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    /// `(cursor, end)` per run slot.
+    pub(crate) cursors: Vec<(usize, usize)>,
+    /// Loser at each internal node; `tree[0]` is the overall winner.
+    pub(crate) tree: Vec<u32>,
+    /// Temporary winner array used by the full rebuild.
+    pub(crate) winner: Vec<u32>,
+    /// `(widened head key, valid)` per run slot.
+    pub(crate) heads: Vec<(u64, bool)>,
+}
+
+impl MergeScratch {
+    /// An empty scratch; nothing is allocated until first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.cursors.capacity() * core::mem::size_of::<(usize, usize)>()
+            + (self.tree.capacity() + self.winner.capacity()) * core::mem::size_of::<u32>()
+            + self.heads.capacity() * core::mem::size_of::<(u64, bool)>()
+    }
+
+    /// Size the node arrays for `m` (power-of-two padded) run slots.
+    /// Contents after this call are unspecified; callers overwrite.
+    pub(crate) fn prepare(&mut self, m: usize) {
+        self.cursors.resize(m, (0, 0));
+        self.tree.resize(m, 0);
+        self.winner.resize(2 * m, 0);
+        self.heads.resize(m, (0, false));
+    }
+}
+
+/// Scratch for the parallel segmented sort: per-worker [`SortScratch`]
+/// instances plus the span bookkeeping of the group distributor.
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
+    /// Contiguous spans of whole groups, as offsets-index ranges.
+    pub(crate) spans: Vec<(usize, usize)>,
+    /// Rebased group offsets per span.
+    pub(crate) locals: Vec<Vec<u32>>,
+    /// One sort scratch per worker span.
+    pub(crate) workers: Vec<SortScratch>,
+}
+
+impl WorkerScratch {
+    /// An empty scratch; nothing is allocated until first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes currently held across all workers.
+    pub fn bytes(&self) -> usize {
+        self.spans.capacity() * core::mem::size_of::<(usize, usize)>()
+            + self
+                .locals
+                .iter()
+                .map(|l| l.capacity() * core::mem::size_of::<u32>())
+                .sum::<usize>()
+            + self.workers.iter().map(SortScratch::bytes).sum::<usize>()
+    }
+
+    /// The serial-path scratch (also worker 0 of the parallel path).
+    pub(crate) fn serial(&mut self) -> &mut SortScratch {
+        if self.workers.is_empty() {
+            self.workers.push(SortScratch::new());
+        }
+        &mut self.workers[0]
+    }
+}

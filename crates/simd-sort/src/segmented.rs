@@ -10,6 +10,7 @@
 use crate::key::Key;
 use crate::phase::{self, PhaseTimes};
 use crate::scalar::insertion_sort_pairs;
+use crate::scratch::SortScratch;
 use crate::sort::{SortConfig, SortableKey};
 
 /// Group layout: starts of each group plus the final end, i.e.
@@ -65,23 +66,31 @@ impl GroupBounds {
     /// Refine: scan sorted `keys` and split every group at positions where
     /// consecutive keys differ (the paper's `T_scan` step, Eq. 9).
     pub fn refine_by<K: Key>(&self, keys: &[K]) -> GroupBounds {
-        debug_assert_eq!(self.num_rows(), keys.len());
         let mut offsets = Vec::with_capacity(self.offsets.len());
-        offsets.push(0u32);
+        self.refine_into(keys, &mut offsets);
+        GroupBounds { offsets }
+    }
+
+    /// Like [`GroupBounds::refine_by`], but writing the refined offsets
+    /// into `out` (cleared first) instead of allocating a new vector —
+    /// allocation-free when `out` already has enough capacity.
+    pub fn refine_into<K: Key>(&self, keys: &[K], out: &mut Vec<u32>) {
+        debug_assert_eq!(self.num_rows(), keys.len());
+        out.clear();
+        out.push(0u32);
         for r in self.iter() {
             for i in r.start + 1..r.end {
                 if keys[i] != keys[i - 1] {
-                    offsets.push(i as u32);
+                    out.push(i as u32);
                 }
             }
-            if r.end > 0 && *offsets.last().unwrap() != r.end as u32 {
-                offsets.push(r.end as u32);
+            if r.end > 0 && *out.last().unwrap() != r.end as u32 {
+                out.push(r.end as u32);
             }
         }
-        if offsets.len() == 1 {
-            offsets.push(0);
+        if out.len() == 1 {
+            out.push(0);
         }
-        GroupBounds { offsets }
     }
 }
 
@@ -111,11 +120,37 @@ pub fn sort_pairs_in_groups<K: SortableKey>(
     groups: &GroupBounds,
     cfg: &SortConfig,
 ) -> SegmentedSortStats {
-    assert_eq!(keys.len(), oids.len());
+    let mut scratch = SortScratch::new();
+    sort_pairs_in_groups_scratch(keys, oids, groups, cfg, &mut scratch)
+}
+
+/// Like [`sort_pairs_in_groups`], but drawing all merge-sort working
+/// memory from `scratch` — allocation-free once the scratch is warm.
+pub fn sort_pairs_in_groups_scratch<K: SortableKey>(
+    keys: &mut [K],
+    oids: &mut [u32],
+    groups: &GroupBounds,
+    cfg: &SortConfig,
+    scratch: &mut SortScratch,
+) -> SegmentedSortStats {
     assert_eq!(groups.num_rows(), keys.len(), "group bounds mismatch");
+    sort_groups_by_offsets(keys, oids, &groups.offsets, cfg, scratch)
+}
+
+/// Group-wise sort over a raw offsets slice (the parallel path hands each
+/// worker a rebased sub-slice without building a `GroupBounds`).
+pub(crate) fn sort_groups_by_offsets<K: SortableKey>(
+    keys: &mut [K],
+    oids: &mut [u32],
+    offsets: &[u32],
+    cfg: &SortConfig,
+    scratch: &mut SortScratch,
+) -> SegmentedSortStats {
+    assert_eq!(keys.len(), oids.len());
     let mut stats = SegmentedSortStats::default();
     let _ = phase::take_phases(); // clear any stale thread-local residue
-    for r in groups.iter() {
+    for w in offsets.windows(2) {
+        let r = w[0] as usize..w[1] as usize;
         let len = r.len();
         if len <= 1 {
             continue;
@@ -128,7 +163,7 @@ pub fn sort_pairs_in_groups<K: SortableKey>(
         if len <= cfg.small_threshold {
             insertion_sort_pairs(k, o);
         } else {
-            K::sort_pairs_with(k, o, cfg);
+            K::sort_pairs_with_scratch(k, o, cfg, scratch);
         }
     }
     stats.phases = phase::take_phases();

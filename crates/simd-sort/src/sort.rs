@@ -4,9 +4,10 @@
 use crate::kernel::{merge_pass, phase1_block_sort, Kernel};
 use crate::key::Key;
 use crate::merge_tree::multiway_pass_simd;
-use crate::multiway::multiway_pass;
+use crate::multiway::multiway_pass_scratch;
 use crate::phase;
 use crate::scalar;
+use crate::scratch::SortScratch;
 
 /// Tuning knobs of the merge-sort, mirroring the constants of the paper's
 /// cost model (§4).
@@ -70,7 +71,13 @@ pub fn avx2_available() -> bool {
     false
 }
 
-/// The generic three-phase merge-sort over any [`Kernel`].
+/// The generic three-phase merge-sort over any [`Kernel`], working out
+/// of a caller-provided buffer set.
+///
+/// `ka`/`oa` are loaded from `keys`/`oids` and padded; `kb`/`ob` are
+/// resized (not cleared — every pass fully overwrites its destination);
+/// `runs_buf` and `merge` feed the out-of-cache passes. All buffers grow
+/// monotonically, so a warm caller allocates nothing.
 ///
 /// # Safety
 /// Caller must guarantee the kernel's instructions are supported by the
@@ -79,25 +86,40 @@ pub fn avx2_available() -> bool {
 // With `phase-timing` off, `phase::Mark` is `()` and the phase marks
 // become unit values — fine, they compile away entirely.
 #[allow(clippy::let_unit_value, clippy::unit_arg)]
-unsafe fn mergesort_generic<Kn: Kernel>(keys: &mut [Kn::K], oids: &mut [u32], cfg: &SortConfig) {
+#[allow(clippy::too_many_arguments)]
+unsafe fn mergesort_generic<Kn: Kernel>(
+    keys: &mut [Kn::K],
+    oids: &mut [u32],
+    cfg: &SortConfig,
+    ka: &mut Vec<Kn::K>,
+    kb: &mut Vec<Kn::K>,
+    oa: &mut Vec<u32>,
+    ob: &mut Vec<u32>,
+    runs_buf: &mut Vec<core::ops::Range<usize>>,
+    merge: &mut crate::scratch::MergeScratch,
+) {
     let n = keys.len();
     let l = Kn::L;
     let block = l * l;
 
     // Pad to a whole number of in-register blocks with MAX_KEY sentinels.
+    // The kernel passes infer sizes from slice lengths, so every buffer
+    // is resized to exactly `padded` (shrinking keeps capacity).
     let padded = n.div_ceil(block) * block;
-    let mut ka: Vec<Kn::K> = Vec::with_capacity(padded);
+    ka.clear();
+    ka.reserve(padded);
     ka.extend_from_slice(keys);
     ka.resize(padded, Kn::K::MAX_KEY);
-    let mut oa: Vec<u32> = Vec::with_capacity(padded);
+    oa.clear();
+    oa.reserve(padded);
     oa.extend_from_slice(oids);
     oa.resize(padded, u32::MAX);
-    let mut kb: Vec<Kn::K> = vec![Kn::K::default(); padded];
-    let mut ob: Vec<u32> = vec![0u32; padded];
+    kb.resize(padded, Kn::K::default());
+    ob.resize(padded, 0u32);
 
     // Phase (a): in-register sorting -> runs of L.
     let t0 = phase::mark();
-    phase1_block_sort::<Kn>(&mut ka, &mut oa);
+    phase1_block_sort::<Kn>(ka, oa);
     let t1 = phase::mark();
 
     // Phase (b): binary SIMD bitonic merging while runs fit in cache.
@@ -106,9 +128,9 @@ unsafe fn mergesort_generic<Kn: Kernel>(keys: &mut [Kn::K], oids: &mut [u32], cf
     let mut src_is_a = true;
     while run < padded && run < in_cache_run {
         if src_is_a {
-            merge_pass::<Kn>(&ka, &oa, &mut kb, &mut ob, run);
+            merge_pass::<Kn>(ka, oa, kb, ob, run);
         } else {
-            merge_pass::<Kn>(&kb, &ob, &mut ka, &mut oa, run);
+            merge_pass::<Kn>(kb, ob, ka, oa, run);
         }
         src_is_a = !src_is_a;
         run *= 2;
@@ -121,24 +143,20 @@ unsafe fn mergesort_generic<Kn: Kernel>(keys: &mut [Kn::K], oids: &mut [u32], cf
     while run < padded {
         run = if cfg.scalar_multiway {
             if src_is_a {
-                multiway_pass(&ka, &oa, &mut kb, &mut ob, run, cfg.fanout)
+                multiway_pass_scratch(ka, oa, kb, ob, run, cfg.fanout, runs_buf, merge)
             } else {
-                multiway_pass(&kb, &ob, &mut ka, &mut oa, run, cfg.fanout)
+                multiway_pass_scratch(kb, ob, ka, oa, run, cfg.fanout, runs_buf, merge)
             }
         } else if src_is_a {
-            multiway_pass_simd::<Kn>(&ka, &oa, &mut kb, &mut ob, run, cfg.fanout, buf_elems)
+            multiway_pass_simd::<Kn>(ka, oa, kb, ob, run, cfg.fanout, buf_elems)
         } else {
-            multiway_pass_simd::<Kn>(&kb, &ob, &mut ka, &mut oa, run, cfg.fanout, buf_elems)
+            multiway_pass_simd::<Kn>(kb, ob, ka, oa, run, cfg.fanout, buf_elems)
         };
         src_is_a = !src_is_a;
     }
     phase::record_marks(t0, t1, t2, phase::mark());
 
-    let (fk, fo) = if src_is_a {
-        (&mut ka, &mut oa)
-    } else {
-        (&mut kb, &mut ob)
-    };
+    let (fk, fo) = if src_is_a { (ka, oa) } else { (kb, ob) };
     compact_padding(fk, fo, n);
     keys.copy_from_slice(&fk[..n]);
     oids.copy_from_slice(&fo[..n]);
@@ -169,52 +187,84 @@ fn compact_padding<K: Key>(keys: &mut [K], oids: &mut [u32], n: usize) {
 }
 
 macro_rules! dispatch_sort {
-    ($fn_name:ident, $avx_name:ident, $k:ty, $portable:ty, $avx:ty) => {
+    ($fn_name:ident, $scratch_name:ident, $avx_name:ident, $k:ty, $field:ident, $portable:ty, $avx:ty) => {
         /// Sort `(keys, oids)` ascending by key with the configured
         /// merge-sort. oid values must be `< u32::MAX`.
         pub fn $fn_name(keys: &mut [$k], oids: &mut [u32], cfg: &SortConfig) {
+            let mut scratch = SortScratch::new();
+            $scratch_name(keys, oids, cfg, &mut scratch)
+        }
+
+        /// Like the plain variant, but drawing all working memory from
+        /// `scratch` (allocation-free once the scratch is warm).
+        pub fn $scratch_name(
+            keys: &mut [$k],
+            oids: &mut [u32],
+            cfg: &SortConfig,
+            scratch: &mut SortScratch,
+        ) {
             assert_eq!(keys.len(), oids.len(), "keys/oids length mismatch");
             if keys.len() <= cfg.small_threshold {
                 scalar::insertion_sort_pairs(keys, oids);
                 return;
             }
             debug_assert!(oids.iter().all(|&o| o != u32::MAX));
+            let (ka, kb) = (&mut scratch.$field.0, &mut scratch.$field.1);
+            let (oa, ob) = (&mut scratch.oids.0, &mut scratch.oids.1);
+            let (runs, merge) = (&mut scratch.runs, &mut scratch.merge);
             #[cfg(target_arch = "x86_64")]
             if !cfg.force_portable && avx2_available() {
                 // SAFETY: AVX2 presence checked above.
-                unsafe { $avx_name(keys, oids, cfg) };
+                unsafe { $avx_name(keys, oids, cfg, ka, kb, oa, ob, runs, merge) };
                 return;
             }
             // SAFETY: portable kernel has no ISA requirements.
-            unsafe { mergesort_generic::<$portable>(keys, oids, cfg) }
+            unsafe { mergesort_generic::<$portable>(keys, oids, cfg, ka, kb, oa, ob, runs, merge) }
         }
 
         #[cfg(target_arch = "x86_64")]
         #[target_feature(enable = "avx2")]
-        unsafe fn $avx_name(keys: &mut [$k], oids: &mut [u32], cfg: &SortConfig) {
-            mergesort_generic::<$avx>(keys, oids, cfg)
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $avx_name(
+            keys: &mut [$k],
+            oids: &mut [u32],
+            cfg: &SortConfig,
+            ka: &mut Vec<$k>,
+            kb: &mut Vec<$k>,
+            oa: &mut Vec<u32>,
+            ob: &mut Vec<u32>,
+            runs: &mut Vec<core::ops::Range<usize>>,
+            merge: &mut crate::scratch::MergeScratch,
+        ) {
+            mergesort_generic::<$avx>(keys, oids, cfg, ka, kb, oa, ob, runs, merge)
         }
     };
 }
 
 dispatch_sort!(
     sort_u16_with,
+    sort_u16_with_scratch,
     sort_u16_avx2,
     u16,
+    k16,
     crate::portable::P16,
     crate::avx2::A16
 );
 dispatch_sort!(
     sort_u32_with,
+    sort_u32_with_scratch,
     sort_u32_avx2,
     u32,
+    k32,
     crate::portable::P32,
     crate::avx2::A32
 );
 dispatch_sort!(
     sort_u64_with,
+    sort_u64_with_scratch,
     sort_u64_avx2,
     u64,
+    k64,
     crate::portable::P64,
     crate::avx2::A64
 );
@@ -223,26 +273,40 @@ dispatch_sort!(
 pub trait SortableKey: Key {
     /// Sort `(keys, oids)` ascending by key.
     fn sort_pairs_with(keys: &mut [Self], oids: &mut [u32], cfg: &SortConfig);
+
+    /// Sort `(keys, oids)` ascending by key, drawing all working memory
+    /// from `scratch` ([`SortScratch`]); allocation-free once warm.
+    fn sort_pairs_with_scratch(
+        keys: &mut [Self],
+        oids: &mut [u32],
+        cfg: &SortConfig,
+        scratch: &mut SortScratch,
+    );
 }
 
-impl SortableKey for u16 {
-    #[inline]
-    fn sort_pairs_with(keys: &mut [Self], oids: &mut [u32], cfg: &SortConfig) {
-        sort_u16_with(keys, oids, cfg)
-    }
+macro_rules! impl_sortable {
+    ($k:ty, $fn_name:ident, $scratch_name:ident) => {
+        impl SortableKey for $k {
+            #[inline]
+            fn sort_pairs_with(keys: &mut [Self], oids: &mut [u32], cfg: &SortConfig) {
+                $fn_name(keys, oids, cfg)
+            }
+            #[inline]
+            fn sort_pairs_with_scratch(
+                keys: &mut [Self],
+                oids: &mut [u32],
+                cfg: &SortConfig,
+                scratch: &mut SortScratch,
+            ) {
+                $scratch_name(keys, oids, cfg, scratch)
+            }
+        }
+    };
 }
-impl SortableKey for u32 {
-    #[inline]
-    fn sort_pairs_with(keys: &mut [Self], oids: &mut [u32], cfg: &SortConfig) {
-        sort_u32_with(keys, oids, cfg)
-    }
-}
-impl SortableKey for u64 {
-    #[inline]
-    fn sort_pairs_with(keys: &mut [Self], oids: &mut [u32], cfg: &SortConfig) {
-        sort_u64_with(keys, oids, cfg)
-    }
-}
+
+impl_sortable!(u16, sort_u16_with, sort_u16_with_scratch);
+impl_sortable!(u32, sort_u32_with, sort_u32_with_scratch);
+impl_sortable!(u64, sort_u64_with, sort_u64_with_scratch);
 
 #[cfg(test)]
 mod tests {
@@ -363,6 +427,36 @@ mod tests {
         roundtrip::<u32>(50_000, u64::MAX, &cfg, 5);
         roundtrip::<u16>(50_000, u64::MAX, &cfg, 6);
         roundtrip::<u64>(50_000, u64::MAX, &cfg, 8);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_across_banks_and_sizes() {
+        // One scratch carried across banks and shrinking/growing inputs
+        // must produce outputs identical to the allocate-per-call path.
+        let cfg = SortConfig::default();
+        let mut scratch = SortScratch::new();
+        let mut state = 0xABCDu64;
+        for &n in &[10_000usize, 500, 25_000, 0, 7] {
+            macro_rules! check_bank {
+                ($k:ty) => {{
+                    let orig: Vec<$k> = (0..n)
+                        .map(|_| <$k as Key>::from_u64(xorshift(&mut state)))
+                        .collect();
+                    let mut k1 = orig.clone();
+                    let mut o1: Vec<u32> = (0..n as u32).collect();
+                    <$k>::sort_pairs_with(&mut k1, &mut o1, &cfg);
+                    let mut k2 = orig.clone();
+                    let mut o2: Vec<u32> = (0..n as u32).collect();
+                    <$k>::sort_pairs_with_scratch(&mut k2, &mut o2, &cfg, &mut scratch);
+                    assert_eq!(k1, k2);
+                    assert_eq!(o1, o2);
+                }};
+            }
+            check_bank!(u16);
+            check_bank!(u32);
+            check_bank!(u64);
+        }
+        assert!(scratch.bytes() > 0, "scratch grew to its high-water mark");
     }
 
     #[test]

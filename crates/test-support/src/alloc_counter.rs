@@ -1,0 +1,69 @@
+//! A counting [`GlobalAlloc`] wrapper for allocation-budget tests.
+//!
+//! Install [`CountingAlloc`] as the test binary's global allocator and
+//! read [`allocation_count`] before/after a bracket of work to count
+//! how many heap allocations it performed:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: mcs_test_support::CountingAlloc = mcs_test_support::CountingAlloc;
+//!
+//! let before = mcs_test_support::allocation_count();
+//! run_warm_query();
+//! let allocs = mcs_test_support::allocation_count() - before;
+//! ```
+//!
+//! The counter is a single process-global [`AtomicU64`] bumped on every
+//! `alloc` / `alloc_zeroed` / `realloc` (frees are not counted — a
+//! budget of zero allocations implies zero frees of fresh memory).
+//! Counting is exact only while no *other* thread allocates inside the
+//! bracket, so zero-allocation assertions should run single-threaded.
+//! [`allocation_count`] also matches the executor's
+//! `ExecConfig::alloc_probe` signature (`fn() -> u64`), which samples it
+//! immediately around the round loop for a tighter bracket.
+
+// The `GlobalAlloc` trait is unsafe by definition; this module is the
+// only place in the crate allowed to use it.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Heap allocations observed process-wide since startup. Only counts
+/// while [`CountingAlloc`] is installed as the `#[global_allocator]`;
+/// otherwise it stays at zero.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A [`System`]-backed allocator that counts every allocation.
+///
+/// Zero-sized and stateless: install it with
+/// `#[global_allocator] static A: CountingAlloc = CountingAlloc;`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc that moves (or grows in place) is still one trip to
+        // the allocator: count it like a fresh allocation.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}

@@ -17,20 +17,27 @@
 //!   plus [`oracle::assert_matches_reference`] for comparing an engine
 //!   result against it;
 //! * [`microbench`] — a criterion-compatible micro-benchmark shim for
-//!   the `[[bench]]` targets.
+//!   the `[[bench]]` targets;
+//! * [`alloc_counter`] — a counting `GlobalAlloc` wrapper so tests can
+//!   assert allocation budgets (e.g. the warm-arena zero-allocation
+//!   round loop).
 //!
 //! The oracle operates on plain `Vec<u64>` columns and shares no code
 //! with the massage/SIMD pipeline, which is what makes the comparison a
 //! differential test rather than a tautology.
 
-#![forbid(unsafe_code)]
+// Only `alloc_counter` needs `unsafe` (the `GlobalAlloc` trait is
+// unsafe by definition); everything else stays forbidden per-module.
+#![deny(unsafe_code)]
 
+pub mod alloc_counter;
 pub mod gen;
 pub mod microbench;
 pub mod oracle;
 pub mod prop;
 pub mod rng;
 
+pub use alloc_counter::{allocation_count, CountingAlloc};
 pub use gen::{degenerate_problems, gen_codes, gen_problem, random_specs, ColumnSpec, Dist};
 pub use oracle::{
     assert_matches_reference, reference_aggregates, reference_rank, reference_sort,

@@ -1,0 +1,165 @@
+//! Allocation-budget tests for the warm-arena execution path.
+//!
+//! The tentpole claim of the `ExecArena` refactor is that a *warm*
+//! prepared query — same plan fingerprint, same row count, buffers
+//! already grown to their high-water mark — re-runs the entire
+//! lookup → sort → scan round loop without touching the heap. This
+//! suite installs the counting global allocator from `mcs-test-support`
+//! and wires it into `ExecConfig::alloc_probe`, which samples the
+//! counter immediately before and after the executor's round loop and
+//! reports the difference in `ExecStats::round_loop_allocs`.
+//!
+//! The zero assertion holds for single-threaded execution: spawning
+//! worker threads allocates by definition, and a concurrent thread
+//! would perturb the process-global counter.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use mcs_engine::{Column, Database, EngineConfig, OrderKey, Query, Session, Table};
+use mcs_test_support::{allocation_count, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn sales_db(rows: usize) -> Database {
+    let mut t = Table::new("sales");
+    t.add_column(Column::from_u64s(
+        "nation",
+        5,
+        (0..rows).map(|i| (i as u64 * 7) % 32),
+    ));
+    t.add_column(Column::from_u64s(
+        "ship_date",
+        11,
+        (0..rows).map(|i| (i as u64 * 131) % 2048),
+    ));
+    t.add_column(Column::from_u64s(
+        "price",
+        16,
+        (0..rows).map(|i| (i as u64 * 997) % 65536),
+    ));
+    let mut db = Database::new();
+    db.register(t);
+    db
+}
+
+fn probe_config() -> EngineConfig {
+    let mut cfg = EngineConfig::builder().threads(1).build();
+    cfg.exec.alloc_probe = Some(allocation_count);
+    cfg
+}
+
+fn orderby_query() -> Query {
+    let mut q = Query::named("by_keys");
+    q.order_by = vec![OrderKey::asc("nation"), OrderKey::desc("ship_date")];
+    q.select = vec!["price".into()];
+    q
+}
+
+#[test]
+fn counting_allocator_observes_heap_traffic() {
+    let before = allocation_count();
+    let v: Vec<u64> = Vec::with_capacity(64);
+    assert!(
+        allocation_count() > before,
+        "a fresh Vec allocation must bump the counter"
+    );
+    drop(v);
+}
+
+#[test]
+fn warm_round_loop_runs_with_zero_allocations() {
+    let db = sales_db(4096);
+    let session = Session::new(&db, probe_config());
+    let prepared = session.prepare("sales", &orderby_query()).unwrap();
+
+    // Cold run: the arena grows to its high-water mark; the round loop
+    // is allowed (expected, even) to allocate here.
+    let cold = prepared.execute(&session).unwrap();
+    let cold_allocs = cold
+        .timings
+        .mcs_stats
+        .round_loop_allocs
+        .expect("probe configured");
+    assert!(!cold.timings.mcs_stats.arena.is_empty());
+
+    // Warm runs: every buffer the round loop touches — round keys,
+    // gather spares, oids, group offsets, sort scratch — is already
+    // sized, so the loop must not allocate at all.
+    for run in 0..3 {
+        let warm = prepared.execute(&session).unwrap();
+        assert_eq!(
+            warm.timings.mcs_stats.round_loop_allocs,
+            Some(0),
+            "warm run {run} allocated in the round loop (cold run did {cold_allocs})"
+        );
+        assert_eq!(warm.columns, cold.columns, "reuse must not change results");
+    }
+    let stats = session.arena_stats();
+    assert!(stats.reuses >= 3, "warm runs reuse capacity: {stats:?}");
+}
+
+#[test]
+fn warm_round_loop_is_allocation_free_across_plan_shapes() {
+    // A wider three-column key exercises multi-round plans with lookups
+    // and a B64 round; the warm guarantee is per cached plan shape.
+    let db = sales_db(2048);
+    let session = Session::new(&db, probe_config());
+    let mut q = Query::named("by_three");
+    q.order_by = vec![
+        OrderKey::asc("nation"),
+        OrderKey::asc("ship_date"),
+        OrderKey::desc("price"),
+    ];
+    q.select = vec!["price".into()];
+    let prepared = session.prepare("sales", &q).unwrap();
+    prepared.execute(&session).unwrap();
+    let warm = prepared.execute(&session).unwrap();
+    assert_eq!(warm.timings.mcs_stats.round_loop_allocs, Some(0));
+}
+
+#[test]
+fn stateless_queries_report_allocations_only_when_probed() {
+    let db = sales_db(512);
+    let r = mcs_engine::run_query(
+        db.table("sales").unwrap(),
+        &orderby_query(),
+        &EngineConfig::builder().threads(1).build(),
+    )
+    .unwrap();
+    assert_eq!(
+        r.timings.mcs_stats.round_loop_allocs, None,
+        "no probe configured, no count reported"
+    );
+}
+
+#[test]
+fn warm_scratch_sort_is_allocation_free() {
+    // The layer below the executor: a serial segmented sort drawing all
+    // working memory from a warm `WorkerScratch` must not allocate
+    // (this is what the arena's zero-allocation guarantee rests on).
+    use mcs_simd_sort::{
+        sort_pairs_in_groups_parallel_scratch, GroupBounds, SortConfig, WorkerScratch,
+    };
+    let n = 4096usize;
+    let orig: Vec<u16> = (0..n)
+        .map(|i| (i as u64 * 2654435761 % 65536) as u16)
+        .collect();
+    let cfg = SortConfig::default();
+    let mut scratch = WorkerScratch::new();
+    let groups = GroupBounds::from_offsets(vec![0, n as u32]);
+    let mut keys = orig.clone();
+    let mut oids: Vec<u32> = (0..n as u32).collect();
+    sort_pairs_in_groups_parallel_scratch(&mut keys, &mut oids, &groups, 1, &cfg, &mut scratch)
+        .unwrap();
+    for _ in 0..2 {
+        keys.copy_from_slice(&orig);
+        for (i, o) in oids.iter_mut().enumerate() {
+            *o = i as u32;
+        }
+        let before = allocation_count();
+        sort_pairs_in_groups_parallel_scratch(&mut keys, &mut oids, &groups, 1, &cfg, &mut scratch)
+            .unwrap();
+        assert_eq!(allocation_count() - before, 0, "warm sort allocated");
+    }
+}

@@ -195,6 +195,62 @@ fn orderby_and_post_sort_survive_round_faults() {
     }
 }
 
+/// A mid-round failure must not poison the session's execution arena.
+/// The executor restores the arena's buffers on every exit path —
+/// including a worker panic halfway through a round, which leaves
+/// partially-permuted garbage in them — and the next execution on the
+/// same session (same arena) must fully overwrite what it reads.
+#[test]
+fn mid_round_fault_does_not_poison_the_session_arena() {
+    let t = chaos_table(20_000); // big enough for the parallel path
+    let mut db = Database::new();
+    db.register(t.clone());
+    let cfg = EngineConfig {
+        exec: ExecConfig {
+            threads: 4,
+            ..ExecConfig::default()
+        },
+        ..EngineConfig::default()
+    };
+    let session = Session::new(&db, cfg);
+    let q = groupby_query();
+    let prepared = session.prepare("sales", &q).expect("prepare");
+    let want = naive_execute(&t, &q);
+
+    // Warm the arena with a clean run first.
+    let clean = prepared.execute(&session).expect("clean run");
+    assert_same_rows(&clean.columns, &want);
+
+    // Fault a worker mid-round: the query degrades but still answers
+    // correctly, with the arena's buffers left mid-permutation.
+    with_armed(&[(points::SIMD_WORKER_PANIC, FireMode::Once)], || {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let degraded = prepared.execute(&session).expect("ladder recovers");
+        std::panic::set_hook(prev);
+        assert!(
+            fired(points::SIMD_WORKER_PANIC) > 0,
+            "fault never traversed"
+        );
+        assert_eq!(
+            degraded.timings.degradations.first(),
+            Some(&DegradeReason::ExecFailed)
+        );
+        assert_same_rows(&degraded.columns, &want);
+    });
+
+    // Disarmed rerun on the same session reuses those buffers and must
+    // be byte-identical to the pre-fault run.
+    let after = prepared.execute(&session).expect("disarmed rerun");
+    assert!(after.timings.degradations.is_empty(), "no rungs disarmed");
+    assert_eq!(after.columns, clean.columns);
+    let stats = session.arena_stats();
+    assert!(
+        stats.grows + stats.reuses >= 3,
+        "every execution accounted: {stats:?}"
+    );
+}
+
 /// Sweep: every registered fault point, in several deterministic firing
 /// patterns, across query shapes. No process abort, and always either a
 /// correct answer or (never, for these faults) a typed error.

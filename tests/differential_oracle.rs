@@ -10,10 +10,14 @@
 //! mix) it actually executed and then asserts the full cross product is
 //! present, so dropping any axis from the driver loop fails the test.
 
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 
 use mcs_columnar::CodeVec;
-use mcs_core::{multi_column_sort, Bank, ExecConfig, MassagePlan, Round, SortSpec};
+use mcs_core::{
+    multi_column_sort, multi_column_sort_with, Bank, ExecArena, ExecConfig, MassagePlan, Round,
+    SortSpec,
+};
 use mcs_engine::rank_over;
 use mcs_test_support::{
     check, degenerate_problems, gen_problem, random_specs, reference_aggregates, reference_rank,
@@ -123,6 +127,22 @@ fn run_and_check(
         reference,
         &out.oids,
         Some(&out.groups.offsets),
+    );
+
+    // The arena path must be byte-identical to the fresh-buffer path.
+    // One arena is shared across every problem this thread checks, so
+    // buffers arrive polluted by prior plans, sizes, and banks — exactly
+    // the reuse pattern a session produces.
+    thread_local! {
+        static ARENA: RefCell<ExecArena> = RefCell::new(ExecArena::new());
+    }
+    let arena_out = ARENA
+        .with(|a| multi_column_sort_with(&refs, &specs, plan, &cfg, &mut a.borrow_mut()))
+        .expect("valid sort instance (arena path)");
+    assert_eq!(arena_out.oids, out.oids, "[{label}] arena path oids");
+    assert_eq!(
+        arena_out.groups.offsets, out.groups.offsets,
+        "[{label}] arena path group bounds"
     );
 
     // Aggregates over the first column's raw codes, per final tie group.

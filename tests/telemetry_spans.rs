@@ -244,6 +244,71 @@ fn session_plan_cache_counters_and_span() {
     );
 }
 
+/// The execution arena's reuse counters: a cold session execution grows
+/// the arena (`exec.arena.grow` + a `exec.arena.bytes_peak` delta), a
+/// warm rerun only reuses (`exec.arena.reuse`), the stateless path emits
+/// no arena counters at all, and EXPLAIN carries the matching `arena:`
+/// line (byte-peak redacted like a timing).
+#[test]
+fn arena_counters_fire_on_session_executions_only() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let t = demo_table(2048);
+    let mut db = Database::new();
+    db.register(t.clone());
+    let session = Session::new(&db, EngineConfig::default());
+
+    let mut q = Query::named("spans_arena");
+    q.order_by = vec![OrderKey::asc("nation"), OrderKey::asc("ship_date")];
+    q.select = vec!["price".into()];
+    let prepared = session.prepare("sales", &q).unwrap();
+
+    let counter = |snap: &telemetry::TelemetrySnapshot, name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    };
+
+    // Cold: first execution grows the arena from empty.
+    telemetry::reset();
+    prepared.execute(&session).unwrap();
+    let cold = telemetry::take_all();
+    assert_eq!(counter(&cold, "exec.arena.grow"), Some(1));
+    assert!(counter(&cold, "exec.arena.bytes_peak").unwrap_or(0) > 0);
+    assert_eq!(
+        counter(&cold, "exec.arena.reuse"),
+        None,
+        "zero deltas are not emitted (counters: {:?})",
+        cold.counters
+    );
+
+    // Warm: the rerun serves entirely from existing capacity.
+    telemetry::reset();
+    let warm = prepared.execute(&session).unwrap();
+    let snap = telemetry::take_all();
+    assert_eq!(counter(&snap, "exec.arena.reuse"), Some(1));
+    assert_eq!(counter(&snap, "exec.arena.grow"), None);
+    assert_eq!(counter(&snap, "exec.arena.bytes_peak"), None);
+
+    // The EXPLAIN line mirrors the cumulative ExecStats snapshot.
+    let rep =
+        ExplainReport::from_timings("spans_arena", &warm.timings, &CostModel::with_defaults())
+            .expect("a multi-column sort ran");
+    assert!(rep.render().contains("bytes, grows 1, reuses 1\n"));
+    assert!(rep.render_redacted().contains("arena: peak ### bytes"));
+
+    // Stateless executions build their own private arena and stay silent.
+    telemetry::reset();
+    let mut q2 = Query::named("spans_stateless");
+    q2.order_by = vec![OrderKey::asc("nation")];
+    q2.select = vec!["price".into()];
+    let r = run_query(&t, &q2, &EngineConfig::default()).unwrap();
+    let snap = telemetry::take_all();
+    assert_eq!(counter(&snap, "exec.arena.grow"), None);
+    assert_eq!(counter(&snap, "exec.arena.reuse"), None);
+    assert!(r.timings.mcs_stats.arena.is_empty());
+}
+
 /// The fault-point registry is part of the observability contract: chaos
 /// tooling and dashboards key off these exact names.
 #[test]

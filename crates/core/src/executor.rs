@@ -10,8 +10,8 @@ use std::time::Instant;
 
 use mcs_columnar::CodeVec;
 use mcs_simd_sort::{
-    sort_pairs_in_groups_parallel_scratch, GroupBounds, PhaseTimes, SegmentedSortStats, SortConfig,
-    WorkerPanic, WorkerScratch,
+    sort_pairs_in_groups_parallel_scratch, GroupBounds, MergeCounters, PhaseTimes,
+    SegmentedSortStats, SortConfig, WorkerPanic, WorkerScratch,
 };
 use mcs_telemetry as telemetry;
 
@@ -137,6 +137,10 @@ pub struct RoundStats {
     /// summed over this round's SIMD-sort invocations. All zero unless
     /// the `phase-timing` feature of `mcs-simd-sort` is enabled.
     pub phases: PhaseTimes,
+    /// Loser-tree comparison counters of this round's out-of-cache merge
+    /// passes: total matches and the subset short-circuited by
+    /// offset-value codes (always counted, independent of features).
+    pub merge: MergeCounters,
 }
 
 /// Whole-execution telemetry.
@@ -438,6 +442,7 @@ fn run_rounds(cfg: &ExecConfig, lease: &mut Lease, stats: &mut ExecStats) -> Res
         rs.codes_sorted = sstats.codes_sorted;
         rs.max_group = sstats.max_group;
         rs.phases = sstats.phases;
+        rs.merge = sstats.merge;
 
         // Scan for refined boundaries (step 2b); skipped after the last
         // round unless the caller needs the final grouping.
@@ -476,10 +481,18 @@ fn record_round_spans(k: usize, round: &crate::plan::Round, rs: &RoundStats, sca
     for (name, ns) in [
         ("mcs.round.sort.in_register", rs.phases.in_register_ns),
         ("mcs.round.sort.in_cache_merge", rs.phases.in_cache_merge_ns),
-        ("mcs.round.sort.multiway_merge", rs.phases.multiway_merge_ns),
     ] {
         telemetry::record_span(name, ns, vec![("round", k.into())]);
     }
+    telemetry::record_span(
+        "mcs.round.sort.multiway_merge",
+        rs.phases.multiway_merge_ns,
+        vec![
+            ("round", k.into()),
+            ("comparisons", rs.merge.comparisons.into()),
+            ("ovc_hits", rs.merge.ovc_hits.into()),
+        ],
+    );
     if scanned {
         let mut scan_attrs = base(rs);
         scan_attrs.push(("groups_out", rs.groups_out.into()));

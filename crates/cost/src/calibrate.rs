@@ -70,6 +70,7 @@ pub fn calibrate(machine: MachineSpec, opts: &CalibrationOptions) -> CostModel {
     let model_seed = CostModel {
         consts: consts.clone(),
         machine: machine.clone(),
+        ovc: true,
     };
     let (b16, ov16) = calibrate_sort_bank::<u16>(&model_seed, Bank::B16, opts);
     let (b32, ov32) = calibrate_sort_bank::<u32>(&model_seed, Bank::B32, opts);
@@ -80,7 +81,11 @@ pub fn calibrate(machine: MachineSpec, opts: &CalibrationOptions) -> CostModel {
     // One shared invocation overhead: average of the three fits.
     consts.c_overhead = (ov16 + ov32 + ov64) / 3.0;
 
-    CostModel { consts, machine }
+    CostModel {
+        consts,
+        machine,
+        ovc: true,
+    }
 }
 
 /// Lookup calibration: two random-gather runs at different working-set
@@ -165,7 +170,13 @@ where
     let n = opts.rows;
     let mut rng = Rng::seed_from_u64(opts.seed ^ bank.bits() as u64);
     let base_keys: Vec<K> = (0..n).map(|_| K::from_u64(rng.gen())).collect();
-    let cfg = SortConfig::default();
+    // Calibrate the *undiscounted* out-of-cache constant: offset-value
+    // coding is modelled as a multiplier (`OVC_MERGE_DISCOUNT`) on top of
+    // it, so measuring with OVC enabled would double-count the benefit.
+    let cfg = SortConfig {
+        use_ovc: false,
+        ..SortConfig::default()
+    };
 
     let mut a = Vec::new();
     let mut b = Vec::new();

@@ -206,6 +206,15 @@ impl ExplainReport {
                     ));
                 }
             }
+            // Out-of-cache merge comparison counters (full render only:
+            // the counts depend on which groups crossed the cache
+            // threshold, which the redacted golden must not pin down).
+            if rs.merge.comparisons > 0 && !redact {
+                out.push_str(&format!(
+                    "   merge comparisons {} ({} resolved by offset-value code)\n",
+                    rs.merge.comparisons, rs.merge.ovc_hits
+                ));
+            }
             if pc.scan > 0.0 || rs.scan_ns > 0 {
                 out.push_str(&row(
                     &format!("R{} scan", k + 1),

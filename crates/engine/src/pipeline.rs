@@ -140,6 +140,16 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Enable or disable offset-value coding in the out-of-cache merge,
+    /// keeping the executor knob and the cost model's merge discount in
+    /// lockstep (setting only one of them would make EXPLAIN's predicted
+    /// merge cost drift from the measured one). Defaults to enabled.
+    pub fn ovc(mut self, on: bool) -> Self {
+        self.cfg.exec.sort.use_ovc = on;
+        self.cfg.model.ovc = on;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> EngineConfig {
         self.cfg

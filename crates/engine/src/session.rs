@@ -579,6 +579,69 @@ mod tests {
         assert_eq!(stats.entries, 0);
     }
 
+    // BENCH_throughput.json's cold TPC-H Q1 cells report
+    // `cache_misses: 33` for one prepare plus a 16-query batch. That is
+    // not a double-count: a grouped + ORDER BY query performs TWO
+    // plan-cache lookups per execution — the main sort over the group
+    // keys, plus the post-sort of the grouped result (`inst2` in
+    // `execute_grouped`) — while a pure ORDER BY query performs one.
+    // This test pins both arithmetics against `Session::cache_stats`.
+    #[test]
+    fn grouped_order_by_performs_two_cache_lookups_per_execution() {
+        use crate::query::{Agg, AggKind};
+        let db = db_with_sales();
+
+        let mut q = Query::named("grouped_ordered");
+        q.group_by = vec!["nation".into(), "ship_date".into()];
+        q.aggregates = vec![Agg::new(AggKind::Count, "cnt")];
+        q.order_by = vec![OrderKey::asc("nation"), OrderKey::asc("ship_date")];
+
+        // Cold (capacity 0, the benchmark's cold mode): every lookup
+        // misses, so Q executions after one prepare miss 1 + 2·Q times.
+        let session = Session::with_cache_capacity(&db, EngineConfig::default(), 0);
+        let prepared = session.prepare("sales", &q).unwrap();
+        assert_eq!(
+            session.cache_stats().misses,
+            1,
+            "prepare plans the main sort once"
+        );
+        for _ in 0..16 {
+            prepared.execute(&session).unwrap();
+        }
+        let cold = session.cache_stats();
+        assert_eq!(cold.hits, 0);
+        assert_eq!(
+            cold.misses,
+            1 + 16 * 2,
+            "two lookups per grouped+ordered execution"
+        );
+
+        // The same batch with a pure ORDER BY query: one lookup each.
+        let session = Session::with_cache_capacity(&db, EngineConfig::default(), 0);
+        let prepared = session.prepare("sales", &orderby_query()).unwrap();
+        for _ in 0..16 {
+            prepared.execute(&session).unwrap();
+        }
+        assert_eq!(session.cache_stats().misses, 1 + 16);
+
+        // Warm: both fingerprints cache after the first execution — two
+        // misses ever (main sort at prepare, post-sort on execution 1),
+        // every later lookup a hit.
+        let session = Session::new(&db, EngineConfig::default());
+        let prepared = session.prepare("sales", &q).unwrap();
+        for _ in 0..16 {
+            prepared.execute(&session).unwrap();
+        }
+        let warm = session.cache_stats();
+        assert_eq!(warm.misses, 2, "main-sort plan + post-sort plan");
+        assert_eq!(
+            warm.hits,
+            16 * 2 - 1,
+            "all 32 execution lookups hit except inst2's first"
+        );
+        assert_eq!(warm.entries, 2);
+    }
+
     #[test]
     fn cache_evicts_least_recently_used_at_capacity() {
         let cache = PlanCache::new(2);

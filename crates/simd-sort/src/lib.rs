@@ -41,6 +41,7 @@ mod key;
 mod merge_tree;
 pub mod multiway;
 pub mod network;
+pub mod ovc;
 pub mod parallel;
 pub mod phase;
 pub mod portable;
@@ -51,7 +52,11 @@ mod segmented;
 mod sort;
 
 pub use key::{Bank, Key};
-pub use multiway::{multiway_merge_scratch, multiway_pass_scratch};
+pub use multiway::{
+    multiway_merge_ovc_scratch, multiway_merge_scratch, multiway_pass_ovc_scratch,
+    multiway_pass_scratch,
+};
+pub use ovc::{ovc_encode, take_merge_counters, MergeCounters};
 pub use parallel::{
     for_each_chunk, sort_pairs_in_groups_parallel, sort_pairs_in_groups_parallel_scratch,
     sort_pairs_parallel, WorkerPanic,

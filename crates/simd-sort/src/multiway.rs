@@ -8,8 +8,36 @@
 //! The tree's node arrays live in a caller-provided [`MergeScratch`] so
 //! repeated passes (and repeated sorts) reuse the same memory; the plain
 //! entry points allocate a fresh scratch per call.
+//!
+//! # Offset-value coding
+//!
+//! The `_ovc_` variants additionally carry a per-element offset-value
+//! code ([`crate::ovc`]) alongside every `(key, oid)` pair: the code of
+//! an element is taken relative to its predecessor in its run. Inside
+//! the tree every match compares the two head codes first and touches
+//! the full keys only on a code tie. This is sound because every match
+//! the tree plays is between two elements coded against a *common base*:
+//!
+//! * during the initial tree rebuild both comparands are
+//!   subtree winners still carrying their run-head codes, all of which
+//!   are relative to the virtual all-zero key (run heads are coded
+//!   against zero, and winners' codes are never rewritten);
+//! * during a `pop` replay, every stored loser on the
+//!   popped winner's leaf-to-root path was last beaten by that winner —
+//!   the just-output element — and the refilled head's code is relative
+//!   to its run predecessor, which is the same element.
+//!
+//! When the codes differ they decide the order outright *and* the
+//! loser's stored code is already correct relative to the match winner
+//! (first-difference positions against a common base compose). Only on
+//! a code tie is the full comparison played and the loser's code
+//! recomputed against the winner — the invariant Do & Graefe's paper
+//! centers on. A corollary: the code each popped winner carries is
+//! relative to the previous output, so the merged output's code array
+//! is produced for free and stays valid for the next merge pass.
 
 use crate::key::Key;
+use crate::ovc::{self, ovc_encode};
 use crate::scratch::MergeScratch;
 use core::ops::Range;
 
@@ -26,6 +54,8 @@ struct LoserTree<'a, K: Key> {
     s: &'a mut MergeScratch,
     /// Number of leaves (padded to a power of two).
     m: usize,
+    /// Matches played between two live runs (harvested per merge call).
+    comparisons: u64,
 }
 
 impl<'a, K: Key> LoserTree<'a, K> {
@@ -44,18 +74,36 @@ impl<'a, K: Key> LoserTree<'a, K> {
                 (0, false)
             };
         }
-        let mut lt = LoserTree { keys, oids, s, m };
+        let mut lt = LoserTree {
+            keys,
+            oids,
+            s,
+            m,
+            comparisons: 0,
+        };
         lt.rebuild();
         lt
     }
 
     /// `a` beats `b` if it has a head and it is strictly smaller, or equal
-    /// with a lower run index (deterministic, though stability is not
-    /// required by the callers).
+    /// with a lower run index.
+    ///
+    /// The lower-run-index tie-break is a documented invariant, not a
+    /// convenience: callers pass runs in buffer order, so it makes the
+    /// merge stable by run (equal keys drain in run order — see the
+    /// `merge_is_stable_by_run_order` regression test), and the OVC
+    /// variant's correctness depends on it — a tied loser is assigned
+    /// code 0, "equal to its base", which is only true relative to the
+    /// element actually declared the winner, and the code-update
+    /// protocol needs `beats` to be a strict deterministic total order
+    /// over live heads. Do not weaken it to an arbitrary choice.
     #[inline]
-    fn beats(&self, a: u32, b: u32) -> bool {
+    fn beats(&mut self, a: u32, b: u32) -> bool {
         match (self.s.heads[a as usize], self.s.heads[b as usize]) {
-            ((ka, true), (kb, true)) => ka < kb || (ka == kb && a < b),
+            ((ka, true), (kb, true)) => {
+                self.comparisons += 1;
+                ka < kb || (ka == kb && a < b)
+            }
             ((_, true), (_, false)) => true,
             ((_, false), _) => false,
         }
@@ -110,6 +158,155 @@ impl<'a, K: Key> LoserTree<'a, K> {
     }
 }
 
+/// A loser tree whose matches compare offset-value codes first.
+///
+/// Identical tree mechanics to [`LoserTree`], plus a per-head code
+/// maintained under the protocol described in the module docs: codes
+/// decide a match when they differ (the loser's stored code stays valid
+/// unchanged), a code tie plays the full keys and recomputes the
+/// loser's code relative to the winner, and equal keys assign the
+/// higher-run-index loser code 0. Produces the output code array as a
+/// side effect, keeping codes valid for the next merge pass.
+struct OvcLoserTree<'a, K: Key> {
+    keys: &'a [K],
+    oids: &'a [u32],
+    /// Per-element codes, parallel to `keys` (relative to each element's
+    /// run predecessor; run heads are coded against zero).
+    codes: &'a [u32],
+    s: &'a mut MergeScratch,
+    m: usize,
+    comparisons: u64,
+    ovc_hits: u64,
+}
+
+impl<'a, K: Key> OvcLoserTree<'a, K> {
+    fn new(
+        keys: &'a [K],
+        oids: &'a [u32],
+        codes: &'a [u32],
+        runs: &[Range<usize>],
+        s: &'a mut MergeScratch,
+    ) -> Self {
+        let m = runs.len().next_power_of_two().max(2);
+        s.prepare(m);
+        for i in 0..m {
+            s.cursors[i] = (0, 0);
+            s.heads[i] = (0, false);
+            s.head_codes[i] = 0;
+        }
+        for (i, r) in runs.iter().enumerate() {
+            s.cursors[i] = (r.start, r.end);
+            if r.start < r.end {
+                s.heads[i] = (keys[r.start].to_u64(), true);
+                s.head_codes[i] = codes[r.start];
+            }
+        }
+        let mut lt = OvcLoserTree {
+            keys,
+            oids,
+            codes,
+            s,
+            m,
+            comparisons: 0,
+            ovc_hits: 0,
+        };
+        lt.rebuild();
+        lt
+    }
+
+    /// The OVC match: like [`LoserTree::beats`] (including the
+    /// load-bearing lower-run-index tie-break), but decided by the head
+    /// codes when they differ, and updating the *loser's* stored code so
+    /// it is relative to the winner. `rebuild` relies on this update too:
+    /// its comparands are subtree winners still coded against the common
+    /// all-zero base, so the same protocol applies.
+    #[inline]
+    fn beats(&mut self, a: u32, b: u32) -> bool {
+        match (self.s.heads[a as usize], self.s.heads[b as usize]) {
+            ((ka, true), (kb, true)) => {
+                self.comparisons += 1;
+                let (ca, cb) = (self.s.head_codes[a as usize], self.s.head_codes[b as usize]);
+                if ca != cb {
+                    // Codes over a common base order the keys, and the
+                    // loser's code relative to the winner is unchanged
+                    // (same first-difference position and word).
+                    self.ovc_hits += 1;
+                    return ca < cb;
+                }
+                if ka == kb {
+                    // Equal keys: lower run index wins; the loser is
+                    // equal to its new base.
+                    self.s.head_codes[a.max(b) as usize] = 0;
+                    a < b
+                } else if ka < kb {
+                    self.s.head_codes[b as usize] = ovc_encode(kb, ka);
+                    true
+                } else {
+                    self.s.head_codes[a as usize] = ovc_encode(ka, kb);
+                    false
+                }
+            }
+            ((_, true), (_, false)) => true,
+            ((_, false), _) => false,
+        }
+    }
+
+    /// Full rebuild: play all matches bottom-up.
+    fn rebuild(&mut self) {
+        let m = self.m;
+        for i in 0..m {
+            self.s.winner[m + i] = i as u32;
+        }
+        for i in (1..m).rev() {
+            let (a, b) = (self.s.winner[2 * i], self.s.winner[2 * i + 1]);
+            let (w, l) = if self.beats(a, b) { (a, b) } else { (b, a) };
+            self.s.winner[i] = w;
+            self.s.tree[i] = l;
+        }
+        self.s.tree[0] = self.s.winner[1];
+    }
+
+    /// Pop the smallest `(key, oid, code)`, the code relative to the
+    /// previous output; returns `None` when all runs drain.
+    #[inline]
+    fn pop(&mut self) -> Option<(K, u32, u32)> {
+        let w = self.s.tree[0] as usize;
+        let (key_u64, valid) = self.s.heads[w];
+        if !valid {
+            return None;
+        }
+        let key = K::from_u64(key_u64);
+        let code = self.s.head_codes[w];
+        let (cur, end) = self.s.cursors[w];
+        let oid = self.oids[cur];
+        let next = cur + 1;
+        self.s.cursors[w].0 = next;
+        if next < end {
+            self.s.heads[w] = (self.keys[next].to_u64(), true);
+            // Relative to its run predecessor — the element just popped.
+            self.s.head_codes[w] = self.codes[next];
+        } else {
+            self.s.heads[w] = (0, false);
+            self.s.head_codes[w] = 0;
+        }
+        // Replay matches from leaf w to the root. Every stored loser on
+        // this path was last beaten by the element just popped, so all
+        // comparands share it as their code base.
+        let mut winner = w as u32;
+        let mut node = (self.m + w) >> 1;
+        while node >= 1 {
+            let other = self.s.tree[node];
+            if self.beats(other, winner) {
+                self.s.tree[node] = winner;
+                winner = other;
+            }
+            node >>= 1;
+        }
+        self.s.tree[0] = winner;
+        Some((key, oid, code))
+    }
+}
+
 /// Merge `runs` (disjoint, individually sorted index ranges of `src_*`)
 /// into `dst_*` starting at `dst_at`, with caller-provided node arrays.
 pub fn multiway_merge_scratch<K: Key>(
@@ -137,6 +334,47 @@ pub fn multiway_merge_scratch<K: Key>(
         dst_o[dst_at + i] = o;
     }
     debug_assert!(lt.pop().is_none());
+    ovc::record(lt.comparisons, 0);
+}
+
+/// Like [`multiway_merge_scratch`], but with per-element offset-value
+/// codes riding along: `src_c` holds each element's code relative to its
+/// run predecessor (run heads coded against zero), matches are decided
+/// by code compares where possible, and `dst_c` receives the merged
+/// output's codes (each relative to the previous output element, run
+/// heads of the merged run against zero) — valid input for the next
+/// merge pass.
+#[allow(clippy::too_many_arguments)]
+pub fn multiway_merge_ovc_scratch<K: Key>(
+    src_k: &[K],
+    src_o: &[u32],
+    src_c: &[u32],
+    dst_k: &mut [K],
+    dst_o: &mut [u32],
+    dst_c: &mut [u32],
+    runs: &[Range<usize>],
+    dst_at: usize,
+    scratch: &mut MergeScratch,
+) {
+    debug_assert!(!runs.is_empty());
+    if runs.len() == 1 {
+        let r = runs[0].clone();
+        let n = r.len();
+        dst_k[dst_at..dst_at + n].copy_from_slice(&src_k[r.clone()]);
+        dst_o[dst_at..dst_at + n].copy_from_slice(&src_o[r.clone()]);
+        dst_c[dst_at..dst_at + n].copy_from_slice(&src_c[r]);
+        return;
+    }
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut lt = OvcLoserTree::new(src_k, src_o, src_c, runs, scratch);
+    for i in 0..total {
+        let (k, o, c) = lt.pop().expect("loser tree drained early");
+        dst_k[dst_at + i] = k;
+        dst_o[dst_at + i] = o;
+        dst_c[dst_at + i] = c;
+    }
+    debug_assert!(lt.pop().is_none());
+    ovc::record(lt.comparisons, lt.ovc_hits);
 }
 
 /// Merge `runs` (disjoint, individually sorted index ranges of `src_*`)
@@ -181,6 +419,43 @@ pub fn multiway_pass_scratch<K: Key>(
             s = e;
         }
         multiway_merge_scratch(src_k, src_o, dst_k, dst_o, runs_buf, start, merge);
+        start = end;
+    }
+    group
+}
+
+/// One `F`-way pass with offset-value codes: like
+/// [`multiway_pass_scratch`], with `src_c`/`dst_c` carrying the
+/// per-element codes through the pass. Returns the new run length.
+#[allow(clippy::too_many_arguments)]
+pub fn multiway_pass_ovc_scratch<K: Key>(
+    src_k: &[K],
+    src_o: &[u32],
+    src_c: &[u32],
+    dst_k: &mut [K],
+    dst_o: &mut [u32],
+    dst_c: &mut [u32],
+    run: usize,
+    fanout: usize,
+    runs_buf: &mut Vec<Range<usize>>,
+    merge: &mut MergeScratch,
+) -> usize {
+    let n = src_k.len();
+    debug_assert!(fanout >= 2);
+    let group = run * fanout;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + group).min(n);
+        runs_buf.clear();
+        let mut s = start;
+        while s < end {
+            let e = (s + run).min(end);
+            runs_buf.push(s..e);
+            s = e;
+        }
+        multiway_merge_ovc_scratch(
+            src_k, src_o, src_c, dst_k, dst_o, dst_c, runs_buf, start, merge,
+        );
         start = end;
     }
     group
@@ -279,6 +554,162 @@ mod tests {
         let mut got = dlo.clone();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn ovc_merge_matches_plain_and_produces_valid_codes() {
+        let mut state = 0x5EED_1234u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for &(count, domain) in &[(2usize, 1u64 << 20), (7, 8), (16, 1 << 30), (5, 2)] {
+            // Adjacent sorted runs of uneven lengths (some empty).
+            let mut keys: Vec<u64> = Vec::new();
+            let mut runs: Vec<Range<usize>> = Vec::new();
+            for _ in 0..count {
+                let len = (next() % 150) as usize;
+                let start = keys.len();
+                let mut run: Vec<u64> = (0..len).map(|_| next() % domain).collect();
+                run.sort_unstable();
+                keys.extend_from_slice(&run);
+                runs.push(start..keys.len());
+            }
+            let n = keys.len();
+            let oids: Vec<u32> = (0..n as u32).collect();
+            let mut codes = vec![0u32; n];
+            for r in &runs {
+                if !r.is_empty() {
+                    ovc::derive_codes(&keys[r.clone()], r.len(), &mut codes[r.clone()]);
+                }
+            }
+
+            let _ = ovc::take_merge_counters();
+            let (mut pk, mut po) = (vec![0u64; n], vec![0u32; n]);
+            multiway_merge(&keys, &oids, &mut pk, &mut po, &runs, 0);
+            let plain = ovc::take_merge_counters();
+
+            let (mut ok, mut oo, mut oc) = (vec![0u64; n], vec![0u32; n], vec![0u32; n]);
+            let mut scratch = MergeScratch::new();
+            multiway_merge_ovc_scratch(
+                &keys,
+                &oids,
+                &codes,
+                &mut ok,
+                &mut oo,
+                &mut oc,
+                &runs,
+                0,
+                &mut scratch,
+            );
+            let with_ovc = ovc::take_merge_counters();
+
+            // Byte-identical output (both trees share the run-index
+            // tie-break, so even duplicate payload order must agree).
+            assert_eq!(ok, pk);
+            assert_eq!(oo, po);
+
+            // The output codes are exactly the codes of the merged run:
+            // each relative to the previous output, the head to zero.
+            let mut want_c = vec![0u32; n];
+            ovc::derive_codes(&ok, n.max(1), &mut want_c);
+            assert_eq!(oc, want_c, "output codes invalid (count={count})");
+
+            // Same matches played; some decided by codes alone (unless
+            // the tiny domain made every match a full-key tie-break).
+            assert_eq!(with_ovc.comparisons, plain.comparisons);
+            assert_eq!(plain.ovc_hits, 0);
+            if domain > 2 && n > 8 {
+                assert!(with_ovc.ovc_hits > 0, "no OVC hits at domain {domain}");
+            }
+        }
+    }
+
+    #[test]
+    fn ovc_pass_converges_like_plain_pass() {
+        // Repeated OVC passes (codes ping-ponging with the keys) must
+        // converge to the same fully sorted buffer as the plain passes.
+        let mut state = 0xFACE_FEEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = 2500usize;
+        let run0 = 48usize;
+        let fanout = 3usize;
+        let mut keys: Vec<u64> = (0..n).map(|_| next() % (1 << 22)).collect();
+        let mut oids: Vec<u32> = (0..n as u32).collect();
+        {
+            // Sort fixed-length runs, keeping (key, oid) pairs together.
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            let src = keys.clone();
+            for chunk in idx.chunks_mut(run0) {
+                chunk.sort_unstable_by_key(|&o| src[o as usize]);
+            }
+            for (i, &o) in idx.iter().enumerate() {
+                keys[i] = src[o as usize];
+                oids[i] = o;
+            }
+        }
+        let (mut pk, mut po) = (keys.clone(), oids.clone());
+        let (mut pbk, mut pbo) = (vec![0u64; n], vec![0u32; n]);
+        let mut run = run0;
+        let mut in_src = true;
+        while run < n {
+            run = if in_src {
+                multiway_pass(&pk, &po, &mut pbk, &mut pbo, run, fanout)
+            } else {
+                multiway_pass(&pbk, &pbo, &mut pk, &mut po, run, fanout)
+            };
+            in_src = !in_src;
+        }
+        let (want_k, want_o) = if in_src { (pk, po) } else { (pbk, pbo) };
+
+        let mut ca = vec![0u32; n];
+        let mut cb = vec![0u32; n];
+        ovc::derive_codes(&keys, run0, &mut ca);
+        let (mut bk, mut bo) = (vec![0u64; n], vec![0u32; n]);
+        let mut runs_buf = Vec::new();
+        let mut merge = MergeScratch::new();
+        let mut run = run0;
+        let mut in_src = true;
+        while run < n {
+            run = if in_src {
+                multiway_pass_ovc_scratch(
+                    &keys,
+                    &oids,
+                    &ca,
+                    &mut bk,
+                    &mut bo,
+                    &mut cb,
+                    run,
+                    fanout,
+                    &mut runs_buf,
+                    &mut merge,
+                )
+            } else {
+                multiway_pass_ovc_scratch(
+                    &bk,
+                    &bo,
+                    &cb,
+                    &mut keys,
+                    &mut oids,
+                    &mut ca,
+                    run,
+                    fanout,
+                    &mut runs_buf,
+                    &mut merge,
+                )
+            };
+            in_src = !in_src;
+        }
+        let (got_k, got_o) = if in_src { (keys, oids) } else { (bk, bo) };
+        assert_eq!(got_k, want_k);
+        assert_eq!(got_o, want_o);
     }
 
     #[test]

@@ -208,6 +208,7 @@ pub fn sort_pairs_in_groups_parallel_scratch<K: SortableKey>(
                 // CPU time summed across workers; may exceed the round's
                 // wall time.
                 total.phases.add(s.phases);
+                total.merge.add(s.merge);
             }
             Err(_) => return Err(WorkerPanic { chunk: i }),
         }

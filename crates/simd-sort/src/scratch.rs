@@ -37,6 +37,9 @@ pub struct SortScratch {
     pub(crate) k64: (Vec<u64>, Vec<u64>),
     /// Padded ping-pong oid buffers (shared by all banks).
     pub(crate) oids: (Vec<u32>, Vec<u32>),
+    /// Ping-pong offset-value-code buffers for the out-of-cache merge
+    /// (shared by all banks; codes are computed over widened keys).
+    pub(crate) codes: (Vec<u32>, Vec<u32>),
     /// Run list reused by each out-of-cache merge pass.
     pub(crate) runs: Vec<Range<usize>>,
     /// Loser-tree node arrays.
@@ -58,6 +61,7 @@ impl SortScratch {
             + pair(&self.k32)
             + pair(&self.k64)
             + pair(&self.oids)
+            + pair(&self.codes)
             + self.runs.capacity() * core::mem::size_of::<Range<usize>>()
             + self.merge.bytes()
     }
@@ -78,6 +82,9 @@ pub struct MergeScratch {
     pub(crate) winner: Vec<u32>,
     /// `(widened head key, valid)` per run slot.
     pub(crate) heads: Vec<(u64, bool)>,
+    /// Offset-value code of each head, relative to the last element the
+    /// tree output (only maintained by the OVC merge variants).
+    pub(crate) head_codes: Vec<u32>,
 }
 
 impl MergeScratch {
@@ -89,7 +96,8 @@ impl MergeScratch {
     /// Total bytes currently held.
     pub fn bytes(&self) -> usize {
         self.cursors.capacity() * core::mem::size_of::<(usize, usize)>()
-            + (self.tree.capacity() + self.winner.capacity()) * core::mem::size_of::<u32>()
+            + (self.tree.capacity() + self.winner.capacity() + self.head_codes.capacity())
+                * core::mem::size_of::<u32>()
             + self.heads.capacity() * core::mem::size_of::<(u64, bool)>()
     }
 
@@ -100,6 +108,7 @@ impl MergeScratch {
         self.tree.resize(m, 0);
         self.winner.resize(2 * m, 0);
         self.heads.resize(m, (0, false));
+        self.head_codes.resize(m, 0);
     }
 }
 

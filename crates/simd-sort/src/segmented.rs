@@ -8,6 +8,7 @@
 //! the Figure 4 time hill.
 
 use crate::key::Key;
+use crate::ovc::{self, MergeCounters};
 use crate::phase::{self, PhaseTimes};
 use crate::scalar::insertion_sort_pairs;
 use crate::scratch::SortScratch;
@@ -107,6 +108,9 @@ pub struct SegmentedSortStats {
     /// Time spent in each merge-sort phase, summed across invocations
     /// (all zero unless the `phase-timing` feature is on).
     pub phases: PhaseTimes,
+    /// Loser-tree comparison counters of the out-of-cache merge passes,
+    /// summed across invocations ([`crate::ovc`]).
+    pub merge: MergeCounters,
 }
 
 /// Sort `(keys, oids)` within each group independently.
@@ -149,6 +153,7 @@ pub(crate) fn sort_groups_by_offsets<K: SortableKey>(
     assert_eq!(keys.len(), oids.len());
     let mut stats = SegmentedSortStats::default();
     let _ = phase::take_phases(); // clear any stale thread-local residue
+    let _ = ovc::take_merge_counters();
     for w in offsets.windows(2) {
         let r = w[0] as usize..w[1] as usize;
         let len = r.len();
@@ -167,6 +172,7 @@ pub(crate) fn sort_groups_by_offsets<K: SortableKey>(
         }
     }
     stats.phases = phase::take_phases();
+    stats.merge = ovc::take_merge_counters();
     stats
 }
 

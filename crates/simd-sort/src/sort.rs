@@ -4,7 +4,8 @@
 use crate::kernel::{merge_pass, phase1_block_sort, Kernel};
 use crate::key::Key;
 use crate::merge_tree::multiway_pass_simd;
-use crate::multiway::multiway_pass_scratch;
+use crate::multiway::{multiway_pass_ovc_scratch, multiway_pass_scratch};
+use crate::ovc;
 use crate::phase;
 use crate::scalar;
 use crate::scratch::SortScratch;
@@ -34,6 +35,11 @@ pub struct SortConfig {
     /// vector step, costing more than the branchy scalar replay it
     /// replaces. Kept as an ablation (`ablation_multiway_impl` bench).
     pub scalar_multiway: bool,
+    /// Carry offset-value codes through the out-of-cache loser-tree
+    /// passes ([`crate::ovc`]), collapsing most full-key comparisons to
+    /// a single integer compare. Only consulted on the scalar multiway
+    /// path (the SIMD merge-tree ablation ignores it). Default: on.
+    pub use_ovc: bool,
 }
 
 impl Default for SortConfig {
@@ -44,6 +50,7 @@ impl Default for SortConfig {
             small_threshold: 192,
             force_portable: false,
             scalar_multiway: true,
+            use_ovc: true,
         }
     }
 }
@@ -95,6 +102,8 @@ unsafe fn mergesort_generic<Kn: Kernel>(
     kb: &mut Vec<Kn::K>,
     oa: &mut Vec<u32>,
     ob: &mut Vec<u32>,
+    ca: &mut Vec<u32>,
+    cb: &mut Vec<u32>,
     runs_buf: &mut Vec<core::ops::Range<usize>>,
     merge: &mut crate::scratch::MergeScratch,
 ) {
@@ -137,11 +146,30 @@ unsafe fn mergesort_generic<Kn: Kernel>(
     }
 
     // Phase (c): F-way out-of-cache merge passes (SIMD merge tree with
-    // cache-resident node buffers, or the scalar loser tree for ablation).
+    // cache-resident node buffers, or the scalar loser tree for ablation,
+    // with or without offset-value codes riding along).
     let t2 = phase::mark();
     let buf_elems = 4096;
+    let with_ovc = cfg.scalar_multiway && cfg.use_ovc;
+    if with_ovc && run < padded {
+        // Derive the initial codes in one linear pass over the phase-(b)
+        // output; later passes produce their output codes as they merge.
+        ca.resize(padded, 0);
+        cb.resize(padded, 0);
+        if src_is_a {
+            ovc::derive_codes(ka, run, ca);
+        } else {
+            ovc::derive_codes(kb, run, cb);
+        }
+    }
     while run < padded {
-        run = if cfg.scalar_multiway {
+        run = if with_ovc {
+            if src_is_a {
+                multiway_pass_ovc_scratch(ka, oa, ca, kb, ob, cb, run, cfg.fanout, runs_buf, merge)
+            } else {
+                multiway_pass_ovc_scratch(kb, ob, cb, ka, oa, ca, run, cfg.fanout, runs_buf, merge)
+            }
+        } else if cfg.scalar_multiway {
             if src_is_a {
                 multiway_pass_scratch(ka, oa, kb, ob, run, cfg.fanout, runs_buf, merge)
             } else {
@@ -211,15 +239,18 @@ macro_rules! dispatch_sort {
             debug_assert!(oids.iter().all(|&o| o != u32::MAX));
             let (ka, kb) = (&mut scratch.$field.0, &mut scratch.$field.1);
             let (oa, ob) = (&mut scratch.oids.0, &mut scratch.oids.1);
+            let (ca, cb) = (&mut scratch.codes.0, &mut scratch.codes.1);
             let (runs, merge) = (&mut scratch.runs, &mut scratch.merge);
             #[cfg(target_arch = "x86_64")]
             if !cfg.force_portable && avx2_available() {
                 // SAFETY: AVX2 presence checked above.
-                unsafe { $avx_name(keys, oids, cfg, ka, kb, oa, ob, runs, merge) };
+                unsafe { $avx_name(keys, oids, cfg, ka, kb, oa, ob, ca, cb, runs, merge) };
                 return;
             }
             // SAFETY: portable kernel has no ISA requirements.
-            unsafe { mergesort_generic::<$portable>(keys, oids, cfg, ka, kb, oa, ob, runs, merge) }
+            unsafe {
+                mergesort_generic::<$portable>(keys, oids, cfg, ka, kb, oa, ob, ca, cb, runs, merge)
+            }
         }
 
         #[cfg(target_arch = "x86_64")]
@@ -233,10 +264,12 @@ macro_rules! dispatch_sort {
             kb: &mut Vec<$k>,
             oa: &mut Vec<u32>,
             ob: &mut Vec<u32>,
+            ca: &mut Vec<u32>,
+            cb: &mut Vec<u32>,
             runs: &mut Vec<core::ops::Range<usize>>,
             merge: &mut crate::scratch::MergeScratch,
         ) {
-            mergesort_generic::<$avx>(keys, oids, cfg, ka, kb, oa, ob, runs, merge)
+            mergesort_generic::<$avx>(keys, oids, cfg, ka, kb, oa, ob, ca, cb, runs, merge)
         }
     };
 }

@@ -12,7 +12,10 @@
 use core::ops::Range;
 
 use mcs_simd_sort::multiway::{multiway_merge, multiway_pass};
-use mcs_simd_sort::{group_boundaries, sort_pairs_radix, sort_pairs_radix_in_groups};
+use mcs_simd_sort::{
+    group_boundaries, multiway_merge_ovc_scratch, ovc_encode, sort_pairs_radix,
+    sort_pairs_radix_in_groups, MergeScratch,
+};
 use mcs_test_support::{check, Rng};
 
 /// Run counts exercised by every merge property.
@@ -88,6 +91,67 @@ fn multiway_merge_duplicate_heavy() {
 fn multiway_merge_pre_sorted() {
     check("multiway_merge_pre_sorted", 48, |rng| {
         merge_property(rng, false, true);
+    });
+}
+
+/// Regression for the loser tree's lower-run-index tie-break (see the
+/// invariant note on `beats`): callers pass runs in buffer order, so a
+/// merge that prefers the lower run index on equal keys is *stable by
+/// run* — equal keys drain in run order. `gen_runs` assigns oids as
+/// buffer positions, so stability means equal keys carry strictly
+/// ascending oids in the output. Duplicate-heavy inputs make ties the
+/// common case, and the OVC variant must tie-break identically (its
+/// code-update protocol assumes the loser of an equal-key match is the
+/// higher run index).
+#[test]
+fn merge_is_stable_by_run_order() {
+    fn assert_run_stable(dst_k: &[u32], dst_o: &[u32]) {
+        for i in 1..dst_k.len() {
+            if dst_k[i - 1] == dst_k[i] {
+                assert!(
+                    dst_o[i - 1] < dst_o[i],
+                    "equal keys {} drained out of run order: oid {} before {}",
+                    dst_k[i],
+                    dst_o[i - 1],
+                    dst_o[i]
+                );
+            }
+        }
+    }
+    check("merge_is_stable_by_run_order", 48, |rng| {
+        for &count in &RUN_COUNTS {
+            let (keys, oids, runs) = gen_runs(rng, count, true, false);
+            let n = keys.len();
+            let mut dst_k = vec![0u32; n];
+            let mut dst_o = vec![0u32; n];
+            multiway_merge(&keys, &oids, &mut dst_k, &mut dst_o, &runs, 0);
+            verify_merge(&keys, &dst_k, &dst_o);
+            assert_run_stable(&dst_k, &dst_o);
+
+            // The OVC merge must make the same tie-break decisions.
+            let mut codes = vec![0u32; n];
+            for r in &runs {
+                for i in r.clone() {
+                    let base = if i == r.start { 0 } else { keys[i - 1] };
+                    codes[i] = ovc_encode(keys[i] as u64, base as u64);
+                }
+            }
+            let (mut ok, mut oo, mut oc) = (vec![0u32; n], vec![0u32; n], vec![0u32; n]);
+            let mut scratch = MergeScratch::new();
+            multiway_merge_ovc_scratch(
+                &keys,
+                &oids,
+                &codes,
+                &mut ok,
+                &mut oo,
+                &mut oc,
+                &runs,
+                0,
+                &mut scratch,
+            );
+            assert_eq!(ok, dst_k, "OVC merge reordered keys");
+            assert_eq!(oo, dst_o, "OVC merge broke run-order stability");
+        }
     });
 }
 

@@ -8,34 +8,72 @@
 //! #[global_allocator]
 //! static ALLOC: mcs_test_support::CountingAlloc = mcs_test_support::CountingAlloc;
 //!
-//! let before = mcs_test_support::allocation_count();
+//! let before = mcs_test_support::thread_allocation_count();
 //! run_warm_query();
-//! let allocs = mcs_test_support::allocation_count() - before;
+//! let allocs = mcs_test_support::thread_allocation_count() - before;
 //! ```
 //!
-//! The counter is a single process-global [`AtomicU64`] bumped on every
-//! `alloc` / `alloc_zeroed` / `realloc` (frees are not counted — a
-//! budget of zero allocations implies zero frees of fresh memory).
-//! Counting is exact only while no *other* thread allocates inside the
-//! bracket, so zero-allocation assertions should run single-threaded.
-//! [`allocation_count`] also matches the executor's
-//! `ExecConfig::alloc_probe` signature (`fn() -> u64`), which samples it
-//! immediately around the round loop for a tighter bracket.
+//! Two counters are maintained, both bumped on every `alloc` /
+//! `alloc_zeroed` / `realloc` (frees are not counted — a budget of zero
+//! allocations implies zero frees of fresh memory):
+//!
+//! - a process-global [`AtomicU64`], read by [`allocation_count`]:
+//!   exact only while no *other* thread allocates inside the bracket, so
+//!   use it for single-threaded brackets only;
+//! - a thread-local `Cell<u64>`, read by [`thread_allocation_count`]:
+//!   counts only the calling thread's allocations, so a bracket on one
+//!   worker is immune to concurrent allocation on its siblings. This is
+//!   the probe concurrent zero-allocation assertions must use — the
+//!   executor's round loop runs entirely on the thread that samples the
+//!   probe, so the thread-local delta is exactly its own allocation
+//!   count no matter what the rest of the process is doing.
+//!
+//! Both functions match the executor's `ExecConfig::alloc_probe`
+//! signature (`fn() -> u64`), which samples the probe immediately around
+//! the round loop for a tight bracket.
 
 // The `GlobalAlloc` trait is unsafe by definition; this module is the
 // only place in the crate allowed to use it.
 #![allow(unsafe_code)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // `const` init keeps first access allocation-free, and a plain Cell
+    // has no destructor, so `try_with` below can only fail during thread
+    // teardown — where missing a count is harmless.
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn count_one() {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    // `try_with`, not `with`: the allocator may be re-entered while this
+    // thread's TLS is being torn down, and panicking inside `alloc`
+    // would abort the process.
+    let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
 
 /// Heap allocations observed process-wide since startup. Only counts
 /// while [`CountingAlloc`] is installed as the `#[global_allocator]`;
 /// otherwise it stays at zero.
 pub fn allocation_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Heap allocations performed *by the calling thread* since it started.
+/// Only counts while [`CountingAlloc`] is installed as the
+/// `#[global_allocator]`; otherwise it stays at zero.
+///
+/// Use this (not [`allocation_count`]) as the `alloc_probe` whenever
+/// other threads may allocate during the probed bracket — e.g. warm
+/// zero-allocation assertions under concurrent query execution.
+pub fn thread_allocation_count() -> u64 {
+    THREAD_ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
 }
 
 /// A [`System`]-backed allocator that counts every allocation.
@@ -47,7 +85,7 @@ pub struct CountingAlloc;
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc(layout)
     }
 
@@ -56,14 +94,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // A realloc that moves (or grows in place) is still one trip to
         // the allocator: count it like a fresh allocation.
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.realloc(ptr, layout, new_size)
     }
 }

@@ -9,14 +9,20 @@
 //! counter immediately before and after the executor's round loop and
 //! reports the difference in `ExecStats::round_loop_allocs`.
 //!
-//! The zero assertion holds for single-threaded execution: spawning
-//! worker threads allocates by definition, and a concurrent thread
-//! would perturb the process-global counter.
+//! The probe is `thread_allocation_count`: a thread-local counter, so
+//! the bracket measures only the probing thread's own allocations. That
+//! is what makes the zero assertion meaningful under
+//! `Session::run_concurrent` — the round loop runs entirely on the
+//! query's thread (with `threads(1)` intra-query), and sibling queries
+//! allocating concurrently can no longer bleed into the count (they did
+//! when the probe sampled the process-global counter, which is why
+//! warm concurrent cells used to report hundreds of phantom
+//! allocations).
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use mcs_engine::{Column, Database, EngineConfig, OrderKey, Query, Session, Table};
-use mcs_test_support::{allocation_count, CountingAlloc};
+use mcs_test_support::{allocation_count, thread_allocation_count, CountingAlloc};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -45,7 +51,7 @@ fn sales_db(rows: usize) -> Database {
 
 fn probe_config() -> EngineConfig {
     let mut cfg = EngineConfig::builder().threads(1).build();
-    cfg.exec.alloc_probe = Some(allocation_count);
+    cfg.exec.alloc_probe = Some(thread_allocation_count);
     cfg
 }
 
@@ -58,13 +64,30 @@ fn orderby_query() -> Query {
 
 #[test]
 fn counting_allocator_observes_heap_traffic() {
-    let before = allocation_count();
+    let (before, t_before) = (allocation_count(), thread_allocation_count());
     let v: Vec<u64> = Vec::with_capacity(64);
     assert!(
         allocation_count() > before,
-        "a fresh Vec allocation must bump the counter"
+        "a fresh Vec allocation must bump the global counter"
+    );
+    assert!(
+        thread_allocation_count() > t_before,
+        "a fresh Vec allocation must bump this thread's counter"
     );
     drop(v);
+
+    // The thread-local counter is immune to other threads' traffic.
+    // (Snapshot after `spawn`: spawning allocates on *this* thread.)
+    let noise = std::thread::spawn(|| {
+        let _noise: Vec<u64> = Vec::with_capacity(1024);
+    });
+    let t_before = thread_allocation_count();
+    noise.join().unwrap();
+    assert_eq!(
+        thread_allocation_count(),
+        t_before,
+        "another thread's allocations must not bleed into this thread's count"
+    );
 }
 
 #[test]
@@ -157,9 +180,70 @@ fn warm_scratch_sort_is_allocation_free() {
         for (i, o) in oids.iter_mut().enumerate() {
             *o = i as u32;
         }
-        let before = allocation_count();
+        let before = thread_allocation_count();
         sort_pairs_in_groups_parallel_scratch(&mut keys, &mut oids, &groups, 1, &cfg, &mut scratch)
             .unwrap();
-        assert_eq!(allocation_count() - before, 0, "warm sort allocated");
+        assert_eq!(thread_allocation_count() - before, 0, "warm sort allocated");
+    }
+}
+
+#[test]
+fn warm_concurrent_round_loops_run_with_zero_allocations() {
+    // The regression this suite exists to catch: warm executions under
+    // `run_concurrent` must report `round_loop_allocs == 0` for every
+    // query, exactly like the serial path. With the old process-global
+    // probe, threads=4 reported ~hundreds of phantom allocations per
+    // warm cell (other workers' heap traffic inside the bracket).
+    let db = sales_db(4096);
+    let session = Session::new(&db, probe_config());
+    let prepared: Vec<_> = (0..16)
+        .map(|_| session.prepare("sales", &orderby_query()).unwrap())
+        .collect();
+    let threads = 4usize;
+    let serial = prepared[0].execute(&session).unwrap();
+
+    // Warm-up: a batch may draft fresh arenas into the session pool (at
+    // most one per admission slot, and the pool only ever grows), so
+    // within `threads + 1` batches one batch runs on all-warm arenas.
+    let mut warmed = false;
+    for _ in 0..=threads {
+        let results = session.run_concurrent(&prepared, threads);
+        let allocs: Vec<u64> = results
+            .iter()
+            .map(|r| {
+                r.as_ref()
+                    .unwrap()
+                    .timings
+                    .mcs_stats
+                    .round_loop_allocs
+                    .expect("probe configured")
+            })
+            .collect();
+        if allocs.iter().all(|&a| a == 0) {
+            warmed = true;
+            break;
+        }
+    }
+    assert!(
+        warmed,
+        "no all-zero batch within {} warm-up batches",
+        threads + 1
+    );
+
+    // And warm is sticky: every query of every later batch stays at 0.
+    for batch in 0..2 {
+        for (i, r) in session
+            .run_concurrent(&prepared, threads)
+            .into_iter()
+            .enumerate()
+        {
+            let r = r.unwrap();
+            assert_eq!(
+                r.timings.mcs_stats.round_loop_allocs,
+                Some(0),
+                "warm concurrent batch {batch}, query {i} allocated in the round loop"
+            );
+            assert_eq!(r.columns, serial.columns, "concurrent result mismatch");
+        }
     }
 }

@@ -7,8 +7,11 @@
 //!
 //! Coverage is enforced, not hoped for: the axis matrix test records a
 //! cell for every (plan shape × SIMD bank × thread count × direction
-//! mix) it actually executed and then asserts the full cross product is
-//! present, so dropping any axis from the driver loop fails the test.
+//! mix × OVC on/off) it actually executed and then asserts the full
+//! cross product is present, so dropping any axis from the driver loop
+//! fails the test. The OVC axis rides inside `run_and_check`: every
+//! problem runs the merge with offset-value codes enabled *and*
+//! disabled, and the two outputs must be byte-identical.
 
 use std::cell::RefCell;
 use std::collections::BTreeSet;
@@ -145,6 +148,19 @@ fn run_and_check(
         "[{label}] arena path group bounds"
     );
 
+    // Offset-value coding is a pure accelerator: the default run above
+    // merges with OVC (SortConfig::default), and the same pipeline with
+    // the codes disabled must produce byte-identical output.
+    let mut no_ovc_cfg = cfg.clone();
+    no_ovc_cfg.sort.use_ovc = false;
+    let no_ovc =
+        multi_column_sort(&refs, &specs, plan, &no_ovc_cfg).expect("valid sort instance (no OVC)");
+    assert_eq!(no_ovc.oids, out.oids, "[{label}] OVC changed the oid order");
+    assert_eq!(
+        no_ovc.groups.offsets, out.groups.offsets,
+        "[{label}] OVC changed the group bounds"
+    );
+
     // Aggregates over the first column's raw codes, per final tie group.
     let want_agg = reference_aggregates(reference, &p.columns[0]);
     let got_counts: Vec<u64> = out.groups.iter().map(|g| g.len() as u64).collect();
@@ -209,7 +225,7 @@ fn full_axis_matrix_against_reference() {
     };
 
     let mut rng = Rng::seed_from_u64(0xD1FF_0AC1E_u64);
-    let mut covered: BTreeSet<(Shape, u32, usize, bool)> = BTreeSet::new();
+    let mut covered: BTreeSet<(Shape, u32, usize, bool, bool)> = BTreeSet::new();
 
     for bank in Bank::ALL {
         for shape in SHAPES {
@@ -236,7 +252,11 @@ fn full_axis_matrix_against_reference() {
                             if mixed { "mixed" } else { "asc" }
                         );
                         run_and_check(&label, &p, &reference, &plan, threads);
-                        covered.insert((shape, bank.bits(), threads, mixed));
+                        // run_and_check executes the merge with OVC on
+                        // (the default) and off; both cells are covered.
+                        for ovc in [true, false] {
+                            covered.insert((shape, bank.bits(), threads, mixed, ovc));
+                        }
                     }
                 }
             }
@@ -249,15 +269,17 @@ fn full_axis_matrix_against_reference() {
         for bank_bits in [16u32, 32, 64] {
             for threads in [1usize, 4] {
                 for mixed in [false, true] {
-                    assert!(
-                        covered.contains(&(shape, bank_bits, threads, mixed)),
-                        "axis cell dropped: {shape:?} x B{bank_bits} x {threads} threads x mixed={mixed}"
-                    );
+                    for ovc in [true, false] {
+                        assert!(
+                            covered.contains(&(shape, bank_bits, threads, mixed, ovc)),
+                            "axis cell dropped: {shape:?} x B{bank_bits} x {threads} threads x mixed={mixed} x ovc={ovc}"
+                        );
+                    }
                 }
             }
         }
     }
-    assert_eq!(covered.len(), 4 * 3 * 2 * 2);
+    assert_eq!(covered.len(), 4 * 3 * 2 * 2 * 2);
 }
 
 /// Randomized sweep: arbitrary column sets (totals past 64 bits force

@@ -1,0 +1,244 @@
+//! Out-of-core sort scale sweep — ORDER BY throughput as the row count
+//! grows past the memory budget, at budgets of {unbounded, 1/4, 1/16}
+//! of the sort-key data size. Writes `BENCH_external.json`.
+//!
+//! Each cell reports rows/sec, the number of runs spilled, total bytes
+//! spilled, and the merge's comparison / offset-value-code-hit counters.
+//! "Data size" is the key columns' code bytes (`Σ ⌈width/8⌉` per row) —
+//! deliberately far below the sort's actual working footprint, so the
+//! fractional budgets always bind and the sweep exercises real multi-run
+//! merges rather than borderline two-chunk splits.
+//!
+//! The unbounded cells double as the budget knob's zero-overhead proof:
+//! the bin installs the counting allocator, runs the query through a
+//! warm prepared session, and **fails hard** unless every unbounded cell
+//! reports zero runs spilled and exactly zero warm round-loop
+//! allocations — adding the budget dispatch must not cost the in-memory
+//! path a single heap allocation.
+//!
+//! Knobs: `MCS_MAX_ROWS` caps the row-count axis (default 10 000 000;
+//! CI smoke sets 100 000), `MCS_SEED`.
+
+use mcs_bench::{env_usize, export_telemetry, print_table, seed, time};
+use mcs_engine::{Column, Database, EngineConfig, OrderKey, Query, Session, SpillStats, Table};
+use mcs_test_support::{thread_allocation_count, CountingAlloc, Rng};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Sort-key columns: (name, code width in bits).
+const KEYS: [(&str, u32); 3] = [("nation", 5), ("ship_date", 11), ("price", 16)];
+
+/// Key-code bytes per row (`Σ ⌈width/8⌉`).
+fn key_bytes_per_row() -> usize {
+    KEYS.iter().map(|&(_, w)| (w as usize).div_ceil(8)).sum()
+}
+
+fn sweep_db(rows: usize) -> Database {
+    let mut rng = Rng::seed_from_u64(seed());
+    let mut t = Table::new("sweep");
+    for &(name, w) in &KEYS {
+        let cap = 1u64 << w;
+        t.add_column(Column::from_u64s(
+            name,
+            w,
+            (0..rows).map(|_| rng.gen_range(0..cap)),
+        ));
+    }
+    let mut db = Database::new();
+    db.register(t);
+    db
+}
+
+fn sweep_query() -> Query {
+    let mut q = Query::named("scale_sweep");
+    q.order_by = vec![
+        OrderKey::asc("nation"),
+        OrderKey::desc("ship_date"),
+        OrderKey::asc("price"),
+    ];
+    q.select = vec!["price".into()];
+    q
+}
+
+struct Cell {
+    rows: usize,
+    budget: &'static str,
+    budget_bytes: usize,
+    elapsed_ms: f64,
+    rows_per_sec: f64,
+    spilled: SpillStats,
+    /// Warm round-loop allocations (unbounded cells only; budgeted cells
+    /// legitimately allocate for run files and merge state).
+    warm_allocs: Option<u64>,
+}
+
+/// The unbounded cell: warm prepared session, asserted spill-free and
+/// allocation-free.
+fn measure_unbounded(db: &Database, q: &Query, rows: usize) -> Cell {
+    let mut cfg = EngineConfig::builder().threads(1).build();
+    cfg.exec.alloc_probe = Some(thread_allocation_count);
+    let session = Session::new(db, cfg);
+    let prepared = session.prepare("sweep", q).expect("well-formed query");
+    prepared.execute(&session).expect("cold run"); // grow the arena
+    let (warm, elapsed) = time(|| prepared.execute(&session).expect("warm run"));
+    let warm_allocs = warm
+        .timings
+        .mcs_stats
+        .round_loop_allocs
+        .expect("probe configured");
+    assert_eq!(
+        warm.timings.spilled,
+        SpillStats::default(),
+        "unbounded cell at {rows} rows must not spill"
+    );
+    assert_eq!(
+        warm_allocs, 0,
+        "unbounded cell at {rows} rows: warm round loop allocated"
+    );
+    Cell {
+        rows,
+        budget: "unbounded",
+        budget_bytes: 0,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        rows_per_sec: rows as f64 / elapsed.as_secs_f64(),
+        spilled: warm.timings.spilled,
+        warm_allocs: Some(warm_allocs),
+    }
+}
+
+fn measure_budgeted(
+    db: &Database,
+    q: &Query,
+    rows: usize,
+    label: &'static str,
+    budget_bytes: usize,
+) -> Cell {
+    let cfg = EngineConfig::builder()
+        .threads(1)
+        .memory_budget(budget_bytes)
+        .build();
+    let t = db.table("sweep").expect("registered");
+    let (r, elapsed) = time(|| mcs_engine::run_query(t, q, &cfg).expect("budgeted run"));
+    assert!(
+        r.timings.spilled.runs > 1,
+        "{label} at {rows} rows: budget {budget_bytes} B did not bind ({:?})",
+        r.timings.spilled
+    );
+    Cell {
+        rows,
+        budget: label,
+        budget_bytes,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        rows_per_sec: rows as f64 / elapsed.as_secs_f64(),
+        spilled: r.timings.spilled,
+        warm_allocs: None,
+    }
+}
+
+fn main() {
+    let max_rows = env_usize("MCS_MAX_ROWS", 10_000_000);
+    let row_axis: Vec<usize> = [100_000usize, 1_000_000, 10_000_000]
+        .into_iter()
+        .filter(|&r| r <= max_rows)
+        .collect();
+    assert!(!row_axis.is_empty(), "MCS_MAX_ROWS below smallest cell");
+    println!(
+        "External-sort scale sweep: 3-key ORDER BY, rows {row_axis:?}, \
+         budgets {{unbounded, data/4, data/16}} of {} key bytes/row\n",
+        key_bytes_per_row()
+    );
+
+    let q = sweep_query();
+    let mut cells: Vec<Cell> = Vec::new();
+    for &rows in &row_axis {
+        let db = sweep_db(rows);
+        let data_bytes = rows * key_bytes_per_row();
+        cells.push(measure_unbounded(&db, &q, rows));
+        cells.push(measure_budgeted(&db, &q, rows, "data/4", data_bytes / 4));
+        cells.push(measure_budgeted(&db, &q, rows, "data/16", data_bytes / 16));
+    }
+
+    let table_rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.rows.to_string(),
+                c.budget.to_string(),
+                c.budget_bytes.to_string(),
+                format!("{:.1}", c.elapsed_ms),
+                format!("{:.0}", c.rows_per_sec),
+                c.spilled.runs.to_string(),
+                c.spilled.bytes.to_string(),
+                c.spilled.merge_comparisons.to_string(),
+                c.spilled.merge_ovc_hits.to_string(),
+                c.warm_allocs.map_or("-".into(), |a| a.to_string()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "rows",
+            "budget",
+            "budget B",
+            "ms",
+            "rows/s",
+            "runs",
+            "spill B",
+            "merge cmp",
+            "ovc hits",
+            "warm allocs",
+        ],
+        &table_rows,
+    );
+
+    for &rows in &row_axis {
+        let at = |b: &str| {
+            cells
+                .iter()
+                .find(|c| c.rows == rows && c.budget == b)
+                .expect("cell present")
+        };
+        println!(
+            "\n{rows} rows: external at data/16 runs at {:.2}x in-memory throughput \
+             ({} runs; {:.1}% of merge matches resolved by offset-value code)",
+            at("data/16").rows_per_sec / at("unbounded").rows_per_sec,
+            at("data/16").spilled.runs,
+            100.0 * at("data/16").spilled.merge_ovc_hits as f64
+                / at("data/16").spilled.merge_comparisons.max(1) as f64,
+        );
+    }
+
+    // Hand-rolled JSON (no serde in the workspace).
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"external_sort_scale_sweep\",\n");
+    json.push_str("  \"query\": \"order_by nation asc, ship_date desc, price asc\",\n");
+    json.push_str(&format!(
+        "  \"key_bytes_per_row\": {},\n",
+        key_bytes_per_row()
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"rows\": {}, \"budget\": \"{}\", \"budget_bytes\": {}, \
+             \"elapsed_ms\": {:.3}, \"rows_per_sec\": {:.0}, \"runs_spilled\": {}, \
+             \"spill_bytes\": {}, \"merge_comparisons\": {}, \"merge_ovc_hits\": {}, \
+             \"warm_round_loop_allocs\": {}}}{}\n",
+            c.rows,
+            c.budget,
+            c.budget_bytes,
+            c.elapsed_ms,
+            c.rows_per_sec,
+            c.spilled.runs,
+            c.spilled.bytes,
+            c.spilled.merge_comparisons,
+            c.spilled.merge_ovc_hits,
+            c.warm_allocs.map_or("null".into(), |a| a.to_string()),
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_external.json", &json).expect("write BENCH_external.json");
+    println!("\nwrote BENCH_external.json");
+    export_telemetry("scale_sweep");
+}

@@ -224,6 +224,45 @@ fn zero_filled<T: Copy + Default>(mut v: Vec<T>, n: usize) -> Vec<T> {
     v
 }
 
+/// Estimated resident bytes of executing `plan` over `n` rows in memory:
+/// what the [`ExecArena`]'s internal lease sizes (round-key buffers, gather spares, the
+/// three u32 oid/offset buffers) plus one worker's segmented-sort scratch
+/// (ping-pong key/oid/code pairs in the plan's widest bank). Linear and
+/// monotone in `n`, so the out-of-core path can both test a budget
+/// (`footprint(n) > budget`?) and invert it into a chunk row count.
+/// An estimate, not an exact high-water mark: the documented slack is
+/// asserted by `tests/memory_budget.rs`.
+pub fn lease_footprint_bytes(plan: &MassagePlan, n: usize) -> usize {
+    let bank_bytes = |b: Bank| b.bits() as usize / 8;
+    let mut total = 0usize;
+    let mut widest = 0usize;
+    for round in &plan.rounds {
+        total += n * bank_bytes(round.bank);
+        widest = widest.max(bank_bytes(round.bank));
+    }
+    // Gather spares: one per distinct bank appearing after round 1.
+    let mut spare = [false; 3];
+    for round in plan.rounds.iter().skip(1) {
+        let i = match round.bank {
+            Bank::B16 => 0,
+            Bank::B32 => 1,
+            Bank::B64 => 2,
+        };
+        spare[i] = true;
+    }
+    for (i, used) in spare.iter().enumerate() {
+        if *used {
+            total += n * [2usize, 4, 8][i];
+        }
+    }
+    // oids + group offsets + spare offsets.
+    total += 3 * (n + 1) * core::mem::size_of::<u32>();
+    // Segmented-sort scratch: ping-pong keys in the widest bank plus the
+    // oid and OVC-code pairs (4 bytes each, two buffers each).
+    total += n * 2 * widest + n * 16;
+    total
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {

@@ -49,6 +49,12 @@ pub enum SortError {
     /// A fault-injection point fired (chaos testing only; carries the
     /// fault-point name from [`mcs_faults::points`]).
     Injected(&'static str),
+    /// Spilling sorted runs to disk (or reading them back during the
+    /// external merge) failed. Raised only by the out-of-core path of
+    /// `mcs-extsort`; the engine's degradation ladder retries the sort
+    /// fully in memory. `io::Error` is not `Eq`/`Clone`, so the message
+    /// is carried as text.
+    Spill(String),
 }
 
 impl core::fmt::Display for SortError {
@@ -66,6 +72,7 @@ impl core::fmt::Display for SortError {
                 write!(f, "sort worker panicked in round {round}, chunk {chunk}")
             }
             SortError::Injected(name) => write!(f, "injected fault: {name}"),
+            SortError::Spill(msg) => write!(f, "run spill failed: {msg}"),
         }
     }
 }
@@ -101,6 +108,14 @@ pub struct ExecConfig {
     /// difference in [`ExecStats::round_loop_allocs`] — the allocation
     /// budget the [`ExecArena`] is designed to drive to zero when warm.
     pub alloc_probe: Option<fn() -> u64>,
+    /// Resident-memory budget for one sort, in bytes. `None` (the
+    /// default) keeps today's in-memory path unchanged. When set, callers
+    /// that support spilling (the engine, via `mcs-extsort`) switch to
+    /// the out-of-core chunk/spill/merge path whenever the leased
+    /// footprint ([`crate::lease_footprint_bytes`]) would exceed the
+    /// budget. The core executor itself never spills: the field lives
+    /// here so one `ExecConfig` describes the whole execution contract.
+    pub memory_budget_bytes: Option<usize>,
 }
 
 impl Default for ExecConfig {
@@ -110,6 +125,7 @@ impl Default for ExecConfig {
             threads: 1,
             want_final_groups: true,
             alloc_probe: None,
+            memory_budget_bytes: None,
         }
     }
 }
@@ -454,7 +470,43 @@ fn run_rounds(cfg: &ExecConfig, lease: &mut Lease, stats: &mut ExecStats) -> Res
         rs.groups_out = groups.num_groups();
         stats.rounds.push(rs);
     }
+
+    // Canonicalize ties: the SIMD sorting networks are not stable, so
+    // rows equal on the full key come out in an arbitrary order that
+    // varies with the plan, the thread count, and (out-of-core) the
+    // chunking. Restoring row order within each tie group makes every
+    // execution strategy — any valid plan, any thread count, the scalar
+    // fallback, and the external spill path — emit byte-identical
+    // output, which is what the differential oracle asserts. Allocation
+    // free: `sort_unstable` on `u32` sub-slices sorts in place.
+    match &rounds[last] {
+        RoundKeys::B16(v) => canonicalize_ties(v, oids, groups),
+        RoundKeys::B32(v) => canonicalize_ties(v, oids, groups),
+        RoundKeys::B64(v) => canonicalize_ties(v, oids, groups),
+    }
     Ok(())
+}
+
+/// Sort oids ascending within every maximal run of equal last-round keys
+/// inside each group. Entering this function, `groups` refines the key
+/// prefix of all rounds before the last, so rows with equal `keys` within
+/// one group are exactly the ties on the full concatenated key (when the
+/// final scan already ran, each group is itself one such run).
+fn canonicalize_ties<K: mcs_simd_sort::Key>(keys: &[K], oids: &mut [u32], groups: &GroupBounds) {
+    for g in groups.iter() {
+        let mut i = g.start;
+        while i < g.end {
+            let k = keys[i].to_u64();
+            let mut j = i + 1;
+            while j < g.end && keys[j].to_u64() == k {
+                j += 1;
+            }
+            if j - i > 1 {
+                oids[i..j].sort_unstable();
+            }
+            i = j;
+        }
+    }
 }
 
 /// Emit the per-round telemetry spans: one lookup span (rounds after the

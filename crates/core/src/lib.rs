@@ -49,7 +49,7 @@ mod executor;
 mod massage;
 mod plan;
 
-pub use arena::{ArenaStats, ExecArena};
+pub use arena::{lease_footprint_bytes, ArenaStats, ExecArena};
 pub use executor::{
     multi_column_sort, multi_column_sort_with, tuple_cmp, verify_sorted, ExecConfig, ExecStats,
     MultiColumnSortOutput, RoundStats, SortError,

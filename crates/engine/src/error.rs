@@ -128,6 +128,9 @@ pub enum DegradeReason {
     /// The chosen massage plan failed validation against the key width;
     /// fell back to `P_0`.
     InvalidPlan,
+    /// The out-of-core sort's spill I/O failed (run file write or read);
+    /// re-ran the sort fully in memory under the same plan.
+    SpillFailed,
     /// The chosen plan's execution failed (e.g. a worker panic); re-ran
     /// under `P_0`.
     ExecFailed,
@@ -144,6 +147,7 @@ impl DegradeReason {
             DegradeReason::NonFiniteCost => "non_finite_cost",
             DegradeReason::DeadlineStarved => "deadline_starved",
             DegradeReason::InvalidPlan => "invalid_plan",
+            DegradeReason::SpillFailed => "spill_failed",
             DegradeReason::ExecFailed => "exec_failed",
             DegradeReason::ScalarFallback => "scalar_fallback",
         }
@@ -210,6 +214,7 @@ mod tests {
             DegradeReason::NonFiniteCost,
             DegradeReason::DeadlineStarved,
             DegradeReason::InvalidPlan,
+            DegradeReason::SpillFailed,
             DegradeReason::ExecFailed,
             DegradeReason::ScalarFallback,
         ];

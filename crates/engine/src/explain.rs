@@ -9,6 +9,7 @@
 
 use mcs_core::{ExecStats, MassagePlan};
 use mcs_cost::{CostModel, PlanCost, SortInstance};
+use mcs_extsort::SpillStats;
 
 use crate::pipeline::QueryTimings;
 
@@ -32,6 +33,12 @@ pub struct ExplainReport {
     /// search ran; see
     /// [`QueryTimings::plan_cached`](crate::QueryTimings::plan_cached)).
     pub plan_cached: bool,
+    /// What the out-of-core sort path spilled (all-zero when the sort ran
+    /// fully in memory — then no spill line renders).
+    pub spilled: SpillStats,
+    /// Predicted spill I/O time, [`CostModel::t_spill`] over
+    /// [`SpillStats::bytes`].
+    pub predicted_spill_ns: f64,
 }
 
 impl ExplainReport {
@@ -53,6 +60,8 @@ impl ExplainReport {
             measured: measured.clone(),
             degradations: Vec::new(),
             plan_cached: false,
+            spilled: SpillStats::default(),
+            predicted_spill_ns: 0.0,
         }
     }
 
@@ -73,6 +82,8 @@ impl ExplainReport {
             .map(|r| r.as_str().to_string())
             .collect();
         rep.plan_cached = timings.plan_cached();
+        rep.spilled = timings.spilled;
+        rep.predicted_spill_ns = model.t_spill(timings.spilled.bytes);
         Some(rep)
     }
 
@@ -140,6 +151,21 @@ impl ExplainReport {
         }
         if !self.degradations.is_empty() {
             out.push_str(&format!("degraded: {}\n", self.degradations.join(" -> ")));
+        }
+        // Budgeted executions that actually spilled report the out-of-core
+        // path; in-memory executions render no line, keeping every
+        // pre-budget golden snapshot stable. Runs, bytes and merge
+        // counters are deterministic for a fixed instance and budget; the
+        // predicted I/O time is a model constant — only it redacts.
+        if self.spilled.runs > 0 {
+            out.push_str(&format!(
+                "spill: {} runs, {} bytes (predicted I/O {}), merge comparisons {} ({} resolved by offset-value code)\n",
+                self.spilled.runs,
+                self.spilled.bytes,
+                t(self.predicted_spill_ns),
+                self.spilled.merge_comparisons,
+                self.spilled.merge_ovc_hits,
+            ));
         }
         out.push_str(&format!(
             "{:<22} {:>5} {:>5} {:>10} {:>10} {:>9}\n",

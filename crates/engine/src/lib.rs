@@ -65,4 +65,7 @@ pub use window::rank_over;
 
 // Convenient re-exports for engine users.
 pub use mcs_columnar::{Column, Predicate, Table};
-pub use mcs_core::{ArenaStats, ExecArena, ExecConfig, MassagePlan, SortSpec};
+pub use mcs_core::{
+    lease_footprint_bytes, ArenaStats, ExecArena, ExecConfig, MassagePlan, SortSpec,
+};
+pub use mcs_extsort::SpillStats;

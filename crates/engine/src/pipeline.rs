@@ -33,6 +33,7 @@ use mcs_core::{
     GroupBounds, MassagePlan, MultiColumnSortOutput, SortError, SortSpec,
 };
 use mcs_cost::{CostModel, KeyColumnStats, SortInstance};
+use mcs_extsort::{external_multi_column_sort_with, SpillStats};
 use mcs_planner::{roga, rrs, PlanFingerprint, RogaOptions, RrsOptions, SearchError};
 use mcs_telemetry as telemetry;
 
@@ -140,6 +141,17 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Cap the multi-column sort's resident memory at `bytes`: queries
+    /// whose leased sort footprint
+    /// ([`mcs_core::lease_footprint_bytes`]) would exceed the budget run
+    /// through the out-of-core path of `mcs-extsort` (chunk → spill →
+    /// streaming merge) instead of the in-memory executor, with
+    /// byte-identical results. Unset (the default) never spills.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.cfg.exec.memory_budget_bytes = Some(bytes);
+        self
+    }
+
     /// Enable or disable offset-value coding in the out-of-cache merge,
     /// keeping the executor knob and the cost model's merge discount in
     /// lockstep (setting only one of them would make EXPLAIN's predicted
@@ -190,6 +202,10 @@ pub struct QueryTimings {
     pub plan_cache_hits: u32,
     /// Plan-cache misses during this execution.
     pub plan_cache_misses: u32,
+    /// What the out-of-core sort path spilled (all-zero when every sort
+    /// ran in memory — the case whenever
+    /// [`ExecConfig::memory_budget_bytes`] is unset).
+    pub spilled: SpillStats,
 }
 
 impl QueryTimings {
@@ -565,8 +581,58 @@ fn pick_plan(
 fn sort_error_recoverable(e: &SortError) -> bool {
     matches!(
         e,
-        SortError::InvalidPlan(_) | SortError::WorkerPanicked { .. } | SortError::Injected(_)
+        SortError::InvalidPlan(_)
+            | SortError::WorkerPanicked { .. }
+            | SortError::Injected(_)
+            | SortError::Spill(_)
     )
+}
+
+/// One sort attempt under one plan, dispatching between the in-memory
+/// executor and the out-of-core path: when a memory budget is set and
+/// the plan's leased footprint exceeds it, the sort runs through
+/// `mcs-extsort` (recording what spilled in `timings`). A spill I/O
+/// failure is the mildest rung of the ladder — the in-memory sort is
+/// still perfectly executable, so it reruns here under the *same* plan
+/// (recorded as [`DegradeReason::SpillFailed`]) before the caller ever
+/// considers `P_0`.
+fn sort_once(
+    pcols: &[&CodeVec],
+    pspecs: &[SortSpec],
+    plan: &MassagePlan,
+    exec: &ExecConfig,
+    mut arena: Option<&mut ExecArena>,
+    timings: &mut QueryTimings,
+) -> Result<MultiColumnSortOutput, SortError> {
+    let n = pcols.first().map_or(0, |c| c.len());
+    if let Some(budget) = exec.memory_budget_bytes {
+        if mcs_core::lease_footprint_bytes(plan, n) > budget {
+            // The external path needs an arena for its chunk sorts; the
+            // stateless entry point gets a throwaway one.
+            let mut local = ExecArena::new();
+            let a = match arena.as_deref_mut() {
+                Some(a) => a,
+                None => &mut local,
+            };
+            match external_multi_column_sort_with(pcols, pspecs, plan, exec, a, budget) {
+                Ok((out, spill)) => {
+                    timings.spilled.runs += spill.runs;
+                    timings.spilled.bytes += spill.bytes;
+                    timings.spilled.merge_comparisons += spill.merge_comparisons;
+                    timings.spilled.merge_ovc_hits += spill.merge_ovc_hits;
+                    return Ok(out);
+                }
+                Err(SortError::Spill(msg)) => {
+                    record_degradation(timings, DegradeReason::SpillFailed, &msg);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    match arena {
+        Some(a) => multi_column_sort_with(pcols, pspecs, plan, exec, a),
+        None => multi_column_sort(pcols, pspecs, plan, exec),
+    }
 }
 
 /// Execute the sort under `plan`, degrading to `P_0` and then to the
@@ -593,11 +659,7 @@ fn sort_with_ladder(
     // Every rung draws from the same arena when one is provided — the
     // executor restores it on failure, so rung N+1 reuses rung N's
     // buffers rather than starting cold.
-    let sort = |plan: &MassagePlan, arena: Option<&mut ExecArena>| match arena {
-        Some(a) => multi_column_sort_with(pcols, pspecs, plan, exec, a),
-        None => multi_column_sort(pcols, pspecs, plan, exec),
-    };
-    let first = sort(&plan, arena.as_deref_mut());
+    let first = sort_once(pcols, pspecs, &plan, exec, arena.as_deref_mut(), timings);
     let err = match first {
         Ok(out) => return Ok((out, Some(plan))),
         Err(e) => e,
@@ -611,7 +673,7 @@ fn sort_with_ladder(
     // input, identical outcome).
     let p0 = MassagePlan::column_at_a_time(pspecs);
     if plan != p0 {
-        match sort(&p0, arena) {
+        match sort_once(pcols, pspecs, &p0, exec, arena, timings) {
             Ok(out) => return Ok((out, Some(p0))),
             Err(e) if sort_error_recoverable(&e) => {
                 record_degradation(timings, DegradeReason::ScalarFallback, &e.to_string());

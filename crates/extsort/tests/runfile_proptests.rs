@@ -1,0 +1,256 @@
+//! Property tests for the spilled-run file format: whatever is encoded
+//! decodes back bit-for-bit, and every malformed input — truncations,
+//! corrupted headers, wrong magic — surfaces as a typed
+//! [`RunFileError`], never a panic.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mcs_extsort::{RunFileError, RunFileReader, RunFileWriter, RUN_MAGIC, RUN_VERSION};
+use mcs_test_support::{check, Rng};
+
+/// A unique temp path per call (tests run concurrently).
+fn temp_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "mcs-runfile-test-{}-{}-{}.mcsrun",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// RAII deletion so failing assertions don't strand files in /tmp.
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn write_run(path: &Path, key_words: usize, entries: &[(Vec<u64>, u32)]) {
+    let mut w = RunFileWriter::create(path, key_words, entries.len() as u64).expect("create");
+    for (words, oid) in entries {
+        w.write_entry(words, *oid).expect("write_entry");
+    }
+    w.finish().expect("finish");
+}
+
+#[test]
+fn roundtrip_random_runs() {
+    check("runfile_roundtrip", 64, |rng: &mut Rng| {
+        let kw = rng.gen_range(1..5usize);
+        let count = rng.gen_range(0..200usize);
+        let entries: Vec<(Vec<u64>, u32)> = (0..count)
+            .map(|_| {
+                (
+                    (0..kw).map(|_| rng.next_u64()).collect(),
+                    rng.next_u64() as u32,
+                )
+            })
+            .collect();
+        let path = temp_path("roundtrip");
+        let _guard = Cleanup(path.clone());
+        write_run(&path, kw, &entries);
+
+        let mut r = RunFileReader::open(&path).expect("open");
+        assert_eq!(r.header.key_words, kw);
+        assert_eq!(r.header.count, count as u64);
+        let mut words = vec![0u64; kw];
+        for (want_words, want_oid) in &entries {
+            let oid = r
+                .read_entry(&mut words)
+                .expect("read_entry")
+                .expect("entry");
+            assert_eq!(oid, *want_oid);
+            assert_eq!(&words, want_words);
+        }
+        // Exhaustion is a stable None, not an error — twice.
+        assert_eq!(r.read_entry(&mut words).expect("past end"), None);
+        assert_eq!(r.read_entry(&mut words).expect("past end again"), None);
+    });
+}
+
+#[test]
+fn empty_and_single_element_runs_roundtrip() {
+    let path = temp_path("empty");
+    let _guard = Cleanup(path.clone());
+    write_run(&path, 2, &[]);
+    let mut r = RunFileReader::open(&path).expect("open empty");
+    let mut words = vec![0u64; 2];
+    assert_eq!(r.read_entry(&mut words).expect("empty run"), None);
+
+    let path1 = temp_path("single");
+    let _guard1 = Cleanup(path1.clone());
+    write_run(&path1, 1, &[(vec![u64::MAX], 7)]);
+    let mut r = RunFileReader::open(&path1).expect("open single");
+    let mut words = vec![0u64; 1];
+    assert_eq!(r.read_entry(&mut words).expect("read"), Some(7));
+    assert_eq!(words, vec![u64::MAX]);
+    assert_eq!(r.read_entry(&mut words).expect("exhausted"), None);
+}
+
+#[test]
+fn finish_rejects_entry_count_mismatch() {
+    let path = temp_path("short-write");
+    let _guard = Cleanup(path.clone());
+    let mut w = RunFileWriter::create(&path, 1, 3).expect("create");
+    w.write_entry(&[1], 0).expect("write");
+    let err = w.finish().expect_err("2 entries missing");
+    assert!(matches!(err, RunFileError::Truncated { .. }), "{err:?}");
+}
+
+/// Truncating a valid file at every possible byte length must yield a
+/// typed error from open or from a subsequent read — never a panic and
+/// never silently short data.
+#[test]
+fn truncation_at_every_length_is_a_typed_error() {
+    let path = temp_path("trunc-src");
+    let _guard = Cleanup(path.clone());
+    let entries: Vec<(Vec<u64>, u32)> = (0..5u64).map(|i| (vec![i, i * 3], i as u32)).collect();
+    write_run(&path, 2, &entries);
+    let full = std::fs::read(&path).expect("read back");
+
+    for len in 0..full.len() {
+        let tpath = temp_path("trunc");
+        let _tguard = Cleanup(tpath.clone());
+        std::fs::write(&tpath, &full[..len]).expect("write truncated");
+        match RunFileReader::open(&tpath) {
+            Err(RunFileError::Truncated { expected, got }) => {
+                assert!(
+                    got < expected,
+                    "truncated to {len}: got {got} >= {expected}"
+                );
+            }
+            Err(e) => panic!("truncated to {len}: unexpected error {e:?}"),
+            Ok(mut r) => {
+                // Header parsed and length check passed — impossible for
+                // a shorter-than-declared file, so this can't happen for
+                // len < full.len(); drain defensively to prove no panic.
+                let mut words = vec![0u64; 2];
+                while let Some(_oid) = r.read_entry(&mut words).expect("read") {}
+                panic!("truncated to {len} < {} opened cleanly", full.len());
+            }
+        }
+    }
+
+    // The un-truncated original still opens and drains cleanly.
+    let mut r = RunFileReader::open(&path).expect("open full");
+    let mut words = vec![0u64; 2];
+    let mut n = 0;
+    while r.read_entry(&mut words).expect("read full").is_some() {
+        n += 1;
+    }
+    assert_eq!(n, 5);
+}
+
+/// A file that shrinks *after* the open-time length validation surfaces
+/// as `Truncated` from `read_entry`, not a panic.
+#[test]
+fn file_shrinking_after_open_is_a_typed_read_error() {
+    let path = temp_path("shrink");
+    let _guard = Cleanup(path.clone());
+    // Enough entries that the file exceeds the reader's minimum 256-byte
+    // read-ahead buffer — a file fully absorbed at open time is immune
+    // to shrinking afterwards, which is fine but not what this tests.
+    let entries: Vec<(Vec<u64>, u32)> = (0..40u64).map(|i| (vec![i], i as u32)).collect();
+    write_run(&path, 1, &entries);
+    let full = std::fs::read(&path).expect("read back");
+    let mut r = RunFileReader::with_capacity(1, &path).expect("open");
+    std::fs::write(&path, &full[..full.len() - 30]).expect("shrink");
+    let mut words = vec![0u64; 1];
+    let mut saw_truncated = false;
+    for _ in 0..entries.len() {
+        match r.read_entry(&mut words) {
+            Ok(Some(_)) => {}
+            Ok(None) => break,
+            Err(RunFileError::Truncated { .. }) => {
+                saw_truncated = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+    assert!(saw_truncated, "shrunk file read to completion");
+}
+
+#[test]
+fn corrupted_headers_are_typed_errors() {
+    let path = temp_path("hdr-src");
+    let _guard = Cleanup(path.clone());
+    write_run(&path, 1, &[(vec![42], 0)]);
+    let full = std::fs::read(&path).expect("read back");
+
+    let reopen = |bytes: &[u8], tag: &str| -> Result<RunFileReader, RunFileError> {
+        let p = temp_path(tag);
+        std::fs::write(&p, bytes).expect("write corrupted");
+        let r = RunFileReader::open(&p);
+        let _ = std::fs::remove_file(&p);
+        r
+    };
+
+    // Magic: flip the first byte.
+    let mut bad = full.clone();
+    bad[0] ^= 0xFF;
+    match reopen(&bad, "magic") {
+        Err(RunFileError::BadMagic(m)) => assert_ne!(m, RUN_MAGIC),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+
+    // Version: bump it.
+    let mut bad = full.clone();
+    bad[8..10].copy_from_slice(&(RUN_VERSION + 1).to_le_bytes());
+    match reopen(&bad, "version") {
+        Err(RunFileError::BadVersion(v)) => assert_eq!(v, RUN_VERSION + 1),
+        other => panic!("expected BadVersion, got {other:?}"),
+    }
+
+    // Shape: zero key words.
+    let mut bad = full.clone();
+    bad[10..12].copy_from_slice(&0u16.to_le_bytes());
+    match reopen(&bad, "shape-zero") {
+        Err(RunFileError::BadShape { key_words, .. }) => assert_eq!(key_words, 0),
+        other => panic!("expected BadShape, got {other:?}"),
+    }
+
+    // Shape: entry_bytes disagreeing with key_words.
+    let mut bad = full.clone();
+    bad[12..16].copy_from_slice(&99u32.to_le_bytes());
+    match reopen(&bad, "shape-skew") {
+        Err(RunFileError::BadShape { entry_bytes, .. }) => assert_eq!(entry_bytes, 99),
+        other => panic!("expected BadShape, got {other:?}"),
+    }
+
+    // Count: header promises more entries than the file holds.
+    let mut bad = full.clone();
+    bad[16..24].copy_from_slice(&1_000u64.to_le_bytes());
+    match reopen(&bad, "count") {
+        Err(RunFileError::Truncated { expected, got }) => {
+            assert!(expected > got);
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+
+    // Random header corruption never panics: any outcome must be a typed
+    // error or a clean open (flips that hit ignored bits, e.g. high
+    // count bytes already zero, can be harmless).
+    check("runfile_header_fuzz", 64, |rng: &mut Rng| {
+        let mut bad = full.clone();
+        let i = rng.gen_range(0..24usize);
+        bad[i] ^= 1 << rng.gen_range(0..8u32);
+        match reopen(&bad, "fuzz") {
+            Ok(mut r) => {
+                let mut words = vec![0u64; r.header.key_words];
+                while let Some(_oid) = r.read_entry(&mut words).expect("read fuzzed") {}
+            }
+            Err(
+                RunFileError::BadMagic(_)
+                | RunFileError::BadVersion(_)
+                | RunFileError::BadShape { .. }
+                | RunFileError::Truncated { .. }
+                | RunFileError::Io(_),
+            ) => {}
+            Err(e) => panic!("unexpected error class {e:?}"),
+        }
+    });
+}

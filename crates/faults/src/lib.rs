@@ -67,6 +67,10 @@ pub mod points {
     pub const CORE_ROUND_SORT: &str = "core.round.sort";
     /// A parallel-sort worker thread panics after being spawned.
     pub const SIMD_WORKER_PANIC: &str = "simd.worker.panic";
+    /// Writing a sorted run file to spill storage fails.
+    pub const EXTSORT_SPILL_WRITE: &str = "extsort.spill.write";
+    /// Reading a spilled run back during the external merge fails.
+    pub const EXTSORT_SPILL_READ: &str = "extsort.spill.read";
 
     /// Every registered fault point.
     pub const ALL: &[&str] = &[
@@ -75,6 +79,8 @@ pub mod points {
         COST_NAN,
         CORE_ROUND_SORT,
         SIMD_WORKER_PANIC,
+        EXTSORT_SPILL_WRITE,
+        EXTSORT_SPILL_READ,
     ];
 }
 
@@ -423,7 +429,7 @@ mod tests {
 
     #[test]
     fn registry_lists_every_point() {
-        assert_eq!(points::ALL.len(), 5);
+        assert_eq!(points::ALL.len(), 7);
         let mut sorted = points::ALL.to_vec();
         sorted.sort_unstable();
         sorted.dedup();

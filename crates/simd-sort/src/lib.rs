@@ -54,7 +54,7 @@ mod sort;
 pub use key::{Bank, Key};
 pub use multiway::{
     multiway_merge_ovc_scratch, multiway_merge_scratch, multiway_pass_ovc_scratch,
-    multiway_pass_scratch,
+    multiway_pass_scratch, StreamHead, StreamMerger, StreamSource,
 };
 pub use ovc::{ovc_encode, take_merge_counters, MergeCounters};
 pub use parallel::{

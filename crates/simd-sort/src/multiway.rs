@@ -461,6 +461,204 @@ pub fn multiway_pass_ovc_scratch<K: Key>(
     group
 }
 
+/// One element delivered by a [`StreamSource`]: the most significant
+/// 64-bit word of its (possibly multi-word) sort key, its offset-value
+/// code relative to the run predecessor's first word (run heads coded
+/// against zero), and the payload oid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamHead {
+    /// Most significant `u64` word of the element's sort key.
+    pub word0: u64,
+    /// `ovc_encode(word0, predecessor word0)`; `0` at the run head.
+    pub code: u32,
+    /// Payload object id.
+    pub oid: u32,
+}
+
+/// A supplier of sorted runs for the streaming merge, e.g. spilled run
+/// files behind bounded read-ahead buffers.
+///
+/// Keys may be wider than 64 bits: the tree only sees each head's most
+/// significant word (and its offset-value code over that word); whenever
+/// two heads tie on codes — which implies equal first words relative to
+/// a common base — the tree asks the source to compare the full keys via
+/// [`StreamSource::cmp_heads`]. The source must keep each run's current
+/// head resident until the next [`StreamSource::next`] call for that run.
+pub trait StreamSource {
+    /// The I/O error type surfaced through [`StreamMerger::pop`].
+    type Error;
+
+    /// Advance run `run` to its next element and return it, or `None`
+    /// when the run is exhausted. Elements must come back in
+    /// non-decreasing key order with codes relative to the previous
+    /// element of the same run (the head against the all-zero key).
+    fn next(&mut self, run: usize) -> Result<Option<StreamHead>, Self::Error>;
+
+    /// Compare the full sort keys of the current heads of runs `a` and
+    /// `b`. Only called while both runs have a live head, and only on a
+    /// code tie (equal first words over a common base).
+    fn cmp_heads(&self, a: usize, b: usize) -> core::cmp::Ordering;
+}
+
+/// A streaming offset-value-coded loser tree over a [`StreamSource`].
+///
+/// Same match protocol as the internal `OvcLoserTree` — codes decide when they
+/// differ, a code tie plays the full keys through the source and the
+/// loser's code is recomputed against the winner, equal keys break
+/// toward the lower run index — generalized to multi-word keys: codes
+/// and the scratch's widened heads cover only each key's most
+/// significant word, so `ovc_encode(loser word0, winner word0)` may
+/// legitimately return 0 for distinct keys that agree on their first
+/// word. That is sound because a 0 code only ever short-circuits a match
+/// into the full-key comparison, never away from it.
+pub struct StreamMerger<'a, S: StreamSource> {
+    src: &'a mut S,
+    s: &'a mut MergeScratch,
+    m: usize,
+    comparisons: u64,
+    ovc_hits: u64,
+    recorded: bool,
+}
+
+impl<'a, S: StreamSource> StreamMerger<'a, S> {
+    /// Build the tree over `num_runs` runs, pulling each run's head from
+    /// the source.
+    pub fn new(
+        src: &'a mut S,
+        num_runs: usize,
+        scratch: &'a mut MergeScratch,
+    ) -> Result<Self, S::Error> {
+        let m = num_runs.next_power_of_two().max(2);
+        scratch.prepare(m);
+        for i in 0..m {
+            scratch.cursors[i] = (0, 0);
+            scratch.heads[i] = (0, false);
+            scratch.head_codes[i] = 0;
+            scratch.head_oids[i] = 0;
+        }
+        for i in 0..num_runs {
+            if let Some(h) = src.next(i)? {
+                scratch.heads[i] = (h.word0, true);
+                scratch.head_codes[i] = h.code;
+                scratch.head_oids[i] = h.oid;
+            }
+        }
+        let mut lt = StreamMerger {
+            src,
+            s: scratch,
+            m,
+            comparisons: 0,
+            ovc_hits: 0,
+            recorded: false,
+        };
+        lt.rebuild();
+        Ok(lt)
+    }
+
+    /// Immutable view of the underlying source — e.g. to inspect the
+    /// element a [`StreamMerger::pop`] just surrendered, which sources
+    /// typically retain until that run's next refill.
+    pub fn source(&self) -> &S {
+        &*self.src
+    }
+
+    /// The OVC match over stream heads; see [`OvcLoserTree::beats`] for
+    /// the protocol and the load-bearing lower-run-index tie-break.
+    #[inline]
+    fn beats(&mut self, a: u32, b: u32) -> bool {
+        match (self.s.heads[a as usize], self.s.heads[b as usize]) {
+            ((wa, true), (wb, true)) => {
+                self.comparisons += 1;
+                let (ca, cb) = (self.s.head_codes[a as usize], self.s.head_codes[b as usize]);
+                if ca != cb {
+                    self.ovc_hits += 1;
+                    return ca < cb;
+                }
+                // Code tie: first words are equal relative to the common
+                // base; play the full (possibly multi-word) keys.
+                match self.src.cmp_heads(a as usize, b as usize) {
+                    core::cmp::Ordering::Equal => {
+                        self.s.head_codes[a.max(b) as usize] = 0;
+                        a < b
+                    }
+                    core::cmp::Ordering::Less => {
+                        self.s.head_codes[b as usize] = ovc_encode(wb, wa);
+                        true
+                    }
+                    core::cmp::Ordering::Greater => {
+                        self.s.head_codes[a as usize] = ovc_encode(wa, wb);
+                        false
+                    }
+                }
+            }
+            ((_, true), (_, false)) => true,
+            ((_, false), _) => false,
+        }
+    }
+
+    /// Full rebuild: play all matches bottom-up.
+    fn rebuild(&mut self) {
+        let m = self.m;
+        for i in 0..m {
+            self.s.winner[m + i] = i as u32;
+        }
+        for i in (1..m).rev() {
+            let (a, b) = (self.s.winner[2 * i], self.s.winner[2 * i + 1]);
+            let (w, l) = if self.beats(a, b) { (a, b) } else { (b, a) };
+            self.s.winner[i] = w;
+            self.s.tree[i] = l;
+        }
+        self.s.tree[0] = self.s.winner[1];
+    }
+
+    /// Pop the smallest element as `(run, oid, code)` — the code relative
+    /// to the previous output's first word (0 means the first words are
+    /// equal; the full keys may still differ past word 0). Returns
+    /// `Ok(None)` when every run has drained, at which point the merge's
+    /// comparison counters are credited to the thread-local accumulator
+    /// exactly once.
+    pub fn pop(&mut self) -> Result<Option<(usize, u32, u32)>, S::Error> {
+        let w = self.s.tree[0] as usize;
+        let (_, valid) = self.s.heads[w];
+        if !valid {
+            if !self.recorded {
+                self.recorded = true;
+                ovc::record(self.comparisons, self.ovc_hits);
+            }
+            return Ok(None);
+        }
+        let oid = self.s.head_oids[w];
+        let code = self.s.head_codes[w];
+        match self.src.next(w)? {
+            Some(h) => {
+                self.s.heads[w] = (h.word0, true);
+                // Relative to its run predecessor — the element popped.
+                self.s.head_codes[w] = h.code;
+                self.s.head_oids[w] = h.oid;
+            }
+            None => {
+                self.s.heads[w] = (0, false);
+                self.s.head_codes[w] = 0;
+                self.s.head_oids[w] = 0;
+            }
+        }
+        // Replay matches from leaf w to the root (common-base argument
+        // as in [`OvcLoserTree::pop`]).
+        let mut winner = w as u32;
+        let mut node = (self.m + w) >> 1;
+        while node >= 1 {
+            let other = self.s.tree[node];
+            if self.beats(other, winner) {
+                self.s.tree[node] = winner;
+                winner = other;
+            }
+            node >>= 1;
+        }
+        self.s.tree[0] = winner;
+        Ok(Some((w, oid, code)))
+    }
+}
+
 /// One `F`-way pass over the whole buffer: merges consecutive groups of up
 /// to `fanout` runs of length `run` from `src` into `dst`. Returns the new
 /// run length (`run * fanout`).
@@ -710,6 +908,189 @@ mod tests {
         let (got_k, got_o) = if in_src { (keys, oids) } else { (bk, bo) };
         assert_eq!(got_k, want_k);
         assert_eq!(got_o, want_o);
+    }
+
+    /// In-memory [`StreamSource`] over multi-word keys, for tests: each
+    /// run is a sorted `Vec` of `(key words, oid)`.
+    struct VecSource {
+        runs: Vec<Vec<(Vec<u64>, u32)>>,
+        pos: Vec<usize>,
+    }
+
+    impl VecSource {
+        fn new(runs: Vec<Vec<(Vec<u64>, u32)>>) -> Self {
+            let pos = vec![0; runs.len()];
+            VecSource { runs, pos }
+        }
+    }
+
+    impl StreamSource for VecSource {
+        type Error = ();
+
+        fn next(&mut self, run: usize) -> Result<Option<StreamHead>, ()> {
+            let i = self.pos[run];
+            let Some((words, oid)) = self.runs[run].get(i) else {
+                return Ok(None);
+            };
+            let prev_w0 = if i == 0 {
+                0
+            } else {
+                self.runs[run][i - 1].0[0]
+            };
+            self.pos[run] += 1;
+            Ok(Some(StreamHead {
+                word0: words[0],
+                code: ovc_encode(words[0], prev_w0),
+                oid: *oid,
+            }))
+        }
+
+        fn cmp_heads(&self, a: usize, b: usize) -> core::cmp::Ordering {
+            // The live head of a run is the element `next` returned last.
+            let ha = &self.runs[a][self.pos[a] - 1].0;
+            let hb = &self.runs[b][self.pos[b] - 1].0;
+            ha.cmp(hb)
+        }
+    }
+
+    #[test]
+    fn stream_merger_matches_slice_merge_byte_for_byte() {
+        // Single-word keys: the streaming tree must reproduce the slice
+        // tree's output exactly, including duplicate payload order (both
+        // share the lower-run-index tie-break).
+        let mut state = 0xC0FF_EE00u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for &count in &[1usize, 2, 5, 9] {
+            let mut keys: Vec<u64> = Vec::new();
+            let mut runs: Vec<Range<usize>> = Vec::new();
+            let mut vruns: Vec<Vec<(Vec<u64>, u32)>> = Vec::new();
+            for _ in 0..count {
+                let len = (next() % 80) as usize;
+                let start = keys.len();
+                let mut run: Vec<u64> = (0..len).map(|_| next() % 64).collect();
+                run.sort_unstable();
+                vruns.push(
+                    run.iter()
+                        .enumerate()
+                        .map(|(i, &k)| (vec![k], (start + i) as u32))
+                        .collect(),
+                );
+                keys.extend_from_slice(&run);
+                runs.push(start..keys.len());
+            }
+            let n = keys.len();
+            let oids: Vec<u32> = (0..n as u32).collect();
+            let (mut dk, mut dlo) = (vec![0u64; n], vec![0u32; n]);
+            if n > 0 {
+                multiway_merge(&keys, &oids, &mut dk, &mut dlo, &runs, 0);
+            }
+
+            let _ = ovc::take_merge_counters();
+            let mut src = VecSource::new(vruns);
+            let mut scratch = MergeScratch::new();
+            let mut lt = StreamMerger::new(&mut src, count, &mut scratch).unwrap();
+            let mut got: Vec<u32> = Vec::new();
+            while let Some((_, oid, _)) = lt.pop().unwrap() {
+                got.push(oid);
+            }
+            assert_eq!(got, dlo, "count={count}");
+            let c = ovc::take_merge_counters();
+            if count > 1 && n > 16 {
+                assert!(c.comparisons > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_merger_orders_multi_word_keys() {
+        // Two-word keys engineered to collide on word 0, so ordering
+        // depends on the full-key comparisons behind the code ties.
+        let mut state = 0xBEEF_BEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut vruns: Vec<Vec<(Vec<u64>, u32)>> = Vec::new();
+        let mut all: Vec<(Vec<u64>, u32)> = Vec::new();
+        let mut oid = 0u32;
+        for _ in 0..4 {
+            let mut run: Vec<Vec<u64>> = (0..50).map(|_| vec![next() % 3, next() % 1000]).collect();
+            run.sort_unstable();
+            let run: Vec<(Vec<u64>, u32)> = run
+                .into_iter()
+                .map(|w| {
+                    oid += 1;
+                    (w, oid - 1)
+                })
+                .collect();
+            all.extend(run.iter().cloned());
+            vruns.push(run);
+        }
+        // Stable by (key, oid): oids were assigned in run order, so this
+        // is exactly "equal keys drain in run order".
+        let mut want = all.clone();
+        want.sort_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
+
+        let _ = ovc::take_merge_counters();
+        let mut src = VecSource::new(vruns);
+        let mut scratch = MergeScratch::new();
+        let mut lt = StreamMerger::new(&mut src, 4, &mut scratch).unwrap();
+        let mut got: Vec<u32> = Vec::new();
+        while let Some((_, o, _)) = lt.pop().unwrap() {
+            got.push(o);
+        }
+        let want_oids: Vec<u32> = want.iter().map(|e| e.1).collect();
+        assert_eq!(got, want_oids);
+        let c = ovc::take_merge_counters();
+        assert!(c.comparisons >= 200 - 4);
+        assert!(
+            c.ovc_hits < c.comparisons,
+            "word-0 collisions force full compares"
+        );
+    }
+
+    #[test]
+    fn stream_merger_handles_empty_and_failing_sources() {
+        // No runs at all.
+        let mut src = VecSource::new(Vec::new());
+        let mut scratch = MergeScratch::new();
+        let mut lt = StreamMerger::new(&mut src, 0, &mut scratch).unwrap();
+        assert_eq!(lt.pop().unwrap(), None);
+        assert_eq!(lt.pop().unwrap(), None);
+
+        // A source that fails on the first refill after the heads.
+        struct Failing {
+            calls: usize,
+        }
+        impl StreamSource for Failing {
+            type Error = &'static str;
+            fn next(&mut self, _run: usize) -> Result<Option<StreamHead>, &'static str> {
+                self.calls += 1;
+                if self.calls <= 2 {
+                    Ok(Some(StreamHead {
+                        word0: self.calls as u64,
+                        code: ovc_encode(self.calls as u64, 0),
+                        oid: self.calls as u32,
+                    }))
+                } else {
+                    Err("read failed")
+                }
+            }
+            fn cmp_heads(&self, _a: usize, _b: usize) -> core::cmp::Ordering {
+                core::cmp::Ordering::Equal
+            }
+        }
+        let mut src = Failing { calls: 0 };
+        let mut scratch = MergeScratch::new();
+        let mut lt = StreamMerger::new(&mut src, 2, &mut scratch).unwrap();
+        assert_eq!(lt.pop(), Err("read failed"));
     }
 
     #[test]

@@ -85,6 +85,10 @@ pub struct MergeScratch {
     /// Offset-value code of each head, relative to the last element the
     /// tree output (only maintained by the OVC merge variants).
     pub(crate) head_codes: Vec<u32>,
+    /// Payload oid of each head (only maintained by the streaming merge,
+    /// whose sources deliver elements one at a time instead of exposing
+    /// slices the cursors could index).
+    pub(crate) head_oids: Vec<u32>,
 }
 
 impl MergeScratch {
@@ -96,7 +100,10 @@ impl MergeScratch {
     /// Total bytes currently held.
     pub fn bytes(&self) -> usize {
         self.cursors.capacity() * core::mem::size_of::<(usize, usize)>()
-            + (self.tree.capacity() + self.winner.capacity() + self.head_codes.capacity())
+            + (self.tree.capacity()
+                + self.winner.capacity()
+                + self.head_codes.capacity()
+                + self.head_oids.capacity())
                 * core::mem::size_of::<u32>()
             + self.heads.capacity() * core::mem::size_of::<(u64, bool)>()
     }
@@ -109,6 +116,7 @@ impl MergeScratch {
         self.winner.resize(2 * m, 0);
         self.heads.resize(m, (0, false));
         self.head_codes.resize(m, 0);
+        self.head_oids.resize(m, 0);
     }
 }
 

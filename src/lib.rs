@@ -50,6 +50,7 @@ pub use mcs_columnar as columnar;
 pub use mcs_core as core;
 pub use mcs_cost as cost;
 pub use mcs_engine as engine;
+pub use mcs_extsort as extsort;
 pub use mcs_faults as faults;
 pub use mcs_planner as planner;
 pub use mcs_simd_sort as simd_sort;

@@ -287,9 +287,111 @@ fn mid_round_fault_does_not_poison_the_session_arena() {
     );
 }
 
+/// A memory budget small enough that the chaos queries' sort footprint
+/// exceeds it, forcing the out-of-core path (and with it the
+/// `extsort.spill.*` fault points) to run.
+fn budgeted_cfg() -> EngineConfig {
+    EngineConfig::builder()
+        .threads(2)
+        .memory_budget(48 * 1024)
+        .build()
+}
+
+/// Spill fault A: every run-file *write* fails. The external sort
+/// reports a typed spill error, the engine records the `spill_failed`
+/// rung and reruns the same plan fully in memory — no abort, no wrong
+/// answer, and nothing counted as spilled.
+#[test]
+fn spill_write_fault_degrades_to_in_memory() {
+    let t = chaos_table(8192);
+    let q = groupby_query();
+    let cfg = budgeted_cfg();
+
+    // Sanity: disarmed, the budget really does take the external path.
+    let clean = run_query(&t, &q, &cfg).expect("budgeted run");
+    assert!(clean.timings.spilled.runs >= 2, "budget never spilled");
+    assert!(clean.timings.degradations.is_empty());
+
+    telemetry::reset();
+    with_armed(&[(points::EXTSORT_SPILL_WRITE, FireMode::Always)], || {
+        let r = run_query(&t, &q, &cfg).expect("spill failure must not fail the query");
+        assert!(
+            fired(points::EXTSORT_SPILL_WRITE) > 0,
+            "fault never traversed"
+        );
+        assert_eq!(r.timings.degradations, vec![DegradeReason::SpillFailed]);
+        assert_eq!(r.timings.spilled.runs, 0, "a failed spill spills nothing");
+        assert_same_rows(&r.columns, &naive_execute(&t, &q));
+        if telemetry::is_enabled() {
+            let snap = telemetry::take_all();
+            let counted = snap
+                .counters
+                .iter()
+                .find(|(n, _)| *n == "engine.degraded")
+                .map_or(0, |&(_, v)| v);
+            assert_eq!(counted, 1, "one rung, one count");
+            // The rung's marker span carries the stable reason label.
+            assert!(
+                snap.spans.iter().any(|s| s.name == "engine.degraded"
+                    && s.attrs.iter().any(|(k, v)| *k == "reason"
+                        && *v == telemetry::AttrValue::Str("spill_failed".into()))),
+                "no spill_failed-labelled degradation span"
+            );
+        }
+    });
+}
+
+/// Spill fault B: run files write fine, but a *read* fails mid-merge.
+/// Same contract — `spill_failed` rung, in-memory rerun, correct rows.
+#[test]
+fn spill_read_fault_degrades_to_in_memory() {
+    let t = chaos_table(8192);
+    let q = groupby_query();
+    let cfg = budgeted_cfg();
+    with_armed(&[(points::EXTSORT_SPILL_READ, FireMode::Nth(100))], || {
+        let rungs = run_and_check(&t, &q, &cfg);
+        assert!(
+            fired(points::EXTSORT_SPILL_READ) > 0,
+            "fault never traversed"
+        );
+        assert_eq!(rungs, vec![DegradeReason::SpillFailed]);
+    });
+}
+
+/// Spill faults under probabilistic firing: whether or not the coin
+/// lands on a spill I/O call, the query must answer correctly, and any
+/// rung taken must be the spill one.
+#[test]
+fn probabilistic_spill_faults_stay_correct() {
+    let t = chaos_table(8192);
+    let q = groupby_query();
+    let cfg = budgeted_cfg();
+    for point in [points::EXTSORT_SPILL_WRITE, points::EXTSORT_SPILL_READ] {
+        for seed in [1u64, 2, 3] {
+            with_armed(
+                &[(
+                    point,
+                    FireMode::Probability {
+                        millionths: 300_000,
+                        seed,
+                    },
+                )],
+                || {
+                    let rungs = run_and_check(&t, &q, &cfg);
+                    assert!(
+                        rungs.iter().all(|r| *r == DegradeReason::SpillFailed),
+                        "{point}: unexpected rungs {rungs:?}"
+                    );
+                },
+            );
+        }
+    }
+}
+
 /// Sweep: every registered fault point, in several deterministic firing
-/// patterns, across query shapes. No process abort, and always either a
-/// correct answer or (never, for these faults) a typed error.
+/// patterns, across query shapes — in memory and under a spill-forcing
+/// memory budget. No process abort, and always either a correct answer
+/// or (never, for these faults) a typed error.
 #[test]
 fn chaos_sweep_never_aborts_and_stays_correct() {
     let t = chaos_table(8192);
@@ -311,19 +413,18 @@ fn chaos_sweep_never_aborts_and_stays_correct() {
             },
         ] {
             for q in &queries {
-                let cfg = EngineConfig {
-                    exec: ExecConfig {
-                        threads: 2,
-                        ..ExecConfig::default()
-                    },
-                    ..EngineConfig::default()
-                };
-                with_armed(&[(point, mode)], || {
-                    let r =
-                        run_query(&t, q, &cfg).expect("recoverable fault must not fail the query");
-                    let want = naive_execute(&t, q);
-                    assert_same_rows(&r.columns, &want);
-                });
+                // The budgeted config routes the sort out-of-core, so the
+                // spill fault points actually traverse — and every *other*
+                // fault also has to compose with the external path (chunk
+                // sorts fail inside it, the ladder still recovers).
+                for cfg in [EngineConfig::builder().threads(2).build(), budgeted_cfg()] {
+                    with_armed(&[(point, mode)], || {
+                        let r = run_query(&t, q, &cfg)
+                            .expect("recoverable fault must not fail the query");
+                        let want = naive_execute(&t, q);
+                        assert_same_rows(&r.columns, &want);
+                    });
+                }
             }
         }
     }

@@ -161,6 +161,36 @@ fn run_and_check(
         "[{label}] OVC changed the group bounds"
     );
 
+    // Spill axis: the same problem under memory budgets of 1/4 and 1/16
+    // of the sort's in-memory footprint runs the out-of-core path
+    // (chunk → run files → streaming OVC merge) and must be
+    // byte-identical to the in-memory output — oids *and* group bounds.
+    // Tiny inputs whose chunk still fits the budget delegate in-memory,
+    // which is exactly the production dispatch and equally checked.
+    let footprint = mcs_core::lease_footprint_bytes(plan, p.num_rows());
+    for div in [4usize, 16] {
+        let spilled = ARENA
+            .with(|a| {
+                mcs_extsort::external_multi_column_sort_with(
+                    &refs,
+                    &specs,
+                    plan,
+                    &cfg,
+                    &mut a.borrow_mut(),
+                    (footprint / div).max(1),
+                )
+            })
+            .expect("valid sort instance (external path)");
+        assert_eq!(
+            spilled.0.oids, out.oids,
+            "[{label}] spill(1/{div}) changed the oid order"
+        );
+        assert_eq!(
+            spilled.0.groups.offsets, out.groups.offsets,
+            "[{label}] spill(1/{div}) changed the group bounds"
+        );
+    }
+
     // Aggregates over the first column's raw codes, per final tie group.
     let want_agg = reference_aggregates(reference, &p.columns[0]);
     let got_counts: Vec<u64> = out.groups.iter().map(|g| g.len() as u64).collect();
@@ -225,7 +255,7 @@ fn full_axis_matrix_against_reference() {
     };
 
     let mut rng = Rng::seed_from_u64(0xD1FF_0AC1E_u64);
-    let mut covered: BTreeSet<(Shape, u32, usize, bool, bool)> = BTreeSet::new();
+    let mut covered: BTreeSet<(Shape, u32, usize, bool, bool, usize)> = BTreeSet::new();
 
     for bank in Bank::ALL {
         for shape in SHAPES {
@@ -253,9 +283,20 @@ fn full_axis_matrix_against_reference() {
                         );
                         run_and_check(&label, &p, &reference, &plan, threads);
                         // run_and_check executes the merge with OVC on
-                        // (the default) and off; both cells are covered.
+                        // (the default) and off, and the sort in memory
+                        // (divisor 0) and under footprint/4 and
+                        // footprint/16 budgets; every cell is covered.
                         for ovc in [true, false] {
-                            covered.insert((shape, bank.bits(), threads, mixed, ovc));
+                            for budget_div in [0usize, 4, 16] {
+                                covered.insert((
+                                    shape,
+                                    bank.bits(),
+                                    threads,
+                                    mixed,
+                                    ovc,
+                                    budget_div,
+                                ));
+                            }
                         }
                     }
                 }
@@ -270,16 +311,18 @@ fn full_axis_matrix_against_reference() {
             for threads in [1usize, 4] {
                 for mixed in [false, true] {
                     for ovc in [true, false] {
-                        assert!(
-                            covered.contains(&(shape, bank_bits, threads, mixed, ovc)),
-                            "axis cell dropped: {shape:?} x B{bank_bits} x {threads} threads x mixed={mixed} x ovc={ovc}"
-                        );
+                        for budget_div in [0usize, 4, 16] {
+                            assert!(
+                                covered.contains(&(shape, bank_bits, threads, mixed, ovc, budget_div)),
+                                "axis cell dropped: {shape:?} x B{bank_bits} x {threads} threads x mixed={mixed} x ovc={ovc} x budget 1/{budget_div}"
+                            );
+                        }
                     }
                 }
             }
         }
     }
-    assert_eq!(covered.len(), 4 * 3 * 2 * 2 * 2);
+    assert_eq!(covered.len(), 4 * 3 * 2 * 2 * 2 * 3);
 }
 
 /// Randomized sweep: arbitrary column sets (totals past 64 bits force
@@ -304,6 +347,53 @@ fn random_problems_every_shape_and_distribution() {
             run_and_check(&label, &p, &reference, &plan, threads);
         }
     });
+}
+
+/// The out-of-core dispatch under a budget tiny enough to force several
+/// spilled runs — the cell CI's spill step pins down. Byte-identity with
+/// the in-memory path is re-checked here on a larger instance than the
+/// matrix uses, and the run count is asserted so a silently widening
+/// chunk heuristic (which would quietly stop exercising the merge)
+/// fails loudly.
+#[test]
+fn tiny_budget_forces_at_least_four_spilled_runs() {
+    let mut rng = Rng::seed_from_u64(0x5B11);
+    let specs = [
+        mcs_test_support::ColumnSpec {
+            width: 11,
+            descending: false,
+        },
+        mcs_test_support::ColumnSpec {
+            width: 29,
+            descending: true,
+        },
+    ];
+    let p = gen_problem(&mut rng, 3_000, &specs, Dist::DupHeavy);
+    let cols = code_vecs(&p);
+    let refs: Vec<&CodeVec> = cols.iter().collect();
+    let sspecs = sort_specs(&p);
+    let plan = MassagePlan::column_at_a_time(&sspecs);
+    let cfg = ExecConfig {
+        want_final_groups: true,
+        ..ExecConfig::default()
+    };
+    let want = multi_column_sort(&refs, &sspecs, &plan, &cfg).expect("in-memory sort");
+
+    let budget = mcs_core::lease_footprint_bytes(&plan, p.num_rows()) / 8;
+    let mut arena = ExecArena::new();
+    let (got, spill) = mcs_extsort::external_multi_column_sort_with(
+        &refs, &sspecs, &plan, &cfg, &mut arena, budget,
+    )
+    .expect("external sort");
+    assert!(
+        spill.runs >= 4,
+        "budget {budget} spilled only {} runs",
+        spill.runs
+    );
+    assert!(spill.bytes > 0);
+    assert!(spill.merge_comparisons > 0);
+    assert_eq!(got.oids, want.oids, "spilled oid order");
+    assert_eq!(got.groups.offsets, want.groups.offsets, "spilled groups");
 }
 
 /// Degenerate shapes every engine change must keep working: zero rows,

@@ -1,0 +1,215 @@
+//! Memory-budget enforcement tests for the out-of-core sort.
+//!
+//! The budget contract has two sides:
+//!
+//! * **Bounded peak.** When `memory_budget_bytes` forces the external
+//!   path, the sort's resident working memory — measured as the
+//!   execution arena's `bytes_peak`, which holds every buffer the chunk
+//!   sorts lease — stays within the budget times a small, documented
+//!   slack constant, across row counts, key shapes, and budget sizes.
+//! * **Zero overhead when unset.** With no budget (the default), the
+//!   dispatch must not so much as allocate: a warm prepared query's
+//!   round loop reports *exactly* zero heap allocations, same as before
+//!   the budget knob existed. A budget that is set but large enough to
+//!   hold the whole sort takes the identical in-memory path and keeps
+//!   the same guarantee.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use mcs_columnar::CodeVec;
+use mcs_core::{
+    lease_footprint_bytes, multi_column_sort_with, ExecArena, ExecConfig, MassagePlan, SortSpec,
+};
+use mcs_engine::{Column, Database, EngineConfig, OrderKey, Query, Session, Table};
+use mcs_extsort::external_multi_column_sort_with;
+use mcs_test_support::{thread_allocation_count, CountingAlloc, Rng};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allowed overshoot of the arena's byte peak relative to the budget.
+///
+/// The chunk-row count is derived from a per-row footprint estimated at
+/// a fixed 4096-row probe, so three error terms separate the peak from
+/// the budget itself: per-row ceiling rounding at the probe, the
+/// footprint's constant terms (three group-offset buffers reserve
+/// `n + 1` entries), and bank-granularity rounding of the final short
+/// chunk. All are small and bounded; 1.5× plus one page of absolute
+/// grace covers them with room while still failing loudly if chunking
+/// ever stops respecting the budget.
+const BUDGET_SLACK_NUM: usize = 3;
+const BUDGET_SLACK_DEN: usize = 2;
+const BUDGET_GRACE_BYTES: usize = 4096;
+
+fn gen_cols(rng: &mut Rng, n: usize, widths: &[u32]) -> Vec<CodeVec> {
+    widths
+        .iter()
+        .map(|&w| {
+            let cap = 1u64 << w.min(16);
+            CodeVec::from_u64s(w, (0..n).map(|_| rng.gen_range(0..cap)).collect::<Vec<_>>())
+        })
+        .collect()
+}
+
+/// Sweep shapes × budgets: the external sort must stay byte-identical to
+/// the in-memory sort while its arena peak honours the budget.
+#[test]
+fn spilling_sort_keeps_arena_peak_within_budget() {
+    let mut rng = Rng::seed_from_u64(0xB06E7);
+    let shapes: [(usize, &[u32]); 3] = [(2_000, &[11, 13]), (5_000, &[7, 29, 40]), (3_000, &[64])];
+    for (n, widths) in shapes {
+        let cols = gen_cols(&mut rng, n, widths);
+        let refs: Vec<&CodeVec> = cols.iter().collect();
+        let specs: Vec<SortSpec> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| SortSpec {
+                width: w,
+                descending: i % 2 == 1,
+            })
+            .collect();
+        let plan = MassagePlan::column_at_a_time(&specs);
+        let cfg = ExecConfig {
+            want_final_groups: true,
+            ..ExecConfig::default()
+        };
+        let want = {
+            let mut arena = ExecArena::new();
+            multi_column_sort_with(&refs, &specs, &plan, &cfg, &mut arena).expect("in-memory")
+        };
+
+        let footprint = lease_footprint_bytes(&plan, n);
+        for div in [4usize, 8, 16] {
+            let budget = footprint / div;
+            let mut arena = ExecArena::new();
+            let (out, spill) =
+                external_multi_column_sort_with(&refs, &specs, &plan, &cfg, &mut arena, budget)
+                    .expect("external sort");
+            assert!(
+                spill.runs >= div as u64 / 2,
+                "n={n} widths={widths:?} div={div}: only {} runs spilled",
+                spill.runs
+            );
+            assert_eq!(out.oids, want.oids, "n={n} widths={widths:?} div={div}");
+            assert_eq!(
+                out.groups.offsets, want.groups.offsets,
+                "n={n} widths={widths:?} div={div}"
+            );
+
+            let peak = arena.stats().bytes_peak as usize;
+            let allowed = budget * BUDGET_SLACK_NUM / BUDGET_SLACK_DEN + BUDGET_GRACE_BYTES;
+            assert!(
+                peak <= allowed,
+                "n={n} widths={widths:?} div={div}: arena peak {peak} bytes exceeds \
+                 budget {budget} (allowed {allowed})"
+            );
+            // And the budget is doing real work: the bounded peak is far
+            // below what the unbudgeted sort would have leased.
+            assert!(
+                peak < footprint,
+                "n={n} widths={widths:?} div={div}: peak {peak} not below full footprint {footprint}"
+            );
+        }
+    }
+}
+
+fn sales_db(rows: usize) -> Database {
+    let mut t = Table::new("sales");
+    t.add_column(Column::from_u64s(
+        "nation",
+        5,
+        (0..rows).map(|i| (i as u64 * 7) % 32),
+    ));
+    t.add_column(Column::from_u64s(
+        "ship_date",
+        11,
+        (0..rows).map(|i| (i as u64 * 131) % 2048),
+    ));
+    t.add_column(Column::from_u64s(
+        "price",
+        16,
+        (0..rows).map(|i| (i as u64 * 997) % 65536),
+    ));
+    let mut db = Database::new();
+    db.register(t);
+    db
+}
+
+fn orderby_query() -> Query {
+    let mut q = Query::named("by_keys");
+    q.order_by = vec![OrderKey::asc("nation"), OrderKey::desc("ship_date")];
+    q.select = vec!["price".into()];
+    q
+}
+
+/// With the probe installed, a warm prepared query must report exactly
+/// zero round-loop allocations — both with no budget at all and with a
+/// budget generous enough that the dispatch stays in memory. The budget
+/// knob must cost nothing when it doesn't bind.
+#[test]
+fn unbinding_budget_keeps_warm_round_loop_allocation_free() {
+    let db = sales_db(4096);
+    for budget in [None, Some(1usize << 30)] {
+        let mut cfg = EngineConfig::builder().threads(1).build();
+        cfg.exec.alloc_probe = Some(thread_allocation_count);
+        cfg.exec.memory_budget_bytes = budget;
+        let session = Session::new(&db, cfg);
+        let prepared = session.prepare("sales", &orderby_query()).unwrap();
+
+        let cold = prepared.execute(&session).unwrap();
+        assert_eq!(
+            cold.timings.spilled.runs, 0,
+            "budget {budget:?} must not spill"
+        );
+        for run in 0..3 {
+            let warm = prepared.execute(&session).unwrap();
+            assert_eq!(
+                warm.timings.mcs_stats.round_loop_allocs,
+                Some(0),
+                "budget {budget:?}, warm run {run} allocated in the round loop"
+            );
+            assert_eq!(warm.columns, cold.columns);
+        }
+    }
+}
+
+/// A binding budget on the engine path spills, stays correct against the
+/// unbudgeted result, and reports the spill in the timings.
+#[test]
+fn binding_budget_on_the_engine_path_spills_and_reports() {
+    let db = sales_db(8192);
+    let q = orderby_query();
+    let plain = EngineConfig::builder().threads(1).build();
+    let t = db.table("sales").unwrap();
+    let want = mcs_engine::run_query(t, &q, &plain).unwrap();
+    assert_eq!(want.timings.spilled.runs, 0);
+
+    let cfg = EngineConfig::builder()
+        .threads(1)
+        .memory_budget(32 * 1024)
+        .build();
+    let r = mcs_engine::run_query(t, &q, &cfg).unwrap();
+    assert!(r.timings.spilled.runs >= 2, "{:?}", r.timings.spilled);
+    assert!(r.timings.spilled.bytes > 0);
+    assert!(r.timings.spilled.merge_comparisons > 0);
+    assert!(r.timings.degradations.is_empty(), "spilling is not a rung");
+    assert_eq!(r.columns, want.columns, "budgeted result differs");
+
+    // The spill surfaces in EXPLAIN — and only when something spilled.
+    let model = mcs_cost::CostModel::with_defaults();
+    let rep = mcs_engine::ExplainReport::from_timings("budgeted", &r.timings, &model)
+        .expect("sort ran")
+        .render();
+    assert!(rep.contains("spill:"), "no spill line in EXPLAIN:\n{rep}");
+    assert!(
+        rep.contains(&format!("{} runs", r.timings.spilled.runs)),
+        "spill line missing run count:\n{rep}"
+    );
+    let clean = mcs_engine::ExplainReport::from_timings("plain", &want.timings, &model)
+        .expect("sort ran")
+        .render();
+    assert!(
+        !clean.contains("spill:"),
+        "in-memory EXPLAIN grew a spill line:\n{clean}"
+    );
+}

@@ -322,6 +322,8 @@ fn fault_point_registry_is_pinned() {
             "cost.eval.nan",
             "core.round.sort",
             "simd.worker.panic",
+            "extsort.spill.write",
+            "extsort.spill.read",
         ]
     );
     assert_eq!(points::PLANNER_SEARCH, "planner.search.fail");

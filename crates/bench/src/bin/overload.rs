@@ -1,0 +1,256 @@
+//! Overload control — drive the session's admission gate past
+//! saturation and measure what the bounded-queueing contract buys:
+//! instead of every query queueing unboundedly behind a saturated gate,
+//! callers past the `queue_timeout` are **shed** with a typed
+//! [`EngineError::Overloaded`], keeping the latency of *admitted*
+//! queries bounded.
+//!
+//! The harness offers a burst of 4× the gate's capacity (TPC-H Q1-style
+//! prepared queries over a shared session) under a ladder of queue
+//! timeouts — from `0` (admit only if a permit is free right now) to
+//! unbounded — and reports, per rung: shed rate, goodput
+//! (admitted queries/sec over the batch wall-clock), and the p50/p99
+//! end-to-end latency of the admitted queries (gate wait + execution,
+//! from `QueryTimings::queue_ns` and `total_ns`).
+//!
+//! Expected shape: tighter timeouts shed more and keep admitted p99 flat;
+//! the unbounded rung sheds nothing and pushes tail latency up with the
+//! queue depth. Writes `BENCH_overload.json`.
+//!
+//! Knobs: `MCS_ROWS` (lineitem rows, default 65536), `MCS_PERMITS`
+//! (gate capacity, default 2), `MCS_SEED`.
+
+use std::time::Duration;
+
+use mcs_bench::{env_usize, export_telemetry, print_table, rows, seed};
+use mcs_engine::{Database, EngineConfig, EngineError, PlannerMode, Query, QueryOptions, Session};
+use mcs_workloads::{tpch, QuerySpec, TpchParams};
+
+/// One rung of the queue-timeout ladder.
+struct Rung {
+    label: &'static str,
+    /// `None` = unbounded queueing (the pre-overload-control behaviour).
+    queue_timeout: Option<Duration>,
+}
+
+struct Measurement {
+    label: &'static str,
+    queue_timeout_us: Option<u64>,
+    offered: usize,
+    admitted: usize,
+    shed: usize,
+    shed_rate: f64,
+    elapsed_ms: f64,
+    /// Admitted queries per second of batch wall-clock.
+    goodput_qps: f64,
+    /// End-to-end latency (gate wait + execution) of admitted queries.
+    p50_us: f64,
+    p99_us: f64,
+    mean_queue_us: f64,
+}
+
+/// Percentile over a sorted slice (nearest-rank).
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1] as f64
+}
+
+fn measure(session: &Session, query: &Query, permits: usize, rung: &Rung) -> Measurement {
+    let prepared = session
+        .prepare("tpch_wide", query)
+        .expect("well-formed Q1 query");
+    let offered = 4 * permits.max(1) * 4; // 4x saturation, 4 waves deep
+    let batch = vec![prepared; offered];
+    let opts = QueryOptions {
+        queue_timeout: rung.queue_timeout,
+        ..QueryOptions::default()
+    };
+    let t = std::time::Instant::now();
+    let results = session.run_concurrent_with_options(&batch, permits, &opts);
+    let elapsed = t.elapsed();
+
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    let mut queue_ns_sum: u64 = 0;
+    let mut shed = 0usize;
+    for r in &results {
+        match r {
+            Ok(r) => {
+                latencies_ns.push(r.timings.queue_ns + r.timings.total_ns);
+                queue_ns_sum += r.timings.queue_ns;
+            }
+            Err(EngineError::Overloaded { .. }) => shed += 1,
+            Err(e) => panic!("only Overloaded may fail here: {e}"),
+        }
+    }
+    latencies_ns.sort_unstable();
+    let admitted = latencies_ns.len();
+    Measurement {
+        label: rung.label,
+        queue_timeout_us: rung.queue_timeout.map(|d| d.as_micros() as u64),
+        offered,
+        admitted,
+        shed,
+        shed_rate: shed as f64 / offered as f64,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        goodput_qps: admitted as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile(&latencies_ns, 50.0) / 1e3,
+        p99_us: percentile(&latencies_ns, 99.0) / 1e3,
+        mean_queue_us: if admitted > 0 {
+            queue_ns_sum as f64 / admitted as f64 / 1e3
+        } else {
+            0.0
+        },
+    }
+}
+
+fn main() {
+    let n = rows(1 << 16);
+    let permits = env_usize("MCS_PERMITS", 2);
+    println!(
+        "Overload control: TPC-H Q1 on {n} rows, gate capacity {permits}, \
+         offered load 4x saturation\n"
+    );
+
+    let w = tpch(&TpchParams {
+        lineitem_rows: n,
+        skew: None,
+        seed: seed(),
+    });
+    let QuerySpec::Single(q1) = &w.query("tpch_q1").spec else {
+        panic!("tpch_q1 is a single-stage query");
+    };
+    let q1 = q1.clone();
+    let mut db = Database::new();
+    for t in w.tables {
+        db.register(t);
+    }
+    let cfg = EngineConfig::builder()
+        .planner(PlannerMode::Roga { rho: Some(0.001) })
+        .threads(1)
+        .build();
+    let session = Session::new(&db, cfg);
+
+    // Estimate one query's service time to scale the timeout ladder to
+    // the machine and row count instead of hard-coding milliseconds.
+    let service = {
+        let t = std::time::Instant::now();
+        session.run_query("tpch_wide", &q1).expect("q1 runs");
+        t.elapsed().max(Duration::from_micros(100))
+    };
+    println!(
+        "estimated service time: {:.2} ms\n",
+        service.as_secs_f64() * 1e3
+    );
+
+    let rungs = [
+        Rung {
+            label: "zero",
+            queue_timeout: Some(Duration::ZERO),
+        },
+        Rung {
+            label: "tight",
+            queue_timeout: Some(service),
+        },
+        Rung {
+            label: "generous",
+            queue_timeout: Some(service * 64),
+        },
+        Rung {
+            label: "unbounded",
+            queue_timeout: None,
+        },
+    ];
+    let measurements: Vec<Measurement> = rungs
+        .iter()
+        .map(|r| measure(&session, &q1, permits, r))
+        .collect();
+
+    let table_rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.label.to_string(),
+                m.queue_timeout_us.map_or("-".into(), |us| format!("{us}")),
+                m.offered.to_string(),
+                m.admitted.to_string(),
+                m.shed.to_string(),
+                format!("{:.2}", m.shed_rate),
+                format!("{:.1}", m.goodput_qps),
+                format!("{:.0}", m.p50_us),
+                format!("{:.0}", m.p99_us),
+                format!("{:.0}", m.mean_queue_us),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "timeout",
+            "us",
+            "offered",
+            "admitted",
+            "shed",
+            "shed rate",
+            "goodput q/s",
+            "p50 us",
+            "p99 us",
+            "queue us",
+        ],
+        &table_rows,
+    );
+
+    // Contract checks: the unbounded rung never sheds, the zero rung must
+    // shed under a 4x-saturation burst (only `permits` holders fit at the
+    // instant of the burst), and every response is typed.
+    let unbounded = measurements.last().expect("ladder is non-empty");
+    assert_eq!(unbounded.shed, 0, "unbounded queueing must not shed");
+    assert_eq!(
+        unbounded.admitted, unbounded.offered,
+        "unbounded queueing admits everyone"
+    );
+    let zero = &measurements[0];
+    assert!(
+        zero.shed > 0,
+        "a zero queue timeout under 4x saturation must shed"
+    );
+
+    // Hand-rolled JSON (no serde in the workspace).
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"overload\",\n");
+    json.push_str("  \"workload\": \"tpch_q1\",\n");
+    json.push_str(&format!("  \"rows\": {n},\n"));
+    json.push_str(&format!("  \"gate_permits\": {permits},\n"));
+    json.push_str(&format!(
+        "  \"service_estimate_us\": {},\n",
+        service.as_micros()
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"timeout\": \"{}\", \"queue_timeout_us\": {}, \"offered\": {}, \
+             \"admitted\": {}, \"shed\": {}, \"shed_rate\": {:.4}, \
+             \"elapsed_ms\": {:.3}, \"goodput_qps\": {:.3}, \
+             \"p50_latency_us\": {:.1}, \"p99_latency_us\": {:.1}, \
+             \"mean_queue_us\": {:.1}}}{}\n",
+            m.label,
+            m.queue_timeout_us
+                .map_or("null".to_string(), |us| us.to_string()),
+            m.offered,
+            m.admitted,
+            m.shed,
+            m.shed_rate,
+            m.elapsed_ms,
+            m.goodput_qps,
+            m.p50_us,
+            m.p99_us,
+            m.mean_queue_us,
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_overload.json", &json).expect("write BENCH_overload.json");
+    println!("\nwrote BENCH_overload.json");
+    export_telemetry("overload");
+}

@@ -8,6 +8,7 @@
 
 use std::time::Instant;
 
+use mcs_cancel::CancelCause;
 use mcs_columnar::CodeVec;
 use mcs_simd_sort::{
     sort_pairs_in_groups_parallel_scratch, GroupBounds, MergeCounters, PhaseTimes,
@@ -16,7 +17,7 @@ use mcs_simd_sort::{
 use mcs_telemetry as telemetry;
 
 use crate::arena::{ArenaStats, ExecArena, Lease};
-use crate::massage::{massage_into, width_mask, RoundKeys};
+use crate::massage::{massage_into_cancellable, width_mask, RoundKeys};
 use crate::plan::{MassagePlan, PlanError, SortSpec};
 
 /// Why a [`multi_column_sort`] invocation was rejected before running.
@@ -55,6 +56,12 @@ pub enum SortError {
     /// fully in memory. `io::Error` is not `Eq`/`Clone`, so the message
     /// is carried as text.
     Spill(String),
+    /// The query's [`CancelToken`](mcs_cancel::CancelToken) fired —
+    /// manual cancel or an elapsed deadline — while the sort was running.
+    /// The arena was restored and all spilled run files deleted;
+    /// deliberately *not* recoverable by the degradation ladder (a
+    /// cancelled query must never re-run its work).
+    Cancelled(CancelCause),
 }
 
 impl core::fmt::Display for SortError {
@@ -73,6 +80,7 @@ impl core::fmt::Display for SortError {
             }
             SortError::Injected(name) => write!(f, "injected fault: {name}"),
             SortError::Spill(msg) => write!(f, "run spill failed: {msg}"),
+            SortError::Cancelled(cause) => write!(f, "sort {cause}"),
         }
     }
 }
@@ -81,6 +89,7 @@ impl std::error::Error for SortError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SortError::InvalidPlan(e) => Some(e),
+            SortError::Cancelled(c) => Some(c),
             _ => None,
         }
     }
@@ -89,6 +98,12 @@ impl std::error::Error for SortError {
 impl From<PlanError> for SortError {
     fn from(e: PlanError) -> Self {
         SortError::InvalidPlan(e)
+    }
+}
+
+impl From<CancelCause> for SortError {
+    fn from(c: CancelCause) -> Self {
+        SortError::Cancelled(c)
     }
 }
 
@@ -312,6 +327,10 @@ fn sort_impl(
         return Err(SortError::TooManyRows(n));
     }
 
+    // Entry check: an already-fired token (e.g. an expired deadline)
+    // returns before any phase runs — no lease is taken, nothing to undo.
+    cfg.sort.cancel.check()?;
+
     let t0 = Instant::now();
     let mut stats = ExecStats::default();
     stats.rounds.reserve_exact(plan.rounds.len());
@@ -323,8 +342,16 @@ fn sort_impl(
     // columns still materialize round keys, but we charge that to lookup
     // semantics of round 1 rather than massage, matching the paper's P_0
     // (which has no massage phase).
+    mcs_faults::delay_point(mcs_faults::points::EXEC_DELAY_MASSAGE);
     let tm = Instant::now();
-    let prog = massage_into(inputs, specs, plan, cfg.threads, &mut lease.rounds);
+    let prog = massage_into_cancellable(
+        inputs,
+        specs,
+        plan,
+        cfg.threads,
+        &mut lease.rounds,
+        &cfg.sort.cancel,
+    );
     let massage_elapsed = tm.elapsed().as_nanos() as u64;
     stats.massage_ns = if prog.is_identity() {
         0
@@ -348,7 +375,13 @@ fn sort_impl(
     // arena with `threads == 1` this window performs zero heap
     // allocations (telemetry emission is deferred below for that reason).
     let before = cfg.alloc_probe.map(|p| p());
-    let result = run_rounds(cfg, &mut lease, &mut stats);
+    // Phase boundary: a token fired during massage left partially
+    // massaged round buffers — skip the rounds and unwind through the
+    // arena restore below.
+    let result = match cfg.sort.cancel.check() {
+        Err(cause) => Err(SortError::Cancelled(cause)),
+        Ok(()) => run_rounds(cfg, &mut lease, &mut stats),
+    };
     if let (Some(p), Some(b)) = (cfg.alloc_probe, before) {
         stats.round_loop_allocs = Some(p() - b);
     }
@@ -415,6 +448,9 @@ fn run_rounds(cfg: &ExecConfig, lease: &mut Lease, stats: &mut ExecStats) -> Res
     let last = rounds.len() - 1;
 
     for (k, keys) in rounds.iter_mut().enumerate() {
+        // Round boundary: bail before permuting or sorting this round.
+        mcs_faults::delay_point(mcs_faults::points::EXEC_DELAY_ROUND);
+        cfg.sort.cancel.check()?;
         let mut rs = RoundStats {
             groups_in: groups.num_groups(),
             ..RoundStats::default()
@@ -453,6 +489,10 @@ fn run_rounds(cfg: &ExecConfig, lease: &mut Lease, stats: &mut ExecStats) -> Res
                 chunk: p.chunk,
             }
         })?;
+        // A token fired inside the segmented sort made it exit early with
+        // partially sorted keys; surface the cancellation before the scan
+        // reads (and canonicalize publishes) that garbage.
+        cfg.sort.cancel.check()?;
         rs.sort_ns = ts.elapsed().as_nanos() as u64;
         rs.invocations = sstats.invocations;
         rs.codes_sorted = sstats.codes_sorted;

@@ -54,8 +54,11 @@ pub use executor::{
     multi_column_sort, multi_column_sort_with, tuple_cmp, verify_sorted, ExecConfig, ExecStats,
     MultiColumnSortOutput, RoundStats, SortError,
 };
-pub use massage::{massage, massage_into, width_mask, FipStep, MassageProgram, RoundKeys};
+pub use massage::{
+    massage, massage_into, massage_into_cancellable, width_mask, FipStep, MassageProgram, RoundKeys,
+};
 pub use plan::{MassagePlan, PlanError, Round, SortSpec};
 
 // Re-export the pieces callers need alongside plans.
+pub use mcs_cancel::{CancelCause, CancelToken, CHECK_INTERVAL};
 pub use mcs_simd_sort::{Bank, GroupBounds, PhaseTimes, SortConfig};

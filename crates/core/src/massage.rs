@@ -10,6 +10,7 @@
 //! `DESC` columns are complemented on the fly (Figure 5's extra step).
 
 use crate::plan::{MassagePlan, SortSpec};
+use mcs_cancel::CancelToken;
 use mcs_columnar::CodeVec;
 use mcs_simd_sort::{for_each_chunk, Bank, Key};
 
@@ -280,6 +281,22 @@ pub fn massage_into(
     threads: usize,
     outs: &mut [RoundKeys],
 ) -> MassageProgram {
+    massage_into_cancellable(inputs, specs, plan, threads, outs, &CancelToken::none())
+}
+
+/// Like [`massage_into`], polling `cancel` before every FIP step (each is
+/// one full O(n) pass over a column segment). A fired token abandons the
+/// remaining steps, leaving partially massaged round buffers — the caller
+/// must observe the token and discard them. The compiled program is
+/// returned either way.
+pub fn massage_into_cancellable(
+    inputs: &[&CodeVec],
+    specs: &[SortSpec],
+    plan: &MassagePlan,
+    threads: usize,
+    outs: &mut [RoundKeys],
+    cancel: &CancelToken,
+) -> MassageProgram {
     assert_eq!(inputs.len(), specs.len());
     let n = inputs.first().map_or(0, |c| c.len());
     for c in inputs {
@@ -292,6 +309,9 @@ pub fn massage_into(
     }
     let prog = MassageProgram::compile(specs, plan);
     for step in &prog.steps {
+        if cancel.check().is_err() {
+            break;
+        }
         let src = inputs[step.in_col];
         let spec = prog.specs[step.in_col];
         let comp_mask = if spec.descending {

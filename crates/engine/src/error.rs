@@ -11,7 +11,7 @@
 //! [`QueryTimings::degradations`](crate::QueryTimings::degradations) and
 //! the `engine.degraded` telemetry counter.
 
-use mcs_core::SortError;
+use mcs_core::{CancelCause, SortError};
 use mcs_planner::SearchError;
 
 use crate::sql::SqlError;
@@ -50,6 +50,22 @@ pub enum EngineError {
         /// Total window-order key width in bits.
         bits: u32,
     },
+    /// The query's deadline passed — at admission, at a phase boundary,
+    /// or inside a long loop. The session arena was restored and all
+    /// spilled run files deleted; the query performed no further work
+    /// (the degradation ladder never re-runs past-deadline work).
+    DeadlineExceeded,
+    /// The query's [`CancelToken`](mcs_core::CancelToken) was fired
+    /// manually. Same unwind guarantees as
+    /// [`DeadlineExceeded`](EngineError::DeadlineExceeded).
+    Cancelled,
+    /// The admission gate could not grant a permit within the query's
+    /// `queue_timeout`: the engine is saturated and sheds load instead
+    /// of queueing unboundedly. No execution state was created.
+    Overloaded {
+        /// How long the caller waited before being shed, in nanoseconds.
+        waited_ns: u64,
+    },
 }
 
 impl core::fmt::Display for EngineError {
@@ -71,6 +87,14 @@ impl core::fmt::Display for EngineError {
                 write!(
                     f,
                     "window ORDER BY keys span {bits} bits; at most 64 are supported"
+                )
+            }
+            EngineError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::Overloaded { waited_ns } => {
+                write!(
+                    f,
+                    "engine overloaded: no admission permit after {waited_ns} ns"
                 )
             }
         }
@@ -96,7 +120,22 @@ impl From<SearchError> for EngineError {
 
 impl From<SortError> for EngineError {
     fn from(e: SortError) -> Self {
-        EngineError::Sort(e)
+        match e {
+            // Cancellation is not a sort defect: it surfaces as the
+            // engine-level outcome, not wrapped inside `Sort`.
+            SortError::Cancelled(CancelCause::DeadlineExceeded) => EngineError::DeadlineExceeded,
+            SortError::Cancelled(CancelCause::Cancelled) => EngineError::Cancelled,
+            other => EngineError::Sort(other),
+        }
+    }
+}
+
+impl From<CancelCause> for EngineError {
+    fn from(c: CancelCause) -> Self {
+        match c {
+            CancelCause::DeadlineExceeded => EngineError::DeadlineExceeded,
+            CancelCause::Cancelled => EngineError::Cancelled,
+        }
     }
 }
 

@@ -39,6 +39,10 @@ pub struct ExplainReport {
     /// Predicted spill I/O time, [`CostModel::t_spill`] over
     /// [`SpillStats::bytes`].
     pub predicted_spill_ns: f64,
+    /// Wall-clock the query spent queued in the admission gate before
+    /// executing ([`QueryTimings::queue_ns`]; zero when admission was
+    /// unbounded — then no `queued:` line renders).
+    pub queue_ns: u64,
 }
 
 impl ExplainReport {
@@ -62,6 +66,7 @@ impl ExplainReport {
             plan_cached: false,
             spilled: SpillStats::default(),
             predicted_spill_ns: 0.0,
+            queue_ns: 0,
         }
     }
 
@@ -84,6 +89,7 @@ impl ExplainReport {
         rep.plan_cached = timings.plan_cached();
         rep.spilled = timings.spilled;
         rep.predicted_spill_ns = model.t_spill(timings.spilled.bytes);
+        rep.queue_ns = timings.queue_ns;
         Some(rep)
     }
 
@@ -132,6 +138,16 @@ impl ExplainReport {
         // snapshots.
         if self.plan_cached {
             out.push_str("plan: cached\n");
+        }
+        // Gate-queued executions attribute their wait; unqueued ones
+        // (stateless runs, unbounded admission) render no line, keeping
+        // every pre-gate golden snapshot stable. The wait is wall-clock,
+        // so it redacts like a timing.
+        if self.queue_ns > 0 {
+            out.push_str(&format!(
+                "queued: {} in admission gate\n",
+                t(self.queue_ns as f64)
+            ));
         }
         // Arena-backed executions (session path) report buffer reuse;
         // the stateless path leaves `measured.arena` empty and renders
@@ -360,6 +376,30 @@ mod tests {
         );
         assert!(!rep.render().contains("arena:"));
         assert!(!rep.render_redacted().contains("arena:"));
+    }
+
+    #[test]
+    fn queued_line_renders_only_for_gate_waits() {
+        let n = 512usize;
+        let a = mcs_columnar::CodeVec::from_u64s(9, (0..n).map(|i| (i as u64 * 37) % 512));
+        let inst = SortInstance::uniform(n, &[(9, 512.0)]);
+        let plan = inst.p0();
+        let out = multi_column_sort(&[&a], &inst.specs, &plan, &ExecConfig::default())
+            .expect("valid sort instance");
+        let mut rep = ExplainReport::from_parts(
+            "unit",
+            &inst,
+            &plan,
+            &out.stats,
+            &CostModel::with_defaults(),
+        );
+        assert!(!rep.render().contains("queued:"), "no gate, no line");
+        rep.queue_ns = 12_400;
+        assert!(rep.render().contains("queued: 12.4 us in admission gate\n"));
+        // The wait is wall-clock: it redacts, the line itself stays.
+        assert!(rep
+            .render_redacted()
+            .contains("queued: ### in admission gate\n"));
     }
 
     #[test]

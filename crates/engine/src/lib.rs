@@ -57,7 +57,7 @@ pub use pipeline::{
 };
 pub use query::{Agg, AggKind, Filter, OrderKey, Query};
 pub use session::{
-    AdmissionGate, Database, GatePermit, PlanCacheStats, PreparedQuery, Session,
+    AdmissionGate, Database, GatePermit, PlanCacheStats, PreparedQuery, QueryOptions, Session,
     DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use sql::{parse_query, SqlError};
@@ -66,6 +66,7 @@ pub use window::rank_over;
 // Convenient re-exports for engine users.
 pub use mcs_columnar::{Column, Predicate, Table};
 pub use mcs_core::{
-    lease_footprint_bytes, ArenaStats, ExecArena, ExecConfig, MassagePlan, SortSpec,
+    lease_footprint_bytes, ArenaStats, CancelCause, CancelToken, ExecArena, ExecConfig,
+    MassagePlan, SortSpec, CHECK_INTERVAL,
 };
 pub use mcs_extsort::SpillStats;

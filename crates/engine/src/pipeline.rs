@@ -202,6 +202,12 @@ pub struct QueryTimings {
     pub plan_cache_hits: u32,
     /// Plan-cache misses during this execution.
     pub plan_cache_misses: u32,
+    /// Wall-clock spent queued in the session's [`AdmissionGate`]
+    /// (crate::AdmissionGate) before execution began. Zero for stateless
+    /// runs and for sessions without bounded admission — the conditional
+    /// EXPLAIN `queued:` line renders only when this is non-zero, so
+    /// tail latency can be attributed to queueing vs executing.
+    pub queue_ns: u64,
     /// What the out-of-core sort path spilled (all-zero when every sort
     /// ran in memory — the case whenever
     /// [`ExecConfig::memory_budget_bytes`] is unset).
@@ -289,8 +295,31 @@ pub fn run_query(
 }
 
 /// The shared pipeline body behind [`run_query`] (no cache, no arena) and
-/// the session path (`cache = Some(…)`, `arena = Some(…)`).
+/// the session path (`cache = Some(…)`, `arena = Some(…)`), plus the
+/// cancellation-outcome accounting every path shares.
 pub(crate) fn run_query_impl(
+    table: &Table,
+    query: &Query,
+    cfg: &EngineConfig,
+    cache: Option<&PlanCache>,
+    arena: Option<&mut ExecArena>,
+) -> Result<QueryResult, EngineError> {
+    let result = run_query_body(table, query, cfg, cache, arena);
+    if telemetry::is_enabled() {
+        let counter = match &result {
+            Err(EngineError::DeadlineExceeded) => Some("engine.deadline_exceeded"),
+            Err(EngineError::Cancelled) => Some("engine.cancelled"),
+            _ => None,
+        };
+        if let Some(name) = counter {
+            telemetry::counter_add(name, 1);
+            telemetry::record_span(name, 0, vec![("query", query.name.clone().into())]);
+        }
+    }
+    result
+}
+
+fn run_query_body(
     table: &Table,
     query: &Query,
     cfg: &EngineConfig,
@@ -299,6 +328,14 @@ pub(crate) fn run_query_impl(
 ) -> Result<QueryResult, EngineError> {
     let t_total = Instant::now();
     let mut timings = QueryTimings::default();
+
+    // Fail fast: an already-expired deadline (or pre-fired token) returns
+    // before any phase runs — no filter scan, no gather, no plan search,
+    // no sort. The executor re-polls the same token at every later phase
+    // boundary and inside the long loops.
+    if let Err(cause) = cfg.exec.sort.cancel.check() {
+        return Err(cause.into());
+    }
 
     let oids = filter_oids(table, query, &mut timings)?;
 
@@ -577,7 +614,10 @@ fn pick_plan(
 }
 
 /// Whether a sort failure can be executed around by another plan. Input
-/// conditions (no columns, spec mismatch, row-count overflow) cannot.
+/// conditions (no columns, spec mismatch, row-count overflow) cannot —
+/// and neither can [`SortError::Cancelled`]: a cancelled or timed-out
+/// query must surface immediately, never re-run its work on a lower
+/// rung. Cancellation is deliberately absent from this whitelist.
 fn sort_error_recoverable(e: &SortError) -> bool {
     matches!(
         e,
@@ -624,6 +664,10 @@ fn sort_once(
                 }
                 Err(SortError::Spill(msg)) => {
                     record_degradation(timings, DegradeReason::SpillFailed, &msg);
+                    // Deadline-aware ladder: a fired token skips the
+                    // in-memory retry below — a timed-out query must
+                    // never double the work it already spent.
+                    exec.sort.cancel.check()?;
                 }
                 Err(e) => return Err(e),
             }
@@ -665,9 +709,18 @@ fn sort_with_ladder(
         Err(e) => e,
     };
     if !sort_error_recoverable(&err) {
-        return Err(EngineError::Sort(err));
+        // `.into()` so a mid-sort cancellation surfaces as
+        // `DeadlineExceeded`/`Cancelled`, not wrapped inside `Sort`.
+        return Err(err.into());
     }
     record_degradation(timings, DegradeReason::ExecFailed, &err.to_string());
+
+    // Deadline-aware ladder: every rung below re-runs the sort from
+    // scratch, so once the token has fired the ladder stops — a timeout
+    // can never double the work.
+    if let Err(cause) = exec.sort.cancel.check() {
+        return Err(cause.into());
+    }
 
     // Rung 2: P0 (skipped when the failing plan already was P0 — identical
     // input, identical outcome).
@@ -678,7 +731,7 @@ fn sort_with_ladder(
             Err(e) if sort_error_recoverable(&e) => {
                 record_degradation(timings, DegradeReason::ScalarFallback, &e.to_string());
             }
-            Err(e) => return Err(EngineError::Sort(e)),
+            Err(e) => return Err(e.into()),
         }
     } else {
         record_degradation(
@@ -686,6 +739,11 @@ fn sort_with_ladder(
             DegradeReason::ScalarFallback,
             "failing plan already was P0",
         );
+    }
+
+    // Same gate before the scalar rung: it re-sorts everything too.
+    if let Err(cause) = exec.sort.cancel.check() {
+        return Err(cause.into());
     }
 
     // Rung 3: scalar comparator sort — no SIMD, no massage, no threads.

@@ -29,9 +29,10 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use mcs_columnar::Table;
-use mcs_core::{ArenaStats, ExecArena, MassagePlan};
+use mcs_core::{ArenaStats, CancelToken, ExecArena, MassagePlan};
 use mcs_planner::PlanFingerprint;
 use mcs_telemetry as telemetry;
 
@@ -203,6 +204,82 @@ pub struct PlanCacheStats {
     pub entries: usize,
 }
 
+/// Per-query execution limits: a deadline, an externally fireable
+/// cancel token, and a bound on admission-gate queueing.
+///
+/// The default is unlimited on every axis — exactly the behaviour of
+/// [`Session::run_query`] — and costs one branch per cancellation poll
+/// (the token stays the allocation-free [`CancelToken::none`]).
+///
+/// ```
+/// use std::time::Duration;
+/// use mcs_engine::QueryOptions;
+///
+/// let opts = QueryOptions::default()
+///     .with_timeout(Duration::from_millis(50))
+///     .with_queue_timeout(Duration::from_millis(10));
+/// assert!(opts.deadline.is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Absolute point in time after which the query gives up, surfacing
+    /// [`EngineError::DeadlineExceeded`]. Polled at every phase boundary
+    /// and inside the long loops (every
+    /// [`CHECK_INTERVAL`](mcs_core::CHECK_INTERVAL) iterations).
+    pub deadline: Option<Instant>,
+    /// Longest a query may wait for an admission-gate permit in
+    /// [`Session::run_concurrent_with_options`] before being shed with
+    /// [`EngineError::Overloaded`]. `None` queues unboundedly.
+    pub queue_timeout: Option<Duration>,
+    /// A token the caller can fire from another thread to abandon the
+    /// query ([`EngineError::Cancelled`]). Combined with
+    /// [`deadline`](QueryOptions::deadline) when both are set: whichever
+    /// fires first wins.
+    pub cancel: CancelToken,
+}
+
+impl QueryOptions {
+    /// Set an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> QueryOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the deadline `timeout` from now.
+    pub fn with_timeout(self, timeout: Duration) -> QueryOptions {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Bound admission-gate queueing (see
+    /// [`queue_timeout`](QueryOptions::queue_timeout)).
+    pub fn with_queue_timeout(mut self, timeout: Duration) -> QueryOptions {
+        self.queue_timeout = Some(timeout);
+        self
+    }
+
+    /// Attach an externally fireable cancel token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> QueryOptions {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The single token the pipeline polls: the caller's token tightened
+    /// by the deadline, a fresh deadline-only token, or the free
+    /// [`CancelToken::none`] when neither limit is set.
+    pub(crate) fn effective_token(&self) -> CancelToken {
+        match (self.cancel.is_live(), self.deadline) {
+            (true, Some(d)) => {
+                let t = self.cancel.clone();
+                t.set_deadline(d);
+                t
+            }
+            (true, None) => self.cancel.clone(),
+            (false, Some(d)) => CancelToken::with_deadline(d),
+            (false, None) => CancelToken::none(),
+        }
+    }
+}
+
 /// A query-serving context over a shared [`Database`]: one engine
 /// config, one plan cache, any number of (possibly concurrent) queries.
 ///
@@ -339,6 +416,39 @@ impl<'db> Session<'db> {
         result
     }
 
+    /// Like [`Session::run_query`], under `opts`' deadline / cancel
+    /// token: the pipeline polls the token at every phase boundary and
+    /// inside the long loops, surfacing
+    /// [`DeadlineExceeded`](EngineError::DeadlineExceeded) or
+    /// [`Cancelled`](EngineError::Cancelled). An already-expired deadline
+    /// returns without executing any phase. On every outcome —
+    /// including cancellation — the borrowed arena is restored and
+    /// returned to the pool, so the session keeps serving.
+    ///
+    /// `opts.queue_timeout` has no effect here (there is no admission
+    /// gate on the single-query path); see
+    /// [`Session::run_concurrent_with_options`].
+    pub fn run_query_with_options(
+        &self,
+        table: &str,
+        query: &Query,
+        opts: &QueryOptions,
+    ) -> Result<QueryResult, EngineError> {
+        let token = opts.effective_token();
+        if !token.is_live() {
+            return self.run_query(table, query);
+        }
+        let t = self.resolve(table)?;
+        // The token travels inside the exec config, which every layer
+        // (executor, segmented sort, merge, extsort) already threads.
+        let mut cfg = self.cfg.clone();
+        cfg.exec.sort.cancel = token;
+        let mut arena = self.take_arena();
+        let result = run_query_impl(t, query, &cfg, Some(&self.cache), Some(&mut arena));
+        self.put_arena(arena);
+        result
+    }
+
     /// Execute independent prepared queries concurrently over the shared
     /// database, at most `threads` in flight at once, returning results
     /// in input order.
@@ -352,7 +462,24 @@ impl<'db> Session<'db> {
         prepared: &[PreparedQuery],
         threads: usize,
     ) -> Vec<Result<QueryResult, EngineError>> {
-        let t0 = std::time::Instant::now();
+        self.run_concurrent_with_options(prepared, threads, &QueryOptions::default())
+    }
+
+    /// [`Session::run_concurrent`] under per-query limits: every query
+    /// runs with `opts`' deadline/cancel token, and when
+    /// `opts.queue_timeout` is set a query that cannot get an admission
+    /// permit in time is **shed** with
+    /// [`Overloaded`](EngineError::Overloaded) instead of queueing
+    /// unboundedly — counted by the `engine.shed` telemetry counter.
+    /// Admitted queries report their gate wait in
+    /// [`QueryTimings::queue_ns`](crate::QueryTimings::queue_ns).
+    pub fn run_concurrent_with_options(
+        &self,
+        prepared: &[PreparedQuery],
+        threads: usize,
+        opts: &QueryOptions,
+    ) -> Vec<Result<QueryResult, EngineError>> {
+        let t0 = Instant::now();
         let gate = AdmissionGate::new(threads.max(1));
         let results = std::thread::scope(|s| {
             let handles: Vec<_> = prepared
@@ -360,8 +487,28 @@ impl<'db> Session<'db> {
                 .map(|p| {
                     let gate = &gate;
                     s.spawn(move || {
-                        let _permit = gate.acquire();
-                        p.execute(self)
+                        let t_q = Instant::now();
+                        let _permit = match opts.queue_timeout {
+                            Some(timeout) => match gate.acquire_timeout(timeout) {
+                                Ok(permit) => permit,
+                                Err(e) => {
+                                    if telemetry::is_enabled() {
+                                        telemetry::counter_add("engine.shed", 1);
+                                        telemetry::record_span(
+                                            "engine.shed",
+                                            t_q.elapsed().as_nanos() as u64,
+                                            vec![("query", p.query.name.clone().into())],
+                                        );
+                                    }
+                                    return Err(e);
+                                }
+                            },
+                            None => gate.acquire(),
+                        };
+                        let queue_ns = t_q.elapsed().as_nanos() as u64;
+                        let mut r = self.run_query_with_options(&p.table, &p.query, opts)?;
+                        r.timings.queue_ns = queue_ns;
+                        Ok(r)
                     })
                 })
                 .collect();
@@ -417,6 +564,28 @@ impl PreparedQuery {
 
 /// A dependency-free counting semaphore bounding concurrent query
 /// admission (Mutex + Condvar; permits are RAII).
+///
+/// ## Wakeup and fairness semantics
+///
+/// Releasing a permit calls `notify_all`, not `notify_one`: with
+/// [`acquire_timeout`](AdmissionGate::acquire_timeout) in the mix, a
+/// single notification can land on a waiter that is concurrently timing
+/// out — it returns [`Overloaded`](EngineError::Overloaded) without
+/// consuming the permit or re-notifying, stranding a free permit while
+/// every other waiter sleeps. Waking everyone lets all waiters race for
+/// the freed permit; the losers go straight back to sleep. Gates are
+/// small (a handful of threads), so the thundering herd is cheap, and
+/// the broadcast guarantees progress: **some** waiter always wins a
+/// freed permit.
+///
+/// Admission order is therefore *not* strictly FIFO — whichever woken
+/// waiter reacquires the mutex first wins, which tracks OS scheduling.
+/// What is guaranteed: no waiter is stranded while a permit is free, no
+/// waiter waits longer than its timeout before a typed rejection, and
+/// every waiter eventually admits under a finite workload (each of the
+/// bounded permit-holders releases exactly once). The fairness test in
+/// this module pins the no-stranding property with mixed timed/untimed
+/// waiters.
 #[derive(Debug)]
 pub struct AdmissionGate {
     permits: Mutex<usize>,
@@ -441,6 +610,29 @@ impl AdmissionGate {
         *free -= 1;
         GatePermit { gate: self }
     }
+
+    /// Wait at most `timeout` for a permit. On expiry the caller is
+    /// **shed** with a typed [`Overloaded`](EngineError::Overloaded)
+    /// carrying how long it waited — the overload-control contract:
+    /// under saturation, callers get a fast rejection instead of an
+    /// unbounded queue.
+    pub fn acquire_timeout(&self, timeout: Duration) -> Result<GatePermit<'_>, EngineError> {
+        let t0 = Instant::now();
+        let free = self.permits.lock().unwrap_or_else(|e| e.into_inner());
+        let (mut free, _timed_out) = self
+            .available
+            .wait_timeout_while(free, timeout, |f| *f == 0)
+            .unwrap_or_else(|e| e.into_inner());
+        // Judge by the predicate, not the timeout flag: a permit freed
+        // at the same instant the wait expired is still a permit.
+        if *free == 0 {
+            return Err(EngineError::Overloaded {
+                waited_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
+        *free -= 1;
+        Ok(GatePermit { gate: self })
+    }
 }
 
 /// An admission permit; dropping it readmits the next waiter.
@@ -454,7 +646,11 @@ impl Drop for GatePermit<'_> {
     fn drop(&mut self) {
         let mut free = self.gate.permits.lock().unwrap_or_else(|e| e.into_inner());
         *free += 1;
-        self.gate.available.notify_one();
+        // notify_all, not notify_one: a single notification can be
+        // consumed by a timed waiter that is already giving up, which
+        // would strand this permit while untimed waiters sleep forever
+        // (see the fairness notes on `AdmissionGate`).
+        self.gate.available.notify_all();
     }
 }
 
@@ -697,6 +893,126 @@ mod tests {
             EngineError::UnknownColumn { .. }
         ));
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_fails_fast_without_executing_any_phase() {
+        let db = db_with_sales();
+        let session = Session::new(&db, EngineConfig::default());
+        let opts = QueryOptions::default().with_deadline(Instant::now());
+        let err = session
+            .run_query_with_options("sales", &orderby_query(), &opts)
+            .unwrap_err();
+        assert_eq!(err, EngineError::DeadlineExceeded);
+        // Nothing executed: no plan search, no cache traffic, no arena
+        // accounting — the entry check fired before every phase.
+        assert_eq!(session.cache_stats(), PlanCacheStats::default());
+        assert!(session.arena_stats().is_empty());
+        // The same session still answers the same query afterwards.
+        let r = session.run_query("sales", &orderby_query()).unwrap();
+        assert_eq!(
+            r.column_required("price").unwrap(),
+            vec![20, 30, 40, 10, 50, 60]
+        );
+    }
+
+    #[test]
+    fn fired_cancel_token_surfaces_as_cancelled() {
+        let db = db_with_sales();
+        let session = Session::new(&db, EngineConfig::default());
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = QueryOptions::default().with_cancel(token);
+        let err = session
+            .run_query_with_options("sales", &orderby_query(), &opts)
+            .unwrap_err();
+        assert_eq!(err, EngineError::Cancelled);
+    }
+
+    #[test]
+    fn default_options_match_the_plain_path() {
+        let db = db_with_sales();
+        let session = Session::new(&db, EngineConfig::default());
+        let q = orderby_query();
+        let plain = session.run_query("sales", &q).unwrap();
+        let opted = session
+            .run_query_with_options("sales", &q, &QueryOptions::default())
+            .unwrap();
+        assert_eq!(plain.columns, opted.columns);
+        // A generous deadline changes nothing either.
+        let relaxed = session
+            .run_query_with_options(
+                "sales",
+                &q,
+                &QueryOptions::default().with_timeout(Duration::from_secs(3600)),
+            )
+            .unwrap();
+        assert_eq!(plain.columns, relaxed.columns);
+    }
+
+    #[test]
+    fn acquire_timeout_sheds_when_saturated() {
+        let gate = AdmissionGate::new(2);
+        let held_a = gate.acquire();
+        let held_b = gate.acquire();
+        let err = gate
+            .acquire_timeout(Duration::from_millis(10))
+            .expect_err("saturated gate must shed");
+        match err {
+            EngineError::Overloaded { waited_ns } => {
+                assert!(waited_ns >= 10_000_000, "shed early after {waited_ns} ns");
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        drop(held_a);
+        let reacquired = gate.acquire_timeout(Duration::from_secs(5));
+        assert!(reacquired.is_ok(), "freed permit admits a bounded waiter");
+        drop(reacquired);
+        drop(held_b);
+    }
+
+    // The wakeup-audit pin: a 1-permit gate with mixed timed and untimed
+    // waiters must admit every one of them — no permit may be stranded
+    // by a wakeup landing on a waiter that gave up (the notify_all
+    // contract documented on `AdmissionGate`).
+    #[test]
+    fn mixed_timed_and_untimed_waiters_all_admit() {
+        use std::sync::atomic::AtomicUsize;
+        let gate = AdmissionGate::new(1);
+        let admitted = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for i in 0..6 {
+                let gate = &gate;
+                let admitted = &admitted;
+                s.spawn(move || {
+                    let _permit = if i % 2 == 0 {
+                        gate.acquire()
+                    } else {
+                        gate.acquire_timeout(Duration::from_secs(30))
+                            .expect("long-timeout waiter must admit, not shed")
+                    };
+                    admitted.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(1));
+                });
+            }
+        });
+        assert_eq!(admitted.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn run_concurrent_with_options_sheds_overflow_and_times_queueing() {
+        let db = db_with_sales();
+        let session = Session::new(&db, EngineConfig::default());
+        let good = session.prepare("sales", &orderby_query()).unwrap();
+        let batch = vec![good; 8];
+        // Unbounded queueing (the default): nobody sheds.
+        let results = session.run_concurrent(&batch, 2);
+        assert!(results.iter().all(|r| r.is_ok()));
+        // A generous queue timeout on a tiny workload: still nobody
+        // sheds, and admitted queries report their gate wait.
+        let opts = QueryOptions::default().with_queue_timeout(Duration::from_secs(30));
+        let results = session.run_concurrent_with_options(&batch, 2, &opts);
+        assert!(results.iter().all(|r| r.is_ok()));
     }
 
     #[test]

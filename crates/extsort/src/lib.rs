@@ -35,5 +35,6 @@ mod sort;
 
 pub use runfile::{RunFileError, RunFileReader, RunFileWriter, RunHeader, RUN_MAGIC, RUN_VERSION};
 pub use sort::{
-    chunk_rows_for_budget, external_multi_column_sort_with, run_entry_bytes, SpillStats,
+    chunk_rows_for_budget, external_multi_column_sort_with, live_spill_dirs, run_entry_bytes,
+    SpillStats,
 };

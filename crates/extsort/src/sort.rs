@@ -8,7 +8,7 @@ use std::time::Instant;
 use mcs_columnar::CodeVec;
 use mcs_core::{
     lease_footprint_bytes, multi_column_sort_with, width_mask, ExecArena, ExecConfig, ExecStats,
-    GroupBounds, MassagePlan, MultiColumnSortOutput, SortError, SortSpec,
+    GroupBounds, MassagePlan, MultiColumnSortOutput, SortError, SortSpec, CHECK_INTERVAL,
 };
 use mcs_simd_sort::{
     ovc_encode, take_merge_counters, MergeScratch, StreamHead, StreamMerger, StreamSource,
@@ -53,7 +53,22 @@ pub fn chunk_rows_for_budget(plan: &MassagePlan, budget_bytes: usize) -> usize {
     (budget_bytes / per_row).max(1)
 }
 
-/// Self-cleaning spill directory under the OS temp dir.
+/// Number of [`SpillDir`]s currently alive in this process.
+static LIVE_SPILL_DIRS: AtomicU64 = AtomicU64::new(0);
+
+/// How many spill directories (each holding one external sort's run
+/// files) are currently alive in this process. Every exit path of
+/// [`external_multi_column_sort_with`] — success, I/O error, injected
+/// fault, or cancellation — drops its RAII [`SpillDir`] guard, so this
+/// returns to its prior value after every call; the leak tests pin that.
+pub fn live_spill_dirs() -> u64 {
+    LIVE_SPILL_DIRS.load(AtomicOrdering::SeqCst)
+}
+
+/// Self-cleaning spill directory under the OS temp dir: an RAII guard
+/// over every run file of one external sort. `Drop` removes the whole
+/// directory, so any unwind — merge error, injected fault, cancellation
+/// mid-spill — deletes every spilled file without per-file bookkeeping.
 struct SpillDir {
     path: PathBuf,
 }
@@ -68,6 +83,7 @@ impl SpillDir {
         ));
         std::fs::create_dir_all(&path)
             .map_err(|e| SortError::Spill(format!("create spill dir: {e}")))?;
+        LIVE_SPILL_DIRS.fetch_add(1, AtomicOrdering::SeqCst);
         Ok(SpillDir { path })
     }
 }
@@ -76,6 +92,7 @@ impl Drop for SpillDir {
     fn drop(&mut self) {
         // Best effort: a leaked temp dir must not mask the real error.
         let _ = std::fs::remove_dir_all(&self.path);
+        LIVE_SPILL_DIRS.fetch_sub(1, AtomicOrdering::SeqCst);
     }
 }
 
@@ -263,6 +280,9 @@ pub fn external_multi_column_sort_with(
 
     let mut start = 0usize;
     while start < n {
+        // Chunk boundary: the chunk sort below polls the token itself
+        // (its cancellation unwinds here through `?`, dropping `dir`).
+        cfg.sort.cancel.check()?;
         let end = (start + chunk_rows).min(n);
         let chunk_idx = files.len();
 
@@ -277,10 +297,14 @@ pub fn external_multi_column_sort_with(
         );
         accumulate(&mut stats, &out.stats);
 
+        mcs_faults::delay_point(mcs_faults::points::EXEC_DELAY_SPILL);
         let tw = Instant::now();
         let path = dir.path.join(format!("run-{chunk_idx}.mcsrun"));
         let mut w = RunFileWriter::create(&path, kw, (end - start) as u64).map_err(spill_err)?;
-        for &local in &out.oids {
+        for (i, &local) in out.oids.iter().enumerate() {
+            if i % CHECK_INTERVAL == 0 {
+                cfg.sort.cancel.check()?;
+            }
             pack_row(&mut words, &refs, specs, &shifts, local as usize);
             w.write_entry(&words, start as u32 + local)
                 .map_err(spill_err)?;
@@ -299,6 +323,8 @@ pub fn external_multi_column_sort_with(
 
     // Streaming merge: every run behind an equal share of the budget as
     // read-ahead (clamped to something sensible either way).
+    mcs_faults::delay_point(mcs_faults::points::EXEC_DELAY_MERGE);
+    cfg.sort.cancel.check()?;
     let tm = Instant::now();
     let per_run = (budget_bytes / files.len().max(1)).clamp(4096, 1 << 20);
     let mut cursors = Vec::with_capacity(files.len());
@@ -313,6 +339,9 @@ pub fn external_multi_column_sort_with(
     let mut offsets: Vec<u32> = vec![0];
     let mut prev = vec![0u64; kw];
     while let Some((run, oid, code)) = merger.pop().map_err(spill_err)? {
+        if oids.len().is_multiple_of(CHECK_INTERVAL) {
+            cfg.sort.cancel.check()?;
+        }
         if cfg.want_final_groups {
             let cur = merger.source().emitted(run);
             // The popped code is relative to the previous output: a

@@ -71,6 +71,16 @@ pub mod points {
     pub const EXTSORT_SPILL_WRITE: &str = "extsort.spill.write";
     /// Reading a spilled run back during the external merge fails.
     pub const EXTSORT_SPILL_READ: &str = "extsort.spill.read";
+    /// Latency injected before the massage phase (see [`delay_point`]).
+    ///
+    /// [`delay_point`]: crate::delay_point
+    pub const EXEC_DELAY_MASSAGE: &str = "exec.delay.massage";
+    /// Latency injected at the top of each executor round.
+    pub const EXEC_DELAY_ROUND: &str = "exec.delay.round";
+    /// Latency injected before the external sort's streaming merge.
+    pub const EXEC_DELAY_MERGE: &str = "exec.delay.merge";
+    /// Latency injected before each spilled-run write.
+    pub const EXEC_DELAY_SPILL: &str = "exec.delay.spill";
 
     /// Every registered fault point.
     pub const ALL: &[&str] = &[
@@ -81,6 +91,10 @@ pub mod points {
         SIMD_WORKER_PANIC,
         EXTSORT_SPILL_WRITE,
         EXTSORT_SPILL_READ,
+        EXEC_DELAY_MASSAGE,
+        EXEC_DELAY_ROUND,
+        EXEC_DELAY_MERGE,
+        EXEC_DELAY_SPILL,
     ];
 }
 
@@ -184,12 +198,13 @@ mod active {
         was
     }
 
-    /// Disarm every fault.
+    /// Disarm every fault and reset the injected delay to zero.
     pub fn disarm_all() {
         let mut r = registry();
         let n = r.len();
         r.clear();
         ARMED.fetch_sub(n, Ordering::SeqCst);
+        super::delay::set_delay_micros(0);
     }
 
     /// Whether the fault `name` fires at this traversal. Counts the
@@ -312,6 +327,45 @@ mod active {
 
 pub use active::{arm, disarm, disarm_all, fired, is_enabled, should_fire, traversals, with_armed};
 
+mod delay {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Microseconds a firing delay point sleeps. Process-global so one
+    /// knob drives every armed `exec.delay.*` point; reset to 0 by
+    /// `disarm_all` (and therefore by `with_armed`'s cleanup).
+    static DELAY_MICROS: AtomicU64 = AtomicU64::new(0);
+
+    /// Set how long a firing delay point sleeps, in microseconds.
+    pub fn set_delay_micros(micros: u64) {
+        DELAY_MICROS.store(micros, Ordering::SeqCst);
+    }
+
+    /// The currently configured delay in microseconds.
+    pub fn delay_micros() -> u64 {
+        DELAY_MICROS.load(Ordering::Relaxed)
+    }
+}
+
+pub use delay::{delay_micros, set_delay_micros};
+
+/// Traverse a latency fault point: when `name` is armed and fires, sleep
+/// for the globally configured [`delay_micros`]. Unlike error-injecting
+/// [`fault_point!`] sites, a delay point never alters control flow — it
+/// only stretches the phase it guards, so chaos tests can force a
+/// deadline to expire *inside* a chosen phase deterministically.
+///
+/// In the disabled build (and for unarmed points, and at the default
+/// zero delay) this is a no-op.
+#[inline]
+pub fn delay_point(name: &str) {
+    if should_fire(name) {
+        let micros = delay_micros();
+        if micros > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(micros));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,10 +483,37 @@ mod tests {
 
     #[test]
     fn registry_lists_every_point() {
-        assert_eq!(points::ALL.len(), 7);
+        assert_eq!(points::ALL.len(), 11);
         let mut sorted = points::ALL.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), points::ALL.len(), "duplicate point names");
+    }
+
+    #[test]
+    fn unarmed_delay_point_is_a_no_op() {
+        // Regardless of build: nothing armed, nothing slept — and a
+        // configured delay alone does not make unarmed points sleep.
+        set_delay_micros(50_000);
+        let t = std::time::Instant::now();
+        delay_point(points::EXEC_DELAY_ROUND);
+        assert!(t.elapsed() < std::time::Duration::from_millis(40));
+        set_delay_micros(0);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn armed_delay_point_sleeps_and_with_armed_resets_delay() {
+        with_armed(&[(points::EXEC_DELAY_MERGE, FireMode::Always)], || {
+            set_delay_micros(20_000);
+            let t = std::time::Instant::now();
+            delay_point(points::EXEC_DELAY_MERGE);
+            assert!(
+                t.elapsed() >= std::time::Duration::from_millis(15),
+                "armed delay point must stretch the phase"
+            );
+            assert!(fired(points::EXEC_DELAY_MERGE) > 0);
+        });
+        assert_eq!(delay_micros(), 0, "disarm_all resets the delay");
     }
 }

@@ -52,9 +52,12 @@ mod segmented;
 mod sort;
 
 pub use key::{Bank, Key};
+pub use mcs_cancel::{CancelCause, CancelToken, CHECK_INTERVAL};
 pub use multiway::{
-    multiway_merge_ovc_scratch, multiway_merge_scratch, multiway_pass_ovc_scratch,
-    multiway_pass_scratch, StreamHead, StreamMerger, StreamSource,
+    multiway_merge_ovc_scratch, multiway_merge_ovc_scratch_cancellable, multiway_merge_scratch,
+    multiway_merge_scratch_cancellable, multiway_pass_ovc_scratch,
+    multiway_pass_ovc_scratch_cancellable, multiway_pass_scratch,
+    multiway_pass_scratch_cancellable, StreamHead, StreamMerger, StreamSource,
 };
 pub use ovc::{ovc_encode, take_merge_counters, MergeCounters};
 pub use parallel::{

@@ -40,6 +40,7 @@ use crate::key::Key;
 use crate::ovc::{self, ovc_encode};
 use crate::scratch::MergeScratch;
 use core::ops::Range;
+use mcs_cancel::{CancelToken, CHECK_INTERVAL};
 
 /// A loser tree over up to `F` input runs of `(key, oid)` pairs.
 ///
@@ -318,6 +319,34 @@ pub fn multiway_merge_scratch<K: Key>(
     dst_at: usize,
     scratch: &mut MergeScratch,
 ) {
+    multiway_merge_scratch_cancellable(
+        src_k,
+        src_o,
+        dst_k,
+        dst_o,
+        runs,
+        dst_at,
+        scratch,
+        &CancelToken::none(),
+    );
+}
+
+/// Like [`multiway_merge_scratch`], polling `cancel` every
+/// [`CHECK_INTERVAL`] pops. A fired token stops the merge mid-stream,
+/// leaving the tail of the destination range unwritten — the caller must
+/// observe the token and discard the buffer. Comparison counters are
+/// credited either way.
+#[allow(clippy::too_many_arguments)]
+pub fn multiway_merge_scratch_cancellable<K: Key>(
+    src_k: &[K],
+    src_o: &[u32],
+    dst_k: &mut [K],
+    dst_o: &mut [u32],
+    runs: &[Range<usize>],
+    dst_at: usize,
+    scratch: &mut MergeScratch,
+    cancel: &CancelToken,
+) {
     debug_assert!(!runs.is_empty());
     if runs.len() == 1 {
         let r = runs[0].clone();
@@ -329,6 +358,10 @@ pub fn multiway_merge_scratch<K: Key>(
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut lt = LoserTree::new(src_k, src_o, runs, scratch);
     for i in 0..total {
+        if i % CHECK_INTERVAL == 0 && cancel.check().is_err() {
+            ovc::record(lt.comparisons, 0);
+            return;
+        }
         let (k, o) = lt.pop().expect("loser tree drained early");
         dst_k[dst_at + i] = k;
         dst_o[dst_at + i] = o;
@@ -356,6 +389,36 @@ pub fn multiway_merge_ovc_scratch<K: Key>(
     dst_at: usize,
     scratch: &mut MergeScratch,
 ) {
+    multiway_merge_ovc_scratch_cancellable(
+        src_k,
+        src_o,
+        src_c,
+        dst_k,
+        dst_o,
+        dst_c,
+        runs,
+        dst_at,
+        scratch,
+        &CancelToken::none(),
+    );
+}
+
+/// Like [`multiway_merge_ovc_scratch`], polling `cancel` every
+/// [`CHECK_INTERVAL`] pops; see
+/// [`multiway_merge_scratch_cancellable`] for the early-exit contract.
+#[allow(clippy::too_many_arguments)]
+pub fn multiway_merge_ovc_scratch_cancellable<K: Key>(
+    src_k: &[K],
+    src_o: &[u32],
+    src_c: &[u32],
+    dst_k: &mut [K],
+    dst_o: &mut [u32],
+    dst_c: &mut [u32],
+    runs: &[Range<usize>],
+    dst_at: usize,
+    scratch: &mut MergeScratch,
+    cancel: &CancelToken,
+) {
     debug_assert!(!runs.is_empty());
     if runs.len() == 1 {
         let r = runs[0].clone();
@@ -368,6 +431,10 @@ pub fn multiway_merge_ovc_scratch<K: Key>(
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut lt = OvcLoserTree::new(src_k, src_o, src_c, runs, scratch);
     for i in 0..total {
+        if i % CHECK_INTERVAL == 0 && cancel.check().is_err() {
+            ovc::record(lt.comparisons, lt.ovc_hits);
+            return;
+        }
         let (k, o, c) = lt.pop().expect("loser tree drained early");
         dst_k[dst_at + i] = k;
         dst_o[dst_at + i] = o;
@@ -405,11 +472,44 @@ pub fn multiway_pass_scratch<K: Key>(
     runs_buf: &mut Vec<Range<usize>>,
     merge: &mut MergeScratch,
 ) -> usize {
+    multiway_pass_scratch_cancellable(
+        src_k,
+        src_o,
+        dst_k,
+        dst_o,
+        run,
+        fanout,
+        runs_buf,
+        merge,
+        &CancelToken::none(),
+    )
+}
+
+/// Like [`multiway_pass_scratch`], polling `cancel` between merge groups
+/// and (through the cancellable merge) every [`CHECK_INTERVAL`] pops
+/// inside each group. A fired token abandons the rest of the pass; the
+/// caller must observe the token and discard the destination buffer. The
+/// nominal new run length is returned either way.
+#[allow(clippy::too_many_arguments)]
+pub fn multiway_pass_scratch_cancellable<K: Key>(
+    src_k: &[K],
+    src_o: &[u32],
+    dst_k: &mut [K],
+    dst_o: &mut [u32],
+    run: usize,
+    fanout: usize,
+    runs_buf: &mut Vec<Range<usize>>,
+    merge: &mut MergeScratch,
+    cancel: &CancelToken,
+) -> usize {
     let n = src_k.len();
     debug_assert!(fanout >= 2);
     let group = run * fanout;
     let mut start = 0usize;
     while start < n {
+        if cancel.check().is_err() {
+            return group;
+        }
         let end = (start + group).min(n);
         runs_buf.clear();
         let mut s = start;
@@ -418,7 +518,9 @@ pub fn multiway_pass_scratch<K: Key>(
             runs_buf.push(s..e);
             s = e;
         }
-        multiway_merge_scratch(src_k, src_o, dst_k, dst_o, runs_buf, start, merge);
+        multiway_merge_scratch_cancellable(
+            src_k, src_o, dst_k, dst_o, runs_buf, start, merge, cancel,
+        );
         start = end;
     }
     group
@@ -440,11 +542,46 @@ pub fn multiway_pass_ovc_scratch<K: Key>(
     runs_buf: &mut Vec<Range<usize>>,
     merge: &mut MergeScratch,
 ) -> usize {
+    multiway_pass_ovc_scratch_cancellable(
+        src_k,
+        src_o,
+        src_c,
+        dst_k,
+        dst_o,
+        dst_c,
+        run,
+        fanout,
+        runs_buf,
+        merge,
+        &CancelToken::none(),
+    )
+}
+
+/// Like [`multiway_pass_ovc_scratch`], polling `cancel` between merge
+/// groups and every [`CHECK_INTERVAL`] pops inside each group; see
+/// [`multiway_pass_scratch_cancellable`] for the early-exit contract.
+#[allow(clippy::too_many_arguments)]
+pub fn multiway_pass_ovc_scratch_cancellable<K: Key>(
+    src_k: &[K],
+    src_o: &[u32],
+    src_c: &[u32],
+    dst_k: &mut [K],
+    dst_o: &mut [u32],
+    dst_c: &mut [u32],
+    run: usize,
+    fanout: usize,
+    runs_buf: &mut Vec<Range<usize>>,
+    merge: &mut MergeScratch,
+    cancel: &CancelToken,
+) -> usize {
     let n = src_k.len();
     debug_assert!(fanout >= 2);
     let group = run * fanout;
     let mut start = 0usize;
     while start < n {
+        if cancel.check().is_err() {
+            return group;
+        }
         let end = (start + group).min(n);
         runs_buf.clear();
         let mut s = start;
@@ -453,8 +590,8 @@ pub fn multiway_pass_ovc_scratch<K: Key>(
             runs_buf.push(s..e);
             s = e;
         }
-        multiway_merge_ovc_scratch(
-            src_k, src_o, src_c, dst_k, dst_o, dst_c, runs_buf, start, merge,
+        multiway_merge_ovc_scratch_cancellable(
+            src_k, src_o, src_c, dst_k, dst_o, dst_c, runs_buf, start, merge, cancel,
         );
         start = end;
     }

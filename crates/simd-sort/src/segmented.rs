@@ -13,6 +13,7 @@ use crate::phase::{self, PhaseTimes};
 use crate::scalar::insertion_sort_pairs;
 use crate::scratch::SortScratch;
 use crate::sort::{SortConfig, SortableKey};
+use mcs_cancel::CHECK_INTERVAL;
 
 /// Group layout: starts of each group plus the final end, i.e.
 /// `groups[g] = bounds[g]..bounds[g+1]`. Always has at least one element
@@ -154,11 +155,23 @@ pub(crate) fn sort_groups_by_offsets<K: SortableKey>(
     let mut stats = SegmentedSortStats::default();
     let _ = phase::take_phases(); // clear any stale thread-local residue
     let _ = ovc::take_merge_counters();
+    // Cancellation poll, amortized over rows so runs of tiny groups don't
+    // pay an `Instant::now` each (large groups also poll inside the full
+    // merge-sort). A fired token abandons the remaining groups; the
+    // caller re-checks the token and discards the partially sorted round.
+    let mut rows_since_poll = 0usize;
     for w in offsets.windows(2) {
         let r = w[0] as usize..w[1] as usize;
         let len = r.len();
         if len <= 1 {
             continue;
+        }
+        rows_since_poll += len;
+        if rows_since_poll >= CHECK_INTERVAL {
+            rows_since_poll = 0;
+            if cfg.cancel.check().is_err() {
+                break;
+            }
         }
         stats.invocations += 1;
         stats.codes_sorted += len;

@@ -4,11 +4,12 @@
 use crate::kernel::{merge_pass, phase1_block_sort, Kernel};
 use crate::key::Key;
 use crate::merge_tree::multiway_pass_simd;
-use crate::multiway::{multiway_pass_ovc_scratch, multiway_pass_scratch};
+use crate::multiway::{multiway_pass_ovc_scratch_cancellable, multiway_pass_scratch_cancellable};
 use crate::ovc;
 use crate::phase;
 use crate::scalar;
 use crate::scratch::SortScratch;
+use mcs_cancel::CancelToken;
 
 /// Tuning knobs of the merge-sort, mirroring the constants of the paper's
 /// cost model (§4).
@@ -40,6 +41,13 @@ pub struct SortConfig {
     /// a single integer compare. Only consulted on the scalar multiway
     /// path (the SIMD merge-tree ablation ignores it). Default: on.
     pub use_ovc: bool,
+    /// Cooperative cancellation token, polled at every phase boundary and
+    /// every [`mcs_cancel::CHECK_INTERVAL`] merge pops. The sort entry
+    /// points stay infallible: a fired token makes them return early
+    /// *leaving garbage in `keys`/`oids`* — fallible callers re-check the
+    /// token after the call and surface a typed error. The default
+    /// ([`CancelToken::none`]) never fires and costs one branch per poll.
+    pub cancel: CancelToken,
 }
 
 impl Default for SortConfig {
@@ -51,6 +59,7 @@ impl Default for SortConfig {
             force_portable: false,
             scalar_multiway: true,
             use_ovc: true,
+            cancel: CancelToken::none(),
         }
     }
 }
@@ -136,6 +145,11 @@ unsafe fn mergesort_generic<Kn: Kernel>(
     let mut run = l;
     let mut src_is_a = true;
     while run < padded && run < in_cache_run {
+        // Cancellation: each binary pass is one cache-resident stream over
+        // the buffer, so a per-pass poll bounds latency to one pass.
+        if cfg.cancel.check().is_err() {
+            return;
+        }
         if src_is_a {
             merge_pass::<Kn>(ka, oa, kb, ob, run);
         } else {
@@ -162,18 +176,27 @@ unsafe fn mergesort_generic<Kn: Kernel>(
             ovc::derive_codes(kb, run, cb);
         }
     }
+    let cancel = &cfg.cancel;
     while run < padded {
         run = if with_ovc {
             if src_is_a {
-                multiway_pass_ovc_scratch(ka, oa, ca, kb, ob, cb, run, cfg.fanout, runs_buf, merge)
+                multiway_pass_ovc_scratch_cancellable(
+                    ka, oa, ca, kb, ob, cb, run, cfg.fanout, runs_buf, merge, cancel,
+                )
             } else {
-                multiway_pass_ovc_scratch(kb, ob, cb, ka, oa, ca, run, cfg.fanout, runs_buf, merge)
+                multiway_pass_ovc_scratch_cancellable(
+                    kb, ob, cb, ka, oa, ca, run, cfg.fanout, runs_buf, merge, cancel,
+                )
             }
         } else if cfg.scalar_multiway {
             if src_is_a {
-                multiway_pass_scratch(ka, oa, kb, ob, run, cfg.fanout, runs_buf, merge)
+                multiway_pass_scratch_cancellable(
+                    ka, oa, kb, ob, run, cfg.fanout, runs_buf, merge, cancel,
+                )
             } else {
-                multiway_pass_scratch(kb, ob, ka, oa, run, cfg.fanout, runs_buf, merge)
+                multiway_pass_scratch_cancellable(
+                    kb, ob, ka, oa, run, cfg.fanout, runs_buf, merge, cancel,
+                )
             }
         } else if src_is_a {
             multiway_pass_simd::<Kn>(ka, oa, kb, ob, run, cfg.fanout, buf_elems)
@@ -181,9 +204,20 @@ unsafe fn mergesort_generic<Kn: Kernel>(
             multiway_pass_simd::<Kn>(kb, ob, ka, oa, run, cfg.fanout, buf_elems)
         };
         src_is_a = !src_is_a;
+        // A fired token may have truncated the pass above, leaving the
+        // destination buffer partially written; bail before touching it.
+        if cancel.check().is_err() {
+            return;
+        }
     }
     phase::record_marks(t0, t1, t2, phase::mark());
 
+    // Final poll before the compaction asserts and the copy-back: a pass
+    // cut short by cancellation must never publish garbage into
+    // `keys`/`oids` (or trip `compact_padding`'s invariants on it).
+    if cfg.cancel.check().is_err() {
+        return;
+    }
     let (fk, fo) = if src_is_a { (ka, oa) } else { (kb, ob) };
     compact_padding(fk, fo, n);
     keys.copy_from_slice(&fk[..n]);

@@ -16,6 +16,7 @@
 //! | [`cost`] | the calibrated, architecture-aware cost model (§4) |
 //! | [`planner`] | ROGA (Algorithm 1), RRS baseline, exhaustive `A_i` |
 //! | [`engine`] | the query pipeline: scan → lookup → sort → aggregate/rank |
+//! | [`cancel`] | cooperative cancellation: tokens, deadlines, typed causes |
 //! | [`workloads`] | TPC-H (+skew), TPC-DS, airline DB1B, Ex1–Ex4 micro data |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@
 //! # Ok::<(), codemassage::engine::EngineError>(())
 //! ```
 
+pub use mcs_cancel as cancel;
 pub use mcs_columnar as columnar;
 pub use mcs_core as core;
 pub use mcs_cost as cost;
@@ -59,6 +61,7 @@ pub use mcs_workloads as workloads;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use mcs_cancel::{CancelCause, CancelToken};
     pub use mcs_columnar::{widen, Column, Dictionary, DimensionJoin, Predicate, Table};
     pub use mcs_core::{multi_column_sort, Bank, ExecConfig, MassagePlan, Round, SortSpec};
     pub use mcs_cost::{calibrate, CalibrationOptions, CostModel, MachineSpec, SortInstance};
@@ -67,7 +70,7 @@ pub mod prelude {
     pub use mcs_engine::{
         result_to_table, run_query, Agg, AggKind, Database, DegradeReason, EngineConfig,
         EngineError, ExplainReport, Filter, OrderKey, PlanCacheStats, PlannerMode, PreparedQuery,
-        Query, QueryResult, Session,
+        Query, QueryOptions, QueryResult, Session,
     };
     pub use mcs_planner::{roga, rrs, RogaOptions, RrsOptions, SearchError};
     pub use mcs_simd_sort::{sort_pairs, sort_pairs_with, SortConfig};

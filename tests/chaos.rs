@@ -15,8 +15,11 @@
 //! constant `false` otherwise.
 #![cfg(feature = "faults")]
 
+use std::time::{Duration, Instant};
+
 use codemassage::engine::reference::{assert_same_rows, naive_execute};
-use codemassage::faults::{fired, points, with_armed, FireMode};
+use codemassage::extsort::live_spill_dirs;
+use codemassage::faults::{fired, points, set_delay_micros, with_armed, FireMode};
 use codemassage::prelude::*;
 use codemassage::telemetry;
 
@@ -429,4 +432,315 @@ fn chaos_sweep_never_aborts_and_stays_correct() {
         }
     }
     std::panic::set_hook(prev);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and cooperative cancellation
+// ---------------------------------------------------------------------------
+//
+// The `exec.delay.*` fault points inject latency *inside* a chosen phase
+// (massage, per-round loop, merge, spill write), so a deadline shorter
+// than the injected delay deterministically expires while that phase is
+// running. The contract under test, per phase:
+//
+// * the query fails with the typed `DeadlineExceeded` / `Cancelled`
+//   error — never a wrapped `Sort(..)`;
+// * the error unwinds without leaking spill directories or poisoning
+//   the session arena: the same session then answers the same prepared
+//   query byte-identically to a pre-fault clean run;
+// * once the deadline has fired, the degradation ladder takes no
+//   further rungs — a timed-out query never doubles its work.
+
+/// Injected latency large enough that a deadline set mid-run is
+/// guaranteed to expire during the armed delay point's sleep.
+const DELAY_US: u64 = 150_000;
+/// Headroom for the un-delayed phases to run before the armed one.
+const HEADROOM: Duration = Duration::from_millis(50);
+
+/// An already-expired deadline fails fast before *any* phase runs: an
+/// armed-Always delay point at the massage entry never traverses.
+#[test]
+fn pre_expired_deadline_executes_no_phase() {
+    let t = chaos_table(4096);
+    let mut db = Database::new();
+    db.register(t.clone());
+    let session = Session::new(&db, EngineConfig::builder().threads(2).build());
+    let q = groupby_query();
+
+    with_armed(&[(points::EXEC_DELAY_MASSAGE, FireMode::Always)], || {
+        let opts = QueryOptions::default().with_deadline(Instant::now());
+        let err = session
+            .run_query_with_options("sales", &q, &opts)
+            .expect_err("expired deadline must fail");
+        assert!(matches!(err, EngineError::DeadlineExceeded), "{err}");
+        assert_eq!(
+            fired(points::EXEC_DELAY_MASSAGE),
+            0,
+            "massage started despite an already-expired deadline"
+        );
+    });
+
+    // The fail-fast path held no resources: the session still answers.
+    let r = session.run_query("sales", &q).expect("session reusable");
+    assert_same_rows(&r.columns, &naive_execute(&t, &q));
+}
+
+/// Fire the deadline inside each pipeline phase in turn. Every case must
+/// surface the typed error from *that* phase (the armed delay point
+/// traversed), leak nothing, and leave the session able to reproduce a
+/// pre-fault clean run byte-for-byte.
+#[test]
+fn deadline_fires_inside_every_phase_without_poisoning_the_session() {
+    let t = chaos_table(8192);
+    let mut db = Database::new();
+    db.register(t.clone());
+    let q = groupby_query();
+    let want = naive_execute(&t, &q);
+
+    let cases: [(&str, &str, bool); 4] = [
+        (points::EXEC_DELAY_MASSAGE, "massage", false),
+        (points::EXEC_DELAY_ROUND, "round", false),
+        (points::EXEC_DELAY_MERGE, "merge", true),
+        (points::EXEC_DELAY_SPILL, "spill", true),
+    ];
+    for (point, phase, budgeted) in cases {
+        let cfg = if budgeted {
+            budgeted_cfg()
+        } else {
+            EngineConfig::builder().threads(2).build()
+        };
+        let session = Session::new(&db, cfg);
+        let prepared = session.prepare("sales", &q).expect("prepare");
+        let clean = prepared.execute(&session).expect("clean warm run");
+        assert_same_rows(&clean.columns, &want);
+
+        with_armed(&[(point, FireMode::Always)], || {
+            set_delay_micros(DELAY_US);
+            let opts = QueryOptions::default().with_timeout(HEADROOM);
+            let err = session
+                .run_query_with_options("sales", &q, &opts)
+                .expect_err("deadline shorter than the injected delay");
+            assert!(
+                matches!(err, EngineError::DeadlineExceeded),
+                "{phase}: {err}"
+            );
+            assert!(
+                fired(point) > 0,
+                "{phase}: delay never traversed — the deadline cannot have \
+                 fired inside the phase under test"
+            );
+        });
+        assert_eq!(
+            live_spill_dirs(),
+            0,
+            "{phase}: cancellation leaked a spill directory"
+        );
+
+        // Same session, same prepared query: the abandoned run restored
+        // its arena lease, so the rerun is clean and byte-identical.
+        let after = prepared.execute(&session).expect("post-deadline rerun");
+        assert!(
+            after.timings.degradations.is_empty(),
+            "{phase}: rerun took rungs {:?}",
+            after.timings.degradations
+        );
+        assert_eq!(after.columns, clean.columns, "{phase}: rerun differs");
+    }
+}
+
+/// Ladder interaction: a spill failure normally degrades to an in-memory
+/// rerun (see `spill_write_fault_degrades_to_in_memory`) — but when the
+/// deadline has already expired by the time the spill fails, the retry
+/// is skipped. The injected delay expires the deadline *during* the
+/// spill phase, and the spill-write fault then fails the external sort;
+/// the typed error (instead of that test's `Ok`) is the proof the
+/// in-memory retry never ran.
+#[test]
+fn expired_deadline_skips_the_spill_failed_retry() {
+    let t = chaos_table(8192);
+    let mut db = Database::new();
+    db.register(t.clone());
+    let session = Session::new(&db, budgeted_cfg());
+    let q = groupby_query();
+
+    telemetry::reset();
+    with_armed(
+        &[
+            (points::EXEC_DELAY_SPILL, FireMode::Always),
+            (points::EXTSORT_SPILL_WRITE, FireMode::Always),
+        ],
+        || {
+            set_delay_micros(DELAY_US);
+            let opts = QueryOptions::default().with_timeout(HEADROOM);
+            let err = session
+                .run_query_with_options("sales", &q, &opts)
+                .expect_err("no retry once the deadline has passed");
+            assert!(matches!(err, EngineError::DeadlineExceeded), "{err}");
+            assert!(
+                fired(points::EXTSORT_SPILL_WRITE) > 0,
+                "spill failure never reached"
+            );
+        },
+    );
+    assert_eq!(live_spill_dirs(), 0, "failed spill leaked its directory");
+    if telemetry::is_enabled() {
+        let snap = telemetry::take_all();
+        let count = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or(0, |&(_, v)| v)
+        };
+        assert_eq!(count("engine.degraded"), 1, "the spill rung is recorded");
+        assert_eq!(count("engine.deadline_exceeded"), 1, "outcome counted");
+    }
+
+    // Disarmed, the same session answers the same query via a real spill.
+    let r = session.run_query("sales", &q).expect("disarmed rerun");
+    assert!(r.timings.spilled.runs >= 2, "budget no longer spills");
+    assert_same_rows(&r.columns, &naive_execute(&t, &q));
+}
+
+/// A cancelled query never enters the degradation ladder: with every
+/// sort attempt rigged to fail recoverably, cancellation during massage
+/// must preempt the first sort attempt entirely — zero rungs, zero
+/// sort-fault traversals, typed `Cancelled`.
+#[test]
+fn cancellation_preempts_the_degradation_ladder() {
+    let t = chaos_table(8192);
+    let mut db = Database::new();
+    db.register(t.clone());
+    let session = Session::new(&db, EngineConfig::builder().threads(2).build());
+    let q = groupby_query();
+
+    telemetry::reset();
+    with_armed(
+        &[
+            (points::EXEC_DELAY_MASSAGE, FireMode::Always),
+            (points::CORE_ROUND_SORT, FireMode::Always),
+        ],
+        || {
+            set_delay_micros(DELAY_US);
+            let token = CancelToken::new();
+            let opts = QueryOptions::default().with_cancel(token.clone());
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    std::thread::sleep(HEADROOM);
+                    token.cancel();
+                });
+                let err = session
+                    .run_query_with_options("sales", &q, &opts)
+                    .expect_err("cancelled mid-massage");
+                assert!(matches!(err, EngineError::Cancelled), "{err}");
+            });
+            assert_eq!(
+                fired(points::CORE_ROUND_SORT),
+                0,
+                "a cancelled query attempted a sort"
+            );
+        },
+    );
+    if telemetry::is_enabled() {
+        let snap = telemetry::take_all();
+        assert!(
+            !snap.counters.iter().any(|(n, _)| *n == "engine.degraded"),
+            "a cancelled query took ladder rungs: {:?}",
+            snap.counters
+        );
+        assert!(
+            snap.counters
+                .iter()
+                .any(|(n, v)| *n == "engine.cancelled" && *v == 1),
+            "cancellation outcome not counted: {:?}",
+            snap.counters
+        );
+    }
+}
+
+/// Manual cancellation beats a (much later) deadline on the same token:
+/// the error cause reports what actually stopped the query.
+#[test]
+fn manual_cancel_wins_over_a_pending_deadline() {
+    let t = chaos_table(8192);
+    let mut db = Database::new();
+    db.register(t.clone());
+    let session = Session::new(&db, EngineConfig::builder().threads(2).build());
+    let q = groupby_query();
+
+    with_armed(&[(points::EXEC_DELAY_ROUND, FireMode::Always)], || {
+        set_delay_micros(DELAY_US);
+        let token = CancelToken::new();
+        let opts = QueryOptions::default()
+            .with_cancel(token.clone())
+            .with_timeout(Duration::from_secs(600));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(HEADROOM);
+                token.cancel();
+            });
+            let err = session
+                .run_query_with_options("sales", &q, &opts)
+                .expect_err("cancelled mid-round");
+            assert!(
+                matches!(err, EngineError::Cancelled),
+                "manual cancel must win over the far-future deadline: {err}"
+            );
+        });
+        assert!(fired(points::EXEC_DELAY_ROUND) > 0, "delay never traversed");
+    });
+
+    let r = session.run_query("sales", &q).expect("session reusable");
+    assert_same_rows(&r.columns, &naive_execute(&t, &q));
+}
+
+/// Spill-file hygiene across every exit path: a clean spilling run, a
+/// fault-failed spill, and a deadline abandoned mid-merge must all leave
+/// zero live spill directories *and* zero `mcs-extsort-<pid>-*` entries
+/// on disk (the RAII guard, not just the happy path, deletes them).
+#[test]
+fn no_spill_files_survive_any_exit_path() {
+    fn on_disk_spill_dirs() -> usize {
+        let prefix = format!("mcs-extsort-{}-", std::process::id());
+        std::fs::read_dir(std::env::temp_dir())
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.file_name().to_string_lossy().starts_with(&prefix))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    let t = chaos_table(8192);
+    let mut db = Database::new();
+    db.register(t.clone());
+    let session = Session::new(&db, budgeted_cfg());
+    let q = groupby_query();
+    let before = on_disk_spill_dirs();
+
+    // Happy path: the run spills and cleans up after itself.
+    let r = session.run_query("sales", &q).expect("budgeted run");
+    assert!(r.timings.spilled.runs >= 2, "budget never spilled");
+    assert_eq!(live_spill_dirs(), 0);
+    assert_eq!(on_disk_spill_dirs(), before, "clean run left files");
+
+    // Failed spill read mid-merge: degrades to in-memory, still clean.
+    with_armed(&[(points::EXTSORT_SPILL_READ, FireMode::Nth(100))], || {
+        let r = session.run_query("sales", &q).expect("ladder recovers");
+        assert_eq!(r.timings.degradations, vec![DegradeReason::SpillFailed]);
+    });
+    assert_eq!(live_spill_dirs(), 0);
+    assert_eq!(on_disk_spill_dirs(), before, "failed spill left files");
+
+    // Deadline mid-merge: the run files were already fully written when
+    // the error unwound, and the guard still removed them.
+    with_armed(&[(points::EXEC_DELAY_MERGE, FireMode::Always)], || {
+        set_delay_micros(DELAY_US);
+        let opts = QueryOptions::default().with_timeout(HEADROOM);
+        let err = session
+            .run_query_with_options("sales", &q, &opts)
+            .expect_err("deadline mid-merge");
+        assert!(matches!(err, EngineError::DeadlineExceeded), "{err}");
+    });
+    assert_eq!(live_spill_dirs(), 0);
+    assert_eq!(on_disk_spill_dirs(), before, "abandoned merge left files");
 }

@@ -148,6 +148,32 @@ fn run_and_check(
         "[{label}] arena path group bounds"
     );
 
+    // Cancel-then-retry axis: a run abandoned by a fired token on the
+    // same shared arena must fail with the typed cancellation error and
+    // leave the arena reusable — the immediate retry on that arena has
+    // to stay byte-identical to the fresh-buffer output.
+    let cancelled_cfg = {
+        let mut c = cfg.clone();
+        c.sort.cancel = mcs_core::CancelToken::new();
+        c.sort.cancel.cancel();
+        c
+    };
+    let err = ARENA
+        .with(|a| multi_column_sort_with(&refs, &specs, plan, &cancelled_cfg, &mut a.borrow_mut()))
+        .expect_err("a fired token must cancel the sort");
+    assert!(
+        matches!(err, mcs_core::SortError::Cancelled(_)),
+        "[{label}] wrong cancellation error: {err:?}"
+    );
+    let retry = ARENA
+        .with(|a| multi_column_sort_with(&refs, &specs, plan, &cfg, &mut a.borrow_mut()))
+        .expect("retry after a cancelled run");
+    assert_eq!(retry.oids, out.oids, "[{label}] cancel-then-retry oids");
+    assert_eq!(
+        retry.groups.offsets, out.groups.offsets,
+        "[{label}] cancel-then-retry group bounds"
+    );
+
     // Offset-value coding is a pure accelerator: the default run above
     // merges with OVC (SortConfig::default), and the same pipeline with
     // the codes disabled must produce byte-identical output.

@@ -324,6 +324,10 @@ fn fault_point_registry_is_pinned() {
             "simd.worker.panic",
             "extsort.spill.write",
             "extsort.spill.read",
+            "exec.delay.massage",
+            "exec.delay.round",
+            "exec.delay.merge",
+            "exec.delay.spill",
         ]
     );
     assert_eq!(points::PLANNER_SEARCH, "planner.search.fail");
@@ -331,4 +335,87 @@ fn fault_point_registry_is_pinned() {
     assert_eq!(points::COST_NAN, "cost.eval.nan");
     assert_eq!(points::CORE_ROUND_SORT, "core.round.sort");
     assert_eq!(points::SIMD_WORKER_PANIC, "simd.worker.panic");
+    assert_eq!(points::EXEC_DELAY_MASSAGE, "exec.delay.massage");
+    assert_eq!(points::EXEC_DELAY_ROUND, "exec.delay.round");
+    assert_eq!(points::EXEC_DELAY_MERGE, "exec.delay.merge");
+    assert_eq!(points::EXEC_DELAY_SPILL, "exec.delay.spill");
+}
+
+/// The cancellation/overload counters and marker spans introduced with
+/// the deadline layer: `engine.deadline_exceeded` and `engine.cancelled`
+/// fire once per failed query with a query-named marker span;
+/// `engine.shed` fires once per gate rejection. Registered here so
+/// dashboards can key off the exact names.
+#[test]
+fn cancellation_counters_and_marker_spans_fire() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let t = demo_table(2048);
+    let mut db = Database::new();
+    db.register(t);
+    let session = Session::new(&db, EngineConfig::default());
+
+    let mut q = Query::named("spans_deadline");
+    q.order_by = vec![OrderKey::asc("nation")];
+    q.select = vec!["price".into()];
+
+    let counter = |snap: &telemetry::TelemetrySnapshot, name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    };
+
+    // Pre-expired deadline: one engine.deadline_exceeded count + marker.
+    telemetry::reset();
+    let opts = QueryOptions::default().with_deadline(std::time::Instant::now());
+    let err = session
+        .run_query_with_options("sales", &q, &opts)
+        .unwrap_err();
+    assert_eq!(err, EngineError::DeadlineExceeded);
+    let snap = telemetry::take_all();
+    assert_eq!(counter(&snap, "engine.deadline_exceeded"), Some(1));
+    assert_eq!(counter(&snap, "engine.cancelled"), None);
+    let marker = snap
+        .spans
+        .iter()
+        .find(|s| s.name == "engine.deadline_exceeded")
+        .expect("deadline marker span");
+    assert!(
+        marker
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "query" && format!("{v:?}").contains("spans_deadline")),
+        "attrs: {:?}",
+        marker.attrs
+    );
+
+    // Manually fired token: one engine.cancelled count + marker.
+    telemetry::reset();
+    let token = CancelToken::new();
+    token.cancel();
+    let opts = QueryOptions::default().with_cancel(token);
+    let err = session
+        .run_query_with_options("sales", &q, &opts)
+        .unwrap_err();
+    assert_eq!(err, EngineError::Cancelled);
+    let snap = telemetry::take_all();
+    assert_eq!(counter(&snap, "engine.cancelled"), Some(1));
+    assert_eq!(counter(&snap, "engine.deadline_exceeded"), None);
+    assert!(snap.spans.iter().any(|s| s.name == "engine.cancelled"));
+
+    // Saturated gate with zero queue budget: every shed execution counts
+    // under engine.shed with a query-named marker span.
+    telemetry::reset();
+    let prepared = session.prepare("sales", &q).unwrap();
+    let batch = vec![prepared; 8];
+    let opts = QueryOptions::default().with_queue_timeout(std::time::Duration::ZERO);
+    let results = session.run_concurrent_with_options(&batch, 1, &opts);
+    let shed = results
+        .iter()
+        .filter(|r| matches!(r, Err(EngineError::Overloaded { .. })))
+        .count() as u64;
+    assert!(shed > 0, "zero queue budget under 8x saturation must shed");
+    let snap = telemetry::take_all();
+    assert_eq!(counter(&snap, "engine.shed"), Some(shed));
+    assert!(snap.spans.iter().any(|s| s.name == "engine.shed"));
 }

@@ -69,7 +69,7 @@ fn measure(session: &Session, query: &Query, permits: usize, rung: &Rung) -> Mea
         ..QueryOptions::default()
     };
     let t = std::time::Instant::now();
-    let results = session.run_concurrent_with_options(&batch, permits, &opts);
+    let results = session.run_concurrent(&batch, permits, opts.clone());
     let elapsed = t.elapsed();
 
     let mut latencies_ns: Vec<u64> = Vec::new();
@@ -137,7 +137,9 @@ fn main() {
     // the machine and row count instead of hard-coding milliseconds.
     let service = {
         let t = std::time::Instant::now();
-        session.run_query("tpch_wide", &q1).expect("q1 runs");
+        session
+            .query("tpch_wide", &q1, QueryOptions::default())
+            .expect("q1 runs");
         t.elapsed().max(Duration::from_micros(100))
     };
     println!(

@@ -1,0 +1,265 @@
+//! Network serving — a closed-loop load generator against the TCP
+//! serving layer (`mcs-server`), measuring what the wire adds on top of
+//! in-process execution and how throughput scales with concurrent
+//! connections.
+//!
+//! For each rung of the connection ladder {1, 2, 4, 8}, N client
+//! threads each hold one connection (→ one server-side session with a
+//! warmed plan cache) and run a closed loop — send TPC-H Q1-style
+//! `Execute`, await the response, repeat — for a fixed wall-clock
+//! window. Reported per rung: sustained QPS across all connections and
+//! the p50/p99 end-to-end request latency (serialize → TCP → admission
+//! → execute → TCP → deserialize). An in-process baseline row (same
+//! query on a local session) anchors the wire overhead.
+//!
+//! Contract checks: every response is a well-formed result (the server
+//! never drops or mangles a request under concurrency), and each rung
+//! completes its window. Writes `BENCH_serving.json`.
+//!
+//! Knobs: `MCS_ROWS` (lineitem rows, default 16384), `MCS_SERVE_MS`
+//! (measurement window per rung, default 1500), `MCS_PERMITS` (server
+//! admission permits, default 8), `MCS_SEED`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mcs_bench::{env_usize, export_telemetry, print_table, rows, seed};
+use mcs_client::Client;
+use mcs_engine::{Database, EngineConfig, PlannerMode, Query, QueryOptions, Session};
+use mcs_server::{Server, ServerConfig};
+use mcs_workloads::{tpch, QuerySpec, TpchParams};
+
+struct Measurement {
+    connections: usize,
+    requests: usize,
+    elapsed_ms: f64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+}
+
+/// Percentile over a sorted slice (nearest-rank).
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1] as f64
+}
+
+fn summarize(connections: usize, mut latencies_ns: Vec<u64>, elapsed: Duration) -> Measurement {
+    latencies_ns.sort_unstable();
+    let n = latencies_ns.len();
+    let mean_ns = if n == 0 {
+        0.0
+    } else {
+        latencies_ns.iter().sum::<u64>() as f64 / n as f64
+    };
+    Measurement {
+        connections,
+        requests: n,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        qps: n as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile(&latencies_ns, 50.0) / 1e3,
+        p99_us: percentile(&latencies_ns, 99.0) / 1e3,
+        mean_us: mean_ns / 1e3,
+    }
+}
+
+/// One closed-loop rung: `connections` clients, each one-request-deep,
+/// hammering the server for `window`.
+fn measure_remote(
+    addr: std::net::SocketAddr,
+    query: &Query,
+    connections: usize,
+    window: Duration,
+) -> Measurement {
+    let t0 = Instant::now();
+    let stop_at = t0 + window;
+    let per_conn: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client
+                        .set_receive_timeout(Some(Duration::from_secs(120)))
+                        .expect("receive timeout");
+                    // Warm this connection's server-side plan cache so the
+                    // loop measures serving, not planning.
+                    client.prepare("tpch_wide", query).expect("prepare");
+                    let mut latencies = Vec::new();
+                    while Instant::now() < stop_at {
+                        let t = Instant::now();
+                        let r = client
+                            .query("tpch_wide", query, QueryOptions::default())
+                            .expect("closed-loop execute never fails");
+                        assert!(r.rows > 0, "q1 returns groups");
+                        latencies.push(t.elapsed().as_nanos() as u64);
+                    }
+                    client.close().expect("clean close");
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+    summarize(
+        connections,
+        per_conn.into_iter().flatten().collect(),
+        elapsed,
+    )
+}
+
+/// The in-process baseline: the same closed loop on a local session —
+/// the delta to the 1-connection remote rung is the wire overhead.
+fn measure_local(
+    db: &Database,
+    cfg: &EngineConfig,
+    query: &Query,
+    window: Duration,
+) -> Measurement {
+    let session = Session::new(db, cfg.clone());
+    let prepared = session.prepare("tpch_wide", query).expect("prepare");
+    let t0 = Instant::now();
+    let stop_at = t0 + window;
+    let mut latencies = Vec::new();
+    while Instant::now() < stop_at {
+        let t = Instant::now();
+        let r = prepared.execute(&session).expect("local execute");
+        assert!(r.rows > 0);
+        latencies.push(t.elapsed().as_nanos() as u64);
+    }
+    summarize(0, latencies, t0.elapsed())
+}
+
+fn main() {
+    let n = rows(1 << 14);
+    let window = Duration::from_millis(env_usize("MCS_SERVE_MS", 1500) as u64);
+    let permits = env_usize("MCS_PERMITS", 8);
+    println!(
+        "Network serving: closed-loop TPC-H Q1 on {n} rows, {}ms per rung, \
+         {permits} admission permits\n",
+        window.as_millis()
+    );
+
+    let w = tpch(&TpchParams {
+        lineitem_rows: n,
+        skew: None,
+        seed: seed(),
+    });
+    let QuerySpec::Single(q1) = &w.query("tpch_q1").spec else {
+        panic!("tpch_q1 is a single-stage query");
+    };
+    let q1 = q1.clone();
+    let mut db = Database::new();
+    for t in w.tables {
+        db.register(t);
+    }
+    let cfg = EngineConfig::builder()
+        .planner(PlannerMode::Roga { rho: Some(0.001) })
+        .threads(1)
+        .build();
+
+    let local = measure_local(&db, &cfg, &q1, window);
+
+    let db = Arc::new(db);
+    let server = Server::spawn(
+        Arc::clone(&db),
+        ServerConfig {
+            engine: cfg,
+            permits,
+            default_queue_timeout: None,
+            batch_threads_cap: permits,
+        },
+    )
+    .expect("spawn server");
+    let addr = server.addr();
+
+    let ladder = [1usize, 2, 4, 8];
+    let measurements: Vec<Measurement> = ladder
+        .iter()
+        .map(|&c| measure_remote(addr, &q1, c, window))
+        .collect();
+    server.shutdown();
+
+    let fmt_row = |m: &Measurement, label: String| {
+        vec![
+            label,
+            m.requests.to_string(),
+            format!("{:.0}", m.elapsed_ms),
+            format!("{:.1}", m.qps),
+            format!("{:.0}", m.p50_us),
+            format!("{:.0}", m.p99_us),
+            format!("{:.0}", m.mean_us),
+        ]
+    };
+    let mut table_rows = vec![fmt_row(&local, "in-process".into())];
+    table_rows.extend(
+        measurements
+            .iter()
+            .map(|m| fmt_row(m, format!("{} conn", m.connections))),
+    );
+    print_table(
+        &[
+            "clients", "requests", "ms", "qps", "p50 us", "p99 us", "mean us",
+        ],
+        &table_rows,
+    );
+
+    // Contract checks. Every rung completed requests (the loop asserts
+    // each response already); the wire can only add latency over the
+    // in-process baseline, never remove it.
+    for m in &measurements {
+        assert!(
+            m.requests > 0,
+            "{} connections completed no requests in {}ms",
+            m.connections,
+            window.as_millis()
+        );
+        assert!(m.p50_us <= m.p99_us, "percentiles are ordered");
+    }
+    assert!(
+        measurements[0].p50_us >= local.p50_us,
+        "1-connection remote p50 ({:.0}us) beat the in-process baseline ({:.0}us)",
+        measurements[0].p50_us,
+        local.p50_us
+    );
+
+    // Hand-rolled JSON (no serde in the workspace).
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"serving\",\n");
+    json.push_str("  \"workload\": \"tpch_q1\",\n");
+    json.push_str(&format!("  \"rows\": {n},\n"));
+    json.push_str(&format!("  \"window_ms\": {},\n", window.as_millis()));
+    json.push_str(&format!("  \"permits\": {permits},\n"));
+    json.push_str(&format!(
+        "  \"local_baseline\": {{\"requests\": {}, \"qps\": {:.3}, \
+         \"p50_latency_us\": {:.1}, \"p99_latency_us\": {:.1}, \"mean_us\": {:.1}}},\n",
+        local.requests, local.qps, local.p50_us, local.p99_us, local.mean_us
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"connections\": {}, \"requests\": {}, \"elapsed_ms\": {:.3}, \
+             \"qps\": {:.3}, \"p50_latency_us\": {:.1}, \"p99_latency_us\": {:.1}, \
+             \"mean_us\": {:.1}}}{}\n",
+            m.connections,
+            m.requests,
+            m.elapsed_ms,
+            m.qps,
+            m.p50_us,
+            m.p99_us,
+            m.mean_us,
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("\nwrote BENCH_serving.json");
+    export_telemetry("serving");
+}

@@ -27,7 +27,7 @@
 //! (batch size per measurement, default 64), `MCS_SEED`.
 
 use mcs_bench::{env_usize, export_telemetry, print_table, rows, seed};
-use mcs_engine::{Database, EngineConfig, PlannerMode, Query, Session};
+use mcs_engine::{Database, EngineConfig, PlannerMode, Query, QueryOptions, Session};
 use mcs_test_support::{allocation_count, thread_allocation_count, CountingAlloc};
 use mcs_workloads::{tpch, QuerySpec, TpchParams};
 
@@ -85,7 +85,7 @@ fn measure(
         // only grows), so within `threads + 1` batches one batch runs
         // entirely on warm arenas — from then on it stays warm.
         for _ in 0..=threads {
-            let results = session.run_concurrent(&batch, threads);
+            let results = session.run_concurrent(&batch, threads, QueryOptions::default());
             let all_zero = results
                 .iter()
                 .flatten()
@@ -98,7 +98,7 @@ fn measure(
     let cache_before = session.cache_stats();
     let allocs_before = allocation_count();
     let t = std::time::Instant::now();
-    let results = session.run_concurrent(&batch, threads);
+    let results = session.run_concurrent(&batch, threads, QueryOptions::default());
     let elapsed = t.elapsed();
     let allocs = allocation_count() - allocs_before;
     assert!(
@@ -139,7 +139,9 @@ fn merge_counters(db: &Database, base: &EngineConfig, query: &Query, use_ovc: bo
     cfg.exec.sort.use_ovc = use_ovc;
     cfg.model.ovc = use_ovc;
     let session = Session::new(db, cfg);
-    let r = session.run_query("tpch_wide", query).expect("q1 runs");
+    let r = session
+        .query("tpch_wide", query, QueryOptions::default())
+        .expect("q1 runs");
     let (mut comparisons, mut hits) = (0u64, 0u64);
     for rs in &r.timings.mcs_stats.rounds {
         comparisons += rs.merge.comparisons;

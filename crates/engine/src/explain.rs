@@ -326,7 +326,7 @@ mod tests {
 
     #[test]
     fn cached_plan_line_renders_only_for_cache_hits() {
-        use crate::{Database, EngineConfig, OrderKey, Query, Session};
+        use crate::{Database, EngineConfig, OrderKey, Query, QueryOptions, Session};
         let mut t = mcs_columnar::Table::new("t");
         t.add_column(mcs_columnar::Column::from_u64s(
             "k",
@@ -341,14 +341,14 @@ mod tests {
         q.select = vec!["k".into()];
         let model = CostModel::with_defaults();
 
-        let cold = session.run_query("t", &q).unwrap();
+        let cold = session.query("t", &q, QueryOptions::default()).unwrap();
         let cold_rep = ExplainReport::from_timings("q", &cold.timings, &model).unwrap();
         assert!(!cold_rep.plan_cached);
         assert!(!cold_rep.render().contains("plan: cached"));
         // Session executions run through the arena: the first one grew it.
         assert!(cold_rep.render().contains("bytes, grows 1, reuses 0\n"));
 
-        let warm = session.run_query("t", &q).unwrap();
+        let warm = session.query("t", &q, QueryOptions::default()).unwrap();
         let warm_rep = ExplainReport::from_timings("q", &warm.timings, &model).unwrap();
         assert!(warm_rep.plan_cached);
         assert!(warm_rep.render().contains("plan: cached\n"));

@@ -45,12 +45,11 @@ pub mod reference;
 mod session;
 pub mod sql;
 mod window;
+pub mod wire;
 
 pub use aggregate::aggregate_groups;
 pub use error::{DegradeReason, EngineError};
 pub use explain::ExplainReport;
-#[allow(deprecated)]
-pub use pipeline::execute;
 pub use pipeline::{
     result_to_table, run_query, EngineConfig, EngineConfigBuilder, PlannerMode, QueryResult,
     QueryTimings,

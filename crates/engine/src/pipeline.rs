@@ -202,8 +202,9 @@ pub struct QueryTimings {
     pub plan_cache_hits: u32,
     /// Plan-cache misses during this execution.
     pub plan_cache_misses: u32,
-    /// Wall-clock spent queued in the session's [`AdmissionGate`]
-    /// (crate::AdmissionGate) before execution began. Zero for stateless
+    /// Wall-clock spent queued in the session's
+    /// [`AdmissionGate`](crate::AdmissionGate) before execution began.
+    /// Zero for stateless
     /// runs and for sessions without bounded admission — the conditional
     /// EXPLAIN `queued:` line renders only when this is non-zero, so
     /// tail latency can be attributed to queueing vs executing.
@@ -368,18 +369,6 @@ fn run_query_body(
         columns: result,
         timings,
     })
-}
-
-/// Execute `query` against `table`, panicking on [`EngineError`].
-///
-/// This is the legacy infallible entry point; it aborts the process on
-/// malformed queries instead of surfacing the typed error.
-#[deprecated(note = "use Session::prepare / run_query")]
-pub fn execute(table: &Table, query: &Query, cfg: &EngineConfig) -> QueryResult {
-    match run_query(table, query, cfg) {
-        Ok(r) => r,
-        Err(e) => panic!("query {} failed: {e}", query.name),
-    }
 }
 
 /// Run `query`'s filters: ByteSlice scans, ANDed; no filters selects the
@@ -1327,18 +1316,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn execute_panics_with_the_typed_message() {
+    fn no_sort_keys_is_a_typed_error() {
         let t = small_table();
         let mut q = Query::named("boom");
         q.select = vec!["nation".into()];
-        // Silence the expected panic backtrace.
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let res = std::panic::catch_unwind(|| execute(&t, &q, &EngineConfig::default()));
-        std::panic::set_hook(prev);
-        let msg = *res.unwrap_err().downcast::<String>().expect("string panic");
-        assert!(msg.contains("query boom failed"), "{msg}");
-        assert!(msg.contains("no sort keys"), "{msg}");
+        let err = run_query(&t, &q, &EngineConfig::default()).unwrap_err();
+        assert!(matches!(err, EngineError::NoSortKeys { ref query } if query == "boom"));
+        assert!(err.to_string().contains("no sort keys"));
     }
 }

@@ -8,7 +8,7 @@
 use mcs_columnar::Predicate;
 
 /// A conjunctive filter term.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Filter {
     /// Column the predicate applies to.
     pub column: String,
@@ -81,7 +81,7 @@ impl OrderKey {
 }
 
 /// A logical query over one table.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Query {
     /// Query identifier (for reporting).
     pub name: String,

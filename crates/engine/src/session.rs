@@ -207,9 +207,9 @@ pub struct PlanCacheStats {
 /// Per-query execution limits: a deadline, an externally fireable
 /// cancel token, and a bound on admission-gate queueing.
 ///
-/// The default is unlimited on every axis — exactly the behaviour of
-/// [`Session::run_query`] — and costs one branch per cancellation poll
-/// (the token stays the allocation-free [`CancelToken::none`]).
+/// The default is unlimited on every axis and costs one branch per
+/// cancellation poll (the token stays the allocation-free
+/// [`CancelToken::none`]).
 ///
 /// ```
 /// use std::time::Duration;
@@ -228,7 +228,7 @@ pub struct QueryOptions {
     /// [`CHECK_INTERVAL`](mcs_core::CHECK_INTERVAL) iterations).
     pub deadline: Option<Instant>,
     /// Longest a query may wait for an admission-gate permit in
-    /// [`Session::run_concurrent_with_options`] before being shed with
+    /// [`Session::run_concurrent`] before being shed with
     /// [`EngineError::Overloaded`]. `None` queues unboundedly.
     pub queue_timeout: Option<Duration>,
     /// A token the caller can fire from another thread to abandon the
@@ -403,50 +403,48 @@ impl<'db> Session<'db> {
         })
     }
 
-    /// Execute `query` against `table` through the session's plan cache
-    /// (the one-shot path; [`Session::prepare`] + execute is the
-    /// repeated-query path).
-    pub fn run_query(&self, table: &str, query: &Query) -> Result<QueryResult, EngineError> {
+    /// Execute `query` against `table` through the session's plan cache,
+    /// under `opts`' deadline / cancel token — **the** query entry point.
+    ///
+    /// The default [`QueryOptions`] is unlimited on every axis and adds
+    /// no overhead; with a deadline or token set, the pipeline polls at
+    /// every phase boundary and inside the long loops, surfacing
+    /// [`DeadlineExceeded`](EngineError::DeadlineExceeded) or
+    /// [`Cancelled`](EngineError::Cancelled). An already-expired deadline
+    /// returns without executing any phase. On every outcome — including
+    /// cancellation — the borrowed arena is restored and returned to the
+    /// pool, so the session keeps serving.
+    ///
+    /// `opts.queue_timeout` has no effect here (there is no admission
+    /// gate on the single-query path); see [`Session::run_concurrent`].
+    pub fn query(
+        &self,
+        table: &str,
+        query: &Query,
+        opts: QueryOptions,
+    ) -> Result<QueryResult, EngineError> {
         let t = self.resolve(table)?;
+        let token = opts.effective_token();
         let mut arena = self.take_arena();
-        let result = run_query_impl(t, query, &self.cfg, Some(&self.cache), Some(&mut arena));
+        let result = if token.is_live() {
+            // The token travels inside the exec config, which every layer
+            // (executor, segmented sort, merge, extsort) already threads.
+            let mut cfg = self.cfg.clone();
+            cfg.exec.sort.cancel = token;
+            run_query_impl(t, query, &cfg, Some(&self.cache), Some(&mut arena))
+        } else {
+            run_query_impl(t, query, &self.cfg, Some(&self.cache), Some(&mut arena))
+        };
         // Return the arena even on error: the executor restores its
         // buffers on every exit path, so they stay reusable.
         self.put_arena(arena);
         result
     }
 
-    /// Like [`Session::run_query`], under `opts`' deadline / cancel
-    /// token: the pipeline polls the token at every phase boundary and
-    /// inside the long loops, surfacing
-    /// [`DeadlineExceeded`](EngineError::DeadlineExceeded) or
-    /// [`Cancelled`](EngineError::Cancelled). An already-expired deadline
-    /// returns without executing any phase. On every outcome —
-    /// including cancellation — the borrowed arena is restored and
-    /// returned to the pool, so the session keeps serving.
-    ///
-    /// `opts.queue_timeout` has no effect here (there is no admission
-    /// gate on the single-query path); see
-    /// [`Session::run_concurrent_with_options`].
-    pub fn run_query_with_options(
-        &self,
-        table: &str,
-        query: &Query,
-        opts: &QueryOptions,
-    ) -> Result<QueryResult, EngineError> {
-        let token = opts.effective_token();
-        if !token.is_live() {
-            return self.run_query(table, query);
-        }
-        let t = self.resolve(table)?;
-        // The token travels inside the exec config, which every layer
-        // (executor, segmented sort, merge, extsort) already threads.
-        let mut cfg = self.cfg.clone();
-        cfg.exec.sort.cancel = token;
-        let mut arena = self.take_arena();
-        let result = run_query_impl(t, query, &cfg, Some(&self.cache), Some(&mut arena));
-        self.put_arena(arena);
-        result
+    /// Execute with default [`QueryOptions`].
+    #[deprecated(note = "use Session::query(table, query, QueryOptions::default())")]
+    pub fn run_query(&self, table: &str, query: &Query) -> Result<QueryResult, EngineError> {
+        self.query(table, query, QueryOptions::default())
     }
 
     /// Execute independent prepared queries concurrently over the shared
@@ -457,29 +455,22 @@ impl<'db> Session<'db> {
     /// [`EngineError`]; one query's failure (or degradation) does not
     /// affect the others. A panicking query thread propagates after the
     /// scope joins.
-    pub fn run_concurrent(
-        &self,
-        prepared: &[PreparedQuery],
-        threads: usize,
-    ) -> Vec<Result<QueryResult, EngineError>> {
-        self.run_concurrent_with_options(prepared, threads, &QueryOptions::default())
-    }
-
-    /// [`Session::run_concurrent`] under per-query limits: every query
-    /// runs with `opts`' deadline/cancel token, and when
+    ///
+    /// Every query runs with `opts`' deadline/cancel token, and when
     /// `opts.queue_timeout` is set a query that cannot get an admission
     /// permit in time is **shed** with
     /// [`Overloaded`](EngineError::Overloaded) instead of queueing
     /// unboundedly — counted by the `engine.shed` telemetry counter.
     /// Admitted queries report their gate wait in
     /// [`QueryTimings::queue_ns`](crate::QueryTimings::queue_ns).
-    pub fn run_concurrent_with_options(
+    pub fn run_concurrent(
         &self,
         prepared: &[PreparedQuery],
         threads: usize,
-        opts: &QueryOptions,
+        opts: QueryOptions,
     ) -> Vec<Result<QueryResult, EngineError>> {
         let t0 = Instant::now();
+        let opts = &opts;
         let gate = AdmissionGate::new(threads.max(1));
         let results = std::thread::scope(|s| {
             let handles: Vec<_> = prepared
@@ -506,7 +497,7 @@ impl<'db> Session<'db> {
                             None => gate.acquire(),
                         };
                         let queue_ns = t_q.elapsed().as_nanos() as u64;
-                        let mut r = self.run_query_with_options(&p.table, &p.query, opts)?;
+                        let mut r = self.query(&p.table, &p.query, opts.clone())?;
                         r.timings.queue_ns = queue_ns;
                         Ok(r)
                     })
@@ -558,7 +549,7 @@ impl PreparedQuery {
     /// skips plan search entirely: `timings.plan_search_ns == 0` and
     /// [`plan_cached()`](crate::QueryTimings::plan_cached) is true.
     pub fn execute(&self, session: &Session<'_>) -> Result<QueryResult, EngineError> {
-        session.run_query(&self.table, &self.query)
+        session.query(&self.table, &self.query, QueryOptions::default())
     }
 }
 
@@ -754,7 +745,7 @@ mod tests {
         let db = db_with_sales();
         let session = Session::new(&db, EngineConfig::default());
         let q = orderby_query();
-        let via_session = session.run_query("sales", &q).unwrap();
+        let via_session = session.query("sales", &q, QueryOptions::default()).unwrap();
         let stateless = crate::run_query(db.table("sales").unwrap(), &q, session.config()).unwrap();
         assert_eq!(via_session.columns, stateless.columns);
     }
@@ -885,7 +876,7 @@ mod tests {
             query: bad_q,
         };
         let batch = vec![good.clone(), bad, good];
-        let results = session.run_concurrent(&batch, 4);
+        let results = session.run_concurrent(&batch, 4, QueryOptions::default());
         assert_eq!(results.len(), 3);
         assert!(results[0].is_ok());
         assert!(matches!(
@@ -900,16 +891,16 @@ mod tests {
         let db = db_with_sales();
         let session = Session::new(&db, EngineConfig::default());
         let opts = QueryOptions::default().with_deadline(Instant::now());
-        let err = session
-            .run_query_with_options("sales", &orderby_query(), &opts)
-            .unwrap_err();
+        let err = session.query("sales", &orderby_query(), opts).unwrap_err();
         assert_eq!(err, EngineError::DeadlineExceeded);
         // Nothing executed: no plan search, no cache traffic, no arena
         // accounting — the entry check fired before every phase.
         assert_eq!(session.cache_stats(), PlanCacheStats::default());
         assert!(session.arena_stats().is_empty());
         // The same session still answers the same query afterwards.
-        let r = session.run_query("sales", &orderby_query()).unwrap();
+        let r = session
+            .query("sales", &orderby_query(), QueryOptions::default())
+            .unwrap();
         assert_eq!(
             r.column_required("price").unwrap(),
             vec![20, 30, 40, 10, 50, 60]
@@ -923,9 +914,7 @@ mod tests {
         let token = CancelToken::new();
         token.cancel();
         let opts = QueryOptions::default().with_cancel(token);
-        let err = session
-            .run_query_with_options("sales", &orderby_query(), &opts)
-            .unwrap_err();
+        let err = session.query("sales", &orderby_query(), opts).unwrap_err();
         assert_eq!(err, EngineError::Cancelled);
     }
 
@@ -934,17 +923,17 @@ mod tests {
         let db = db_with_sales();
         let session = Session::new(&db, EngineConfig::default());
         let q = orderby_query();
-        let plain = session.run_query("sales", &q).unwrap();
-        let opted = session
-            .run_query_with_options("sales", &q, &QueryOptions::default())
-            .unwrap();
-        assert_eq!(plain.columns, opted.columns);
+        let plain = session.query("sales", &q, QueryOptions::default()).unwrap();
+        // The deprecated one-release shim is a pure delegation.
+        #[allow(deprecated)]
+        let shimmed = session.run_query("sales", &q).unwrap();
+        assert_eq!(plain.columns, shimmed.columns);
         // A generous deadline changes nothing either.
         let relaxed = session
-            .run_query_with_options(
+            .query(
                 "sales",
                 &q,
-                &QueryOptions::default().with_timeout(Duration::from_secs(3600)),
+                QueryOptions::default().with_timeout(Duration::from_secs(3600)),
             )
             .unwrap();
         assert_eq!(plain.columns, relaxed.columns);
@@ -1000,18 +989,18 @@ mod tests {
     }
 
     #[test]
-    fn run_concurrent_with_options_sheds_overflow_and_times_queueing() {
+    fn run_concurrent_sheds_overflow_and_times_queueing() {
         let db = db_with_sales();
         let session = Session::new(&db, EngineConfig::default());
         let good = session.prepare("sales", &orderby_query()).unwrap();
         let batch = vec![good; 8];
         // Unbounded queueing (the default): nobody sheds.
-        let results = session.run_concurrent(&batch, 2);
+        let results = session.run_concurrent(&batch, 2, QueryOptions::default());
         assert!(results.iter().all(|r| r.is_ok()));
         // A generous queue timeout on a tiny workload: still nobody
         // sheds, and admitted queries report their gate wait.
         let opts = QueryOptions::default().with_queue_timeout(Duration::from_secs(30));
-        let results = session.run_concurrent_with_options(&batch, 2, &opts);
+        let results = session.run_concurrent(&batch, 2, opts);
         assert!(results.iter().all(|r| r.is_ok()));
     }
 

@@ -1,0 +1,393 @@
+//! Property tests for the wire codec: every value the public API can
+//! produce must survive `to_bytes` → `from_bytes` unchanged, and every
+//! mutation of a valid encoding must decode to a *typed* error — the
+//! decoder may reject, it may even accept a different valid value, but
+//! it must never panic.
+
+use std::time::{Duration, Instant};
+
+use mcs_columnar::Predicate;
+use mcs_engine::wire::{
+    ErrorCode, Frame, MsgKind, RemoteError, Request, Response, Wire, WireError,
+};
+use mcs_engine::{Agg, AggKind, EngineError, Filter, OrderKey, Query, QueryOptions, QueryResult};
+use mcs_test_support::{check, Rng};
+
+fn arb_name(rng: &mut Rng) -> String {
+    let alphabets = [
+        "abcdefghijklmnopqrstuvwxyz_",
+        "αβγδε",       // multi-byte UTF-8 must survive
+        "a b.c-d\"\\", // JSON/shell-hostile characters are fine on a binary wire
+    ];
+    let alphabet: Vec<char> = alphabets[rng.gen_range(0..alphabets.len())]
+        .chars()
+        .collect();
+    let len = rng.gen_range(0..12usize);
+    (0..len).map(|_| *rng.choose(&alphabet)).collect()
+}
+
+fn arb_predicate(rng: &mut Rng) -> Predicate {
+    let v = rng.next_u64();
+    match rng.gen_range(0..7u32) {
+        0 => Predicate::Lt(v),
+        1 => Predicate::Le(v),
+        2 => Predicate::Gt(v),
+        3 => Predicate::Ge(v),
+        4 => Predicate::Eq(v),
+        5 => Predicate::Ne(v),
+        _ => Predicate::Between(v.min(v.rotate_left(17)), v.max(v.rotate_left(17))),
+    }
+}
+
+fn arb_agg(rng: &mut Rng) -> Agg {
+    let col = arb_name(rng);
+    let kind = match rng.gen_range(0..6u32) {
+        0 => AggKind::Count,
+        1 => AggKind::CountDistinct(col),
+        2 => AggKind::Sum(col),
+        3 => AggKind::Avg(col),
+        4 => AggKind::Min(col),
+        _ => AggKind::Max(col),
+    };
+    Agg::new(kind, arb_name(rng))
+}
+
+fn arb_order_key(rng: &mut Rng) -> OrderKey {
+    OrderKey {
+        column: arb_name(rng),
+        descending: rng.gen_bool(0.5),
+    }
+}
+
+/// A query drawn from the full grammar: filters, projections, grouping,
+/// aggregates, ordering, and windows, in every combination — including
+/// shapes the engine would reject (the codec is shape-agnostic).
+fn arb_query(rng: &mut Rng) -> Query {
+    let mut q = Query::named(arb_name(rng));
+    for _ in 0..rng.gen_range(0..4usize) {
+        q.filters.push(Filter {
+            column: arb_name(rng),
+            predicate: arb_predicate(rng),
+        });
+    }
+    for _ in 0..rng.gen_range(0..4usize) {
+        q.select.push(arb_name(rng));
+    }
+    for _ in 0..rng.gen_range(0..4usize) {
+        q.group_by.push(arb_name(rng));
+    }
+    for _ in 0..rng.gen_range(0..3usize) {
+        q.aggregates.push(arb_agg(rng));
+    }
+    for _ in 0..rng.gen_range(0..4usize) {
+        q.order_by.push(arb_order_key(rng));
+    }
+    for _ in 0..rng.gen_range(0..3usize) {
+        q.partition_by.push(arb_name(rng));
+    }
+    for _ in 0..rng.gen_range(0..3usize) {
+        q.window_order.push(arb_order_key(rng));
+    }
+    q
+}
+
+fn arb_result(rng: &mut Rng) -> QueryResult {
+    let cols = rng.gen_range(0..4usize);
+    let rows = rng.gen_range(0..16usize);
+    QueryResult {
+        columns: (0..cols)
+            .map(|_| {
+                let n = rng.gen_range(0..16usize);
+                (arb_name(rng), (0..n).map(|_| rng.next_u64()).collect())
+            })
+            .collect(),
+        rows,
+        timings: Default::default(),
+    }
+}
+
+fn arb_engine_error(rng: &mut Rng) -> EngineError {
+    match rng.gen_range(0..6u32) {
+        0 => EngineError::UnknownTable {
+            table: arb_name(rng),
+        },
+        1 => EngineError::NoSortKeys {
+            query: arb_name(rng),
+        },
+        2 => EngineError::WindowKeyTooWide {
+            bits: rng.gen_range(65..4096u64) as u32,
+        },
+        3 => EngineError::DeadlineExceeded,
+        4 => EngineError::Cancelled,
+        _ => EngineError::Overloaded {
+            waited_ns: rng.next_u64(),
+        },
+    }
+}
+
+#[test]
+fn queries_roundtrip_over_the_full_grammar() {
+    check("wire.query_roundtrip", 300, |rng| {
+        let q = arb_query(rng);
+        let bytes = q.to_bytes();
+        let back = Query::from_bytes(&bytes).unwrap_or_else(|e| panic!("{q:?}: {e}"));
+        assert_eq!(back, q);
+    });
+}
+
+#[test]
+fn results_roundtrip_with_data_intact() {
+    check("wire.result_roundtrip", 200, |rng| {
+        let r = arb_result(rng);
+        let back = QueryResult::from_bytes(&r.to_bytes()).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(back.columns, r.columns);
+        assert_eq!(back.rows, r.rows);
+    });
+}
+
+#[test]
+fn remote_errors_roundtrip_and_keep_their_aux_payload() {
+    check("wire.error_roundtrip", 200, |rng| {
+        let e = arb_engine_error(rng);
+        let w = RemoteError::from(&e);
+        let back = RemoteError::from_bytes(&w.to_bytes()).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(back, w);
+        assert_eq!(ErrorCode::of(&e), back.code);
+        // Lossless variants reconstruct the exact in-process error.
+        if matches!(
+            e,
+            EngineError::DeadlineExceeded
+                | EngineError::Cancelled
+                | EngineError::Overloaded { .. }
+                | EngineError::WindowKeyTooWide { .. }
+        ) {
+            assert_eq!(back.engine_error(), Some(e));
+        }
+    });
+}
+
+#[test]
+fn options_roundtrip_within_clock_skew() {
+    check("wire.options_roundtrip", 100, |rng| {
+        let mut opts = QueryOptions::default();
+        if rng.gen_bool(0.7) {
+            opts = opts.with_timeout(Duration::from_millis(rng.gen_range(1..60_000u64)));
+        }
+        if rng.gen_bool(0.7) {
+            opts = opts.with_queue_timeout(Duration::from_nanos(rng.next_u64() >> 20));
+        }
+        let before = opts
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()));
+        let back = QueryOptions::from_bytes(&opts.to_bytes()).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(back.queue_timeout, opts.queue_timeout);
+        assert_eq!(back.deadline.is_some(), opts.deadline.is_some());
+        if let (Some(b), Some(orig)) = (back.deadline, before) {
+            let after = b.saturating_duration_since(Instant::now());
+            // Encode→decode re-anchors the remaining budget; it can only
+            // shrink (time passed), never grow.
+            assert!(after <= orig, "{after:?} > {orig:?}");
+            assert!(
+                orig - after < Duration::from_secs(5),
+                "lost {:?}",
+                orig - after
+            );
+        }
+    });
+}
+
+#[test]
+fn requests_and_responses_roundtrip_through_frames() {
+    check("wire.request_roundtrip", 150, |rng| {
+        let req = match rng.gen_range(0..4u32) {
+            0 => Request::Prepare {
+                table: arb_name(rng),
+                query: arb_query(rng),
+            },
+            1 => Request::Execute {
+                table: arb_name(rng),
+                query: arb_query(rng),
+                options: QueryOptions::default(),
+            },
+            2 => Request::Batch {
+                items: (0..rng.gen_range(0..4usize))
+                    .map(|_| (arb_name(rng), arb_query(rng)))
+                    .collect(),
+                threads: rng.gen_range(1..9u64) as u32,
+                options: QueryOptions::default(),
+            },
+            _ => Request::Close,
+        };
+        let id = rng.next_u64();
+        let frame = req.to_frame(id);
+        let mut stream: &[u8] = &frame.to_bytes();
+        let read = Frame::read_from(&mut stream).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(read.request_id, id);
+        assert_eq!(read.kind, req.kind());
+        let back = Request::decode(read.kind, &read.payload).unwrap_or_else(|e| panic!("{e}"));
+        match (&req, &back) {
+            (
+                Request::Prepare { table, query },
+                Request::Prepare {
+                    table: t2,
+                    query: q2,
+                },
+            ) => {
+                assert_eq!((table, query), (t2, q2));
+            }
+            (
+                Request::Execute { table, query, .. },
+                Request::Execute {
+                    table: t2,
+                    query: q2,
+                    ..
+                },
+            ) => {
+                assert_eq!((table, query), (t2, q2));
+            }
+            (
+                Request::Batch { items, threads, .. },
+                Request::Batch {
+                    items: i2,
+                    threads: n2,
+                    ..
+                },
+            ) => {
+                assert_eq!((items, threads), (i2, n2));
+            }
+            (Request::Close, Request::Close) => {}
+            (a, b) => panic!("kind mismatch: {a:?} vs {b:?}"),
+        }
+    });
+
+    check("wire.response_roundtrip", 150, |rng| {
+        let resp = match rng.gen_range(0..5u32) {
+            0 => Response::Prepared,
+            1 => Response::Result(Box::new(arb_result(rng))),
+            2 => Response::Batch(
+                (0..rng.gen_range(0..4usize))
+                    .map(|_| {
+                        if rng.gen_bool(0.5) {
+                            Ok(arb_result(rng))
+                        } else {
+                            Err(RemoteError::from(&arb_engine_error(rng)))
+                        }
+                    })
+                    .collect(),
+            ),
+            3 => Response::Error(RemoteError::from(&arb_engine_error(rng))),
+            _ => Response::Goodbye,
+        };
+        let frame = resp.to_frame(42);
+        let mut stream: &[u8] = &frame.to_bytes();
+        let read = Frame::read_from(&mut stream).unwrap_or_else(|e| panic!("{e}"));
+        let back = Response::decode(read.kind, &read.payload).unwrap_or_else(|e| panic!("{e}"));
+        match (&resp, &back) {
+            (Response::Prepared, Response::Prepared) | (Response::Goodbye, Response::Goodbye) => {}
+            (Response::Result(a), Response::Result(b)) => {
+                assert_eq!(a.columns, b.columns);
+                assert_eq!(a.rows, b.rows);
+            }
+            (Response::Batch(a), Response::Batch(b)) => {
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    match (x, y) {
+                        (Ok(x), Ok(y)) => assert_eq!((&x.columns, x.rows), (&y.columns, y.rows)),
+                        (Err(x), Err(y)) => assert_eq!(x, y),
+                        _ => panic!("ok/err mismatch"),
+                    }
+                }
+            }
+            (Response::Error(a), Response::Error(b)) => assert_eq!(a, b),
+            (a, b) => panic!("kind mismatch: {a:?} vs {b:?}"),
+        }
+    });
+}
+
+#[test]
+fn mutated_encodings_never_panic_the_decoder() {
+    check("wire.mutation_no_panic", 400, |rng| {
+        let q = arb_query(rng);
+        let mut bytes = Request::Execute {
+            table: arb_name(rng),
+            query: q,
+            options: QueryOptions::default().with_timeout(Duration::from_secs(1)),
+        }
+        .to_frame(rng.next_u64())
+        .to_bytes();
+
+        // Truncate, extend, or flip — each must yield Err or a different
+        // valid value, never a panic.
+        match rng.gen_range(0..3u32) {
+            0 => {
+                let keep = rng.gen_range(0..bytes.len());
+                bytes.truncate(keep);
+            }
+            1 => {
+                for _ in 0..rng.gen_range(1..8usize) {
+                    bytes.push(rng.gen_range(0..256u64) as u8);
+                }
+            }
+            _ => {
+                for _ in 0..rng.gen_range(1..5usize) {
+                    let i = rng.gen_range(0..bytes.len());
+                    let bit = rng.gen_range(0..8u32);
+                    bytes[i] ^= 1 << bit;
+                }
+            }
+        }
+
+        let mut stream: &[u8] = &bytes;
+        if let Ok(frame) = Frame::read_from(&mut stream) {
+            // Header survived; the payload decode must still be total.
+            let _ = Request::decode(frame.kind, &frame.payload);
+            let _ = Response::decode(frame.kind, &frame.payload);
+        }
+    });
+}
+
+#[test]
+fn truncations_of_every_length_yield_typed_errors() {
+    let mut rng = Rng::seed_from_u64(0xD15C);
+    let q = arb_query(&mut rng);
+    let bytes = q.to_bytes();
+    for cut in 0..bytes.len() {
+        match Query::from_bytes(&bytes[..cut]) {
+            Err(
+                WireError::Truncated { .. } | WireError::BadTag { .. } | WireError::BadUtf8 { .. },
+            ) => {}
+            Err(e) => panic!("cut={cut}: unexpected error class {e:?}"),
+            // A prefix that happens to decode fully would have trailing
+            // garbage relative to the full value — impossible here, but a
+            // shorter *valid* value is acceptable by the codec contract.
+            Ok(v) => assert_ne!(v, q, "cut={cut} decoded the full value from a prefix"),
+        }
+    }
+}
+
+#[test]
+fn frame_kinds_partition_into_requests_and_responses() {
+    for kind in [
+        MsgKind::Prepare,
+        MsgKind::Execute,
+        MsgKind::Batch,
+        MsgKind::Close,
+    ] {
+        assert!(
+            Response::decode(kind, &[]).is_err(),
+            "{kind:?} must not parse as a response"
+        );
+    }
+    for kind in [
+        MsgKind::Prepared,
+        MsgKind::Result,
+        MsgKind::BatchResult,
+        MsgKind::Error,
+        MsgKind::Goodbye,
+    ] {
+        assert!(
+            Request::decode(kind, &[]).is_err(),
+            "{kind:?} must not parse as a request"
+        );
+    }
+}

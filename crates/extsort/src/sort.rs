@@ -59,7 +59,7 @@ static LIVE_SPILL_DIRS: AtomicU64 = AtomicU64::new(0);
 /// How many spill directories (each holding one external sort's run
 /// files) are currently alive in this process. Every exit path of
 /// [`external_multi_column_sort_with`] — success, I/O error, injected
-/// fault, or cancellation — drops its RAII [`SpillDir`] guard, so this
+/// fault, or cancellation — drops its RAII `SpillDir` guard, so this
 /// returns to its prior value after every call; the leak tests pin that.
 pub fn live_spill_dirs() -> u64 {
     LIVE_SPILL_DIRS.load(AtomicOrdering::SeqCst)

@@ -38,7 +38,9 @@ fn main() {
     let mut db = Database::new();
     db.register(sales);
     let off_session = Session::new(&db, EngineConfig::without_massaging());
-    let off = off_session.run_query("sales", &q).unwrap();
+    let off = off_session
+        .query("sales", &q, QueryOptions::default())
+        .unwrap();
     // … and one with it (Figure 2b): the optimizer stitches the two
     // columns into one 27-bit super-column and sorts once. prepare()
     // searches and caches the plan; execute() serves it.

@@ -18,6 +18,8 @@
 //! | [`engine`] | the query pipeline: scan → lookup → sort → aggregate/rank |
 //! | [`cancel`] | cooperative cancellation: tokens, deadlines, typed causes |
 //! | [`workloads`] | TPC-H (+skew), TPC-DS, airline DB1B, Ex1–Ex4 micro data |
+//! | [`server`] | TCP serving layer: the MCSQ wire protocol, one session per connection |
+//! | [`client`] | blocking wire-protocol client mirroring the `Session` API |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@
 //! ```
 
 pub use mcs_cancel as cancel;
+pub use mcs_client as client;
 pub use mcs_columnar as columnar;
 pub use mcs_core as core;
 pub use mcs_cost as cost;
@@ -55,6 +58,7 @@ pub use mcs_engine as engine;
 pub use mcs_extsort as extsort;
 pub use mcs_faults as faults;
 pub use mcs_planner as planner;
+pub use mcs_server as server;
 pub use mcs_simd_sort as simd_sort;
 pub use mcs_telemetry as telemetry;
 pub use mcs_workloads as workloads;
@@ -65,8 +69,6 @@ pub mod prelude {
     pub use mcs_columnar::{widen, Column, Dictionary, DimensionJoin, Predicate, Table};
     pub use mcs_core::{multi_column_sort, Bank, ExecConfig, MassagePlan, Round, SortSpec};
     pub use mcs_cost::{calibrate, CalibrationOptions, CostModel, MachineSpec, SortInstance};
-    #[allow(deprecated)]
-    pub use mcs_engine::execute;
     pub use mcs_engine::{
         result_to_table, run_query, Agg, AggKind, Database, DegradeReason, EngineConfig,
         EngineError, ExplainReport, Filter, OrderKey, PlanCacheStats, PlannerMode, PreparedQuery,

@@ -21,7 +21,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use mcs_engine::{Column, Database, EngineConfig, OrderKey, Query, Session, Table};
+use mcs_engine::{Column, Database, EngineConfig, OrderKey, Query, QueryOptions, Session, Table};
 use mcs_test_support::{allocation_count, thread_allocation_count, CountingAlloc};
 
 #[global_allocator]
@@ -207,7 +207,7 @@ fn warm_concurrent_round_loops_run_with_zero_allocations() {
     // within `threads + 1` batches one batch runs on all-warm arenas.
     let mut warmed = false;
     for _ in 0..=threads {
-        let results = session.run_concurrent(&prepared, threads);
+        let results = session.run_concurrent(&prepared, threads, QueryOptions::default());
         let allocs: Vec<u64> = results
             .iter()
             .map(|r| {
@@ -233,7 +233,7 @@ fn warm_concurrent_round_loops_run_with_zero_allocations() {
     // And warm is sticky: every query of every later batch stays at 0.
     for batch in 0..2 {
         for (i, r) in session
-            .run_concurrent(&prepared, threads)
+            .run_concurrent(&prepared, threads, QueryOptions::default())
             .into_iter()
             .enumerate()
         {

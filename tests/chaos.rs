@@ -470,7 +470,7 @@ fn pre_expired_deadline_executes_no_phase() {
     with_armed(&[(points::EXEC_DELAY_MASSAGE, FireMode::Always)], || {
         let opts = QueryOptions::default().with_deadline(Instant::now());
         let err = session
-            .run_query_with_options("sales", &q, &opts)
+            .query("sales", &q, opts)
             .expect_err("expired deadline must fail");
         assert!(matches!(err, EngineError::DeadlineExceeded), "{err}");
         assert_eq!(
@@ -481,7 +481,9 @@ fn pre_expired_deadline_executes_no_phase() {
     });
 
     // The fail-fast path held no resources: the session still answers.
-    let r = session.run_query("sales", &q).expect("session reusable");
+    let r = session
+        .query("sales", &q, QueryOptions::default())
+        .expect("session reusable");
     assert_same_rows(&r.columns, &naive_execute(&t, &q));
 }
 
@@ -518,7 +520,7 @@ fn deadline_fires_inside_every_phase_without_poisoning_the_session() {
             set_delay_micros(DELAY_US);
             let opts = QueryOptions::default().with_timeout(HEADROOM);
             let err = session
-                .run_query_with_options("sales", &q, &opts)
+                .query("sales", &q, opts)
                 .expect_err("deadline shorter than the injected delay");
             assert!(
                 matches!(err, EngineError::DeadlineExceeded),
@@ -573,7 +575,7 @@ fn expired_deadline_skips_the_spill_failed_retry() {
             set_delay_micros(DELAY_US);
             let opts = QueryOptions::default().with_timeout(HEADROOM);
             let err = session
-                .run_query_with_options("sales", &q, &opts)
+                .query("sales", &q, opts)
                 .expect_err("no retry once the deadline has passed");
             assert!(matches!(err, EngineError::DeadlineExceeded), "{err}");
             assert!(
@@ -596,7 +598,9 @@ fn expired_deadline_skips_the_spill_failed_retry() {
     }
 
     // Disarmed, the same session answers the same query via a real spill.
-    let r = session.run_query("sales", &q).expect("disarmed rerun");
+    let r = session
+        .query("sales", &q, QueryOptions::default())
+        .expect("disarmed rerun");
     assert!(r.timings.spilled.runs >= 2, "budget no longer spills");
     assert_same_rows(&r.columns, &naive_execute(&t, &q));
 }
@@ -629,7 +633,7 @@ fn cancellation_preempts_the_degradation_ladder() {
                     token.cancel();
                 });
                 let err = session
-                    .run_query_with_options("sales", &q, &opts)
+                    .query("sales", &q, opts)
                     .expect_err("cancelled mid-massage");
                 assert!(matches!(err, EngineError::Cancelled), "{err}");
             });
@@ -679,7 +683,7 @@ fn manual_cancel_wins_over_a_pending_deadline() {
                 token.cancel();
             });
             let err = session
-                .run_query_with_options("sales", &q, &opts)
+                .query("sales", &q, opts)
                 .expect_err("cancelled mid-round");
             assert!(
                 matches!(err, EngineError::Cancelled),
@@ -689,7 +693,9 @@ fn manual_cancel_wins_over_a_pending_deadline() {
         assert!(fired(points::EXEC_DELAY_ROUND) > 0, "delay never traversed");
     });
 
-    let r = session.run_query("sales", &q).expect("session reusable");
+    let r = session
+        .query("sales", &q, QueryOptions::default())
+        .expect("session reusable");
     assert_same_rows(&r.columns, &naive_execute(&t, &q));
 }
 
@@ -718,14 +724,18 @@ fn no_spill_files_survive_any_exit_path() {
     let before = on_disk_spill_dirs();
 
     // Happy path: the run spills and cleans up after itself.
-    let r = session.run_query("sales", &q).expect("budgeted run");
+    let r = session
+        .query("sales", &q, QueryOptions::default())
+        .expect("budgeted run");
     assert!(r.timings.spilled.runs >= 2, "budget never spilled");
     assert_eq!(live_spill_dirs(), 0);
     assert_eq!(on_disk_spill_dirs(), before, "clean run left files");
 
     // Failed spill read mid-merge: degrades to in-memory, still clean.
     with_armed(&[(points::EXTSORT_SPILL_READ, FireMode::Nth(100))], || {
-        let r = session.run_query("sales", &q).expect("ladder recovers");
+        let r = session
+            .query("sales", &q, QueryOptions::default())
+            .expect("ladder recovers");
         assert_eq!(r.timings.degradations, vec![DegradeReason::SpillFailed]);
     });
     assert_eq!(live_spill_dirs(), 0);
@@ -737,7 +747,7 @@ fn no_spill_files_survive_any_exit_path() {
         set_delay_micros(DELAY_US);
         let opts = QueryOptions::default().with_timeout(HEADROOM);
         let err = session
-            .run_query_with_options("sales", &q, &opts)
+            .query("sales", &q, opts)
             .expect_err("deadline mid-merge");
         assert!(matches!(err, EngineError::DeadlineExceeded), "{err}");
     });

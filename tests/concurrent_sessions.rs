@@ -95,7 +95,7 @@ fn concurrent_prepared_queries_match_the_oracle_with_exact_cache_hits() {
     const REPS: usize = 8;
     let batch: Vec<PreparedQuery> = (0..REPS).flat_map(|_| prepared.iter().cloned()).collect();
     for threads in [1, 4] {
-        let results = session.run_concurrent(&batch, threads);
+        let results = session.run_concurrent(&batch, threads, QueryOptions::default());
         assert_eq!(results.len(), batch.len());
         for (i, r) in results.into_iter().enumerate() {
             let r = r.unwrap();
@@ -128,7 +128,7 @@ fn oversubscribed_batch_completes_in_order() {
     let oracle = naive_execute(db.table("sales").unwrap(), q);
 
     let batch = vec![prepared; 32];
-    let results = session.run_concurrent(&batch, 2);
+    let results = session.run_concurrent(&batch, 2, QueryOptions::default());
     assert_eq!(results.len(), 32);
     for r in results {
         assert_same_rows(&r.unwrap().columns, &oracle);
@@ -152,7 +152,7 @@ fn chaos_degrades_per_query_without_poisoning_the_shared_cache() {
     //    P0 and the P0 stand-in must NOT be published.
     let session = Session::new(&db, EngineConfig::default());
     with_armed(&[(points::PLANNER_SEARCH, FireMode::Always)], || {
-        let r = session.run_query("sales", q).unwrap();
+        let r = session.query("sales", q, QueryOptions::default()).unwrap();
         assert_same_rows(&r.columns, &oracle);
         assert!(r
             .timings

@@ -216,7 +216,7 @@ fn session_plan_cache_counters_and_span() {
 
     telemetry::reset();
     let prepared = session.prepare("sales", &q).unwrap();
-    let results = session.run_concurrent(&[prepared.clone(), prepared], 2);
+    let results = session.run_concurrent(&[prepared.clone(), prepared], 2, QueryOptions::default());
     assert!(results.iter().all(|r| r.is_ok()));
 
     let snap = telemetry::take_all();
@@ -368,9 +368,7 @@ fn cancellation_counters_and_marker_spans_fire() {
     // Pre-expired deadline: one engine.deadline_exceeded count + marker.
     telemetry::reset();
     let opts = QueryOptions::default().with_deadline(std::time::Instant::now());
-    let err = session
-        .run_query_with_options("sales", &q, &opts)
-        .unwrap_err();
+    let err = session.query("sales", &q, opts).unwrap_err();
     assert_eq!(err, EngineError::DeadlineExceeded);
     let snap = telemetry::take_all();
     assert_eq!(counter(&snap, "engine.deadline_exceeded"), Some(1));
@@ -394,9 +392,7 @@ fn cancellation_counters_and_marker_spans_fire() {
     let token = CancelToken::new();
     token.cancel();
     let opts = QueryOptions::default().with_cancel(token);
-    let err = session
-        .run_query_with_options("sales", &q, &opts)
-        .unwrap_err();
+    let err = session.query("sales", &q, opts).unwrap_err();
     assert_eq!(err, EngineError::Cancelled);
     let snap = telemetry::take_all();
     assert_eq!(counter(&snap, "engine.cancelled"), Some(1));
@@ -409,7 +405,7 @@ fn cancellation_counters_and_marker_spans_fire() {
     let prepared = session.prepare("sales", &q).unwrap();
     let batch = vec![prepared; 8];
     let opts = QueryOptions::default().with_queue_timeout(std::time::Duration::ZERO);
-    let results = session.run_concurrent_with_options(&batch, 1, &opts);
+    let results = session.run_concurrent(&batch, 1, opts);
     let shed = results
         .iter()
         .filter(|r| matches!(r, Err(EngineError::Overloaded { .. })))

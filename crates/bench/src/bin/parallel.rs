@@ -1,0 +1,222 @@
+//! Thread-scaling of the morsel-driven round loop — wall time, scheduler
+//! counters, and output identity at 1/2/4/8 intra-query workers, on a
+//! balanced and a heavily skewed (one group ≈95% of rows) instance.
+//!
+//! **This container exposes a single physical core**, so wall-clock
+//! speedup is not the claim this bin gates. What it *does* gate, hard
+//! (the bin fails instead of writing misleading numbers):
+//!
+//! * byte-identity: every thread count's oid permutation and group
+//!   bounds equal the serial run's — the steal schedule must not leak;
+//! * no regression at `threads = 1`: the serial path dispatches zero
+//!   morsels and, on a warm arena, runs its round loop with exactly
+//!   zero heap allocations (the counting allocator is installed and the
+//!   thread-local probe brackets the loop);
+//! * work stealing is real: on the skewed instance at `threads >= 2`,
+//!   at least one steal is observed (bounded retries — scheduling on a
+//!   loaded host may let the straggler finish first occasionally).
+//!
+//! Writes `BENCH_parallel.json` next to the working directory. Knobs:
+//! `MCS_ROWS` (default 262144), `MCS_REPS` (default 5), `MCS_SEED`.
+
+use mcs_bench::{env_usize, export_telemetry, print_table, rows, seed};
+use mcs_columnar::CodeVec;
+use mcs_core::{
+    multi_column_sort, multi_column_sort_with, ExecArena, ExecConfig, MassagePlan, SortSpec,
+};
+use mcs_simd_sort::MorselCounts;
+use mcs_test_support::{thread_allocation_count, CountingAlloc, Rng};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Attempts to observe a steal on the skewed instance per thread count.
+const STEAL_ATTEMPTS: usize = 50;
+
+struct Cell {
+    dataset: &'static str,
+    threads: usize,
+    median_ms: f64,
+    morsels: MorselCounts,
+    round_loop_allocs: u64,
+}
+
+fn dataset(name: &'static str, n: usize, s: u64) -> (Vec<CodeVec>, Vec<SortSpec>) {
+    let mut rng = Rng::seed_from_u64(s);
+    let c1: Vec<u64> = (0..n)
+        .map(|_| {
+            if name == "skewed" {
+                // ~95% of rows share one round-1 group.
+                if rng.gen_range(0..100u64) < 95 {
+                    0
+                } else {
+                    1 + rng.gen_range(0..62u64)
+                }
+            } else {
+                rng.gen_range(0..64u64)
+            }
+        })
+        .collect();
+    let c2: Vec<u64> = (0..n).map(|_| rng.gen_range(0..(1u64 << 17))).collect();
+    let cols = vec![
+        CodeVec::from_u64s(6, c1.into_iter()),
+        CodeVec::from_u64s(17, c2.into_iter()),
+    ];
+    let specs = vec![SortSpec::asc(6), SortSpec::asc(17)];
+    (cols, specs)
+}
+
+fn main() {
+    let n = rows(1 << 18);
+    let reps = env_usize("MCS_REPS", 5);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("Morsel thread-scaling: {n} rows, median of {reps} reps, {cores} core(s) available\n");
+    if cores < 2 {
+        println!("NOTE: single-core machine — wall time cannot improve past threads=1;\n      correctness and scheduler counters are the gated claims.\n");
+    }
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for name in ["balanced", "skewed"] {
+        let (cols, specs) = dataset(name, n, seed());
+        let refs: Vec<&CodeVec> = cols.iter().collect();
+        let plan = MassagePlan::column_at_a_time(&specs);
+
+        let mut serial_oids: Vec<u32> = Vec::new();
+        for &threads in &THREADS {
+            let mut cfg = ExecConfig {
+                threads,
+                want_final_groups: true,
+                ..ExecConfig::default()
+            };
+            if threads == 1 {
+                cfg.alloc_probe = Some(thread_allocation_count);
+            }
+
+            // Warm an arena so the threads=1 allocation gate measures
+            // the steady state a session reaches, then measure on it.
+            let mut arena = ExecArena::new();
+            let mut timings_ms: Vec<f64> = Vec::new();
+            let mut last = None;
+            for rep in 0..reps.max(1) + 1 {
+                let t0 = std::time::Instant::now();
+                let out = multi_column_sort_with(&refs, &specs, &plan, &cfg, &mut arena)
+                    .expect("valid sort instance");
+                let dt = t0.elapsed().as_secs_f64() * 1e3;
+                if rep > 0 {
+                    // rep 0 grows the arena; steady-state reps count.
+                    timings_ms.push(dt);
+                }
+                last = Some(out);
+            }
+            let out = last.expect("at least one rep ran");
+            timings_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+            let median_ms = timings_ms[timings_ms.len() / 2];
+
+            if threads == 1 {
+                serial_oids = out.oids.clone();
+                let allocs = out.stats.round_loop_allocs.unwrap_or(u64::MAX);
+                assert_eq!(
+                    allocs, 0,
+                    "{name}: warm round loop allocated at threads=1 — serial regression"
+                );
+                assert!(
+                    out.stats.morsel_counts().is_empty(),
+                    "{name}: threads=1 must not schedule morsels"
+                );
+            } else {
+                assert_eq!(
+                    out.oids, serial_oids,
+                    "{name}/t{threads}: steal schedule leaked into the output"
+                );
+            }
+
+            let mut morsels = out.stats.morsel_counts();
+            if name == "skewed" && threads >= 2 && morsels.stolen == 0 {
+                // Steals are scheduling-dependent; retry on fresh runs
+                // (byte-identity is re-checked every time).
+                for _ in 0..STEAL_ATTEMPTS {
+                    let retry =
+                        multi_column_sort(&refs, &specs, &plan, &cfg).expect("valid sort instance");
+                    assert_eq!(retry.oids, serial_oids, "{name}/t{threads}: retry diverged");
+                    morsels = retry.stats.morsel_counts();
+                    if morsels.stolen > 0 {
+                        break;
+                    }
+                }
+                assert!(
+                    morsels.stolen > 0,
+                    "{name}/t{threads}: no steal observed in {STEAL_ATTEMPTS} attempts"
+                );
+            }
+
+            cells.push(Cell {
+                dataset: name,
+                threads,
+                median_ms,
+                morsels,
+                round_loop_allocs: if threads == 1 {
+                    out.stats.round_loop_allocs.unwrap_or(0)
+                } else {
+                    0
+                },
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.dataset.to_string(),
+                c.threads.to_string(),
+                format!("{:.2}", c.median_ms),
+                c.morsels.dispatched.to_string(),
+                c.morsels.stolen.to_string(),
+                c.morsels.split.to_string(),
+                c.round_loop_allocs.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "dataset",
+            "threads",
+            "median ms",
+            "dispatched",
+            "stolen",
+            "split",
+            "loop allocs (t=1)",
+        ],
+        &table,
+    );
+    println!("\nall thread counts byte-identical to the serial permutation");
+
+    // Hand-rolled JSON (no serde in the workspace).
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"parallel\",\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"rows\": {n},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"byte_identical_across_threads\": true,\n");
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"threads\": {}, \"median_ms\": {:.3}, \
+             \"morsels_dispatched\": {}, \"morsels_stolen\": {}, \"morsels_split\": {}, \
+             \"round_loop_allocs\": {}}}{}\n",
+            c.dataset,
+            c.threads,
+            c.median_ms,
+            c.morsels.dispatched,
+            c.morsels.stolen,
+            c.morsels.split,
+            c.round_loop_allocs,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+    export_telemetry("parallel");
+}

@@ -11,13 +11,14 @@ use std::time::Instant;
 use mcs_cancel::CancelCause;
 use mcs_columnar::CodeVec;
 use mcs_simd_sort::{
-    sort_pairs_in_groups_parallel_scratch, GroupBounds, MergeCounters, PhaseTimes,
-    SegmentedSortStats, SortConfig, WorkerPanic, WorkerScratch,
+    for_each_chunk, sort_pairs_in_groups_parallel_scratch, GroupBounds, MergeCounters,
+    MorselCounts, PhaseTimes, SegmentedSortStats, SortConfig, WorkerPanic, WorkerScratch,
+    DEFAULT_PARALLEL_CUTOFF_ROWS,
 };
 use mcs_telemetry as telemetry;
 
 use crate::arena::{ArenaStats, ExecArena, Lease};
-use crate::massage::{massage_into_cancellable, width_mask, RoundKeys};
+use crate::massage::{massage_into_cancellable, width_mask, RoundKeys, SendPtr};
 use crate::plan::{MassagePlan, PlanError, SortSpec};
 
 /// Why a [`multi_column_sort`] invocation was rejected before running.
@@ -172,6 +173,10 @@ pub struct RoundStats {
     /// passes: total matches and the subset short-circuited by
     /// offset-value codes (always counted, independent of features).
     pub merge: MergeCounters,
+    /// Work-stealing scheduler counters summed over this round's phases
+    /// (lookup gather + segmented sort + boundary scan); all zero at
+    /// `threads == 1` or below the parallel cutoff.
+    pub morsels: MorselCounts,
 }
 
 /// Whole-execution telemetry.
@@ -190,6 +195,9 @@ pub struct ExecStats {
     /// Reuse counters of the [`ExecArena`] that served this execution;
     /// default (all-zero) for arena-less [`multi_column_sort`] calls.
     pub arena: ArenaStats,
+    /// Work-stealing scheduler counters of the massage phase (the round
+    /// phases report theirs in [`RoundStats::morsels`]).
+    pub massage_morsels: MorselCounts,
 }
 
 impl ExecStats {
@@ -206,6 +214,16 @@ impl ExecStats {
     /// Sum of scan times across rounds.
     pub fn scan_ns(&self) -> u64 {
         self.rounds.iter().map(|r| r.scan_ns).sum()
+    }
+
+    /// Morsel scheduler counters summed over the whole execution
+    /// (massage + every round's gather/sort/scan).
+    pub fn morsel_counts(&self) -> MorselCounts {
+        let mut total = self.massage_morsels;
+        for r in &self.rounds {
+            total.add(r.morsels);
+        }
+        total
     }
 }
 
@@ -232,6 +250,94 @@ fn gather_into<T: Copy>(src: &[T], oids: &[u32], dst: &mut Vec<T>) {
     dst.extend(oids.iter().map(|&o| src[o as usize]));
 }
 
+/// Morsel-driven [`gather_into`]: workers pull row-range morsels and
+/// write disjoint slices of `dst`. Falls back to the serial gather (and
+/// its exact allocation behavior) at `threads == 1` or below the
+/// parallel cutoff. Returns the scheduler counters.
+fn gather_into_morsels<T: Copy + Default + Send + Sync>(
+    src: &[T],
+    oids: &[u32],
+    dst: &mut Vec<T>,
+    threads: usize,
+) -> MorselCounts {
+    debug_assert_eq!(src.len(), oids.len());
+    let n = oids.len();
+    if threads <= 1 || n < DEFAULT_PARALLEL_CUTOFF_ROWS {
+        gather_into(src, oids, dst);
+        return MorselCounts::default();
+    }
+    dst.clear();
+    dst.resize(n, T::default());
+    let dst_ptr = SendPtr(dst.as_mut_ptr());
+    for_each_chunk(n, threads, |_, start, len| {
+        #[allow(clippy::redundant_locals)]
+        let dst_ptr = dst_ptr;
+        for (i, &o) in oids[start..start + len].iter().enumerate() {
+            // SAFETY: row-range morsels tile `0..n` disjointly, so each
+            // destination index is written by exactly one worker.
+            unsafe {
+                *dst_ptr.0.add(start + i) = src[o as usize];
+            }
+        }
+    })
+}
+
+/// Morsel-driven boundary scan: equivalent to [`GroupBounds::refine_into`]
+/// but with the key scan pulled as row-range morsels.
+///
+/// Position `i` (`0 < i < n`) is a refined boundary iff it is an existing
+/// group boundary or the sorted keys differ across it — a per-position
+/// predicate, so each morsel scans its range independently (walking the
+/// overlapping window of `offsets` alongside) and the per-morsel boundary
+/// lists concatenate in morsel order. Produces offsets byte-identical to
+/// the serial scan. Returns the scheduler counters.
+fn refine_into_morsels<K: mcs_simd_sort::Key>(
+    keys: &[K],
+    offsets: &[u32],
+    out: &mut Vec<u32>,
+    threads: usize,
+) -> MorselCounts {
+    let n = keys.len();
+    let parts: std::sync::Mutex<Vec<(usize, Vec<u32>)>> = std::sync::Mutex::new(Vec::new());
+    let counts = for_each_chunk(n, threads, |_, start, len| {
+        let mut local: Vec<u32> = Vec::new();
+        let from = start.max(1);
+        // First offset >= `from`; duplicates (empty groups) are skipped
+        // in the walk below, matching the serial scan's dedup.
+        let mut p = offsets.partition_point(|&b| (b as usize) < from);
+        for i in from..start + len {
+            while p < offsets.len() && (offsets[p] as usize) < i {
+                p += 1;
+            }
+            if p < offsets.len() && offsets[p] as usize == i {
+                local.push(i as u32);
+                while p < offsets.len() && offsets[p] as usize == i {
+                    p += 1;
+                }
+            } else if keys[i] != keys[i - 1] {
+                local.push(i as u32);
+            }
+        }
+        parts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((start, local));
+    });
+    let mut parts = parts.into_inner().unwrap_or_else(|e| e.into_inner());
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    out.clear();
+    out.push(0);
+    for (_, local) in &parts {
+        out.extend_from_slice(local);
+    }
+    if n > 0 {
+        out.push(n as u32);
+    } else {
+        out.push(0);
+    }
+    counts
+}
+
 fn sort_round(
     keys: &mut RoundKeys,
     oids: &mut [u32],
@@ -252,14 +358,37 @@ fn sort_round(
 }
 
 /// Refine `groups` in place by the sorted `keys`, using `spare` as the
-/// write destination (swapped in afterwards).
-fn refine_groups_into(groups: &mut GroupBounds, keys: &RoundKeys, spare: &mut Vec<u32>) {
-    match keys {
-        RoundKeys::B16(v) => groups.refine_into(v, spare),
-        RoundKeys::B32(v) => groups.refine_into(v, spare),
-        RoundKeys::B64(v) => groups.refine_into(v, spare),
-    }
+/// write destination (swapped in afterwards). At `threads == 1` or below
+/// the parallel cutoff the serial (allocation-free on a warm `spare`)
+/// scan runs; otherwise the morsel-driven scan. Returns the scheduler
+/// counters.
+fn refine_groups_into(
+    groups: &mut GroupBounds,
+    keys: &RoundKeys,
+    spare: &mut Vec<u32>,
+    threads: usize,
+) -> MorselCounts {
+    let n = match keys {
+        RoundKeys::B16(v) => v.len(),
+        RoundKeys::B32(v) => v.len(),
+        RoundKeys::B64(v) => v.len(),
+    };
+    let counts = if threads <= 1 || n < DEFAULT_PARALLEL_CUTOFF_ROWS {
+        match keys {
+            RoundKeys::B16(v) => groups.refine_into(v, spare),
+            RoundKeys::B32(v) => groups.refine_into(v, spare),
+            RoundKeys::B64(v) => groups.refine_into(v, spare),
+        }
+        MorselCounts::default()
+    } else {
+        match keys {
+            RoundKeys::B16(v) => refine_into_morsels(v, &groups.offsets, spare, threads),
+            RoundKeys::B32(v) => refine_into_morsels(v, &groups.offsets, spare, threads),
+            RoundKeys::B64(v) => refine_into_morsels(v, &groups.offsets, spare, threads),
+        }
+    };
     core::mem::swap(&mut groups.offsets, spare);
+    counts
 }
 
 /// Execute a multi-column sort of `inputs` (one column per [`SortSpec`])
@@ -344,7 +473,7 @@ fn sort_impl(
     // (which has no massage phase).
     mcs_faults::delay_point(mcs_faults::points::EXEC_DELAY_MASSAGE);
     let tm = Instant::now();
-    let prog = massage_into_cancellable(
+    let (prog, massage_morsels) = massage_into_cancellable(
         inputs,
         specs,
         plan,
@@ -352,6 +481,7 @@ fn sort_impl(
         &mut lease.rounds,
         &cfg.sort.cancel,
     );
+    stats.massage_morsels = massage_morsels;
     let massage_elapsed = tm.elapsed().as_nanos() as u64;
     stats.massage_ns = if prog.is_identity() {
         0
@@ -399,6 +529,16 @@ fn sort_impl(
         if result.is_ok() {
             telemetry::counter_add("mcs.sorts", 1);
             telemetry::counter_add("mcs.rounds", stats.rounds.len() as u64);
+        }
+        let m = stats.morsel_counts();
+        for (name, delta) in [
+            ("exec.morsel.dispatched", m.dispatched),
+            ("exec.morsel.stolen", m.stolen),
+            ("exec.morsel.split", m.split),
+        ] {
+            if delta > 0 {
+                telemetry::counter_add(name, delta);
+            }
         }
     }
 
@@ -463,15 +603,18 @@ fn run_rounds(cfg: &ExecConfig, lease: &mut Lease, stats: &mut ExecStats) -> Res
             let tl = Instant::now();
             match keys {
                 RoundKeys::B16(v) => {
-                    gather_into(v, oids, spare16);
+                    rs.morsels
+                        .add(gather_into_morsels(v, oids, spare16, cfg.threads));
                     core::mem::swap(v, spare16);
                 }
                 RoundKeys::B32(v) => {
-                    gather_into(v, oids, spare32);
+                    rs.morsels
+                        .add(gather_into_morsels(v, oids, spare32, cfg.threads));
                     core::mem::swap(v, spare32);
                 }
                 RoundKeys::B64(v) => {
-                    gather_into(v, oids, spare64);
+                    rs.morsels
+                        .add(gather_into_morsels(v, oids, spare64, cfg.threads));
                     core::mem::swap(v, spare64);
                 }
             }
@@ -499,12 +642,14 @@ fn run_rounds(cfg: &ExecConfig, lease: &mut Lease, stats: &mut ExecStats) -> Res
         rs.max_group = sstats.max_group;
         rs.phases = sstats.phases;
         rs.merge = sstats.merge;
+        rs.morsels.add(sstats.morsels);
 
         // Scan for refined boundaries (step 2b); skipped after the last
         // round unless the caller needs the final grouping.
         if k < last || cfg.want_final_groups {
             let tc = Instant::now();
-            refine_groups_into(groups, keys, spare_offsets);
+            rs.morsels
+                .add(refine_groups_into(groups, keys, spare_offsets, cfg.threads));
             rs.scan_ns = tc.elapsed().as_nanos() as u64;
         }
         rs.groups_out = groups.num_groups();
@@ -667,6 +812,76 @@ mod tests {
 
     fn col(width: u32, vals: &[u64]) -> CodeVec {
         CodeVec::from_u64s(width, vals.iter().copied())
+    }
+
+    /// Deterministic xorshift so parity tests need no external RNG.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn morsel_refine_matches_serial_scan() {
+        // Sorted-within-groups keys with plenty of duplicates, so both
+        // existing boundaries and key-change boundaries are exercised.
+        let n = 20_000;
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut offsets = vec![0u32];
+        let mut pos = 0usize;
+        while pos < n {
+            pos = (pos + 1 + (xorshift(&mut state) as usize % 512)).min(n);
+            offsets.push(pos as u32);
+        }
+        let mut keys = vec![0u32; n];
+        for w in offsets.windows(2) {
+            let (s, e) = (w[0] as usize, w[1] as usize);
+            for k in keys[s..e].iter_mut() {
+                *k = (xorshift(&mut state) % 7) as u32;
+            }
+            keys[s..e].sort_unstable();
+        }
+        let groups = GroupBounds {
+            offsets: offsets.clone(),
+        };
+        let mut serial = Vec::new();
+        groups.refine_into(&keys, &mut serial);
+        for threads in [2, 4, 8] {
+            let mut par = Vec::new();
+            let counts = refine_into_morsels(&keys, &offsets, &mut par, threads);
+            assert_eq!(par, serial, "threads={threads}");
+            assert!(counts.dispatched > 0, "threads={threads}");
+        }
+        // Degenerate empty input still yields the [0, 0] sentinel pair.
+        let mut empty = Vec::new();
+        refine_into_morsels::<u32>(&[], &[0], &mut empty, 4);
+        assert_eq!(empty, vec![0, 0]);
+    }
+
+    #[test]
+    fn morsel_gather_matches_serial_gather() {
+        let n = 10_000;
+        let mut state = 0xdeadbeefcafef00du64;
+        let src: Vec<u64> = (0..n).map(|_| xorshift(&mut state)).collect();
+        let mut oids: Vec<u32> = (0..n as u32).collect();
+        // Deterministic shuffle via sort by hash.
+        oids.sort_by_key(|&o| {
+            let mut s = o as u64 + 1;
+            xorshift(&mut s)
+        });
+        let mut serial = Vec::new();
+        gather_into(&src, &oids, &mut serial);
+        for threads in [1, 2, 4] {
+            let mut par = Vec::new();
+            let counts = gather_into_morsels(&src, &oids, &mut par, threads);
+            assert_eq!(par, serial, "threads={threads}");
+            if threads == 1 {
+                assert!(counts.is_empty());
+            } else {
+                assert!(counts.dispatched > 0, "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::plan::{MassagePlan, SortSpec};
 use mcs_cancel::CancelToken;
 use mcs_columnar::CodeVec;
-use mcs_simd_sort::{for_each_chunk, Bank, Key};
+use mcs_simd_sort::{for_each_chunk, Bank, Key, MorselCounts};
 
 /// One shift/mask/or/shift step: move `len` bits of input column
 /// `in_col` into output round `out_col`.
@@ -166,7 +166,7 @@ pub fn width_mask(w: u32) -> u64 {
     }
 }
 
-struct SendPtr<T>(*mut T);
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {
         *self
@@ -182,14 +182,15 @@ unsafe impl<T> Sync for SendPtr<T> {}
 ///
 /// `bits << out_shift` always fits the bank because the round width is
 /// bounded by the bank width (enforced by plan validation), so the
-/// narrowing `K::from_u64` is lossless.
+/// narrowing `K::from_u64` is lossless. Returns the step's morsel
+/// scheduler counters (zero on the serial path).
 fn execute_step_into<K: Key>(
     src: &CodeVec,
     step: &FipStep,
     comp_mask: u64,
     dst: &mut [K],
     threads: usize,
-) {
+) -> MorselCounts {
     let seg_mask = width_mask(step.len);
     let n = dst.len();
     let dst_ptr = SendPtr(dst.as_mut_ptr());
@@ -208,7 +209,7 @@ fn execute_step_into<K: Key>(
                 *p = K::from_u64((*p).to_u64() | (bits << step.out_shift));
             }
         }
-    });
+    })
 }
 
 /// Round keys in their bank's physical type, ready for the SIMD sort.
@@ -281,14 +282,15 @@ pub fn massage_into(
     threads: usize,
     outs: &mut [RoundKeys],
 ) -> MassageProgram {
-    massage_into_cancellable(inputs, specs, plan, threads, outs, &CancelToken::none())
+    massage_into_cancellable(inputs, specs, plan, threads, outs, &CancelToken::none()).0
 }
 
 /// Like [`massage_into`], polling `cancel` before every FIP step (each is
 /// one full O(n) pass over a column segment). A fired token abandons the
 /// remaining steps, leaving partially massaged round buffers — the caller
 /// must observe the token and discard them. The compiled program is
-/// returned either way.
+/// returned either way, along with the morsel scheduler counters summed
+/// over the executed steps (all zero when the steps ran serially).
 pub fn massage_into_cancellable(
     inputs: &[&CodeVec],
     specs: &[SortSpec],
@@ -296,7 +298,7 @@ pub fn massage_into_cancellable(
     threads: usize,
     outs: &mut [RoundKeys],
     cancel: &CancelToken,
-) -> MassageProgram {
+) -> (MassageProgram, MorselCounts) {
     assert_eq!(inputs.len(), specs.len());
     let n = inputs.first().map_or(0, |c| c.len());
     for c in inputs {
@@ -308,6 +310,7 @@ pub fn massage_into_cancellable(
         assert_eq!(out.len(), n, "output buffer length mismatch");
     }
     let prog = MassageProgram::compile(specs, plan);
+    let mut morsels = MorselCounts::default();
     for step in &prog.steps {
         if cancel.check().is_err() {
             break;
@@ -319,13 +322,13 @@ pub fn massage_into_cancellable(
         } else {
             0
         };
-        match &mut outs[step.out_col] {
+        morsels.add(match &mut outs[step.out_col] {
             RoundKeys::B16(dst) => execute_step_into::<u16>(src, step, comp_mask, dst, threads),
             RoundKeys::B32(dst) => execute_step_into::<u32>(src, step, comp_mask, dst, threads),
             RoundKeys::B64(dst) => execute_step_into::<u64>(src, step, comp_mask, dst, threads),
-        }
+        });
     }
-    prog
+    (prog, morsels)
 }
 
 /// Massage `inputs` according to `plan`, returning bank-typed keys per

@@ -165,6 +165,24 @@ impl ExplainReport {
                 peak, self.measured.arena.grows, self.measured.arena.reuses
             ));
         }
+        // Morsel-scheduled executions (threads > 1 over the parallel
+        // cutoff) report the work-stealing counters; serial executions
+        // dispatch nothing and render no line, keeping every pre-morsel
+        // golden snapshot stable. Dispatched and split counts are
+        // deterministic for a fixed config; how many morsels migrated via
+        // steals depends on scheduling, so `stolen` redacts like a timing.
+        let morsels = self.measured.morsel_counts();
+        if morsels.dispatched > 0 {
+            let stolen = if redact {
+                "###".to_string()
+            } else {
+                morsels.stolen.to_string()
+            };
+            out.push_str(&format!(
+                "morsels: dispatched {} ({} stolen, {} split)\n",
+                morsels.dispatched, stolen, morsels.split
+            ));
+        }
         if !self.degradations.is_empty() {
             out.push_str(&format!("degraded: {}\n", self.degradations.join(" -> ")));
         }
@@ -400,6 +418,36 @@ mod tests {
         assert!(rep
             .render_redacted()
             .contains("queued: ### in admission gate\n"));
+    }
+
+    #[test]
+    fn morsel_line_renders_only_for_parallel_executions() {
+        let n = 20_000usize;
+        let a = mcs_columnar::CodeVec::from_u64s(9, (0..n).map(|i| (i as u64 * 37) % 512));
+        let inst = SortInstance::uniform(n, &[(9, 512.0)]);
+        let plan = inst.p0();
+        let model = CostModel::with_defaults();
+
+        let serial = multi_column_sort(&[&a], &inst.specs, &plan, &ExecConfig::default())
+            .expect("valid sort instance");
+        let rep = ExplainReport::from_parts("unit", &inst, &plan, &serial.stats, &model);
+        assert!(!rep.render().contains("morsels:"), "serial, no line");
+
+        let cfg = ExecConfig {
+            threads: 4,
+            ..ExecConfig::default()
+        };
+        let par = multi_column_sort(&[&a], &inst.specs, &plan, &cfg).expect("valid sort instance");
+        assert_eq!(par.oids, serial.oids, "steal schedule must not leak");
+        let rep = ExplainReport::from_parts("unit", &inst, &plan, &par.stats, &model);
+        let text = rep.render();
+        assert!(
+            text.contains("morsels: dispatched"),
+            "parallel run renders the scheduler line: {text}"
+        );
+        // The steal count is scheduling-dependent: it redacts.
+        let red = rep.render_redacted();
+        assert!(red.contains("(### stolen"), "{red}");
     }
 
     #[test]

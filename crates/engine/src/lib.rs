@@ -57,7 +57,7 @@ pub use pipeline::{
 pub use query::{Agg, AggKind, Filter, OrderKey, Query};
 pub use session::{
     AdmissionGate, Database, GatePermit, PlanCacheStats, PreparedQuery, QueryOptions, Session,
-    DEFAULT_PLAN_CACHE_CAPACITY,
+    WorkerPool, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use sql::{parse_query, SqlError};
 pub use window::rank_over;

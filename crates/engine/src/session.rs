@@ -18,7 +18,12 @@
 //! Concurrency: tables and cached plans are immutable once published, so
 //! [`Session::run_concurrent`] serves independent queries from scoped
 //! threads over the shared database, admission-limited by a
-//! dependency-free counting semaphore ([`AdmissionGate`]).
+//! dependency-free counting semaphore ([`AdmissionGate`]). Inter-query
+//! and intra-query parallelism compose through one [`WorkerPool`]: every
+//! query keeps one implicit worker (progress is never blocked on the
+//! pool) and borrows its *extra* morsel workers from the shared pool
+//! without blocking, so a saturated batch degrades queries to fewer
+//! threads instead of oversubscribing the machine.
 //!
 //! Memory: the session keeps a pool of [`ExecArena`]s, one per
 //! in-flight query. Every execution borrows an arena for its working
@@ -27,7 +32,7 @@
 //! reports the pool's aggregate reuse counters.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -311,6 +316,9 @@ pub struct Session<'db> {
     /// pushes it back when done, so buffers are reused across queries
     /// without blocking concurrent executions on each other.
     arenas: Mutex<Vec<ExecArena>>,
+    /// Shared budget of *extra* intra-query morsel workers (see
+    /// [`WorkerPool`]).
+    workers: WorkerPool,
 }
 
 impl<'db> Session<'db> {
@@ -328,12 +336,32 @@ impl<'db> Session<'db> {
         cfg: EngineConfig,
         capacity: usize,
     ) -> Session<'db> {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let cap = cores.max(cfg.exec.threads);
         Session {
             db,
             cfg,
             cache: PlanCache::new(capacity),
             arenas: Mutex::new(Vec::new()),
+            workers: WorkerPool::new(cap),
         }
+    }
+
+    /// Override the session-wide worker cap (see [`WorkerPool`]). The
+    /// default is `available_parallelism().max(cfg.exec.threads)`; the
+    /// server sizes it from its `batch_threads_cap` so one pool governs
+    /// both batch fan-out and per-query morsel workers.
+    pub fn with_worker_cap(mut self, cap: usize) -> Session<'db> {
+        self.workers = WorkerPool::new(cap);
+        self
+    }
+
+    /// The shared intra-query worker pool (its cap and currently free
+    /// extra slots).
+    pub fn worker_pool(&self) -> &WorkerPool {
+        &self.workers
     }
 
     /// The shared database this session serves queries from.
@@ -417,6 +445,13 @@ impl<'db> Session<'db> {
     ///
     /// `opts.queue_timeout` has no effect here (there is no admission
     /// gate on the single-query path); see [`Session::run_concurrent`].
+    ///
+    /// When `cfg.exec.threads > 1` the query borrows its extra morsel
+    /// workers from the session's shared [`WorkerPool`] without
+    /// blocking: under concurrent load it runs with however many extras
+    /// were free (down to fully serial), so intra-query parallelism
+    /// composes with [`run_concurrent`](Session::run_concurrent) instead
+    /// of multiplying with it.
     pub fn query(
         &self,
         table: &str,
@@ -425,26 +460,27 @@ impl<'db> Session<'db> {
     ) -> Result<QueryResult, EngineError> {
         let t = self.resolve(table)?;
         let token = opts.effective_token();
+        let want = self.cfg.exec.threads.max(1);
+        let extras = self.workers.try_take(want - 1);
+        let threads = 1 + extras;
         let mut arena = self.take_arena();
-        let result = if token.is_live() {
-            // The token travels inside the exec config, which every layer
-            // (executor, segmented sort, merge, extsort) already threads.
+        let result = if token.is_live() || threads != self.cfg.exec.threads {
+            // The token and thread grant travel inside the exec config,
+            // which every layer (executor, segmented sort, merge,
+            // extsort) already threads.
             let mut cfg = self.cfg.clone();
             cfg.exec.sort.cancel = token;
+            cfg.exec.threads = threads;
             run_query_impl(t, query, &cfg, Some(&self.cache), Some(&mut arena))
         } else {
             run_query_impl(t, query, &self.cfg, Some(&self.cache), Some(&mut arena))
         };
-        // Return the arena even on error: the executor restores its
-        // buffers on every exit path, so they stay reusable.
+        // Return the arena and the borrowed workers even on error: the
+        // executor restores its buffers on every exit path, so both stay
+        // reusable.
         self.put_arena(arena);
+        self.workers.put(extras);
         result
-    }
-
-    /// Execute with default [`QueryOptions`].
-    #[deprecated(note = "use Session::query(table, query, QueryOptions::default())")]
-    pub fn run_query(&self, table: &str, query: &Query) -> Result<QueryResult, EngineError> {
-        self.query(table, query, QueryOptions::default())
     }
 
     /// Execute independent prepared queries concurrently over the shared
@@ -550,6 +586,77 @@ impl PreparedQuery {
     /// [`plan_cached()`](crate::QueryTimings::plan_cached) is true.
     pub fn execute(&self, session: &Session<'_>) -> Result<QueryResult, EngineError> {
         session.query(&self.table, &self.query, QueryOptions::default())
+    }
+}
+
+/// A session-wide budget of *extra* intra-query morsel workers, shared
+/// by every query the session runs (single-shot, concurrent batches,
+/// and the server's batch path alike).
+///
+/// The protocol is non-blocking by design: every query always keeps one
+/// implicit worker — admission control is the [`AdmissionGate`]'s job,
+/// not the pool's, so a query never waits here — and asks the pool for
+/// up to `cfg.exec.threads - 1` extras. Whatever fraction is free is
+/// granted atomically and returned when the query finishes. A pool with
+/// cap `C` therefore bounds the session's total *extra* workers at
+/// `C - 1` no matter how many queries are in flight: a saturated
+/// concurrent batch degrades each query toward serial execution instead
+/// of oversubscribing the machine with `threads × queries` workers.
+#[derive(Debug)]
+pub struct WorkerPool {
+    /// Free extra-worker slots, `cap - 1` when idle.
+    extra: AtomicUsize,
+    cap: usize,
+}
+
+impl WorkerPool {
+    /// A pool for `cap` total workers (at least one), i.e. `cap - 1`
+    /// grantable extras.
+    pub fn new(cap: usize) -> WorkerPool {
+        let cap = cap.max(1);
+        WorkerPool {
+            extra: AtomicUsize::new(cap - 1),
+            cap,
+        }
+    }
+
+    /// The total worker cap this pool was built with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Extra-worker slots currently free (`cap - 1` when no query holds
+    /// any). Advisory: concurrent grants may change it immediately.
+    pub fn available(&self) -> usize {
+        self.extra.load(Ordering::Acquire)
+    }
+
+    /// Take up to `want` extra slots without blocking; returns how many
+    /// were granted (possibly zero). Pair with [`put`](WorkerPool::put).
+    pub fn try_take(&self, want: usize) -> usize {
+        let mut free = self.extra.load(Ordering::Acquire);
+        loop {
+            let take = want.min(free);
+            if take == 0 {
+                return 0;
+            }
+            match self.extra.compare_exchange_weak(
+                free,
+                free - take,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return take,
+                Err(now) => free = now,
+            }
+        }
+    }
+
+    /// Return `n` previously granted slots.
+    pub fn put(&self, n: usize) {
+        if n > 0 {
+            self.extra.fetch_add(n, Ordering::AcqRel);
+        }
     }
 }
 
@@ -924,11 +1031,7 @@ mod tests {
         let session = Session::new(&db, EngineConfig::default());
         let q = orderby_query();
         let plain = session.query("sales", &q, QueryOptions::default()).unwrap();
-        // The deprecated one-release shim is a pure delegation.
-        #[allow(deprecated)]
-        let shimmed = session.run_query("sales", &q).unwrap();
-        assert_eq!(plain.columns, shimmed.columns);
-        // A generous deadline changes nothing either.
+        // A generous deadline changes nothing.
         let relaxed = session
             .query(
                 "sales",
@@ -937,6 +1040,55 @@ mod tests {
             )
             .unwrap();
         assert_eq!(plain.columns, relaxed.columns);
+    }
+
+    #[test]
+    fn worker_pool_grants_extras_without_blocking() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.cap(), 4);
+        assert_eq!(pool.available(), 3);
+        assert_eq!(pool.try_take(2), 2);
+        assert_eq!(pool.try_take(5), 1, "grants what is free, not more");
+        assert_eq!(pool.try_take(1), 0, "empty pool grants zero, never waits");
+        pool.put(3);
+        assert_eq!(pool.available(), 3);
+        // Degenerate caps still leave the implicit worker.
+        assert_eq!(WorkerPool::new(0).cap(), 1);
+        assert_eq!(WorkerPool::new(1).available(), 0);
+    }
+
+    #[test]
+    fn queries_return_borrowed_workers_on_every_outcome() {
+        let db = db_with_sales();
+        let mut cfg = EngineConfig::default();
+        cfg.exec.threads = 4;
+        let session = Session::new(&db, cfg).with_worker_cap(4);
+        let q = orderby_query();
+        session.query("sales", &q, QueryOptions::default()).unwrap();
+        assert_eq!(
+            session.worker_pool().available(),
+            3,
+            "extras returned after success"
+        );
+        let err = session
+            .query("ghost_table", &q, QueryOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownTable { .. }));
+        assert_eq!(
+            session.worker_pool().available(),
+            3,
+            "extras returned after failure"
+        );
+        // A saturated pool degrades to serial execution but still
+        // answers correctly — intra-query parallelism is best-effort.
+        let hog = session.worker_pool().try_take(3);
+        assert_eq!(hog, 3);
+        let r = session.query("sales", &q, QueryOptions::default()).unwrap();
+        assert_eq!(
+            r.column_required("price").unwrap(),
+            vec![20, 30, 40, 10, 50, 60]
+        );
+        session.worker_pool().put(hog);
     }
 
     #[test]

@@ -225,7 +225,15 @@ fn serve_connection(
     // Bound writes too: a client that never drains its socket must not
     // wedge the handler past shutdown forever.
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    let session = Session::new(db, config.engine.clone());
+    // One worker pool per connection governs both the batch fan-out
+    // (`run_concurrent`) and each query's intra-query morsel workers, so
+    // a batch running at `batch_threads_cap` queries cannot additionally
+    // multiply by `exec.threads` workers each.
+    let worker_cap = config
+        .batch_threads_cap
+        .max(config.engine.exec.threads)
+        .max(1);
+    let session = Session::new(db, config.engine.clone()).with_worker_cap(worker_cap);
     let mut reader = StopAwareStream {
         stream: &stream,
         stop,

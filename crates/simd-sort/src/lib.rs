@@ -53,6 +53,7 @@ mod sort;
 
 pub use key::{Bank, Key};
 pub use mcs_cancel::{CancelCause, CancelToken, CHECK_INTERVAL};
+pub use mcs_morsel::{Morsel, MorselCounts, MorselQueue};
 pub use multiway::{
     multiway_merge_ovc_scratch, multiway_merge_ovc_scratch_cancellable, multiway_merge_scratch,
     multiway_merge_scratch_cancellable, multiway_pass_ovc_scratch,
@@ -72,7 +73,7 @@ pub use segmented::{
     group_boundaries, sort_pairs_in_groups, sort_pairs_in_groups_scratch, GroupBounds,
     SegmentedSortStats,
 };
-pub use sort::{avx2_available, SortConfig, SortableKey};
+pub use sort::{avx2_available, SortConfig, SortableKey, DEFAULT_PARALLEL_CUTOFF_ROWS};
 
 /// Sort `(keys, oids)` ascending by key with default configuration.
 ///

@@ -1,20 +1,44 @@
-//! Multi-threaded sorting (the paper's §6.4 scaling experiments).
+//! Multi-threaded sorting (the paper's §6.4 scaling experiments),
+//! morsel-driven.
 //!
-//! Strategy: partition the input into `T` contiguous chunks, sort each on
-//! its own thread (`std::thread::scope`, matching the paper's
-//! thread-per-core execution), then produce the total order with one
-//! multiway merge. Segmented sorts parallelize by distributing whole
-//! groups across threads.
+//! Strategy: carve the work into morsels — contiguous row ranges for the
+//! flat sort, whole-group spans plus split slices of oversized groups for
+//! the segmented sort — seed them range-partitioned across a
+//! [`MorselQueue`], and let `T` workers (`std::thread::scope`, matching
+//! the paper's thread-per-core execution) pull morsels until the queue is
+//! dry. A worker that finishes its seed early steals from stragglers, so
+//! skewed group distributions no longer leave workers idle behind one
+//! giant group. The flat sort finishes with one multiway merge of the
+//! sorted chunk runs; a split group is merged by whichever worker sorts
+//! its last slice.
 //!
 //! Worker panics are caught at the scope boundary and surfaced as a typed
-//! [`WorkerPanic`] carrying the chunk index, so a dying worker can be
+//! [`WorkerPanic`] carrying the worker index, so a dying worker can be
 //! degraded around (the caller's buffers may hold partially sorted data
 //! and must be treated as garbage) instead of aborting the process.
+//! `CancelToken` polls and the `simd.worker.panic` fault point both live
+//! inside the morsel loop, bounding reaction latency to one morsel.
 
-use crate::multiway::multiway_merge;
-use crate::scratch::WorkerScratch;
+use crate::multiway::{multiway_merge, multiway_merge_scratch_cancellable};
+use crate::ovc;
+use crate::phase;
+use crate::scalar::insertion_sort_pairs;
+use crate::scratch::{SortScratch, WorkerScratch};
 use crate::segmented::{GroupBounds, SegmentedSortStats};
 use crate::sort::{SortConfig, SortableKey};
+use mcs_morsel::{row_morsels, MorselCounts, MorselQueue};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Morsels seeded per worker on a balanced input: finer than one-per-
+/// worker so stragglers leave stealable work, coarse enough that the
+/// queue's lock traffic stays negligible against a morsel's sort cost.
+const MORSELS_PER_WORKER: usize = 4;
+
+/// Split boundaries inside an oversized group are aligned down to this
+/// many rows — the in-register kernel's largest block (`L·L` for the
+/// 8-lane banks) — so every slice but the last enters the sort at whole-
+/// block granularity.
+const SPLIT_ALIGN: usize = 64;
 
 /// A worker thread of a parallel sort panicked.
 ///
@@ -23,19 +47,46 @@ use crate::sort::{SortConfig, SortableKey};
 /// (serially or via a fallback path).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerPanic {
-    /// Index of the chunk (or group span) whose worker died.
+    /// Index of the worker whose morsel loop died.
     pub chunk: usize,
 }
 
 impl core::fmt::Display for WorkerPanic {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "parallel-sort worker for chunk {} panicked", self.chunk)
+        write!(f, "parallel-sort worker {} panicked", self.chunk)
     }
 }
 
 impl std::error::Error for WorkerPanic {}
 
+/// Raw base pointer smuggled into worker closures.
+///
+/// Safety contract: every morsel names a row range disjoint from all
+/// other concurrently executing morsels, so the `&mut [T]` slices the
+/// workers materialize never alias.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+/// # Safety
+/// `[at, at + len)` must lie inside `p`'s allocation and must not be
+/// accessed concurrently for the lifetime of the returned slice.
+unsafe fn slice_mut<'a, T>(p: SendPtr<T>, at: usize, len: usize) -> &'a mut [T] {
+    core::slice::from_raw_parts_mut(p.0.add(at), len)
+}
+
 /// Sort `(keys, oids)` using up to `threads` worker threads.
+///
+/// Inputs shorter than [`SortConfig::parallel_cutoff_rows`] sort serially.
+/// Otherwise the input is carved into contiguous chunk morsels (several
+/// per worker), each chunk is sorted by whichever worker pulls it, and a
+/// final multiway merge produces the total order.
 ///
 /// Returns `Err(WorkerPanic)` — with `keys`/`oids` in an unspecified
 /// order — if a worker thread panics; the panic is contained at the
@@ -49,43 +100,56 @@ pub fn sort_pairs_parallel<K: SortableKey>(
     assert_eq!(keys.len(), oids.len());
     let n = keys.len();
     let threads = threads.max(1);
-    if threads == 1 || n < 4096 {
+    if threads == 1 || n < cfg.parallel_cutoff_rows.max(1) {
         K::sort_pairs_with(keys, oids, cfg);
         return Ok(());
     }
-    let chunk = n.div_ceil(threads);
+    // More chunks than workers (so stragglers can be stolen around), but
+    // never chunks smaller than the serial cutoff.
+    let num_chunks = (threads * MORSELS_PER_WORKER)
+        .min(n / cfg.parallel_cutoff_rows.max(1))
+        .max(1);
+    let chunk = n.div_ceil(num_chunks);
+    let mut queue = MorselQueue::new(threads);
+    queue.seed_partitioned(row_morsels(n, chunk));
 
-    // Sort chunks in parallel; join every handle explicitly so a panicked
-    // worker is reported as data instead of re-panicking the scope.
+    let kp = SendPtr(keys.as_mut_ptr());
+    let op = SendPtr(oids.as_mut_ptr());
     let mut first_panic: Option<usize> = None;
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        let mut rem_k: &mut [K] = keys;
-        let mut rem_o: &mut [u32] = oids;
-        while !rem_k.is_empty() {
-            let take = chunk.min(rem_k.len());
-            let (ck, rest_k) = rem_k.split_at_mut(take);
-            let (co, rest_o) = rem_o.split_at_mut(take);
-            rem_k = rest_k;
-            rem_o = rest_o;
-            handles.push(scope.spawn(move || {
-                if mcs_faults::fault_point!(mcs_faults::points::SIMD_WORKER_PANIC) {
-                    panic!("injected fault: {}", mcs_faults::points::SIMD_WORKER_PANIC);
-                }
-                K::sort_pairs_with(ck, co, cfg)
-            }));
-        }
-        for (i, h) in handles.into_iter().enumerate() {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let queue = &queue;
+                scope.spawn(move || {
+                    let mut scratch = SortScratch::new();
+                    while let Some((m, _stolen)) = queue.pop(w) {
+                        if mcs_faults::fault_point!(mcs_faults::points::SIMD_WORKER_PANIC) {
+                            panic!("injected fault: {}", mcs_faults::points::SIMD_WORKER_PANIC);
+                        }
+                        if m.len == 0 {
+                            continue;
+                        }
+                        // SAFETY: row morsels tile `0..n` disjointly and
+                        // each is executed by exactly one worker.
+                        let (ck, co) = unsafe {
+                            (slice_mut(kp, m.start, m.len), slice_mut(op, m.start, m.len))
+                        };
+                        K::sort_pairs_with_scratch(ck, co, cfg, &mut scratch);
+                    }
+                })
+            })
+            .collect();
+        for (w, h) in handles.into_iter().enumerate() {
             if h.join().is_err() && first_panic.is_none() {
-                first_panic = Some(i);
+                first_panic = Some(w);
             }
         }
     });
-    if let Some(chunk) = first_panic {
-        return Err(WorkerPanic { chunk });
+    if let Some(worker) = first_panic {
+        return Err(WorkerPanic { chunk: worker });
     }
 
-    // Single multiway merge of the sorted chunks.
+    // Single multiway merge of the sorted chunk runs.
     let runs: Vec<core::ops::Range<usize>> = (0..n)
         .step_by(chunk)
         .map(|s| s..(s + chunk).min(n))
@@ -98,11 +162,54 @@ pub fn sort_pairs_parallel<K: SortableKey>(
     Ok(())
 }
 
-/// Segmented sort with groups distributed round-robin by cumulative size
+/// Work items of the morsel-driven segmented sort.
+enum Task {
+    /// A contiguous span of whole groups — index into the scratch's
+    /// `spans`/`locals` bookkeeping; sorted group-by-group locally.
+    Span(usize),
+    /// One slice of an oversized (split) group.
+    Chunk {
+        /// Index into the split-group registry.
+        split: usize,
+        /// Which slice of that group.
+        part: usize,
+    },
+}
+
+/// An oversized group carved into independently sortable slices. The
+/// worker that sorts the *last* slice (observes `remaining` hit zero)
+/// merges the sorted slices back into group order.
+struct SplitGroup {
+    /// Absolute row boundaries of the slices (`parts + 1` entries).
+    bounds: Vec<usize>,
+    /// Slices not yet sorted. `fetch_sub(AcqRel)` per finished slice:
+    /// the Release publishes this slice's sorted rows, the final Acquire
+    /// lets the finisher read all of them.
+    remaining: AtomicUsize,
+}
+
+/// Slice boundaries for splitting `len` rows at `start` into `parts`
+/// near-equal pieces, aligned down to [`SPLIT_ALIGN`] (collapsed
+/// boundaries are dropped, so tiny inputs may yield fewer parts).
+fn split_bounds(start: usize, len: usize, parts: usize) -> Vec<usize> {
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(start);
+    for p in 1..parts {
+        let mut cut = start + len * p / parts;
+        cut -= (cut - start) % SPLIT_ALIGN;
+        if cut > *bounds.last().unwrap() {
+            bounds.push(cut);
+        }
+    }
+    bounds.push(start + len);
+    bounds
+}
+
+/// Segmented sort with groups distributed as work-stealing morsels
 /// across `threads` workers.
 ///
 /// Worker panics are caught and returned as a [`WorkerPanic`] carrying
-/// the group-span index; the slices are then in an unspecified state.
+/// the worker index; the slices are then in an unspecified state.
 pub fn sort_pairs_in_groups_parallel<K: SortableKey>(
     keys: &mut [K],
     oids: &mut [u32],
@@ -116,9 +223,18 @@ pub fn sort_pairs_in_groups_parallel<K: SortableKey>(
 
 /// Like [`sort_pairs_in_groups_parallel`], but drawing span bookkeeping
 /// and every worker's merge-sort buffers from `scratch` — the hot-path
-/// work is allocation-free once the scratch is warm (thread spawning and
-/// join collection still allocate; the serial `threads == 1` path does
-/// not).
+/// work is allocation-free once the scratch is warm (thread spawning,
+/// queue seeding, and split-group merges still allocate; the serial
+/// `threads == 1` path does not).
+///
+/// Scheduling: whole groups are packed into contiguous spans of roughly
+/// `n / (threads · 4)` rows; any single group at least twice that size is
+/// split at 64-row-aligned boundaries into slice morsels, sorted
+/// independently, and merged by the worker finishing the last slice. All
+/// morsels are seeded range-partitioned (a balanced input steals nothing);
+/// workers pull LIFO locally and steal half a straggler's deque when dry.
+/// Group-level stats are counted once per *group* (a split group bumps
+/// `invocations` once, by its finisher), so stats match the serial path.
 pub fn sort_pairs_in_groups_parallel_scratch<K: SortableKey>(
     keys: &mut [K],
     oids: &mut [u32],
@@ -130,7 +246,8 @@ pub fn sort_pairs_in_groups_parallel_scratch<K: SortableKey>(
     assert_eq!(keys.len(), oids.len());
     assert_eq!(groups.num_rows(), keys.len());
     let threads = threads.max(1);
-    if threads == 1 {
+    let n = keys.len();
+    if threads == 1 || n < cfg.parallel_cutoff_rows.max(1) {
         return Ok(crate::segmented::sort_pairs_in_groups_scratch(
             keys,
             oids,
@@ -140,66 +257,84 @@ pub fn sort_pairs_in_groups_parallel_scratch<K: SortableKey>(
         ));
     }
 
-    // Assign contiguous group spans of roughly equal row counts: spans of
-    // whole groups keep every sort local to one thread.
-    let n = keys.len();
-    let target = n.div_ceil(threads).max(1);
+    // Carve groups into morsels: contiguous spans of whole groups of
+    // roughly `target` rows, with oversized groups split into slices.
+    let target = n.div_ceil(threads * MORSELS_PER_WORKER).max(1);
     let offs = &groups.offsets;
+    let num_groups = groups.num_groups();
     scratch.spans.clear();
+    let mut splits: Vec<SplitGroup> = Vec::new();
+    let mut tasks: Vec<Task> = Vec::new();
     let mut span_start = 0usize;
-    for g in 0..groups.num_groups() {
-        let span_rows = (offs[g + 1] - offs[span_start]) as usize;
-        if span_rows >= target {
+    for g in 0..num_groups {
+        let len = (offs[g + 1] - offs[g]) as usize;
+        if len >= 2 * target {
+            if span_start < g {
+                tasks.push(Task::Span(scratch.spans.len()));
+                scratch.spans.push((span_start, g));
+            }
+            let bounds = split_bounds(offs[g] as usize, len, len.div_ceil(target));
+            let parts = bounds.len() - 1;
+            let split = splits.len();
+            splits.push(SplitGroup {
+                bounds,
+                remaining: AtomicUsize::new(parts),
+            });
+            for part in 0..parts {
+                tasks.push(Task::Chunk { split, part });
+            }
+            span_start = g + 1;
+        } else if (offs[g + 1] - offs[span_start]) as usize >= target {
+            tasks.push(Task::Span(scratch.spans.len()));
             scratch.spans.push((span_start, g + 1));
             span_start = g + 1;
         }
     }
-    if span_start < groups.num_groups() {
-        scratch.spans.push((span_start, groups.num_groups()));
+    if span_start < num_groups {
+        tasks.push(Task::Span(scratch.spans.len()));
+        scratch.spans.push((span_start, num_groups));
     }
 
-    // One rebased offsets buffer and one sort scratch per span.
+    // Rebased offsets per span; one sort scratch per worker.
     let num_spans = scratch.spans.len();
     scratch.locals.resize_with(num_spans, Vec::new);
-    scratch.workers.resize_with(num_spans, Default::default);
     for (&(gs, ge), local) in scratch.spans.iter().zip(scratch.locals.iter_mut()) {
         local.clear();
         local.extend(offs[gs..=ge].iter().map(|&b| b - offs[gs]));
     }
+    if scratch.workers.len() < threads {
+        scratch.workers.resize_with(threads, Default::default);
+    }
 
+    let mut queue = MorselQueue::new(threads);
+    queue.note_split(splits.len() as u64);
+    queue.seed_partitioned(tasks);
+
+    let kp = SendPtr(keys.as_mut_ptr());
+    let op = SendPtr(oids.as_mut_ptr());
     let spans = &scratch.spans;
     let locals = &scratch.locals;
+    let splits = &splits;
+    let queue_ref = &queue;
     let joined: Vec<std::thread::Result<SegmentedSortStats>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(num_spans);
-        let mut rem_k: &mut [K] = keys;
-        let mut rem_o: &mut [u32] = oids;
-        let mut consumed = 0usize;
-        for ((&(gs, ge), local), worker) in spans
-            .iter()
-            .zip(locals.iter())
-            .zip(scratch.workers.iter_mut())
-        {
-            let start = offs[gs] as usize;
-            let end = offs[ge] as usize;
-            debug_assert_eq!(start, consumed);
-            let take = end - start;
-            let (ck, rest_k) = rem_k.split_at_mut(take);
-            let (co, rest_o) = rem_o.split_at_mut(take);
-            rem_k = rest_k;
-            rem_o = rest_o;
-            consumed += take;
-            handles.push(scope.spawn(move || {
-                if mcs_faults::fault_point!(mcs_faults::points::SIMD_WORKER_PANIC) {
-                    panic!("injected fault: {}", mcs_faults::points::SIMD_WORKER_PANIC);
-                }
-                crate::segmented::sort_groups_by_offsets(ck, co, local, cfg, worker)
-            }));
-        }
+        let handles: Vec<_> = scratch
+            .workers
+            .iter_mut()
+            .take(threads)
+            .enumerate()
+            .map(|(w, worker)| {
+                scope.spawn(move || {
+                    run_worker::<K>(
+                        w, queue_ref, spans, locals, splits, offs, kp, op, cfg, worker,
+                    )
+                })
+            })
+            .collect();
         handles.into_iter().map(|h| h.join()).collect()
     });
 
     let mut total = SegmentedSortStats::default();
-    for (i, r) in joined.into_iter().enumerate() {
+    for (w, r) in joined.into_iter().enumerate() {
         match r {
             Ok(s) => {
                 total.invocations += s.invocations;
@@ -210,33 +345,155 @@ pub fn sort_pairs_in_groups_parallel_scratch<K: SortableKey>(
                 total.phases.add(s.phases);
                 total.merge.add(s.merge);
             }
-            Err(_) => return Err(WorkerPanic { chunk: i }),
+            Err(_) => return Err(WorkerPanic { chunk: w }),
         }
     }
+    total.morsels = queue.counts();
     Ok(total)
 }
 
-/// Parallel code over `threads` contiguous chunks of equal size, used by
-/// the massage kernel and scans. `f(chunk_index, start, chunk_len)`.
-pub fn for_each_chunk(n: usize, threads: usize, f: impl Fn(usize, usize, usize) + Sync) {
-    let threads = threads.max(1);
-    if threads == 1 || n < 4096 {
-        f(0, 0, n);
-        return;
+/// One worker's morsel loop: pop (or steal) tasks until the queue is dry.
+#[allow(clippy::too_many_arguments)]
+fn run_worker<K: SortableKey>(
+    w: usize,
+    queue: &MorselQueue<Task>,
+    spans: &[(usize, usize)],
+    locals: &[Vec<u32>],
+    splits: &[SplitGroup],
+    offs: &[u32],
+    kp: SendPtr<K>,
+    op: SendPtr<u32>,
+    cfg: &SortConfig,
+    worker: &mut SortScratch,
+) -> SegmentedSortStats {
+    let mut stats = SegmentedSortStats::default();
+    while let Some((task, _stolen)) = queue.pop(w) {
+        // Fault injection and cancellation live in the morsel loop:
+        // reaction latency is bounded by one morsel. A fired token stops
+        // this worker; the others stop at their own next poll, and the
+        // caller re-checks the token and discards the garbage round.
+        if mcs_faults::fault_point!(mcs_faults::points::SIMD_WORKER_PANIC) {
+            panic!("injected fault: {}", mcs_faults::points::SIMD_WORKER_PANIC);
+        }
+        if cfg.cancel.check().is_err() {
+            break;
+        }
+        match task {
+            Task::Span(s) => {
+                let (gs, ge) = spans[s];
+                let start = offs[gs] as usize;
+                let len = offs[ge] as usize - start;
+                // SAFETY: spans cover disjoint whole-group row ranges and
+                // each span task is executed by exactly one worker.
+                let (ck, co) = unsafe { (slice_mut(kp, start, len), slice_mut(op, start, len)) };
+                let got = crate::segmented::sort_groups_by_offsets(ck, co, &locals[s], cfg, worker);
+                stats.invocations += got.invocations;
+                stats.codes_sorted += got.codes_sorted;
+                stats.max_group = stats.max_group.max(got.max_group);
+                stats.phases.add(got.phases);
+                stats.merge.add(got.merge);
+            }
+            Task::Chunk { split, part } => {
+                let sg = &splits[split];
+                let (ps, pe) = (sg.bounds[part], sg.bounds[part + 1]);
+                // SAFETY: slice bounds of one split group are disjoint
+                // from each other and from every span.
+                let (ck, co) = unsafe { (slice_mut(kp, ps, pe - ps), slice_mut(op, ps, pe - ps)) };
+                if ck.len() <= cfg.small_threshold {
+                    insertion_sort_pairs(ck, co);
+                } else {
+                    K::sort_pairs_with_scratch(ck, co, cfg, worker);
+                }
+                // Harvest this thread's phase/merge marks per slice (span
+                // tasks harvest inside `sort_groups_by_offsets`).
+                stats.phases.add(phase::take_phases());
+                stats.merge.add(ovc::take_merge_counters());
+                if sg.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    finish_split::<K>(sg, kp, op, cfg, worker, &mut stats);
+                }
+            }
+        }
     }
-    let chunk = n.div_ceil(threads);
+    stats
+}
+
+/// Merge the sorted slices of a split group back into group order. Runs
+/// on whichever worker sorted the last slice; stats for the group are
+/// bumped here, once, so totals match the serial per-group accounting.
+fn finish_split<K: SortableKey>(
+    sg: &SplitGroup,
+    kp: SendPtr<K>,
+    op: SendPtr<u32>,
+    cfg: &SortConfig,
+    worker: &mut SortScratch,
+    stats: &mut SegmentedSortStats,
+) {
+    let start = sg.bounds[0];
+    let len = *sg.bounds.last().unwrap() - start;
+    stats.invocations += 1;
+    stats.codes_sorted += len;
+    stats.max_group = stats.max_group.max(len);
+    let runs: Vec<core::ops::Range<usize>> = sg
+        .bounds
+        .windows(2)
+        .map(|b| b[0] - start..b[1] - start)
+        .collect();
+    // SAFETY: `remaining` hit zero, so every slice's sort completed and
+    // was published (AcqRel), and no other worker touches this group
+    // again — the range is exclusively ours now.
+    let (ck, co) = unsafe { (slice_mut(kp, start, len), slice_mut(op, start, len)) };
+    let mut out_k = vec![K::default(); len];
+    let mut out_o = vec![0u32; len];
+    multiway_merge_scratch_cancellable(
+        ck,
+        co,
+        &mut out_k,
+        &mut out_o,
+        &runs,
+        0,
+        &mut worker.merge,
+        &cfg.cancel,
+    );
+    if cfg.cancel.check().is_err() {
+        return; // round is garbage anyway; don't publish a partial merge
+    }
+    ck.copy_from_slice(&out_k);
+    co.copy_from_slice(&out_o);
+}
+
+/// Parallel iteration over row-range morsels, used by the massage kernel
+/// and the executor's gather/boundary scans. `f(morsel_index, start, len)`
+/// over disjoint ranges tiling `0..n`; morsels are seeded range-
+/// partitioned and work-stolen like the sorts. Inputs shorter than
+/// [`crate::sort::DEFAULT_PARALLEL_CUTOFF_ROWS`] (call sites here carry
+/// no `SortConfig`) run as one serial call `f(0, 0, n)`.
+///
+/// Returns the scheduler counters (all zero on the serial path).
+pub fn for_each_chunk(
+    n: usize,
+    threads: usize,
+    f: impl Fn(usize, usize, usize) + Sync,
+) -> MorselCounts {
+    let threads = threads.max(1);
+    if threads == 1 || n < crate::sort::DEFAULT_PARALLEL_CUTOFF_ROWS {
+        f(0, 0, n);
+        return MorselCounts::default();
+    }
+    let target = n.div_ceil(threads * MORSELS_PER_WORKER).max(1);
+    let mut queue = MorselQueue::new(threads);
+    queue.seed_partitioned(row_morsels(n, target).into_iter().enumerate().collect());
     std::thread::scope(|scope| {
-        let f = &f;
-        let mut idx = 0usize;
-        let mut start = 0usize;
-        while start < n {
-            let len = chunk.min(n - start);
-            let (i, s) = (idx, start);
-            scope.spawn(move || f(i, s, len));
-            idx += 1;
-            start += len;
+        for w in 0..threads {
+            let queue = &queue;
+            let f = &f;
+            scope.spawn(move || {
+                while let Some(((i, m), _stolen)) = queue.pop(w) {
+                    f(i, m.start, m.len);
+                }
+            });
         }
     });
+    queue.counts()
 }
 
 #[cfg(test)]
@@ -298,6 +555,126 @@ mod tests {
         assert_eq!(k1, k2);
         assert_eq!(s1.invocations, s2.invocations);
         assert_eq!(s1.codes_sorted, s2.codes_sorted);
+        assert!(s2.morsels.dispatched > 0, "parallel path must schedule");
+    }
+
+    #[test]
+    fn oversized_group_is_split_and_merged_correctly() {
+        // One group holding ~95% of the rows forces the split-slice path.
+        let n = 60_000usize;
+        let big = 57_000u32;
+        let mut state = 4242u64;
+        let keys0: Vec<u32> = (0..n).map(|_| xorshift(&mut state) as u32).collect();
+        let mut offsets = vec![0u32, big];
+        let mut at = big;
+        while (at as usize) < n {
+            at = (at + 100).min(n as u32);
+            offsets.push(at);
+        }
+        let groups = GroupBounds::from_offsets(offsets);
+        let cfg = SortConfig::default();
+
+        let mut k1 = keys0.clone();
+        let mut o1: Vec<u32> = (0..n as u32).collect();
+        let s1 = crate::segmented::sort_pairs_in_groups(&mut k1, &mut o1, &groups, &cfg);
+
+        let mut k2 = keys0.clone();
+        let mut o2: Vec<u32> = (0..n as u32).collect();
+        let s2 = sort_pairs_in_groups_parallel(&mut k2, &mut o2, &groups, 4, &cfg)
+            .expect("no injected faults");
+
+        assert_eq!(k1, k2, "split+merge must equal the serial group sort");
+        assert_eq!(s1.invocations, s2.invocations);
+        assert_eq!(s1.codes_sorted, s2.codes_sorted);
+        assert_eq!(s1.max_group, s2.max_group);
+        assert!(s2.morsels.split >= 1, "the giant group must have split");
+        // oids form a permutation and point back at the original keys.
+        for i in 0..n {
+            assert_eq!(k2[i], keys0[o2[i] as usize]);
+        }
+    }
+
+    #[test]
+    fn skewed_groups_eventually_steal() {
+        // Steals are scheduling-dependent (a worker must go dry while
+        // another still holds queued morsels), so retry a handful of
+        // times; byte-identical output is asserted on *every* attempt.
+        let n = 50_000usize;
+        let big = 47_500u32; // 95% of rows in one group
+        let mut state = 31337u64;
+        let keys0: Vec<u32> = (0..n).map(|_| xorshift(&mut state) as u32).collect();
+        let mut offsets = vec![0u32, big];
+        let mut at = big;
+        while (at as usize) < n {
+            at = (at + 50).min(n as u32);
+            offsets.push(at);
+        }
+        let groups = GroupBounds::from_offsets(offsets);
+        let cfg = SortConfig::default();
+
+        let mut k1 = keys0.clone();
+        let mut o1: Vec<u32> = (0..n as u32).collect();
+        crate::segmented::sort_pairs_in_groups(&mut k1, &mut o1, &groups, &cfg);
+
+        let mut saw_steal = false;
+        for _ in 0..50 {
+            let mut k2 = keys0.clone();
+            let mut o2: Vec<u32> = (0..n as u32).collect();
+            let s = sort_pairs_in_groups_parallel(&mut k2, &mut o2, &groups, 4, &cfg)
+                .expect("no injected faults");
+            assert_eq!(k1, k2, "steal schedule must not change the keys");
+            if s.morsels.stolen > 0 {
+                saw_steal = true;
+                break;
+            }
+        }
+        assert!(saw_steal, "no steal observed across 50 skewed runs");
+    }
+
+    #[test]
+    fn parallel_cutoff_rows_is_honored() {
+        // Below the cutoff the parallel entry points run serially
+        // (dispatched == 0); lowering the knob re-enables scheduling.
+        let n = 3_000usize;
+        let mut state = 99u64;
+        let keys0: Vec<u32> = (0..n).map(|_| xorshift(&mut state) as u32).collect();
+        let groups = GroupBounds::from_offsets(vec![0, (n / 2) as u32, n as u32]);
+
+        let cfg = SortConfig::default();
+        assert!(n < cfg.parallel_cutoff_rows);
+        let mut k = keys0.clone();
+        let mut o: Vec<u32> = (0..n as u32).collect();
+        let s = sort_pairs_in_groups_parallel(&mut k, &mut o, &groups, 4, &cfg).unwrap();
+        assert_eq!(s.morsels, MorselCounts::default());
+
+        let low = SortConfig {
+            parallel_cutoff_rows: 64,
+            ..SortConfig::default()
+        };
+        let mut k2 = keys0.clone();
+        let mut o2: Vec<u32> = (0..n as u32).collect();
+        let s2 = sort_pairs_in_groups_parallel(&mut k2, &mut o2, &groups, 4, &low).unwrap();
+        assert!(s2.morsels.dispatched > 0);
+        assert_eq!(k, k2);
+    }
+
+    #[test]
+    fn split_bounds_are_aligned_and_cover() {
+        let b = split_bounds(1000, 10_000, 5);
+        assert_eq!(*b.first().unwrap(), 1000);
+        assert_eq!(*b.last().unwrap(), 11_000);
+        for w in b.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &cut in &b[1..b.len() - 1] {
+            assert_eq!((cut - 1000) % SPLIT_ALIGN, 0);
+        }
+        // Tiny input: collapsed boundaries are dropped, never empty parts.
+        let b = split_bounds(0, 70, 4);
+        for w in b.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(*b.last().unwrap(), 70);
     }
 
     #[test]
@@ -309,6 +686,18 @@ mod tests {
             sum.fetch_add((start..start + len).sum::<usize>(), Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn for_each_chunk_serial_below_cutoff() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let counts = for_each_chunk(100, 8, |i, start, len| {
+            assert_eq!((i, start, len), (0, 0, 100));
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(counts, MorselCounts::default());
     }
 
     #[test]
@@ -324,7 +713,7 @@ mod tests {
     #[test]
     fn worker_panic_error_formats() {
         let e = WorkerPanic { chunk: 3 };
-        assert!(e.to_string().contains("chunk 3"));
+        assert!(e.to_string().contains("worker 3"));
     }
 
     #[cfg(feature = "faults")]
@@ -344,7 +733,10 @@ mod tests {
             let mut oids: Vec<u32> = (0..n as u32).collect();
             let err = sort_pairs_parallel(&mut keys, &mut oids, 4, &cfg);
             std::panic::set_hook(prev);
-            assert_eq!(err, Err(WorkerPanic { chunk: 0 }));
+            // Which worker pops the poisoned morsel first is a scheduling
+            // race; any worker index is a valid report.
+            let e = err.expect_err("armed fault must surface as WorkerPanic");
+            assert!(e.chunk < 4);
         });
 
         // Disarmed again: the same call succeeds.

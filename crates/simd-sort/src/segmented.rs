@@ -112,6 +112,9 @@ pub struct SegmentedSortStats {
     /// Loser-tree comparison counters of the out-of-cache merge passes,
     /// summed across invocations ([`crate::ovc`]).
     pub merge: MergeCounters,
+    /// Work-stealing scheduler counters of the parallel path (all zero on
+    /// the serial path and below the parallel cutoff).
+    pub morsels: mcs_morsel::MorselCounts,
 }
 
 /// Sort `(keys, oids)` within each group independently.

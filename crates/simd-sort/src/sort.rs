@@ -11,6 +11,10 @@ use crate::scalar;
 use crate::scratch::SortScratch;
 use mcs_cancel::CancelToken;
 
+/// Default for [`SortConfig::parallel_cutoff_rows`]: inputs under 4096
+/// rows sort serially regardless of the requested thread count.
+pub const DEFAULT_PARALLEL_CUTOFF_ROWS: usize = 4096;
+
 /// Tuning knobs of the merge-sort, mirroring the constants of the paper's
 /// cost model (§4).
 #[derive(Debug, Clone)]
@@ -41,6 +45,13 @@ pub struct SortConfig {
     /// a single integer compare. Only consulted on the scalar multiway
     /// path (the SIMD merge-tree ablation ignores it). Default: on.
     pub use_ovc: bool,
+    /// Inputs shorter than this run serially even when the caller asks for
+    /// multiple threads ([`crate::sort_pairs_parallel`] and the morsel-driven
+    /// group sort): below it, thread spawn + merge overhead exceeds the
+    /// sort itself. Default: [`DEFAULT_PARALLEL_CUTOFF_ROWS`] (4096 rows —
+    /// roughly where one worker's share stops fitting the in-register
+    /// phase's sweet spot and spawn cost amortizes).
+    pub parallel_cutoff_rows: usize,
     /// Cooperative cancellation token, polled at every phase boundary and
     /// every [`mcs_cancel::CHECK_INTERVAL`] merge pops. The sort entry
     /// points stay infallible: a fired token makes them return early
@@ -59,6 +70,7 @@ impl Default for SortConfig {
             force_portable: false,
             scalar_multiway: true,
             use_ovc: true,
+            parallel_cutoff_rows: DEFAULT_PARALLEL_CUTOFF_ROWS,
             cancel: CancelToken::none(),
         }
     }
@@ -524,6 +536,15 @@ mod tests {
             check_bank!(u64);
         }
         assert!(scratch.bytes() > 0, "scratch grew to its high-water mark");
+    }
+
+    #[test]
+    fn parallel_cutoff_default_is_pinned() {
+        assert_eq!(DEFAULT_PARALLEL_CUTOFF_ROWS, 4096);
+        assert_eq!(
+            SortConfig::default().parallel_cutoff_rows,
+            DEFAULT_PARALLEL_CUTOFF_ROWS
+        );
     }
 
     #[test]

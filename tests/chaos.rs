@@ -290,6 +290,64 @@ fn mid_round_fault_does_not_poison_the_session_arena() {
     );
 }
 
+/// The morsel-loop panic contract at the executor level, below the
+/// degradation ladder: `simd.worker.panic` armed `Once` fires on the
+/// first morsel some worker pops, mid-round. The sort must surface a
+/// clean typed `WorkerPanicked` (never abort or hang — the sibling
+/// workers drain the queue and join), the shared arena must come back
+/// unpoisoned, and the disarmed rerun on that same arena must be
+/// byte-identical to a fresh-buffer run.
+#[test]
+fn mid_morsel_worker_panic_is_typed_and_leaves_the_arena_clean() {
+    use codemassage::core::{multi_column_sort_with, ExecArena, SortError};
+    use mcs_columnar::CodeVec;
+
+    let n = 30_000usize;
+    let a = CodeVec::from_u64s(
+        10,
+        (0..n).map(|i| (i as u64).wrapping_mul(0x9e37_79b9) % 50),
+    );
+    let b = CodeVec::from_u64s(
+        17,
+        (0..n).map(|i| (i as u64).wrapping_mul(0x85eb_ca6b) % 5000),
+    );
+    let refs = vec![&a, &b];
+    let specs = vec![SortSpec::asc(10), SortSpec::asc(17)];
+    let plan = MassagePlan::column_at_a_time(&specs);
+    let cfg = ExecConfig {
+        threads: 4,
+        want_final_groups: true,
+        ..ExecConfig::default()
+    };
+    let clean = multi_column_sort(&refs, &specs, &plan, &cfg).expect("clean run");
+
+    let mut arena = ExecArena::new();
+    with_armed(&[(points::SIMD_WORKER_PANIC, FireMode::Once)], || {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = multi_column_sort_with(&refs, &specs, &plan, &cfg, &mut arena)
+            .expect_err("armed worker panic must fail the sort");
+        std::panic::set_hook(prev);
+        assert!(
+            fired(points::SIMD_WORKER_PANIC) > 0,
+            "fault never traversed"
+        );
+        assert!(
+            matches!(err, SortError::WorkerPanicked { .. }),
+            "expected a typed WorkerPanicked, got {err:?}"
+        );
+    });
+
+    // Disarmed rerun on the arena the panic unwound through.
+    let after = multi_column_sort_with(&refs, &specs, &plan, &cfg, &mut arena)
+        .expect("arena survived the panic");
+    assert_eq!(after.oids, clean.oids, "post-panic rerun oids");
+    assert_eq!(
+        after.groups.offsets, clean.groups.offsets,
+        "post-panic rerun group bounds"
+    );
+}
+
 /// A memory budget small enough that the chaos queries' sort footprint
 /// exceeds it, forcing the out-of-core path (and with it the
 /// `extsort.spill.*` fault points) to run.

@@ -422,6 +422,89 @@ fn tiny_budget_forces_at_least_four_spilled_runs() {
     assert_eq!(got.groups.offsets, want.groups.offsets, "spilled groups");
 }
 
+/// The work-stealing axis: one group holding >90% of the rows after
+/// round 1 makes the static per-worker seeding maximally unbalanced, so
+/// the workers that finish their small groups early must steal from the
+/// owner of the giant one. Across threads {1, 2, 4, 8} the output must
+/// stay byte-identical to the serial run (and match the scalar
+/// reference), and at threads >= 2 at least one steal must be observed —
+/// retried a bounded number of times because on a loaded machine the
+/// straggler can finish before anyone gets to steal, while byte-identity
+/// is asserted on *every* attempt.
+#[test]
+fn skewed_group_distribution_steals_and_stays_byte_identical() {
+    let mut rng = Rng::seed_from_u64(0x53EA1);
+    let n = 40_000usize;
+    // Column 1 (6 bits): 95% of rows share value 0 -> one giant group
+    // after round 1. Column 2 (17 bits): random, so the giant group is
+    // real sorting work in round 2, not a tie run.
+    let c1: Vec<u64> = (0..n)
+        .map(|_| {
+            if rng.gen_range(0..100u64) < 95 {
+                0
+            } else {
+                1 + rng.gen_range(0..62u64)
+            }
+        })
+        .collect();
+    let c2: Vec<u64> = (0..n).map(|_| rng.gen_range(0..(1u64 << 17))).collect();
+    let p = SortProblem {
+        columns: vec![c1, c2],
+        widths: vec![6, 17],
+        descending: vec![false, true],
+    };
+    let reference = reference_sort(&p);
+    let cols = code_vecs(&p);
+    let refs: Vec<&CodeVec> = cols.iter().collect();
+    let specs = sort_specs(&p);
+    let plan = MassagePlan::column_at_a_time(&specs);
+
+    let run = |threads: usize| {
+        let cfg = ExecConfig {
+            threads,
+            want_final_groups: true,
+            ..ExecConfig::default()
+        };
+        multi_column_sort(&refs, &specs, &plan, &cfg).expect("valid sort instance")
+    };
+    let serial = run(1);
+    assert!(
+        serial.stats.morsel_counts().is_empty(),
+        "threads=1 must not schedule morsels"
+    );
+    mcs_test_support::assert_matches_reference(
+        "skew/t1",
+        &p,
+        &reference,
+        &serial.oids,
+        Some(&serial.groups.offsets),
+    );
+    for threads in [2usize, 4, 8] {
+        let mut stolen = 0u64;
+        for attempt in 0..50 {
+            let out = run(threads);
+            assert_eq!(
+                out.oids, serial.oids,
+                "skew/t{threads}/attempt{attempt}: steal schedule leaked into the output"
+            );
+            assert_eq!(
+                out.groups.offsets, serial.groups.offsets,
+                "skew/t{threads}/attempt{attempt}: group bounds diverged"
+            );
+            let m = out.stats.morsel_counts();
+            assert!(m.dispatched > 0, "skew/t{threads}: no morsels dispatched");
+            stolen = m.stolen;
+            if stolen > 0 {
+                break;
+            }
+        }
+        assert!(
+            stolen > 0,
+            "skew/t{threads}: no steal observed in 50 attempts on a >90% skewed group"
+        );
+    }
+}
+
 /// Degenerate shapes every engine change must keep working: zero rows,
 /// one row, a single 1-bit column with heavy ties, and an all-equal
 /// column collapsing to one group.
